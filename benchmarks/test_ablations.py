@@ -1,0 +1,86 @@
+"""Ablation benches for the compiler's design choices (DESIGN.md):
+
+* greedy whole-CC packing (the paper's algorithm) vs naive one-CC-per-
+  partition placement;
+* multilevel k-way partitioning (the METIS substitute) vs random
+  assignment, on a real benchmark's largest component;
+* prefix merging on/off — the CA_P vs CA_S state-count gap itself.
+"""
+
+import random
+
+from conftest import show
+from repro.automata.components import connected_components
+from repro.automata.optimize import space_optimize
+from repro.compiler import Compiler, compile_automaton
+from repro.core.design import CA_P
+from repro.partitioning import PartitionGraph, cut_weight, partition_into_capacity
+from repro.workloads.suite import get_benchmark
+
+
+def test_greedy_packing_vs_naive(benchmark):
+    """Packing whole CCs tightly (Section 3.3) vs one CC per partition."""
+    automaton = get_benchmark("Dotstar").build()
+    components = connected_components(automaton)
+
+    mapping = benchmark(Compiler(CA_P).compile, automaton)
+    naive_partitions = len(components)  # one partition per CC
+
+    show(
+        "Ablation: CC packing",
+        [
+            ("Policy", "Partitions", "Cache (KB)"),
+            ("greedy whole-CC packing", mapping.partition_count,
+             mapping.cache_bytes() // 1024),
+            ("one CC per partition", naive_partitions, naive_partitions * 8),
+        ],
+    )
+    # Greedy packing must be dramatically denser.
+    assert mapping.partition_count < naive_partitions / 5
+
+
+def test_multilevel_vs_random_partitioning(benchmark):
+    """Cut quality on the largest real component (justifies METIS)."""
+    automaton = get_benchmark("TCP").build()
+    largest = max(connected_components(automaton), key=len)
+    index = {ste_id: i for i, ste_id in enumerate(largest)}
+    graph = PartitionGraph([1] * len(largest))
+    for ste_id in largest:
+        for target in automaton.successors(ste_id):
+            if target in index and target != ste_id:
+                graph.add_edge(index[ste_id], index[target])
+
+    assignment = benchmark(partition_into_capacity, graph, 256)
+    parts = max(assignment) + 1
+    good_cut = cut_weight(graph, assignment)
+
+    rng = random.Random(0)
+    random_cut = cut_weight(
+        graph, [rng.randrange(parts) for _ in range(graph.node_count)]
+    )
+    show(
+        "Ablation: partitioner cut quality (TCP largest CC)",
+        [
+            ("Policy", "Parts", "Edge cut"),
+            ("multilevel k-way", parts, good_cut),
+            ("random", parts, random_cut),
+        ],
+    )
+    assert good_cut < random_cut / 3
+
+
+def test_prefix_merging_state_reduction(benchmark):
+    """The CA_S transform itself: states removed by redundancy merging."""
+    automaton = get_benchmark("EntityResolution").build()
+
+    optimised = benchmark(space_optimize, automaton)
+    show(
+        "Ablation: redundancy merging (EntityResolution)",
+        [
+            ("Variant", "States", "Partitions"),
+            ("baseline (CA_P input)", len(automaton),
+             compile_automaton(automaton, CA_P).partition_count),
+            ("space-optimised (CA_S input)", len(optimised), "-"),
+        ],
+    )
+    assert len(optimised) < len(automaton) / 2

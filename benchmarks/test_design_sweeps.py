@@ -1,0 +1,43 @@
+"""Design-space sweeps beyond Figure 10's three points: G1/G4 wire
+budgets, partition size, and NFA way allocation."""
+
+from conftest import show
+from repro.eval.sweeps import (
+    sweep_g1_wires,
+    sweep_g4_wires,
+    sweep_partition_size,
+    sweep_ways,
+)
+
+
+def test_g1_wire_sweep(benchmark):
+    rows = benchmark(sweep_g1_wires)
+    show("Sweep: within-way (G1) wires per partition", rows)
+    reaches = [row[1] for row in rows[1:]]
+    areas = [row[4] for row in rows[1:]]
+    assert reaches == sorted(reaches)
+    assert areas == sorted(areas)
+
+
+def test_g4_wire_sweep(benchmark):
+    rows = benchmark(sweep_g4_wires)
+    show("Sweep: cross-way (G4) wires per partition", rows)
+    frequencies = [row[2] for row in rows[1:]]
+    # Bigger G4 switches slow the pipeline's second stage.
+    assert frequencies == sorted(frequencies, reverse=True)
+
+
+def test_partition_size_sweep(benchmark):
+    rows = benchmark(sweep_partition_size)
+    show("Sweep: partition (L-switch) size", rows)
+    # The frequency/reach trade-off spans the Figure 10 corners.
+    by_size = {row[0]: row for row in rows[1:]}
+    assert by_size["CA_P/p=64"][2] > 3.0
+    assert by_size["CA_P/p=256"][1] > by_size["CA_P/p=64"][1]
+
+
+def test_ways_sweep(benchmark):
+    rows = benchmark(sweep_ways)
+    show("Sweep: NFA ways per slice (capacity vs cache left)", rows)
+    capacities = [row[2] for row in rows[1:]]
+    assert capacities == sorted(capacities)

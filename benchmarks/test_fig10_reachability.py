@@ -1,0 +1,60 @@
+"""Figure 10 — the design space: reachability vs symbol-processing
+frequency and area overhead, with the AP as the reference point."""
+
+import pytest
+
+from conftest import show
+from repro.baselines.ap import ApModel
+from repro.core.design import CA_64, CA_P, CA_S
+from repro.eval.experiments import fig10
+
+
+def test_fig10(benchmark):
+    rows = benchmark(fig10)
+    show("Figure 10: reachability vs frequency and area", rows)
+
+    by_name = {row[0]: row for row in rows[1:]}
+
+    # Frequency falls as reachability rises across the CA design space.
+    ca_rows = [by_name["CA_64"], by_name["CA_P"], by_name["CA_S"]]
+    reaches = [row[1] for row in ca_rows]
+    frequencies = [row[2] for row in ca_rows]
+    assert reaches == sorted(reaches)
+    assert frequencies == sorted(frequencies, reverse=True)
+
+    # Paper's published corner points.
+    assert by_name["CA_64"][1] == 64
+    assert by_name["CA_64"][2] == pytest.approx(4.0, abs=0.05)
+    assert by_name["CA_P"][1] == pytest.approx(361, rel=0.05)
+    assert by_name["CA_S"][1] == pytest.approx(936, rel=0.08)
+    assert by_name["AP"][1] == 230.5
+
+    # CA_P strictly dominates the AP: more reach, 15x the frequency,
+    # <1/8 the area overhead.
+    ap = by_name["AP"]
+    ca_p = by_name["CA_P"]
+    assert ca_p[1] > ap[1]
+    assert ca_p[2] / ap[2] == pytest.approx(15.0, rel=0.01)
+    assert ca_p[3] < ap[3] / 8
+
+    # Fan-in: 256 vs the AP's 16 (Section 5.4).
+    assert by_name["CA_P"][4] == 256
+    assert by_name["AP"][4] == 16
+
+
+def test_area_under_2_percent_of_die(benchmark):
+    """Section 5.4: < 2% of the 354 mm^2 Xeon E5 die."""
+    from repro.core.params import XEON_DIE_AREA_MM2
+
+    area = benchmark(CA_P.area_overhead_mm2, 32 * 1024)
+    assert area < 0.02 * XEON_DIE_AREA_MM2
+    assert CA_S.area_overhead_mm2(32 * 1024) < 0.02 * XEON_DIE_AREA_MM2
+
+
+def test_reachability_frequency_product(benchmark):
+    """Both CA points beat the AP on the reach x frequency product — the
+    scalability argument of Section 5.4."""
+    ap = ApModel()
+    ap_product = benchmark(lambda: ap.reachability * ap.frequency_ghz)
+    for design in (CA_64, CA_P, CA_S):
+        assert design.reachability * design.frequency_ghz > ap_product

@@ -1,0 +1,37 @@
+"""Figure 7 — throughput in Gb/s vs Micron's AP across all 20 benchmarks,
+plus the simulated symbols/second of the functional simulator itself."""
+
+import pytest
+
+from conftest import INPUT_LENGTH, show
+from repro.baselines.ap import ApModel, CpuReferenceModel
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.eval.experiments import fig7
+from repro.sim.functional import MappedSimulator
+from repro.workloads.suite import get_benchmark
+
+
+def test_fig7(suite_evaluations, benchmark):
+    rows = fig7(suite_evaluations)
+    show("Figure 7: throughput vs Micron's AP (Gb/s)", rows)
+
+    ap = ApModel()
+    cpu = CpuReferenceModel()
+    for row in rows[1:]:
+        name, ap_gbps, ca_s_gbps, ca_p_gbps = row[0], row[1], row[2], row[3]
+        # Deterministic line rate: identical for every benchmark.
+        assert ca_p_gbps == 16.0
+        assert ca_s_gbps == pytest.approx(9.6)
+        assert ap_gbps == pytest.approx(1.064)
+    assert ap.speedup_of(CA_P) == pytest.approx(15.0, rel=0.01)
+    assert cpu.speedup_of(CA_P) == pytest.approx(3840, rel=0.01)
+
+    # Kernel timed: the mapped functional simulator's symbol rate on a
+    # mid-sized benchmark (what bounds how long the evaluation takes).
+    bro = get_benchmark("Bro217")
+    simulator = MappedSimulator(compile_automaton(bro.build(), CA_P))
+    data = bro.input_stream(INPUT_LENGTH, seed=2)
+
+    result = benchmark(simulator.run, data, collect_reports=False)
+    assert result.profile.symbols == INPUT_LENGTH

@@ -1,0 +1,38 @@
+"""Figure 8 — cache utilisation (MB) of CA_P vs CA_S per benchmark, plus
+the compile time of the mapping pipeline."""
+
+from conftest import show
+from repro.compiler import Compiler
+from repro.core.design import CA_P
+from repro.eval.experiments import fig8
+from repro.workloads.suite import get_benchmark
+
+
+def test_fig8(suite_evaluations, benchmark):
+    rows = fig8(suite_evaluations)
+    show("Figure 8: cache utilisation (MB)", rows)
+
+    by_name = {row[0]: row for row in rows[1:-1]}
+    average = rows[-1]
+    # Shape: CA_S never exceeds CA_P, and overall it saves space.
+    for name, row in by_name.items():
+        assert row[2] <= row[1] + 1e-9, name
+    assert average[2] < average[1]
+
+    # The paper's biggest savers must actually save here too.
+    for name in ("EntityResolution", "Brill", "SPM"):
+        assert by_name[name][3] > 0, name
+    # ...and the merge-resistant benchmarks save ~nothing.
+    for name in ("Hamming", "RandomForest", "Fermi"):
+        assert by_name[name][3] <= by_name["EntityResolution"][3], name
+
+    # EntityResolution shows the largest absolute saving (as in Fig. 8).
+    biggest_saver = max(by_name, key=lambda name: by_name[name][3])
+    assert biggest_saver == "EntityResolution"
+
+    # Kernel timed: compiling a multi-thousand-state automaton.
+    snort = get_benchmark("Snort").build()
+    compiler = Compiler(CA_P)
+
+    mapping = benchmark(compiler.compile, snort)
+    assert mapping.partition_count >= 1

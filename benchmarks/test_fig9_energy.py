@@ -1,0 +1,54 @@
+"""Figure 9 — (a) energy per input symbol for CA_P / CA_S / Ideal AP with
+the same mappings; (b) average power of both designs."""
+
+import pytest
+
+from conftest import show
+from repro.core.design import CA_P, CA_S
+from repro.core.energy import EnergyModel
+from repro.core.params import XEON_TDP_WATTS
+from repro.eval.experiments import fig9a, fig9b
+
+
+def test_fig9a(suite_evaluations, benchmark):
+    rows = benchmark(fig9a, suite_evaluations)
+    show("Figure 9a: energy per input symbol (nJ)", rows)
+
+    by_name = {row[0]: row for row in rows[1:-1]}
+    average = rows[-1]
+
+    for name, row in by_name.items():
+        _, ca_p, ca_s, ideal_ap_p, ideal_ap_s = row
+        # CA always beats the Ideal AP running the same mapping.
+        assert ca_p < ideal_ap_p, name
+        assert ca_s < ideal_ap_s, name
+
+    # Section 5.3: on average CA consumes ~3x less than Ideal AP.
+    assert average[3] / average[1] == pytest.approx(3.6, rel=0.15)
+    # CA_S (with its merged mappings) is the lowest-energy configuration.
+    assert average[2] <= average[1]
+
+    # High-activity benchmarks consume the most energy (paper's Fig. 9).
+    assert by_name["SPM"][1] > by_name["Bro217"][1]
+    assert by_name["Fermi"][1] > by_name["Bro217"][1]
+
+
+def test_fig9b(suite_evaluations, benchmark):
+    rows = benchmark(fig9b, suite_evaluations)
+    show("Figure 9b: average power (W)", rows)
+
+    for row in rows[1:]:
+        name, ca_p_power, ca_s_power = row
+        # Far below the Xeon's 160 W TDP (Section 5.3).
+        assert ca_p_power < XEON_TDP_WATTS / 2, name
+        assert ca_s_power < ca_p_power + 1e-9, name
+
+
+def test_peak_power_prototype(benchmark):
+    """The 128K-STE prototype's worst case: ~71-75 W (Section 5.3)."""
+    peak_p = benchmark(EnergyModel(CA_P).peak_power_watts, 128 * 1024)
+    assert 65 < peak_p < 80
+    assert peak_p < XEON_TDP_WATTS
+    # CA_S at the same state count runs cooler per state (lower clock).
+    peak_s = EnergyModel(CA_S).peak_power_watts(128 * 1024)
+    assert peak_s < peak_p

@@ -1,0 +1,54 @@
+"""Scale validation: the Table 1 / Figure 8 trends must persist when the
+synthetic suite is grown toward the paper's automaton sizes.
+
+Runs three representative benchmarks at ``REPRO_BENCH_SCALE`` (default
+2x) and checks the same structural signatures the default-size harness
+asserts — evidence that the scaled-down evaluation is not an artefact of
+its size."""
+
+import os
+
+from conftest import show
+from repro.automata.components import component_stats
+from repro.compiler import compile_automaton, compile_space_optimized
+from repro.core.design import CA_P, CA_S
+from repro.workloads.suite import build_suite
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2"))
+NAMES = ["ExactMatch", "EntityResolution", "SPM"]
+
+
+def test_trends_persist_at_scale(benchmark):
+    def evaluate():
+        suite = {b.name: b for b in build_suite(SCALE)}
+        rows = [(
+            "Benchmark", "P.States", "P.CCs", "S.States", "S.CCs",
+            "P (KB)", "S (KB)",
+        )]
+        for name in NAMES:
+            automaton = suite[name].build()
+            perf_mapping = compile_automaton(automaton, CA_P)
+            space_mapping = compile_space_optimized(automaton, CA_S)
+            perf_stats = component_stats(automaton)
+            space_stats = component_stats(space_mapping.automaton)
+            rows.append((
+                name,
+                perf_stats.state_count, perf_stats.component_count,
+                space_stats.state_count, space_stats.component_count,
+                perf_mapping.cache_bytes() // 1024,
+                space_mapping.cache_bytes() // 1024,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    show(f"Scale validation at {SCALE}x", rows)
+
+    by_name = {row[0]: row for row in rows[1:]}
+    for name in NAMES:
+        _, p_states, p_ccs, s_states, s_ccs, p_kb, s_kb = by_name[name]
+        assert s_states <= p_states, name
+        assert s_ccs < p_ccs, name
+        assert s_kb <= p_kb, name
+    # The headline saver still saves big at scale.
+    er = by_name["EntityResolution"]
+    assert er[6] < er[5] / 2

@@ -1,0 +1,66 @@
+"""Performance benches for the simulators themselves: symbols/second of
+the golden interpreter, the mapped functional simulator, and the DFA CPU
+engine on the same workload."""
+
+from conftest import INPUT_LENGTH
+from repro.baselines.cpu import DfaCpuEngine
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.sim.functional import MappedSimulator
+from repro.sim.golden import GoldenSimulator
+from repro.workloads.suite import get_benchmark
+
+
+def _workload():
+    benchmark_spec = get_benchmark("PowerEN")
+    automaton = benchmark_spec.build()
+    data = benchmark_spec.input_stream(INPUT_LENGTH, seed=5)
+    return automaton, data
+
+
+def test_golden_simulator_throughput(benchmark):
+    automaton, data = _workload()
+    simulator = GoldenSimulator(automaton)
+    result = benchmark(simulator.run, data, collect_reports=False)
+    assert result.stats.symbols_processed == len(data)
+
+
+def test_mapped_simulator_throughput(benchmark):
+    automaton, data = _workload()
+    simulator = MappedSimulator(compile_automaton(automaton, CA_P))
+    result = benchmark(simulator.run, data, collect_reports=False)
+    assert result.profile.symbols == len(data)
+
+
+def test_dfa_cpu_engine_throughput(benchmark):
+    # Determinising PowerEN blows up (the compute-centric problem the
+    # paper motivates with!); ExactMatch is the DFA-friendly workload.
+    benchmark_spec = get_benchmark("ExactMatch")
+    automaton = benchmark_spec.build()
+    data = benchmark_spec.input_stream(INPUT_LENGTH, seed=5)
+    engine = DfaCpuEngine(automaton)
+    offsets = benchmark(engine.match_offsets, data)
+    assert isinstance(offsets, list)
+
+
+def test_poweren_determinization_blows_up(benchmark):
+    """The compute-centric motivation: class/repeat-heavy rule sets do
+    not determinise within practical state budgets (Section 6)."""
+    from repro.baselines.cpu import try_build_engine
+
+    automaton = get_benchmark("PowerEN").build()
+    engine = benchmark.pedantic(
+        try_build_engine, args=(automaton,), kwargs={"max_states": 2000},
+        rounds=1, iterations=1,
+    )
+    assert engine is None
+
+
+def test_high_activity_simulation(benchmark):
+    """SPM's huge active set is the simulator's worst case."""
+    benchmark_spec = get_benchmark("SPM")
+    automaton = benchmark_spec.build()
+    data = benchmark_spec.input_stream(min(INPUT_LENGTH, 4000), seed=6)
+    simulator = GoldenSimulator(automaton)
+    result = benchmark(simulator.run, data, collect_reports=False)
+    assert result.stats.average_active_states > 100

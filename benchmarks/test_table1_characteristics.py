@@ -1,0 +1,43 @@
+"""Table 1 — benchmark characteristics (states, CCs, largest CC, average
+active states) for the performance- and space-optimised automata."""
+
+import pytest
+
+from conftest import show
+from repro.automata.components import component_stats
+from repro.automata.optimize import space_optimize
+from repro.eval.experiments import table1
+from repro.workloads.suite import get_benchmark
+
+
+def test_table1(suite_evaluations, benchmark):
+    rows = table1(suite_evaluations)
+    show("Table 1: benchmark characteristics", rows)
+
+    # Kernel timed: characterising one representative automaton.
+    snort = get_benchmark("Snort").build()
+
+    def characterise():
+        return component_stats(space_optimize(snort))
+
+    stats = benchmark(characterise)
+    assert stats.state_count > 0
+
+    by_name = {row[0]: row for row in rows[1:]}
+    assert len(by_name) == 20
+    for name, row in by_name.items():
+        p_states, p_ccs, p_largest = row[1], row[2], row[3]
+        s_states, s_ccs, s_largest = row[5], row[6], row[7]
+        # The Table 1 trend: merging never adds states, reduces CC count,
+        # and grows (or keeps) the largest CC.
+        assert s_states <= p_states, name
+        assert s_ccs <= p_ccs, name
+        assert s_largest >= p_largest or s_states == p_states, name
+
+    # Family-specific signatures from the paper.
+    assert by_name["EntityResolution"][6] <= 8  # 1000 CCs -> 5
+    assert by_name["SPM"][4] > 100  # enormous active set
+    assert by_name["Fermi"][4] > 50
+    assert by_name["RandomForest"][1] == pytest.approx(
+        by_name["RandomForest"][5], rel=0.1
+    )  # merging barely helps

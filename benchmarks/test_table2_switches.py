@@ -1,0 +1,33 @@
+"""Table 2 — switch parameters (size, count, delay, energy, area) for both
+designs, plus the functional crossbar's evaluation throughput."""
+
+import numpy as np
+import pytest
+
+from conftest import show
+from repro.core.switches import CrossbarSwitch, SwitchSpec
+from repro.eval.experiments import table2
+
+
+def test_table2(benchmark):
+    rows = table2()
+    show("Table 2: switch parameters", rows)
+
+    by_key = {(row[0], row[1]): row for row in rows[1:]}
+    # Published anchor values must appear verbatim.
+    assert by_key[("CA_S", "L")][4] == pytest.approx(163.5, abs=0.5)
+    assert by_key[("CA_S", "L")][6] == pytest.approx(0.033, abs=0.001)
+    assert by_key[("CA_P", "G1")][4] == pytest.approx(128.0, abs=0.5)
+    assert by_key[("CA_S", "G4")][4] == pytest.approx(327.0, abs=0.5)
+    assert by_key[("CA_S", "G4")][6] == pytest.approx(0.1293, abs=0.002)
+
+    # Kernel timed: one L-switch crossbar evaluation (the pipeline's
+    # third stage, executed every symbol cycle).
+    switch = CrossbarSwitch(SwitchSpec(280, 256))
+    rng = np.random.default_rng(0)
+    for _ in range(400):
+        switch.connect(int(rng.integers(280)), int(rng.integers(256)))
+    active = rng.random(280) < 0.05
+
+    outputs = benchmark(switch.evaluate, active)
+    assert outputs.shape == (256,)

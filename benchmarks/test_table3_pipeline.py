@@ -1,0 +1,31 @@
+"""Table 3 — pipeline stage delays and operating frequencies, derived from
+the circuit constants and slice geometry."""
+
+import pytest
+
+from conftest import show
+from repro.core.design import CA_P, CA_S
+from repro.eval.experiments import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3)
+    show("Table 3: pipeline stage delays and operating frequency", rows)
+
+    by_name = {row[0]: row for row in rows[1:]}
+    # Paper: CA_P 438/227/263 ps, 2.3 GHz max, operated at 2 GHz.
+    assert by_name["CA_P"][1] == pytest.approx(438, abs=2)
+    assert by_name["CA_P"][2] == pytest.approx(227, abs=2)
+    assert by_name["CA_P"][3] == pytest.approx(263, abs=2)
+    assert by_name["CA_P"][4] == pytest.approx(2.3, abs=0.05)
+    assert by_name["CA_P"][5] == 2.0
+    # Paper: CA_S 687/468/304 ps, 1.4 GHz max, operated at 1.2 GHz.
+    assert by_name["CA_S"][1] == pytest.approx(687, abs=2)
+    assert by_name["CA_S"][2] == pytest.approx(468, abs=2)
+    assert by_name["CA_S"][3] == pytest.approx(304, abs=2)
+    assert by_name["CA_S"][4] == pytest.approx(1.4, abs=0.06)
+    assert by_name["CA_S"][5] == 1.2
+
+    # The bottleneck stage is state-match for both designs.
+    assert CA_P.timing.bottleneck == "state-match"
+    assert CA_S.timing.bottleneck == "state-match"

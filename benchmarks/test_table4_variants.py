@@ -1,0 +1,47 @@
+"""Table 4 — frequency impact of sense-amplifier cycling and of reusing
+the slice's H-Bus wires instead of global metal (Section 5.5)."""
+
+import pytest
+
+from conftest import show
+from repro.core.design import CA_P, CA_S
+from repro.eval.experiments import table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(table4)
+    show("Table 4: impact of optimisations and parameters", rows)
+
+    by_name = {row[0]: row for row in rows[1:]}
+    # Paper: CA_P 2 GHz -> 1 GHz without SA cycling -> 1.5 GHz with H-Bus.
+    assert by_name["CA_P"][1] == 2.0
+    assert by_name["CA_P"][2] == pytest.approx(1.0, abs=0.05)
+    assert by_name["CA_P"][3] == pytest.approx(1.5, abs=0.15)
+    # Paper: CA_S 1.2 GHz -> 500 MHz -> 1 GHz.
+    assert by_name["CA_S"][1] == 1.2
+    assert by_name["CA_S"][2] == pytest.approx(0.5, abs=0.03)
+    assert by_name["CA_S"][3] == pytest.approx(1.0, abs=0.05)
+
+
+def test_sa_cycling_speedup_bound(benchmark):
+    """Section 2.6: the optimised read is ~2x faster at 4-way muxing and
+    better at 8-way."""
+    from repro.core.timing import state_match_delay_ps
+
+    baseline_4way = benchmark(state_match_delay_ps, 4, sense_amp_cycling=False)
+    ratio_4way = baseline_4way / state_match_delay_ps(4)
+    ratio_8way = state_match_delay_ps(8, sense_amp_cycling=False) / (
+        state_match_delay_ps(8)
+    )
+    assert 2.0 <= ratio_4way <= 3.0
+    assert ratio_8way > ratio_4way
+
+
+def test_h_bus_still_beats_ap(benchmark):
+    """Section 5.5: even on H-Bus wires, CA is 7.5-11x faster than AP."""
+    from repro.baselines.ap import ApModel
+
+    ap = ApModel()
+    speedup = benchmark(lambda: ap.speedup_of(CA_P.with_h_bus()))
+    assert speedup > 7.5
+    assert ap.speedup_of(CA_S.with_h_bus()) > 7.0

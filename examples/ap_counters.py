@@ -1,0 +1,101 @@
+"""AP-compatibility circuit elements: counters and boolean gates.
+
+Micron's ANML has more than STEs; this example builds a rate-limiting
+detector — "report when the pattern 'err' occurs 3 times without an 'ok'
+in between" — using a counter, simulates it with the circuit simulator,
+and then shows the honest architecture boundary: counters do not lower
+onto Cache Automaton STE arrays, while OR-gate circuits do (and then run
+through the full compile/simulate pipeline).
+
+Run:  python examples/ap_counters.py
+"""
+
+from repro.automata.anml import StartKind
+from repro.automata.circuit_anml import circuit_to_anml
+from repro.automata.elements import (
+    CircuitAutomaton,
+    CounterMode,
+    GateKind,
+    lower_circuit,
+)
+from repro.automata.symbols import SymbolSet
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.errors import CompileError
+from repro.sim.circuit import simulate_circuit
+from repro.sim.functional import simulate_mapping
+
+# -- 1. A counter circuit: three 'err' events with no intervening 'ok'. ----
+circuit = CircuitAutomaton("rate-limit")
+
+# 'err' recogniser (chain), firing on its last symbol.
+previous = None
+for index, character in enumerate("err"):
+    ste_id = f"e{index}"
+    circuit.add_ste(
+        ste_id, SymbolSet.single(character),
+        start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+    )
+    if previous:
+        circuit.connect(previous, ste_id)
+    previous = ste_id
+
+# 'ok' recogniser resets the counter.
+circuit.add_ste("o0", SymbolSet.single("o"), start=StartKind.ALL_INPUT)
+circuit.add_ste("k0", SymbolSet.single("k"))
+circuit.connect("o0", "k0")
+
+circuit.add_counter(
+    "three_errors", 3, mode=CounterMode.PULSE, reporting=True,
+    report_code="ERROR-BURST",
+)
+circuit.connect("e2", "three_errors", port="count")
+circuit.connect("k0", "three_errors", port="reset")
+
+log = b"err err ok err err err ... err"
+result = simulate_circuit(circuit, log)
+print(f"log: {log.decode()}")
+for report in result.reports:
+    print(f"  offset {report.offset}: {report.report_code}")
+print(f"final counter value: {result.counter_values['three_errors']}")
+
+print("\nANML (with counter):")
+print("\n".join(circuit_to_anml(circuit).splitlines()[:6]) + "\n  ...")
+
+# -- 2. Counters do not map onto Cache Automaton. ---------------------------
+try:
+    lower_circuit(circuit)
+except CompileError as error:
+    print(f"\nlowering correctly refused: {error}")
+
+# -- 3. OR-gate circuits DO lower — and then compile and run. ---------------
+or_circuit = CircuitAutomaton("either")
+for word, prefix in (("warn", "w"), ("fail", "f")):
+    previous = None
+    for index, character in enumerate(word):
+        ste_id = f"{prefix}{index}"
+        or_circuit.add_ste(
+            ste_id, SymbolSet.single(character),
+            start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+        )
+        if previous:
+            or_circuit.connect(previous, ste_id)
+        previous = ste_id
+or_circuit.add_gate("bad", GateKind.OR, reporting=True, report_code="BAD")
+or_circuit.connect("w3", "bad")
+or_circuit.connect("f3", "bad")
+
+lowered = lower_circuit(or_circuit)
+mapping = compile_automaton(lowered, CA_P)
+text = b"a warn then a fail"
+mapped = simulate_mapping(mapping, text)
+print(f"\nOR circuit lowered to {len(lowered)} STEs, compiled to "
+      f"{mapping.partition_count} partition(s)")
+for report in mapped.reports:
+    print(f"  offset {report.offset}: {report.report_code}")
+
+circuit_reports = [
+    (r.offset, r.report_code) for r in simulate_circuit(or_circuit, text).reports
+]
+assert circuit_reports == [(r.offset, r.report_code) for r in mapped.reports]
+print("circuit simulation and cache-mapped simulation agree")

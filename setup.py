@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660 editable
+wheel support (offline boxes without the `wheel` package); configuration
+lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Cache Automaton (MICRO 2017) reproduction.
+
+In-cache automata processing: a compiler that maps real-world NFAs onto
+last-level-cache SRAM arrays with a hierarchical crossbar interconnect,
+functional simulators at three fidelity levels, analytic timing / energy
+/ area models, baselines (Micron AP, x86 CPU, HARE, UAP), and the full
+20-benchmark evaluation suite.
+
+Quickstart::
+
+    from repro import compile_patterns, CA_P, compile_automaton, simulate_mapping
+
+    machine = compile_patterns(["bat", "bar[t]?", "c[ao]t"])
+    mapping = compile_automaton(machine, CA_P)
+    result = simulate_mapping(mapping, b"the cart hit the bat")
+    for report in result.reports:
+        print(report.offset, report.report_code)
+"""
+
+from repro.automata import HomogeneousAutomaton, StartKind, SymbolSet
+from repro.baselines import ApModel, CpuReferenceModel
+from repro.compiler import Mapping, compile_automaton
+from repro.core import CA_64, CA_P, CA_S, DesignPoint, EnergyModel
+from repro.engine import CacheAutomatonEngine, Match
+from repro.errors import ReproError
+from repro.regex import compile_pattern, compile_patterns, literal_pattern
+from repro.sim import GoldenSimulator, MappedSimulator, simulate, simulate_mapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApModel",
+    "CA_64",
+    "CA_P",
+    "CA_S",
+    "CacheAutomatonEngine",
+    "Match",
+    "CpuReferenceModel",
+    "DesignPoint",
+    "EnergyModel",
+    "GoldenSimulator",
+    "HomogeneousAutomaton",
+    "MappedSimulator",
+    "Mapping",
+    "ReproError",
+    "StartKind",
+    "SymbolSet",
+    "compile_automaton",
+    "compile_pattern",
+    "compile_patterns",
+    "literal_pattern",
+    "simulate",
+    "simulate_mapping",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Automata substrate: symbol sets, NFA models, constructions, and passes.
+
+The central type is :class:`~repro.automata.anml.HomogeneousAutomaton`,
+the ANML-style model the Cache Automaton hardware executes; classical
+NFAs and DFAs support construction front-ends, CPU baselines, and
+equivalence oracles.
+"""
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind, Ste, from_anml, merge, to_anml
+from repro.automata.circuit_anml import circuit_from_anml, circuit_to_anml
+from repro.automata.components import ComponentStats, component_stats, connected_components
+from repro.automata.elements import (
+    CircuitAutomaton,
+    Counter,
+    CounterMode,
+    Gate,
+    GateKind,
+    lower_circuit,
+)
+from repro.automata.dfa import Dfa, determinize
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.nfa import Nfa
+from repro.automata.optimize import (
+    merge_common_prefixes,
+    merge_common_suffixes,
+    prune_dead,
+    prune_unreachable,
+    space_optimize,
+)
+from repro.automata.symbols import ANY, NONE, SymbolSet
+from repro.automata.transform import homogeneous_to_nfa, to_homogeneous
+
+__all__ = [
+    "ANY",
+    "NONE",
+    "CircuitAutomaton",
+    "ComponentStats",
+    "Counter",
+    "CounterMode",
+    "Gate",
+    "GateKind",
+    "circuit_from_anml",
+    "circuit_to_anml",
+    "lower_circuit",
+    "Dfa",
+    "HomogeneousAutomaton",
+    "Nfa",
+    "StartKind",
+    "Ste",
+    "SymbolSet",
+    "component_stats",
+    "connected_components",
+    "determinize",
+    "from_anml",
+    "homogeneous_to_nfa",
+    "merge",
+    "merge_common_prefixes",
+    "merge_common_suffixes",
+    "prune_dead",
+    "prune_unreachable",
+    "remove_epsilon",
+    "space_optimize",
+    "to_anml",
+    "to_homogeneous",
+]

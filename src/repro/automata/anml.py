@@ -1,0 +1,330 @@
+"""Homogeneous (ANML-style) automata — the Cache Automaton's native model.
+
+In an ANML automaton every state has valid incoming transitions for only
+one symbol set, so the state itself can carry the label: a state (called an
+STE, *state transition element*) is active after step *t* iff some
+predecessor was active at step *t-1* **and** the step-*t* input symbol is
+in the state's label.  This is what lets the hardware evaluate state-match
+as one SRAM row read and state-transition as a crossbar traversal.
+
+This module provides the :class:`HomogeneousAutomaton` graph model plus
+ANML-XML serialisation compatible with the format used by Micron's AP SDK
+and the ANMLZoo benchmarks (the subset this library needs).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.automata.charclass import parse_symbol_set
+from repro.automata.symbols import SymbolSet
+from repro.errors import AnmlError, AutomatonError
+
+
+class StartKind(Enum):
+    """When a state self-activates, independent of predecessors."""
+
+    #: Never self-activates; only predecessor activation can enable it.
+    NONE = "none"
+    #: Active for the very first input symbol only (anchored match).
+    START_OF_DATA = "start-of-data"
+    #: Active for every input symbol (unanchored search).
+    ALL_INPUT = "all-input"
+
+
+@dataclass(frozen=True)
+class Ste:
+    """One state transition element: a labelled, flagged automaton state."""
+
+    ste_id: str
+    symbols: SymbolSet
+    start: StartKind = StartKind.NONE
+    reporting: bool = False
+    report_code: Optional[str] = None
+
+    def matches(self, symbol: int) -> bool:
+        return self.symbols.matches(symbol)
+
+
+class HomogeneousAutomaton:
+    """A homogeneous NFA: labelled states + an unlabelled transition graph."""
+
+    def __init__(self, automaton_id: str = "anml"):
+        self.automaton_id = automaton_id
+        self._stes: Dict[str, Ste] = {}
+        self._successors: Dict[str, Set[str]] = {}
+        self._predecessors: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_ste(
+        self,
+        ste_id: str,
+        symbols: SymbolSet,
+        *,
+        start: StartKind = StartKind.NONE,
+        reporting: bool = False,
+        report_code: Optional[str] = None,
+    ) -> Ste:
+        """Add a new STE; raises if the id already exists."""
+        if ste_id in self._stes:
+            raise AutomatonError(f"duplicate STE id {ste_id!r}")
+        if symbols.is_empty():
+            raise AutomatonError(f"STE {ste_id!r} would match no symbol")
+        ste = Ste(ste_id, symbols, start, reporting, report_code)
+        self._stes[ste_id] = ste
+        self._successors[ste_id] = set()
+        self._predecessors[ste_id] = set()
+        return ste
+
+    def add_edge(self, source: str, target: str):
+        """Connect ``source`` to ``target`` (activate-on-match)."""
+        if source not in self._stes:
+            raise AutomatonError(f"unknown source STE {source!r}")
+        if target not in self._stes:
+            raise AutomatonError(f"unknown target STE {target!r}")
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+
+    def remove_ste(self, ste_id: str):
+        """Delete an STE and all edges touching it."""
+        if ste_id not in self._stes:
+            raise AutomatonError(f"unknown STE {ste_id!r}")
+        for target in self._successors.pop(ste_id):
+            self._predecessors[target].discard(ste_id)
+        for source in self._predecessors.pop(ste_id):
+            self._successors[source].discard(ste_id)
+        del self._stes[ste_id]
+
+    def replace_ste(self, ste: Ste):
+        """Swap in a modified copy of an existing STE (edges kept)."""
+        if ste.ste_id not in self._stes:
+            raise AutomatonError(f"unknown STE {ste.ste_id!r}")
+        if ste.symbols.is_empty():
+            raise AutomatonError(f"STE {ste.ste_id!r} would match no symbol")
+        self._stes[ste.ste_id] = ste
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._stes)
+
+    def __contains__(self, ste_id: str) -> bool:
+        return ste_id in self._stes
+
+    def ste(self, ste_id: str) -> Ste:
+        try:
+            return self._stes[ste_id]
+        except KeyError:
+            raise AutomatonError(f"unknown STE {ste_id!r}") from None
+
+    def stes(self) -> Iterator[Ste]:
+        return iter(self._stes.values())
+
+    def ste_ids(self) -> List[str]:
+        return list(self._stes)
+
+    def successors(self, ste_id: str) -> Set[str]:
+        return set(self._successors[ste_id])
+
+    def predecessors(self, ste_id: str) -> Set[str]:
+        return set(self._predecessors[ste_id])
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        for source, targets in self._successors.items():
+            for target in sorted(targets):
+                yield (source, target)
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._successors.values())
+
+    def start_states(self) -> List[Ste]:
+        return [s for s in self._stes.values() if s.start is not StartKind.NONE]
+
+    def reporting_states(self) -> List[Ste]:
+        return [s for s in self._stes.values() if s.reporting]
+
+    def out_degree(self, ste_id: str) -> int:
+        return len(self._successors[ste_id])
+
+    def in_degree(self, ste_id: str) -> int:
+        return len(self._predecessors[ste_id])
+
+    def average_fan_out(self) -> float:
+        if not self._stes:
+            return 0.0
+        return self.edge_count() / len(self._stes)
+
+    def validate(self):
+        """Check invariants: starts exist, no dangling edges, labels non-empty."""
+        if not self._stes:
+            raise AutomatonError("automaton has no states")
+        if not self.start_states():
+            raise AutomatonError("automaton has no start states")
+        for source, targets in self._successors.items():
+            for target in targets:
+                if target not in self._stes:
+                    raise AutomatonError(f"edge {source!r}->{target!r} dangles")
+        for source, targets in self._successors.items():
+            for target in targets:
+                if source not in self._predecessors[target]:
+                    raise AutomatonError(
+                        f"predecessor index out of sync for {source!r}->{target!r}"
+                    )
+
+    # -- transformations ---------------------------------------------------
+
+    def copy(self, automaton_id: Optional[str] = None) -> "HomogeneousAutomaton":
+        duplicate = HomogeneousAutomaton(automaton_id or self.automaton_id)
+        duplicate._stes = dict(self._stes)
+        duplicate._successors = {k: set(v) for k, v in self._successors.items()}
+        duplicate._predecessors = {k: set(v) for k, v in self._predecessors.items()}
+        return duplicate
+
+    def relabelled(self, prefix: str) -> "HomogeneousAutomaton":
+        """A copy with states renamed ``{prefix}0..{prefix}N`` (stable order)."""
+        names = {old: f"{prefix}{index}" for index, old in enumerate(self._stes)}
+        renamed = HomogeneousAutomaton(self.automaton_id)
+        for old_id, ste in self._stes.items():
+            renamed.add_ste(
+                names[old_id],
+                ste.symbols,
+                start=ste.start,
+                reporting=ste.reporting,
+                report_code=ste.report_code,
+            )
+        for source, target in self.edges():
+            renamed.add_edge(names[source], names[target])
+        return renamed
+
+    def __repr__(self) -> str:
+        return (
+            f"HomogeneousAutomaton({self.automaton_id!r}, states={len(self)},"
+            f" edges={self.edge_count()}, starts={len(self.start_states())},"
+            f" reports={len(self.reporting_states())})"
+        )
+
+
+def merge(
+    automata: Iterable[HomogeneousAutomaton], automaton_id: str = "merged"
+) -> HomogeneousAutomaton:
+    """Disjoint union of homogeneous automata (multi-pattern machine)."""
+    combined = HomogeneousAutomaton(automaton_id)
+    for index, automaton in enumerate(automata):
+        part = automaton.relabelled(f"m{index}_")
+        for ste in part.stes():
+            combined.add_ste(
+                ste.ste_id,
+                ste.symbols,
+                start=ste.start,
+                reporting=ste.reporting,
+                report_code=ste.report_code,
+            )
+        for source, target in part.edges():
+            combined.add_edge(source, target)
+    return combined
+
+
+# -- ANML XML serialisation -------------------------------------------------
+
+_START_ATTRIBUTE = {
+    StartKind.NONE: None,
+    StartKind.START_OF_DATA: "start-of-data",
+    StartKind.ALL_INPUT: "all-input",
+}
+_START_FROM_ATTRIBUTE = {v: k for k, v in _START_ATTRIBUTE.items() if v}
+
+
+def to_anml(automaton: HomogeneousAutomaton) -> str:
+    """Serialise to an ANML XML document string."""
+    root = ElementTree.Element("anml-network", {"id": automaton.automaton_id})
+    for ste in automaton.stes():
+        attributes = {
+            "id": ste.ste_id,
+            "symbol-set": ste.symbols.canonical_expression(),
+        }
+        start_value = _START_ATTRIBUTE[ste.start]
+        if start_value:
+            attributes["start"] = start_value
+        element = ElementTree.SubElement(
+            root, "state-transition-element", attributes
+        )
+        for target in sorted(automaton.successors(ste.ste_id)):
+            ElementTree.SubElement(element, "activate-on-match", {"element": target})
+        if ste.reporting:
+            report_attributes = {}
+            if ste.report_code is not None:
+                report_attributes["reportcode"] = ste.report_code
+            ElementTree.SubElement(element, "report-on-match", report_attributes)
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def from_anml(document: str) -> HomogeneousAutomaton:
+    """Parse an ANML XML document produced by :func:`to_anml` (or the AP SDK)."""
+    try:
+        root = ElementTree.fromstring(document)
+    except ElementTree.ParseError as error:
+        raise AnmlError(f"not well-formed XML: {error}") from error
+    if root.tag == "anml":
+        networks = root.findall("automata-network") + root.findall("anml-network")
+        if len(networks) != 1:
+            raise AnmlError(f"expected exactly one network, found {len(networks)}")
+        root = networks[0]
+    elif root.tag not in ("anml-network", "automata-network"):
+        raise AnmlError(f"unexpected root element <{root.tag}>")
+    automaton = HomogeneousAutomaton(root.get("id", "anml"))
+    pending_edges: List[tuple[str, str]] = []
+    for element in root:
+        if element.tag != "state-transition-element":
+            raise AnmlError(f"unsupported ANML element <{element.tag}>")
+        ste_id = element.get("id")
+        if not ste_id:
+            raise AnmlError("state-transition-element without id")
+        expression = element.get("symbol-set")
+        if expression is None:
+            raise AnmlError(f"STE {ste_id!r} has no symbol-set")
+        start_attribute = element.get("start")
+        if start_attribute in (None, "none"):
+            start = StartKind.NONE
+        elif start_attribute in _START_FROM_ATTRIBUTE:
+            start = _START_FROM_ATTRIBUTE[start_attribute]
+        else:
+            raise AnmlError(f"unknown start kind {start_attribute!r}")
+        reporting = False
+        report_code = None
+        for child in element:
+            if child.tag == "activate-on-match":
+                target = child.get("element")
+                if not target:
+                    raise AnmlError(f"activate-on-match without element in {ste_id!r}")
+                pending_edges.append((ste_id, target))
+            elif child.tag == "report-on-match":
+                reporting = True
+                report_code = child.get("reportcode")
+            else:
+                raise AnmlError(f"unsupported child <{child.tag}> in {ste_id!r}")
+        automaton.add_ste(
+            ste_id,
+            parse_symbol_set(expression),
+            start=start,
+            reporting=reporting,
+            report_code=report_code,
+        )
+    for source, target in pending_edges:
+        automaton.add_edge(source, target)
+    return automaton
+
+
+def with_report_codes(
+    automaton: HomogeneousAutomaton, code: str
+) -> HomogeneousAutomaton:
+    """A copy where every reporting STE carries ``code`` as its report code."""
+    updated = automaton.copy()
+    for ste in list(updated.stes()):
+        if ste.reporting and ste.report_code is None:
+            updated.replace_ste(replace(ste, report_code=code))
+    return updated

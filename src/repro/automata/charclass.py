@@ -1,0 +1,153 @@
+"""Parser for character-class (symbol-set) expressions.
+
+ANML labels STEs with expressions in a regex-character-class syntax, e.g.
+``[a-z]``, ``[\\x00-\\x1f]``, ``[^\\n]``, ``*`` (match everything) or a bare
+character.  The same syntax appears inside bracket expressions of regular
+expressions, so the regex parser reuses :func:`parse_class_body`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.automata.symbols import SymbolSet
+from repro.errors import SymbolSetError
+
+#: Escape shorthands shared with the regex syntax.
+_SHORTHAND = {
+    "d": SymbolSet.from_range("0", "9"),
+    "w": (
+        SymbolSet.from_range("a", "z")
+        | SymbolSet.from_range("A", "Z")
+        | SymbolSet.from_range("0", "9")
+        | SymbolSet.single("_")
+    ),
+    "s": SymbolSet.from_string(" \t\n\r\f\v"),
+}
+_SHORTHAND["D"] = _SHORTHAND["d"].complement()
+_SHORTHAND["W"] = _SHORTHAND["w"].complement()
+_SHORTHAND["S"] = _SHORTHAND["s"].complement()
+
+_SIMPLE_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "a": 0x07,
+    "e": 0x1B,
+    "0": 0x00,
+}
+
+
+def parse_escape(expression: str, position: int) -> Tuple[SymbolSet, int]:
+    """Parse the escape starting at ``expression[position]`` (the backslash).
+
+    Returns the symbol set it denotes and the index just past the escape.
+    Handles ``\\xNN`` hex escapes, shorthand classes (``\\d`` etc.), control
+    escapes (``\\n`` etc.), and escaped literals (``\\.`` -> ``.``).
+    """
+    if expression[position] != "\\":
+        raise SymbolSetError(f"expected escape at offset {position} in {expression!r}")
+    if position + 1 >= len(expression):
+        raise SymbolSetError(f"dangling backslash in {expression!r}")
+    marker = expression[position + 1]
+    if marker == "x":
+        hex_digits = expression[position + 2 : position + 4]
+        if len(hex_digits) != 2:
+            raise SymbolSetError(f"truncated \\x escape in {expression!r}")
+        try:
+            value = int(hex_digits, 16)
+        except ValueError:
+            raise SymbolSetError(f"bad \\x escape '\\x{hex_digits}' in {expression!r}")
+        return SymbolSet.single(value), position + 4
+    if marker in _SHORTHAND:
+        return _SHORTHAND[marker], position + 2
+    if marker in _SIMPLE_ESCAPES:
+        return SymbolSet.single(_SIMPLE_ESCAPES[marker]), position + 2
+    if ord(marker) < 256:
+        return SymbolSet.single(marker), position + 2
+    raise SymbolSetError(f"non-byte escape {marker!r} in {expression!r}")
+
+
+def parse_class_body(
+    expression: str, position: int, terminator: str = "]"
+) -> Tuple[SymbolSet, int]:
+    """Parse the inside of a bracket expression up to ``terminator``.
+
+    ``position`` points just past the opening bracket.  Supports leading
+    ``^`` negation, ranges ``a-z``, escapes, and literal ``]`` as the first
+    member.  Returns the symbol set and the index just past the terminator.
+    """
+    negate = False
+    if position < len(expression) and expression[position] == "^":
+        negate = True
+        position += 1
+    members = SymbolSet.none()
+    first = True
+    while True:
+        if position >= len(expression):
+            raise SymbolSetError(f"unterminated class in {expression!r}")
+        character = expression[position]
+        if character == terminator and not first:
+            position += 1
+            break
+        first = False
+        if character == "\\":
+            atom, position = parse_escape(expression, position)
+        else:
+            if ord(character) > 255:
+                raise SymbolSetError(f"non-byte character {character!r} in class")
+            atom = SymbolSet.single(character)
+            position += 1
+        # Range: atom must be a singleton and a '-' with a right endpoint follows.
+        if (
+            position + 1 < len(expression)
+            and expression[position] == "-"
+            and expression[position + 1] != terminator
+            and atom.cardinality() == 1
+        ):
+            position += 1  # consume '-'
+            if expression[position] == "\\":
+                upper, position = parse_escape(expression, position)
+            else:
+                if ord(expression[position]) > 255:
+                    raise SymbolSetError("non-byte range endpoint")
+                upper = SymbolSet.single(expression[position])
+                position += 1
+            if upper.cardinality() != 1:
+                raise SymbolSetError(f"range endpoint is a class in {expression!r}")
+            low = next(iter(atom))
+            high = next(iter(upper))
+            if low > high:
+                raise SymbolSetError(f"reversed range \\x{low:02x}-\\x{high:02x}")
+            atom = SymbolSet.from_range(low, high)
+        members = members | atom
+    if negate:
+        members = members.complement()
+    return members, position
+
+
+def parse_symbol_set(expression: str) -> SymbolSet:
+    """Parse a complete ANML symbol-set expression.
+
+    Accepts ``*`` (wildcard), ``.`` (any byte, per ANML convention), a
+    bracket expression ``[...]``, an escape, or a single literal character.
+    """
+    if expression == "":
+        raise SymbolSetError("empty symbol-set expression")
+    if expression == "*" or expression == ".":
+        return SymbolSet.any()
+    if expression.startswith("["):
+        symbols, end = parse_class_body(expression, 1)
+        if end != len(expression):
+            raise SymbolSetError(f"trailing junk after class in {expression!r}")
+        return symbols
+    if expression.startswith("\\"):
+        symbols, end = parse_escape(expression, 0)
+        if end != len(expression):
+            raise SymbolSetError(f"trailing junk after escape in {expression!r}")
+        return symbols
+    if len(expression) == 1 and ord(expression) < 256:
+        return SymbolSet.single(expression)
+    raise SymbolSetError(f"cannot parse symbol-set expression {expression!r}")

@@ -1,0 +1,199 @@
+"""ANML XML serialisation for full circuits (STEs + gates + counters).
+
+Extends the pure-STE format of :mod:`repro.automata.anml` with the AP
+SDK's ``<or>``, ``<and>``, ``<inverter>`` and ``<counter>`` elements, so
+ANMLZoo inputs that use them can be parsed, simulated with
+:mod:`repro.sim.circuit`, and (when only OR gates are involved) lowered
+onto the Cache Automaton.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import List, Tuple
+
+from repro.automata.anml import StartKind
+from repro.automata.charclass import parse_symbol_set
+from repro.automata.elements import (
+    PORT_ACTIVATE,
+    PORT_COUNT,
+    CircuitAutomaton,
+    CounterMode,
+    GateKind,
+)
+from repro.errors import AnmlError
+
+_GATE_TAGS = {kind.value: kind for kind in GateKind}
+_COUNTER_MODES = {mode.value: mode for mode in CounterMode}
+_START_ATTRIBUTES = {
+    StartKind.START_OF_DATA: "start-of-data",
+    StartKind.ALL_INPUT: "all-input",
+}
+
+
+def circuit_to_anml(circuit: CircuitAutomaton) -> str:
+    """Serialise a circuit to ANML XML."""
+    root = ElementTree.Element("anml-network", {"id": circuit.circuit_id})
+    targets_of = {}
+    for source, target, port in circuit.edges():
+        targets_of.setdefault(source, []).append((target, port))
+
+    def emit_outputs(element, source_id: str):
+        for target, port in sorted(targets_of.get(source_id, ())):
+            attributes = {"element": target}
+            if port != PORT_ACTIVATE:
+                attributes["element"] = f"{target}:{port}"
+            ElementTree.SubElement(element, "activate-on-match", attributes)
+
+    def emit_report(element, reporting: bool, report_code):
+        if reporting:
+            attributes = {}
+            if report_code is not None:
+                attributes["reportcode"] = report_code
+            ElementTree.SubElement(element, "report-on-match", attributes)
+
+    for ste in circuit.stes():
+        attributes = {
+            "id": ste.ste_id,
+            "symbol-set": ste.symbols.canonical_expression(),
+        }
+        if ste.start in _START_ATTRIBUTES:
+            attributes["start"] = _START_ATTRIBUTES[ste.start]
+        element = ElementTree.SubElement(
+            root, "state-transition-element", attributes
+        )
+        emit_outputs(element, ste.ste_id)
+        emit_report(element, ste.reporting, ste.report_code)
+
+    for gate in circuit.gates():
+        element = ElementTree.SubElement(
+            root, gate.kind.value, {"id": gate.gate_id}
+        )
+        emit_outputs(element, gate.gate_id)
+        emit_report(element, gate.reporting, gate.report_code)
+
+    for counter in circuit.counters():
+        element = ElementTree.SubElement(
+            root,
+            "counter",
+            {
+                "id": counter.counter_id,
+                "target": str(counter.target),
+                "at-target": counter.mode.value,
+            },
+        )
+        emit_outputs(element, counter.counter_id)
+        emit_report(element, counter.reporting, counter.report_code)
+
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def circuit_from_anml(document: str) -> CircuitAutomaton:
+    """Parse an ANML XML document that may contain gates and counters."""
+    try:
+        root = ElementTree.fromstring(document)
+    except ElementTree.ParseError as error:
+        raise AnmlError(f"not well-formed XML: {error}") from error
+    if root.tag == "anml":
+        networks = root.findall("anml-network") + root.findall("automata-network")
+        if len(networks) != 1:
+            raise AnmlError(f"expected exactly one network, found {len(networks)}")
+        root = networks[0]
+    elif root.tag not in ("anml-network", "automata-network"):
+        raise AnmlError(f"unexpected root element <{root.tag}>")
+
+    circuit = CircuitAutomaton(root.get("id", "circuit"))
+    pending: List[Tuple[str, str, str]] = []
+
+    def collect_children(element, element_id: str) -> Tuple[bool, str | None]:
+        reporting = False
+        report_code = None
+        for child in element:
+            if child.tag == "activate-on-match":
+                raw_target = child.get("element")
+                if not raw_target:
+                    raise AnmlError(
+                        f"activate-on-match without element in {element_id!r}"
+                    )
+                target, _, port = raw_target.partition(":")
+                pending.append((element_id, target, port or PORT_ACTIVATE))
+            elif child.tag == "report-on-match":
+                reporting = True
+                report_code = child.get("reportcode")
+            else:
+                raise AnmlError(
+                    f"unsupported child <{child.tag}> in {element_id!r}"
+                )
+        return reporting, report_code
+
+    for element in root:
+        element_id = element.get("id")
+        if not element_id:
+            raise AnmlError(f"<{element.tag}> without id")
+        if element.tag == "state-transition-element":
+            expression = element.get("symbol-set")
+            if expression is None:
+                raise AnmlError(f"STE {element_id!r} has no symbol-set")
+            start_attribute = element.get("start")
+            if start_attribute in (None, "none"):
+                start = StartKind.NONE
+            elif start_attribute == "start-of-data":
+                start = StartKind.START_OF_DATA
+            elif start_attribute == "all-input":
+                start = StartKind.ALL_INPUT
+            else:
+                raise AnmlError(f"unknown start kind {start_attribute!r}")
+            reporting, report_code = collect_children(element, element_id)
+            circuit.add_ste(
+                element_id,
+                parse_symbol_set(expression),
+                start=start,
+                reporting=reporting,
+                report_code=report_code,
+            )
+        elif element.tag in _GATE_TAGS:
+            reporting, report_code = collect_children(element, element_id)
+            circuit.add_gate(
+                element_id,
+                _GATE_TAGS[element.tag],
+                reporting=reporting,
+                report_code=report_code,
+            )
+        elif element.tag == "counter":
+            target_attribute = element.get("target")
+            if target_attribute is None:
+                raise AnmlError(f"counter {element_id!r} has no target")
+            try:
+                target = int(target_attribute)
+            except ValueError:
+                raise AnmlError(
+                    f"counter {element_id!r} target {target_attribute!r} "
+                    "is not an integer"
+                ) from None
+            mode_attribute = element.get("at-target", "latch")
+            if mode_attribute not in _COUNTER_MODES:
+                raise AnmlError(
+                    f"counter {element_id!r}: unknown at-target "
+                    f"{mode_attribute!r}"
+                )
+            reporting, report_code = collect_children(element, element_id)
+            circuit.add_counter(
+                element_id,
+                target,
+                mode=_COUNTER_MODES[mode_attribute],
+                reporting=reporting,
+                report_code=report_code,
+            )
+        else:
+            raise AnmlError(f"unsupported ANML element <{element.tag}>")
+
+    for source, target, port in pending:
+        # Counter ports may also be expressed by the AP convention
+        # "id:count"/"id:reset"; bare references to counters mean "count".
+        if port == PORT_ACTIVATE and target in {
+            c.counter_id for c in circuit.counters()
+        }:
+            port = PORT_COUNT
+        circuit.connect(source, target, port=port)
+    return circuit

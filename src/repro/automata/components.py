@@ -1,0 +1,103 @@
+"""Connected-component analysis of homogeneous automata.
+
+Real-world NFAs are unions of many *connected components* (CCs), each
+matching one pattern or a family of patterns (Section 3.1 of the paper).
+CCs have no transitions between them, so the Cache Automaton compiler
+treats each CC as an atomic mapping unit; this module finds them and
+computes the Table 1 characteristics (#CCs, largest CC size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.automata.anml import HomogeneousAutomaton
+
+
+def connected_components(automaton: HomogeneousAutomaton) -> List[List[str]]:
+    """Weakly connected components, each a list of STE ids.
+
+    Components are returned sorted by size ascending (the compiler packs
+    smallest-first) with ties broken by the smallest member id so the
+    result is deterministic.
+    """
+    remaining = set(automaton.ste_ids())
+    components: List[List[str]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        members = {seed}
+        frontier = [seed]
+        while frontier:
+            ste_id = frontier.pop()
+            neighbours = automaton.successors(ste_id) | automaton.predecessors(ste_id)
+            for neighbour in neighbours:
+                if neighbour not in members:
+                    members.add(neighbour)
+                    frontier.append(neighbour)
+        remaining -= members
+        components.append(sorted(members))
+    components.sort(key=lambda cc: (len(cc), cc[0]))
+    return components
+
+
+@dataclass(frozen=True)
+class ComponentStats:
+    """The structural characteristics reported in Table 1."""
+
+    state_count: int
+    component_count: int
+    largest_component_size: int
+    edge_count: int
+    average_fan_out: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.state_count} states, {self.component_count} CCs,"
+            f" largest {self.largest_component_size},"
+            f" fan-out {self.average_fan_out:.2f}"
+        )
+
+
+def component_stats(automaton: HomogeneousAutomaton) -> ComponentStats:
+    """Compute Table 1-style structure statistics for ``automaton``."""
+    components = connected_components(automaton)
+    largest = max((len(cc) for cc in components), default=0)
+    return ComponentStats(
+        state_count=len(automaton),
+        component_count=len(components),
+        largest_component_size=largest,
+        edge_count=automaton.edge_count(),
+        average_fan_out=automaton.average_fan_out(),
+    )
+
+
+def component_index(automaton: HomogeneousAutomaton) -> Dict[str, int]:
+    """Map each STE id to the index of its component in component order."""
+    index: Dict[str, int] = {}
+    for component_number, members in enumerate(connected_components(automaton)):
+        for ste_id in members:
+            index[ste_id] = component_number
+    return index
+
+
+def extract_component(
+    automaton: HomogeneousAutomaton, members: List[str]
+) -> HomogeneousAutomaton:
+    """The sub-automaton induced by ``members`` (assumed edge-closed)."""
+    member_set = set(members)
+    extracted = HomogeneousAutomaton(f"{automaton.automaton_id}.cc")
+    for ste_id in members:
+        ste = automaton.ste(ste_id)
+        extracted.add_ste(
+            ste.ste_id,
+            ste.symbols,
+            start=ste.start,
+            reporting=ste.reporting,
+            report_code=ste.report_code,
+        )
+    for ste_id in members:
+        for target in automaton.successors(ste_id):
+            if target in member_set:
+                extracted.add_edge(ste_id, target)
+    return extracted

@@ -1,0 +1,108 @@
+"""Graphviz DOT export for automata and compiled mappings.
+
+Pure text generation — no graphviz dependency; feed the output to
+``dot -Tsvg`` to visualise.  Two views:
+
+* :func:`automaton_to_dot` — the logical NFA: start states as double
+  circles with an inbound arrow, reporting states shaded, labels showing
+  the symbol set;
+* :func:`mapping_to_dot` — the physical view: one cluster per partition
+  (grouped by way), cross-partition edges coloured by the switch that
+  carries them (within-way G1 vs cross-way G4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.compiler.mapping import Mapping
+
+_EDGE_COLOURS = {"local": "black", "g1": "blue", "g4": "red"}
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _node_line(automaton: HomogeneousAutomaton, ste_id: str) -> str:
+    ste = automaton.ste(ste_id)
+    label = f"{ste_id}\\n{ste.symbols.canonical_expression()}"
+    attributes = [f"label={_quote(label)}"]
+    if ste.start is not StartKind.NONE:
+        attributes.append("shape=doublecircle")
+    else:
+        attributes.append("shape=circle")
+    if ste.reporting:
+        attributes.append("style=filled")
+        attributes.append('fillcolor="lightgoldenrod"')
+    return f"  {_quote(ste_id)} [{', '.join(attributes)}];"
+
+
+def automaton_to_dot(
+    automaton: HomogeneousAutomaton, *, max_states: Optional[int] = 500
+) -> str:
+    """Render the automaton as a DOT digraph.
+
+    ``max_states`` guards against accidentally dumping a 100K-state
+    machine; pass None to disable.
+    """
+    if max_states is not None and len(automaton) > max_states:
+        raise ValueError(
+            f"automaton has {len(automaton)} states; raise max_states to "
+            "render it anyway"
+        )
+    lines: List[str] = [
+        f"digraph {_quote(automaton.automaton_id)} {{",
+        "  rankdir=LR;",
+        '  node [fontsize=10, margin="0.05,0.02"];',
+    ]
+    for ste_id in automaton.ste_ids():
+        lines.append(_node_line(automaton, ste_id))
+        ste = automaton.ste(ste_id)
+        if ste.start is not StartKind.NONE:
+            anchor = f"__start_{ste_id}"
+            kind = "SoD" if ste.start is StartKind.START_OF_DATA else "*"
+            lines.append(
+                f"  {_quote(anchor)} [shape=point, label=\"\", "
+                f'xlabel="{kind}"];'
+            )
+            lines.append(f"  {_quote(anchor)} -> {_quote(ste_id)};")
+    for source, target in automaton.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mapping_to_dot(mapping: Mapping, *, max_states: Optional[int] = 500) -> str:
+    """Render a compiled mapping: clusters per partition, switch-coloured
+    cross-partition edges (blue = within-way G1, red = cross-way G4)."""
+    automaton = mapping.automaton
+    if max_states is not None and len(automaton) > max_states:
+        raise ValueError(
+            f"mapping holds {len(automaton)} states; raise max_states to "
+            "render it anyway"
+        )
+    lines: List[str] = [
+        f"digraph {_quote(automaton.automaton_id + '@' + mapping.design.name)} {{",
+        "  rankdir=LR;",
+        "  compound=true;",
+        '  node [fontsize=10, margin="0.05,0.02"];',
+    ]
+    for partition in mapping.partitions:
+        lines.append(f"  subgraph cluster_p{partition.index} {{")
+        lines.append(
+            f'    label="partition {partition.index} (way {partition.way})";'
+        )
+        lines.append('    style="rounded";')
+        for ste_id in partition.ste_ids:
+            lines.append("  " + _node_line(automaton, ste_id))
+        lines.append("  }")
+    for source, target in automaton.edges():
+        kind = mapping.edge_kind(source, target)
+        colour = _EDGE_COLOURS[kind]
+        attributes = f' [color={colour}]' if kind != "local" else ""
+        lines.append(f"  {_quote(source)} -> {_quote(target)}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)

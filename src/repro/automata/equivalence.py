@@ -1,0 +1,73 @@
+"""Language-equivalence checking between automata.
+
+Two homogeneous automata are *report-equivalent* when, on every input,
+they report at exactly the same offsets.  This is decidable: embed each
+into a classical NFA whose accepted language is "inputs whose last symbol
+triggers a report" (scanning semantics), determinise both, and compare
+the DFAs by product reachability.
+
+This is the formal tool behind the test suite's optimisation and
+transform checks; it is exposed as a public API because downstream users
+rewriting automata want the same guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.automata.dfa import determinize
+from repro.automata.transform import homogeneous_to_nfa
+
+
+def report_equivalent(
+    first: HomogeneousAutomaton,
+    second: HomogeneousAutomaton,
+    *,
+    max_states: int = 100_000,
+) -> bool:
+    """True iff the two automata report at identical offsets on all inputs.
+
+    Exact (not sampled): compares the scanning DFAs of both machines.
+    ``max_states`` bounds each subset construction; automata that blow
+    past it raise :class:`~repro.errors.AutomatonError` — fall back to
+    randomised testing for those.
+    """
+    first_dfa = determinize(homogeneous_to_nfa(first), max_states=max_states)
+    second_dfa = determinize(homogeneous_to_nfa(second), max_states=max_states)
+    return first_dfa.is_equivalent(second_dfa)
+
+
+def distinguishing_input(
+    first: HomogeneousAutomaton,
+    second: HomogeneousAutomaton,
+    *,
+    max_states: int = 100_000,
+) -> Optional[bytes]:
+    """A shortest input on which the two automata's reports differ.
+
+    Returns None when the automata are report-equivalent.  BFS over the
+    product DFA, so the witness is minimal in length.
+    """
+    first_dfa = determinize(homogeneous_to_nfa(first), max_states=max_states)
+    second_dfa = determinize(homogeneous_to_nfa(second), max_states=max_states)
+    start = (first_dfa.start, second_dfa.start)
+    frontier = [(start, b"")]
+    seen = {start}
+    while frontier:
+        next_frontier = []
+        for (state_a, state_b), prefix in frontier:
+            if bool(first_dfa.accepting[state_a]) != bool(
+                second_dfa.accepting[state_b]
+            ):
+                return prefix
+            for symbol in range(256):
+                successor = (
+                    int(first_dfa.table[state_a, symbol]),
+                    int(second_dfa.table[state_b, symbol]),
+                )
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.append((successor, prefix + bytes([symbol])))
+        frontier = next_frontier
+    return None

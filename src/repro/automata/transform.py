@@ -1,0 +1,134 @@
+"""Classical NFA -> homogeneous (ANML) automaton conversion.
+
+This is the transformation illustrated in Figure 1 of the paper: a
+classical state with incoming edges on several different labels is split
+into one homogeneous state per incoming label (state ``S1`` becomes
+``S1_a``, ``S1_b``, ``S1_c``).  The construction follows the label-splitting
+technique of Roy et al. (ICPP 2016, paper reference [35]).
+
+Correctness invariant: after consuming any input prefix, the set of active
+classical states equals the projection (drop the label component) of the
+set of active homogeneous states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.nfa import Nfa, StateId
+from repro.automata.symbols import SymbolSet
+from repro.errors import AutomatonError
+
+
+def to_homogeneous(
+    nfa: Nfa,
+    *,
+    automaton_id: str = "converted",
+    start: StartKind = StartKind.START_OF_DATA,
+) -> HomogeneousAutomaton:
+    """Convert a classical NFA into an equivalent homogeneous automaton.
+
+    ``start`` selects the self-activation semantics of the result's start
+    states: :attr:`StartKind.START_OF_DATA` preserves whole-input
+    acceptance, :attr:`StartKind.ALL_INPUT` yields the unanchored-search
+    machine used by pattern-scanning workloads.
+
+    Epsilon transitions are eliminated first.  NFAs that accept the empty
+    string cannot be represented (a homogeneous automaton reports only
+    after consuming at least one symbol) and are rejected.
+    """
+    nfa.validate()
+    if nfa.has_epsilon():
+        nfa = remove_epsilon(nfa)
+    start_closure = nfa.start_states
+    if start_closure & nfa.accept_states:
+        raise AutomatonError(
+            "NFA accepts the empty string; homogeneous automata report only "
+            "after consuming input"
+        )
+
+    homogeneous = HomogeneousAutomaton(automaton_id)
+    # Homogeneous states are (classical state, incoming label) pairs.  Group
+    # incoming edges by their exact label set: one split state per group.
+    split_ids: Dict[Tuple[StateId, SymbolSet], str] = {}
+
+    def split_state(target: StateId, symbols: SymbolSet) -> str:
+        key = (target, symbols)
+        if key not in split_ids:
+            ste_id = f"{target}#{len(split_ids)}"
+            split_ids[key] = ste_id
+            homogeneous.add_ste(
+                ste_id,
+                symbols,
+                start=StartKind.NONE,
+                reporting=target in nfa.accept_states,
+            )
+        return split_ids[key]
+
+    # Create every split state up front.
+    for transition in nfa.all_transitions():
+        split_state(transition.target, transition.symbols)
+
+    # Wire edges: (q, L) -> (q', L') whenever classical q --L'--> q'.
+    for transition in nfa.all_transitions():
+        target_split = split_state(transition.target, transition.symbols)
+        for follow_symbols, follow_target in nfa.transitions_from(transition.target):
+            homogeneous.add_edge(
+                target_split, split_state(follow_target, follow_symbols)
+            )
+
+    # Start states: every split state fed directly by a classical start
+    # state self-activates with the requested start kind.
+    for state in start_closure:
+        for symbols, target in nfa.transitions_from(state):
+            ste_id = split_state(target, symbols)
+            ste = homogeneous.ste(ste_id)
+            if ste.start is StartKind.NONE:
+                homogeneous.replace_ste(
+                    type(ste)(
+                        ste.ste_id, ste.symbols, start, ste.reporting, ste.report_code
+                    )
+                )
+    if not homogeneous.start_states():
+        raise AutomatonError("NFA start states have no outgoing transitions")
+    return homogeneous
+
+
+def homogeneous_to_nfa(automaton: HomogeneousAutomaton) -> Nfa:
+    """Embed a homogeneous automaton back into the classical model.
+
+    The result accepts exactly the inputs on whose *last* symbol the
+    homogeneous automaton reports — including the scanning semantics:
+    start-of-data states arm only at position 0 (fed by the virtual start
+    state), while all-input states re-arm at every position (fed by a
+    "floor" state that self-loops on every symbol).  Consequently a plain
+    ``determinize(..., scanning=False)`` of the result already implements
+    the scanning machine, and anchored (``^``) states stay anchored.
+    """
+    nfa = Nfa()
+    virtual_start = "__start__"
+    floor = "__floor__"
+    nfa.add_state(virtual_start, start=True)
+    needs_floor = any(
+        ste.start is StartKind.ALL_INPUT for ste in automaton.stes()
+    )
+    if needs_floor:
+        nfa.add_state(floor)
+        nfa.add_epsilon(virtual_start, floor)
+        nfa.add_transition(floor, SymbolSet.any(), floor)
+    for ste in automaton.stes():
+        nfa.add_state(ste.ste_id, accept=ste.reporting)
+        if ste.start is StartKind.START_OF_DATA:
+            nfa.add_transition(virtual_start, ste.symbols, ste.ste_id)
+        elif ste.start is StartKind.ALL_INPUT:
+            nfa.add_transition(floor, ste.symbols, ste.ste_id)
+    for source, target in automaton.edges():
+        nfa.add_transition(source, automaton.ste(target).symbols, target)
+    return nfa
+
+
+def active_projection(active_split_states: Set[str]) -> Set[str]:
+    """Project split-state ids ``q#k`` back to their classical state ``q``."""
+    return {ste_id.rsplit("#", 1)[0] for ste_id in active_split_states}

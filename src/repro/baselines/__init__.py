@@ -1,0 +1,26 @@
+"""Baseline models: Micron AP, x86 CPU, and ASIC comparison points."""
+
+from repro.baselines.ap import ApModel, CpuReferenceModel
+from repro.baselines.asic import (
+    HARE,
+    UAP,
+    AsicReference,
+    CaOperatingPoint,
+    ca_operating_point,
+    table5_rows,
+)
+from repro.baselines.cpu import CpuMatch, DfaCpuEngine, try_build_engine
+
+__all__ = [
+    "ApModel",
+    "AsicReference",
+    "CaOperatingPoint",
+    "CpuMatch",
+    "CpuReferenceModel",
+    "DfaCpuEngine",
+    "HARE",
+    "UAP",
+    "ca_operating_point",
+    "table5_rows",
+    "try_build_engine",
+]

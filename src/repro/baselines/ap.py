@@ -1,0 +1,80 @@
+"""Micron Automata Processor (AP) baseline model.
+
+The AP is the paper's primary comparison point: a DRAM-based spatial
+automata processor running at 133 MHz, one input symbol per cycle, with a
+routing-matrix interconnect that costs ~30% of die area.  Like the Cache
+Automaton its throughput is deterministic and input-independent, so the
+model is analytic; its energy uses the paper's *Ideal AP* assumptions
+(Section 5.3): zero interconnect energy, 1 pJ/bit DRAM row access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design import DesignPoint
+from repro.core.energy import ActivityProfile
+from repro.core.params import AP, CPU_SLOWDOWN_VS_AP, ApParameters
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class ApModel:
+    """Analytic throughput/energy model of one AP rank."""
+
+    parameters: ApParameters = AP
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.parameters.frequency_ghz
+
+    @property
+    def throughput_gbps(self) -> float:
+        """1 symbol/cycle at 133 MHz = 1.064 Gb/s, for every benchmark."""
+        return self.frequency_ghz * 8.0
+
+    def runtime_ms(self, input_bytes: int, *, include_configuration: bool = False) -> float:
+        milliseconds = input_bytes / (self.frequency_ghz * 1e9) * 1e3
+        if include_configuration:
+            milliseconds += self.parameters.configuration_ms
+        return milliseconds
+
+    def ideal_energy_per_symbol_nj(self, profile: ActivityProfile) -> float:
+        """Ideal-AP energy for a given mapping activity (Figure 9's bars)."""
+        if profile.symbols == 0:
+            raise HardwareModelError("profile covers no symbols")
+        row_pj = self.parameters.dram_access_pj_per_bit * self.parameters.row_bits
+        return profile.partition_activations * row_pj / profile.symbols / 1000.0
+
+    @property
+    def reachability(self) -> float:
+        return self.parameters.reachability
+
+    @property
+    def fan_in(self) -> int:
+        return self.parameters.fan_in
+
+    def area_mm2(self, states: int = 32 * 1024) -> float:
+        """Routing-matrix area scaled to a ``states`` state space."""
+        return self.parameters.area_mm2_32k * states / (32 * 1024)
+
+    def speedup_of(self, design: DesignPoint) -> float:
+        """How much faster ``design`` processes symbols than the AP."""
+        return design.frequency_ghz / self.frequency_ghz
+
+
+@dataclass(frozen=True)
+class CpuReferenceModel:
+    """x86 CPU throughput model, anchored to Wadden et al.'s measurement
+    that the AP outperforms CPUs by 256x across these suites [39]."""
+
+    ap: ApModel = ApModel()
+    slowdown_vs_ap: float = CPU_SLOWDOWN_VS_AP
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.ap.throughput_gbps / self.slowdown_vs_ap
+
+    def speedup_of(self, design: DesignPoint) -> float:
+        """CA_P at 2 GHz lands at 15x * 256 = 3840x (the headline claim)."""
+        return self.ap.speedup_of(design) * self.slowdown_vs_ap

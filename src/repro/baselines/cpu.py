@@ -1,0 +1,100 @@
+"""Compute-centric CPU baseline: a table-driven DFA engine.
+
+This is the engine the paper's CPU comparisons assume (Section 6): the
+rule set is determinised into a dense state-transition table and the CPU
+walks one transition per input byte.  It serves two purposes here:
+
+* a *functional* cross-check — its match offsets must agree with the
+  golden interpreter and the mapped simulation;
+* a *cost* illustration — per-symbol work is a dependent table load,
+  which is why CPUs sit ~3840x below CA_P (the performance model itself
+  is anchored to the published 256x AP-vs-CPU measurement; see
+  :class:`repro.baselines.ap.CpuReferenceModel`).
+
+Determinising a full multi-pattern NFA can blow up exponentially; the
+engine caps the subset construction and reports the blow-up factor, which
+is itself one of the motivations for spatial architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.automata.dfa import Dfa, determinize
+from repro.automata.transform import homogeneous_to_nfa
+from repro.errors import AutomatonError
+
+
+@dataclass
+class CpuMatch:
+    """One match found by the DFA engine (end offset, 0-based)."""
+
+    offset: int
+
+
+class DfaCpuEngine:
+    """Table-driven scanning engine over a homogeneous automaton."""
+
+    def __init__(
+        self,
+        automaton: HomogeneousAutomaton,
+        *,
+        minimize: bool = True,
+        max_states: int = 200_000,
+    ):
+        nfa = homogeneous_to_nfa(automaton)
+        self.nfa_state_count = len(automaton)
+        # homogeneous_to_nfa already encodes scanning (all-input starts
+        # re-arm via a wildcard floor state), so a plain determinisation
+        # yields the scanning DFA — and '^'-anchored states stay anchored.
+        dfa = determinize(nfa, max_states=max_states)
+        if minimize:
+            dfa = dfa.minimize()
+        self.dfa: Dfa = dfa
+
+    @property
+    def dfa_state_count(self) -> int:
+        return self.dfa.state_count
+
+    @property
+    def blowup_factor(self) -> float:
+        """DFA states / NFA states — the determinisation cost."""
+        if self.nfa_state_count == 0:
+            raise AutomatonError("empty automaton")
+        return self.dfa.state_count / self.nfa_state_count
+
+    def table_bytes(self) -> int:
+        """Memory footprint of the dense transition table (8-byte entries),
+        the quantity that blows past cache capacity on real rule sets."""
+        return self.dfa.table.size * self.dfa.table.itemsize
+
+    def find_matches(self, data: bytes) -> List[CpuMatch]:
+        """Match end offsets, aligned with golden-simulator conventions.
+
+        The DFA reports on entering an accepting state *after* consuming
+        the matching symbol, i.e. golden offset = DFA offset - 1.
+        """
+        return [
+            CpuMatch(offset - 1)
+            for offset in self.dfa.find_matches(data)
+            if offset > 0
+        ]
+
+    def match_offsets(self, data: bytes) -> List[int]:
+        return [match.offset for match in self.find_matches(data)]
+
+
+def try_build_engine(
+    automaton: HomogeneousAutomaton, *, max_states: int = 50_000
+) -> Optional[DfaCpuEngine]:
+    """Build the CPU engine unless determinisation blows past ``max_states``.
+
+    Returns None on blow-up — which real CPU engines handle by falling
+    back to slower NFA simulation, reinforcing the paper's motivation.
+    """
+    try:
+        return DfaCpuEngine(automaton, max_states=max_states)
+    except AutomatonError:
+        return None

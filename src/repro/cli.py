@@ -1,0 +1,219 @@
+"""Command-line interface for the Cache Automaton toolchain.
+
+Subcommands::
+
+    python -m repro.cli compile RULES.txt [--design CA_P] [--anml OUT.anml]
+        compile a rule file (one regex per line, '#' comments) and print
+        the mapping report: states, partitions, ways, cache bytes, wire
+        usage, derived clock.
+
+    python -m repro.cli scan RULES.txt INPUT.bin [--design CA_P] [--limit N]
+        compile, map, and scan a binary input file; print match records
+        and the modelled performance/energy summary.
+
+    python -m repro.cli anml-info FILE.anml
+        parse an ANML document and print its structural characteristics.
+
+    python -m repro.cli designs
+        list the built-in design points with their derived parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.automata.anml import from_anml, to_anml
+from repro.automata.components import component_stats
+from repro.baselines.ap import ApModel
+from repro.compiler import (
+    analyse,
+    compile_automaton,
+    compile_space_optimized,
+    generate,
+    mapping_to_json,
+)
+from repro.core.design import CA_64, CA_P, CA_S, DesignPoint
+from repro.core.energy import EnergyModel
+from repro.core.system import ConfigurationModel
+from repro.errors import ReproError
+from repro.eval.tables import format_table
+from repro.regex.compile import compile_patterns
+from repro.sim.functional import simulate_mapping
+
+_DESIGNS = {design.name: design for design in (CA_P, CA_S, CA_64)}
+
+
+def _load_rules(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        rules = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    if not rules:
+        raise ReproError(f"no rules found in {path}")
+    return rules
+
+
+def _design(name: str) -> DesignPoint:
+    try:
+        return _DESIGNS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown design {name!r}; choose from {', '.join(_DESIGNS)}"
+        ) from None
+
+
+def _compile(rules: List[str], design: DesignPoint):
+    machine = compile_patterns(rules, report_codes=rules)
+    if design.name.startswith("CA_S"):
+        return compile_space_optimized(machine, design)
+    return compile_automaton(machine, design)
+
+
+def _print_mapping_report(mapping) -> None:
+    design = mapping.design
+    stats = component_stats(mapping.automaton)
+    report = analyse(mapping)
+    edges = mapping.classify_edges()
+    print(f"design:            {design.name} ({design.description})")
+    print(f"states:            {stats.state_count} in {stats.component_count} CCs "
+          f"(largest {stats.largest_component_size})")
+    print(f"partitions:        {mapping.partition_count} across "
+          f"{mapping.ways_used} way(s), "
+          f"{mapping.occupancy_fraction()*100:.0f}% slot occupancy")
+    print(f"cache utilisation: {mapping.cache_bytes()/1024:.0f} KB")
+    print(f"edges:             {edges['local']} local, {edges['g1']} within-way, "
+          f"{edges['g4']} cross-way")
+    print(f"wire usage:        G1 out/in {report.max_out_g1}/{report.max_in_g1} "
+          f"(budget {design.g1_wires_per_partition}), "
+          f"G4 out/in {report.max_out_g4}/{report.max_in_g4} "
+          f"(budget {design.g4_wires_per_partition})")
+    print(f"clock:             {design.frequency_ghz:g} GHz "
+          f"(max {design.max_frequency_ghz:.2f}) -> "
+          f"{design.throughput_gbps:.1f} Gb/s")
+
+
+def _cmd_compile(arguments) -> int:
+    design = _design(arguments.design)
+    mapping = _compile(_load_rules(arguments.rules), design)
+    _print_mapping_report(mapping)
+    bitstream = generate(mapping)
+    configuration = ConfigurationModel()
+    print(f"bitstream:         {configuration.configuration_bytes(bitstream)//1024} KB, "
+          f"loads in {configuration.configuration_ms(bitstream):.4f} ms")
+    if arguments.anml:
+        with open(arguments.anml, "w", encoding="utf-8") as handle:
+            handle.write(to_anml(mapping.automaton))
+        print(f"ANML written to    {arguments.anml}")
+    if arguments.save_mapping:
+        with open(arguments.save_mapping, "w", encoding="utf-8") as handle:
+            handle.write(mapping_to_json(mapping))
+        print(f"mapping written to {arguments.save_mapping}")
+    return 0
+
+
+def _cmd_scan(arguments) -> int:
+    design = _design(arguments.design)
+    mapping = _compile(_load_rules(arguments.rules), design)
+    with open(arguments.input, "rb") as handle:
+        data = handle.read()
+    result = simulate_mapping(mapping, data)
+    shown = result.reports[: arguments.limit]
+    for record in shown:
+        print(f"offset {record.offset}: {record.report_code!r}")
+    if len(result.reports) > len(shown):
+        print(f"... and {len(result.reports) - len(shown)} more")
+    energy = EnergyModel(design)
+    ap = ApModel()
+    print(f"\n{len(result.reports)} matches in {len(data)} bytes")
+    print(f"modelled scan:  {len(data)/(design.frequency_ghz*1e9)*1e3:.4f} ms "
+          f"at {design.throughput_gbps:.1f} Gb/s "
+          f"({ap.speedup_of(design):.1f}x Micron's AP)")
+    if result.profile.symbols:
+        print(f"energy:         "
+              f"{energy.energy_per_symbol_nj(result.profile):.3f} nJ/symbol, "
+              f"avg power {energy.average_power_watts(result.profile):.2f} W")
+    print(f"output buffer:  {result.output_buffer.interrupts} interrupt(s)")
+    return 0
+
+
+def _cmd_anml_info(arguments) -> int:
+    with open(arguments.file, "r", encoding="utf-8") as handle:
+        automaton = from_anml(handle.read())
+    stats = component_stats(automaton)
+    print(f"id:         {automaton.automaton_id}")
+    print(f"states:     {stats.state_count}")
+    print(f"edges:      {stats.edge_count} (avg fan-out {stats.average_fan_out:.2f})")
+    print(f"components: {stats.component_count} (largest {stats.largest_component_size})")
+    print(f"starts:     {len(automaton.start_states())}")
+    print(f"reporting:  {len(automaton.reporting_states())}")
+    return 0
+
+
+def _cmd_designs(_arguments) -> int:
+    rows = [(
+        "Design", "Clock (GHz)", "Throughput (Gb/s)", "Reach",
+        "States/slice", "Area@32K (mm2)",
+    )]
+    for design in _DESIGNS.values():
+        rows.append((
+            design.name,
+            design.frequency_ghz,
+            design.throughput_gbps,
+            design.reachability,
+            design.states_per_slice,
+            design.area_overhead_mm2(32 * 1024),
+        ))
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Cache Automaton toolchain"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser("compile", help="compile a rule file")
+    compile_parser.add_argument("rules")
+    compile_parser.add_argument("--design", default="CA_P", choices=sorted(_DESIGNS))
+    compile_parser.add_argument("--anml", help="also write the automaton as ANML XML")
+    compile_parser.add_argument(
+        "--save-mapping", help="write the compiled placement as a JSON artefact"
+    )
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    scan_parser = subparsers.add_parser("scan", help="compile and scan an input file")
+    scan_parser.add_argument("rules")
+    scan_parser.add_argument("input")
+    scan_parser.add_argument("--design", default="CA_P", choices=sorted(_DESIGNS))
+    scan_parser.add_argument("--limit", type=int, default=20,
+                             help="max match records to print")
+    scan_parser.set_defaults(handler=_cmd_scan)
+
+    info_parser = subparsers.add_parser("anml-info", help="inspect an ANML file")
+    info_parser.add_argument("file")
+    info_parser.set_defaults(handler=_cmd_anml_info)
+
+    designs_parser = subparsers.add_parser("designs", help="list design points")
+    designs_parser.set_defaults(handler=_cmd_designs)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Configuration bitstream generation (Section 2.10).
+
+The compiler's final product is the configuration state that initialises
+the cache for automaton mode:
+
+* per partition, the **STE column image** — a 256x256 bit matrix whose
+  column *j* is the one-hot label encoding of the STE in slot *j* (row
+  *i* read out on input symbol *i* is the partition's match vector);
+* per partition, the **L-switch enable matrix** (``(256+g1+g4) x 256``):
+  cross-points for intra-partition edges plus the returning global wires;
+* per way, the **G1-switch enable matrix**, and per way-group the
+  **G4-switch enable matrix**, with an explicit wire assignment mapping
+  each boundary-crossing source STE to its input/output wire indices.
+
+The matrices drive :class:`repro.sim.crossbar.CrossbarLevelSimulator`,
+which validates that the bit-level configuration reproduces the golden
+semantics, and they serialise to the binary pages a real system would
+load via CPU stores (:meth:`Bitstream.to_bytes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.compiler.constraints import check
+from repro.compiler.mapping import Mapping
+from repro.errors import CompileError
+
+
+@dataclass
+class WireAssignment:
+    """Global-wire bookkeeping for one partition.
+
+    ``out_g1[ste_id]`` is the G1 output-wire index carrying that source
+    STE's match signal; ``in_g1[source_ste_id]`` is the L-switch G1 input
+    index on which the signal arrives (assigned per destination
+    partition).  Likewise for G4.
+    """
+
+    out_g1: Dict[str, int] = field(default_factory=dict)
+    in_g1: Dict[str, int] = field(default_factory=dict)
+    out_g4: Dict[str, int] = field(default_factory=dict)
+    in_g4: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Bitstream:
+    """All configuration state for one compiled automaton."""
+
+    mapping: Mapping
+    #: (partitions, 256 rows, partition_size columns) uint8 one-hot images.
+    ste_columns: np.ndarray
+    #: (partitions, 256+g1+g4 inputs, partition_size outputs) bool enables.
+    l_switch_enable: np.ndarray
+    #: way -> (g1_ports, g1_ports) bool enable matrix.
+    g1_enable: Dict[int, np.ndarray]
+    #: way_group -> (g4_ports, g4_ports) bool enable matrix.
+    g4_enable: Dict[int, np.ndarray]
+    wires: List[WireAssignment]
+
+    def to_bytes(self) -> bytes:
+        """Serialise (packed bits) in array-load order — the binary pages
+        of Section 2.10, huge-page aligned by the loader."""
+        chunks = [np.packbits(self.ste_columns, axis=None).tobytes()]
+        chunks.append(np.packbits(self.l_switch_enable, axis=None).tobytes())
+        for way in sorted(self.g1_enable):
+            chunks.append(np.packbits(self.g1_enable[way], axis=None).tobytes())
+        for group in sorted(self.g4_enable):
+            chunks.append(np.packbits(self.g4_enable[group], axis=None).tobytes())
+        return b"".join(chunks)
+
+    def configuration_bits(self) -> int:
+        bits = self.ste_columns.size + self.l_switch_enable.size
+        bits += sum(matrix.size for matrix in self.g1_enable.values())
+        bits += sum(matrix.size for matrix in self.g4_enable.values())
+        return bits
+
+
+def generate(mapping: Mapping) -> Bitstream:
+    """Build the full configuration bitstream for a checked mapping."""
+    check(mapping)
+    design = mapping.design
+    partition_size = design.partition_size
+    g1_wires = design.g1_wires_per_partition
+    g4_wires = design.g4_wires_per_partition
+    l_inputs = partition_size + g1_wires + g4_wires
+    partition_count = mapping.partition_count
+    per_way = design.partitions_per_way
+
+    ste_columns = np.zeros((partition_count, 256, partition_size), dtype=np.uint8)
+    l_enable = np.zeros((partition_count, l_inputs, partition_size), dtype=bool)
+    wires = [WireAssignment() for _ in range(partition_count)]
+
+    # STE column images.
+    for partition in mapping.partitions:
+        for slot, ste_id in enumerate(partition.ste_ids):
+            ste = mapping.automaton.ste(ste_id)
+            ste_columns[partition.index, :, slot] = ste.symbols.to_onehot()
+
+    # Assign global wires: outputs per source STE, inputs per destination.
+    def assign(table: Dict[str, int], budget: int, ste_id: str, kind: str) -> int:
+        if ste_id not in table:
+            if len(table) >= budget:
+                raise CompileError(
+                    f"{kind} wire budget {budget} exhausted (constraint "
+                    "checker and bitstream generator disagree)"
+                )
+            table[ste_id] = len(table)
+        return table[ste_id]
+
+    g1_ports = g1_wires * per_way
+    g4_ports = g4_wires * per_way * 4
+    g1_enable: Dict[int, np.ndarray] = {}
+    g4_enable: Dict[int, np.ndarray] = {}
+
+    def way_of(partition_index: int) -> int:
+        return mapping.partitions[partition_index].way
+
+    for source, target in mapping.automaton.edges():
+        kind = mapping.edge_kind(source, target)
+        source_partition, source_slot = mapping.location[source]
+        target_partition, target_slot = mapping.location[target]
+        if kind == "local":
+            l_enable[source_partition, source_slot, target_slot] = True
+            continue
+        if kind == "g1":
+            out_wire = assign(
+                wires[source_partition].out_g1, g1_wires, source, "G1 output"
+            )
+            in_wire = assign(
+                wires[target_partition].in_g1, g1_wires, source, "G1 input"
+            )
+            way = way_of(source_partition)
+            matrix = g1_enable.setdefault(
+                way, np.zeros((g1_ports, g1_ports), dtype=bool)
+            )
+            in_port = (source_partition % per_way) * g1_wires + out_wire
+            out_port = (target_partition % per_way) * g1_wires + in_wire
+            matrix[in_port, out_port] = True
+            # Returning global wire enters the L-switch after the STEs.
+            l_enable[
+                target_partition, partition_size + in_wire, target_slot
+            ] = True
+        else:
+            out_wire = assign(
+                wires[source_partition].out_g4, g4_wires, source, "G4 output"
+            )
+            in_wire = assign(
+                wires[target_partition].in_g4, g4_wires, source, "G4 input"
+            )
+            group = way_of(source_partition) // 4
+            if way_of(target_partition) // 4 != group:
+                # The modelled G4 domain spans 4 ways; the placement keeps
+                # split CCs within a domain, so this indicates a compiler bug.
+                raise CompileError(
+                    f"edge {source!r}->{target!r} crosses G4 domains "
+                    f"({way_of(source_partition)} -> {way_of(target_partition)})"
+                )
+            matrix = g4_enable.setdefault(
+                group, np.zeros((g4_ports, g4_ports), dtype=bool)
+            )
+            source_way_slot = way_of(source_partition) % 4
+            target_way_slot = way_of(target_partition) % 4
+            in_port = (
+                source_way_slot * per_way + source_partition % per_way
+            ) * g4_wires + out_wire
+            out_port = (
+                target_way_slot * per_way + target_partition % per_way
+            ) * g4_wires + in_wire
+            matrix[in_port, out_port] = True
+            l_enable[
+                target_partition,
+                partition_size + g1_wires + in_wire,
+                target_slot,
+            ] = True
+
+    return Bitstream(mapping, ste_columns, l_enable, g1_enable, g4_enable, wires)

@@ -1,0 +1,297 @@
+"""The Cache Automaton compiler: NFA states -> cache partitions.
+
+Implements Section 3.2's three-step algorithm:
+
+1. find connected components (CCs) — each is an atomic mapping unit;
+2. pack CCs no larger than a partition greedily, smallest first, filling
+   each partition with as many whole CCs as fit (Section 3.3's case
+   study);
+3. split oversized CCs across ``k`` partitions with multilevel k-way
+   graph partitioning (:mod:`repro.partitioning`, the METIS substitute),
+   minimising inter-partition transitions and load-balancing states.
+
+Partitions are then *placed* onto ways so that partitions of the same CC
+share a way whenever possible (within-way G1 wires are cheaper and more
+plentiful than cross-way G4 wires), and the result is validated against
+the design's wire budget by :mod:`repro.compiler.constraints`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.automata.components import connected_components
+from repro.core.design import DesignPoint
+from repro.errors import CapacityError
+from repro.partitioning import PartitionGraph, partition_into_capacity
+
+
+@dataclass
+class MappedPartition:
+    """One partition: up to ``partition_size`` STEs on two SRAM arrays.
+
+    ``way`` is a *global* way index; dividing by the design's
+    ``ways_used`` yields the slice it lives in (an NFA larger than one
+    slice's NFA ways spills onto further slices, whose capacity is part
+    of the compiler's admission check).
+    """
+
+    index: int
+    way: int
+    #: Offsets of STEs within the partition, in slot order.
+    ste_ids: List[str] = field(default_factory=list)
+
+    def slot_of(self, ste_id: str) -> int:
+        return self.ste_ids.index(ste_id)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.ste_ids)
+
+    def slice_index(self, ways_per_slice: int) -> int:
+        return self.way // ways_per_slice
+
+    def way_in_slice(self, ways_per_slice: int) -> int:
+        return self.way % ways_per_slice
+
+
+@dataclass
+class Mapping:
+    """A compiled placement of an automaton onto a Cache Automaton design."""
+
+    design: DesignPoint
+    automaton: HomogeneousAutomaton
+    partitions: List[MappedPartition]
+    #: ste id -> (partition index, slot within partition).
+    location: Dict[str, Tuple[int, int]]
+
+    # -- edge classification -------------------------------------------------
+
+    def partition_of(self, ste_id: str) -> int:
+        return self.location[ste_id][0]
+
+    def edge_kind(self, source: str, target: str) -> str:
+        """'local' (same partition), 'g1' (same way), or 'g4' (cross-way)."""
+        source_partition = self.partition_of(source)
+        target_partition = self.partition_of(target)
+        if source_partition == target_partition:
+            return "local"
+        if (
+            self.partitions[source_partition].way
+            == self.partitions[target_partition].way
+        ):
+            return "g1"
+        return "g4"
+
+    def classify_edges(self) -> Dict[str, int]:
+        counts = {"local": 0, "g1": 0, "g4": 0}
+        for source, target in self.automaton.edges():
+            counts[self.edge_kind(source, target)] += 1
+        return counts
+
+    # -- capacity metrics ------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def ways_used(self) -> int:
+        return len({partition.way for partition in self.partitions})
+
+    @property
+    def slices_used(self) -> int:
+        """LLC slices the mapping spans (NFA ways per slice from the design)."""
+        per_slice = self.design.ways_used
+        return len(
+            {partition.slice_index(per_slice) for partition in self.partitions}
+        )
+
+    def cache_bytes(self) -> int:
+        """Figure 8's utilisation metric: bytes of SRAM holding STE columns."""
+        return self.design.geometry.cache_bytes_for_partitions(
+            self.partition_count, full_subarrays=self.design.full_subarrays
+        )
+
+    def cache_megabytes(self) -> float:
+        return self.cache_bytes() / (1024.0 * 1024.0)
+
+    def occupancy_fraction(self) -> float:
+        """Mapped STEs / STE slots claimed (packing efficiency)."""
+        slots = self.partition_count * self.design.partition_size
+        return len(self.automaton) / slots if slots else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping({self.automaton.automaton_id!r} -> {self.design.name},"
+            f" partitions={self.partition_count}, ways={self.ways_used},"
+            f" {self.cache_megabytes():.3f} MB)"
+        )
+
+
+class Compiler:
+    """Maps homogeneous automata onto a Cache Automaton design point."""
+
+    def __init__(
+        self,
+        design: DesignPoint,
+        *,
+        rng: Optional[random.Random] = None,
+        max_slices: int = 16,
+    ):
+        design.validate()
+        self.design = design
+        self.rng = rng or random.Random(0xCA)
+        self.max_slices = max_slices
+
+    # -- public API ------------------------------------------------------------
+
+    def compile(self, automaton: HomogeneousAutomaton) -> Mapping:
+        """Produce a validated mapping (raises on infeasible automata)."""
+        automaton.validate()
+        partition_size = self.design.partition_size
+        components = connected_components(automaton)
+
+        small = [cc for cc in components if len(cc) <= partition_size]
+        large = [cc for cc in components if len(cc) > partition_size]
+
+        # Step 2: greedy smallest-first packing of whole CCs.  components()
+        # returns size-ascending order already.
+        groups: List[List[List[str]]] = []  # groups of CCs per partition
+        for component in small:
+            placed = False
+            for group in groups:
+                if sum(len(cc) for cc in group) + len(component) <= partition_size:
+                    group.append(component)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([component])
+        packed_partitions: List[List[str]] = [
+            [ste for cc in group for ste in cc] for group in groups
+        ]
+
+        # Step 3: k-way split of each oversized CC; record which partitions
+        # belong to the same CC so placement can co-locate them.
+        cc_partition_groups: List[List[List[str]]] = []
+        for component in large:
+            cc_partition_groups.append(
+                self._split_component(automaton, component, partition_size)
+            )
+
+        return self._place(automaton, packed_partitions, cc_partition_groups)
+
+    # -- splitting ----------------------------------------------------------------
+
+    def _split_component(
+        self,
+        automaton: HomogeneousAutomaton,
+        component: List[str],
+        partition_size: int,
+    ) -> List[List[str]]:
+        index = {ste_id: i for i, ste_id in enumerate(component)}
+        graph = PartitionGraph([1] * len(component))
+        for ste_id in component:
+            for target in automaton.successors(ste_id):
+                if target in index and target != ste_id:
+                    graph.add_edge(index[ste_id], index[target], 1)
+        assignment = partition_into_capacity(graph, partition_size, rng=self.rng)
+        parts: Dict[int, List[str]] = {}
+        for ste_id in component:
+            parts.setdefault(assignment[index[ste_id]], []).append(ste_id)
+        return [parts[key] for key in sorted(parts)]
+
+    # -- placement ----------------------------------------------------------------
+
+    def _place(
+        self,
+        automaton: HomogeneousAutomaton,
+        packed_partitions: List[List[str]],
+        cc_partition_groups: List[List[List[str]]],
+    ) -> Mapping:
+        per_way = self.design.partitions_per_way
+        max_partitions = per_way * self.design.ways_used * self.max_slices
+        total_partitions = len(packed_partitions) + sum(
+            len(group) for group in cc_partition_groups
+        )
+        if total_partitions > max_partitions:
+            raise CapacityError(
+                f"automaton needs {total_partitions} partitions but "
+                f"{self.max_slices} slice(s) x {self.design.ways_used} ways "
+                f"provide only {max_partitions}"
+            )
+
+        partitions: List[MappedPartition] = []
+        location: Dict[str, Tuple[int, int]] = {}
+
+        domain_ways = 4  # ways spanned by one G4 switch
+
+        def pad_to(index: int):
+            while len(partitions) < index:
+                partitions.append(
+                    MappedPartition(len(partitions), len(partitions) // per_way)
+                )
+
+        def allocate(ste_lists: List[List[str]], *, keep_together: bool):
+            """Assign each STE list a partition; co-locate ways if asked.
+
+            A split CC's partitions are placed contiguously from a way
+            boundary so the group spans as few ways as possible; groups
+            spanning several ways are additionally aligned to a 4-way
+            G4-switch domain, since cross-way wires exist only inside one.
+            """
+            start_index = len(partitions)
+            needed = len(ste_lists)
+            if keep_together and needed > 1:
+                span_ways = -(-needed // per_way)
+                if self.design.g4_wires_per_partition == 0 and span_ways > 1:
+                    raise CapacityError(
+                        f"a connected component needs {needed} partitions "
+                        f"({span_ways} ways) but {self.design.name} has no "
+                        "cross-way wires; use the space-optimised design or "
+                        "reduce the component"
+                    )
+                if span_ways > domain_ways:
+                    raise CapacityError(
+                        f"a connected component spans {span_ways} ways; one "
+                        f"G4 switch domain covers only {domain_ways}"
+                    )
+                # Align to a way boundary; to a domain boundary if the
+                # group would otherwise straddle two G4 domains.
+                if start_index % per_way:
+                    start_index += per_way - (start_index % per_way)
+                start_way = start_index // per_way
+                if span_ways > 1 and start_way % domain_ways + span_ways > domain_ways:
+                    start_way += domain_ways - (start_way % domain_ways)
+                    start_index = start_way * per_way
+                pad_to(start_index)
+            for ste_list in ste_lists:
+                index = len(partitions)
+                partition = MappedPartition(index, index // per_way)
+                for slot, ste_id in enumerate(ste_list):
+                    location[ste_id] = (index, slot)
+                partition.ste_ids = list(ste_list)
+                partitions.append(partition)
+
+        # Place split CCs first (they need way alignment), then the packed
+        # small-CC partitions, which have no inter-partition edges at all.
+        for group in sorted(cc_partition_groups, key=len, reverse=True):
+            allocate(group, keep_together=True)
+        allocate(packed_partitions, keep_together=False)
+
+        # Drop padding partitions that stayed empty, re-indexing.
+        occupied = [p for p in partitions if p.ste_ids]
+        reindex = {p.index: i for i, p in enumerate(occupied)}
+        for partition in occupied:
+            partition.index = reindex[partition.index]
+        # NOTE: re-indexing must not change ways — recompute way from the
+        # original dense layout is wrong after dropping pads, so ways were
+        # fixed at allocation time and are kept as allocated.
+        location = {
+            ste_id: (reindex[pi], slot) for ste_id, (pi, slot) in location.items()
+        }
+        mapping = Mapping(self.design, automaton, occupied, location)
+        return mapping

@@ -1,0 +1,43 @@
+"""The Cache Automaton hardware model and design points."""
+
+from repro.core.design import CA_64, CA_P, CA_S, DesignPoint, design_space
+from repro.core.energy import ActivityProfile, EnergyModel
+from repro.core.geometry import PARTITION_SIZE, SliceGeometry, XEON_SLICE
+from repro.core.pipeline import PIPELINE_STAGES, PipelineModel
+from repro.core.system import (
+    ConfigurationModel,
+    InputFifoModel,
+    ScanDescriptor,
+    WayAllocation,
+    end_to_end_ms,
+    scan_time_ms,
+)
+from repro.core.switches import CrossbarSwitch, SwitchInventory, SwitchSpec
+from repro.core.timing import PipelineTiming, pipeline_timing, state_match_delay_ps
+
+__all__ = [
+    "ActivityProfile",
+    "CA_64",
+    "CA_P",
+    "CA_S",
+    "CrossbarSwitch",
+    "DesignPoint",
+    "EnergyModel",
+    "PARTITION_SIZE",
+    "PIPELINE_STAGES",
+    "PipelineModel",
+    "ConfigurationModel",
+    "InputFifoModel",
+    "ScanDescriptor",
+    "WayAllocation",
+    "end_to_end_ms",
+    "scan_time_ms",
+    "PipelineTiming",
+    "SliceGeometry",
+    "SwitchInventory",
+    "SwitchSpec",
+    "XEON_SLICE",
+    "design_space",
+    "pipeline_timing",
+    "state_match_delay_ps",
+]

@@ -1,0 +1,167 @@
+"""Energy and power model (Section 5.3, Figure 9).
+
+Per-symbol energy is driven by two activity factors the compiler's
+mapping controls (and the functional simulator measures):
+
+* **active partitions** — "even if one STE is active in a partition, it
+  results in an array access and local switch access";
+* **dynamic inter-partition transitions** — each costs a global-switch
+  evaluation plus wire energy to and from the switch.
+
+The *Ideal AP* comparison model assumes zero interconnect energy and an
+optimistic 1 pJ/bit DRAM array access (conventional DRAM is 2.5-10
+pJ/bit), exactly as Section 5.3 specifies.  Partition-disabling circuits
+(wired-OR of the active-state vector, as in the Micron AP patent) are
+assumed: idle partitions consume no dynamic energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.design import DesignPoint
+from repro.core.params import AP, SRAM, ApParameters, SramParameters
+from repro.errors import HardwareModelError
+
+
+@dataclass
+class ActivityProfile:
+    """Dynamic activity counters accumulated over a simulated input stream.
+
+    Produced by :class:`repro.sim.functional.MappedSimulator`; consumed by
+    :class:`EnergyModel`.
+    """
+
+    symbols: int = 0
+    #: Sum over cycles of partitions with at least one enabled or matched STE.
+    partition_activations: int = 0
+    #: Dynamic signals crossing partitions through a within-way G-switch.
+    g1_crossings: int = 0
+    #: Dynamic signals crossing through a 4-way G-switch.
+    g4_crossings: int = 0
+    #: Sum over cycles of within-way G-switches with at least one active input.
+    g1_switch_activations: int = 0
+    #: Sum over cycles of 4-way G-switches with at least one active input.
+    g4_switch_activations: int = 0
+    #: Report records generated.
+    reports: int = 0
+
+    def merged_with(self, other: "ActivityProfile") -> "ActivityProfile":
+        return ActivityProfile(
+            symbols=self.symbols + other.symbols,
+            partition_activations=self.partition_activations
+            + other.partition_activations,
+            g1_crossings=self.g1_crossings + other.g1_crossings,
+            g4_crossings=self.g4_crossings + other.g4_crossings,
+            g1_switch_activations=self.g1_switch_activations
+            + other.g1_switch_activations,
+            g4_switch_activations=self.g4_switch_activations
+            + other.g4_switch_activations,
+            reports=self.reports + other.reports,
+        )
+
+    @property
+    def average_active_partitions(self) -> float:
+        if self.symbols == 0:
+            return 0.0
+        return self.partition_activations / self.symbols
+
+
+class EnergyModel:
+    """Derives Figure 9's energy/power series for one design point."""
+
+    def __init__(
+        self,
+        design: DesignPoint,
+        *,
+        sram: SramParameters = SRAM,
+        ap: ApParameters = AP,
+    ):
+        self.design = design
+        self.sram = sram
+        self.ap = ap
+
+    # -- per-event energies ------------------------------------------------
+
+    @property
+    def partition_event_pj(self) -> float:
+        """One active partition for one symbol: array read + L-switch."""
+        return self.sram.access_energy_pj + self.design.l_switch.access_energy_pj
+
+    @property
+    def g1_event_pj(self) -> float:
+        """One within-way G-switch evaluation (all outputs sensed)."""
+        g1 = self.design.g1_switch
+        return g1.access_energy_pj if g1 else 0.0
+
+    @property
+    def g4_event_pj(self) -> float:
+        g4 = self.design.g4_switch
+        return g4.access_energy_pj if g4 else 0.0
+
+    @property
+    def g1_wire_pj_per_crossing(self) -> float:
+        """Wire energy to and from the within-way G-switch for one signal."""
+        return (
+            2.0
+            * self.design.g_wire_mm
+            * self.design.wires.energy_pj_per_mm_per_bit
+        )
+
+    @property
+    def g4_wire_pj_per_crossing(self) -> float:
+        return (
+            2.0
+            * self.design.g_wire4_mm
+            * self.design.wires.energy_pj_per_mm_per_bit
+        )
+
+    # -- aggregate metrics ---------------------------------------------------
+
+    def total_energy_pj(self, profile: ActivityProfile) -> float:
+        return (
+            profile.partition_activations * self.partition_event_pj
+            + profile.g1_switch_activations * self.g1_event_pj
+            + profile.g4_switch_activations * self.g4_event_pj
+            + profile.g1_crossings * self.g1_wire_pj_per_crossing
+            + profile.g4_crossings * self.g4_wire_pj_per_crossing
+        )
+
+    def energy_per_symbol_nj(self, profile: ActivityProfile) -> float:
+        """Figure 9(a): nJ expended per input symbol."""
+        if profile.symbols == 0:
+            raise HardwareModelError("profile covers no symbols")
+        return self.total_energy_pj(profile) / profile.symbols / 1000.0
+
+    def average_power_watts(self, profile: ActivityProfile) -> float:
+        """Figure 9(b): energy/symbol x symbol rate."""
+        return (
+            self.energy_per_symbol_nj(profile)
+            * self.design.frequency_ghz
+        )
+
+    def peak_power_watts(self, states: int) -> float:
+        """Worst case: every partition of a ``states``-sized NFA active.
+
+        The 128K-STE CA_P prototype lands at ~73 W (the paper quotes a
+        71.3 W maximum and a 75 W bound), far below the 160 W Xeon TDP.
+        """
+        partitions = -(-states // self.design.partition_size)
+        ways = -(-partitions // self.design.partitions_per_way)
+        per_cycle = partitions * self.partition_event_pj
+        per_cycle += ways * self.g1_event_pj
+        if self.design.g4_switch:
+            per_cycle += -(-ways // 4) * self.g4_event_pj
+        return per_cycle * self.design.frequency_ghz / 1000.0
+
+    # -- the Ideal AP comparison model ----------------------------------------
+
+    def ideal_ap_energy_per_symbol_nj(self, profile: ActivityProfile) -> float:
+        """Ideal-AP energy for the *same mapping/activity*: DRAM rows only.
+
+        Zero interconnect/routing-matrix energy; each active partition
+        reads one 256-bit DRAM row at 1 pJ/bit.
+        """
+        if profile.symbols == 0:
+            raise HardwareModelError("profile covers no symbols")
+        row_pj = self.ap.dram_access_pj_per_bit * self.ap.row_bits
+        return profile.partition_activations * row_pj / profile.symbols / 1000.0

@@ -1,0 +1,96 @@
+"""Published circuit- and technology-level constants.
+
+Every number here is taken directly from the paper (Section 4, Table 2,
+Section 5.1) — 28 nm foundry memory-compiler estimates in the original.
+The rest of :mod:`repro.core` *derives* the pipeline delays, frequencies,
+energies, and areas of Tables 2–4 and Figures 9–10 from these constants
+plus geometry, rather than hard-coding the result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireParameters:
+    """Global-metal wire model (Section 4; H-Bus alternative from §5.5)."""
+
+    #: Delay of repeated global-metal wires (66 ps/mm, SPICE-derived).
+    delay_ps_per_mm: float = 66.0
+    #: Energy of global wires (0.07 pJ/mm/bit).
+    energy_pj_per_mm_per_bit: float = 0.07
+
+
+#: The slower hierarchical-bus wires inside an LLC slice (300 ps/mm, [12]).
+H_BUS_WIRES = WireParameters(delay_ps_per_mm=300.0)
+
+#: Default global-metal wires.
+GLOBAL_WIRES = WireParameters()
+
+
+@dataclass(frozen=True)
+class SramParameters:
+    """6T SRAM sub-array timing/energy, modelled after the Xeon E5 LLC."""
+
+    #: Fastest safe array clock (paper limits arrays to 4 GHz => 250 ps;
+    #: the paper's arithmetic uses 256 ps cycles, which we keep).
+    cycle_time_ps: float = 256.0
+    #: Pre-charge + read-word-line phase preceding the first sense in the
+    #: sense-amp cycling sequence (the remaining 438 - 4*62.5 = 188 ps of
+    #: the published 438 ps CA_P state-match).
+    precharge_wordline_ps: float = 188.0
+    #: One SAE/SEL step when cycling the sense amps: the 8 GHz pulse
+    #: generator yields 125 ps pulses, overlapped to an effective 62.5 ps
+    #: per additional column-multiplexed bit.
+    sense_step_ps: float = 62.5
+    #: Energy of one access to a 256x256 6T cache sub-array (22 pJ).
+    access_energy_pj: float = 22.0
+    #: Nominal supply for the 28 nm node.
+    nominal_voltage: float = 0.9
+
+
+SRAM = SramParameters()
+
+
+@dataclass(frozen=True)
+class ApParameters:
+    """Micron Automata Processor reference numbers (Sections 1, 5, 6)."""
+
+    #: AP symbol clock: 133 MHz, 1 symbol/cycle.
+    frequency_ghz: float = 0.133
+    #: Ideal-AP energy model: 1 pJ/bit DRAM array access, zero interconnect.
+    dram_access_pj_per_bit: float = 1.0
+    #: Bits read per active 256-state block (one 256-bit row).
+    row_bits: int = 256
+    #: Average fan-out reachability of a state (Section 5.4).
+    reachability: float = 230.5
+    #: Maximum incoming transitions per state.
+    fan_in: int = 16
+    #: Area of the DRAM routing matrix for a 32K-STE state space (mm^2).
+    area_mm2_32k: float = 38.0
+    #: STE capacity of one AP chip.
+    states_per_chip: int = 48 * 1024
+    #: STE capacity of one rank (8 dies).
+    states_per_rank: int = 384 * 1024
+    #: Configuration latency (up to tens of ms; [36]).
+    configuration_ms: float = 45.0
+
+
+AP = ApParameters()
+
+#: x86 CPU baseline: the AP outperforms CPUs by 256x across the same
+#: benchmark suites (Wadden et al. [39], quoted in Sections 1 and 5.1).
+CPU_SLOWDOWN_VS_AP = 256.0
+
+#: Xeon E5-2600 v3 thermal design power (Section 5.3).
+XEON_TDP_WATTS = 160.0
+
+#: Xeon E5 server die area (Section 5.4).
+XEON_DIE_AREA_MM2 = 354.0
+
+#: Cache Automaton configuration time for the largest benchmark (§2.10).
+CA_CONFIGURATION_MS = 0.2
+
+#: Pulse generator overhead for the SA-cycling control signals (§2.6).
+PULSE_GENERATOR_POWER_UW = 8.0

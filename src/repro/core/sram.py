@@ -1,0 +1,222 @@
+"""Functional SRAM array model with column multiplexing (Section 2.6).
+
+The timing side of sense-amplifier cycling lives in
+:mod:`repro.core.timing`; this module models the *data path*: a 256x128
+6T array whose bit-lines share sense amplifiers through a column
+multiplexer, read out either the conventional way (one full
+pre-charge/decode/sense cycle per multiplexer position) or with the
+paper's optimised sequence (pre-charge all bit-lines once, then cycle
+SAE/SEL through the positions).
+
+Both sequences must return the same row data — the optimisation changes
+*when* bits appear, not *which* — and the model exposes the per-phase
+schedule so tests can check the Figure 4 waveform properties: one
+pre-charge + word-line assertion, then ``mux`` sense pulses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.params import SRAM, SramParameters
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class SensePhase:
+    """One sense event: which mux position, when, which bits came out."""
+
+    select: int
+    start_ps: float
+    bits: np.ndarray  # one bit per sense amp
+
+
+@dataclass(frozen=True)
+class RowRead:
+    """A completed row read: the data plus its phase schedule."""
+
+    data: np.ndarray  # all columns, in column order
+    phases: List[SensePhase]
+    total_ps: float
+
+
+class SramArray:
+    """A 6T array of ``rows x columns`` cells with shared sense amps."""
+
+    def __init__(
+        self,
+        rows: int = 256,
+        columns: int = 128,
+        column_mux: int = 4,
+        *,
+        parameters: SramParameters = SRAM,
+    ):
+        if rows <= 0 or columns <= 0:
+            raise HardwareModelError("array dimensions must be positive")
+        if column_mux <= 0 or columns % column_mux:
+            raise HardwareModelError(
+                f"{columns} columns do not divide into mux degree {column_mux}"
+            )
+        self.rows = rows
+        self.columns = columns
+        self.column_mux = column_mux
+        self.parameters = parameters
+        self.cells = np.zeros((rows, columns), dtype=np.uint8)
+
+    @property
+    def sense_amps(self) -> int:
+        return self.columns // self.column_mux
+
+    # -- write path -----------------------------------------------------------
+
+    def write_column(self, column: int, bits: np.ndarray):
+        """Store one STE's one-hot label image into a column."""
+        if not 0 <= column < self.columns:
+            raise HardwareModelError(f"column {column} out of range")
+        if bits.shape != (self.rows,):
+            raise HardwareModelError(
+                f"column image must have {self.rows} bits, got {bits.shape}"
+            )
+        self.cells[:, column] = bits.astype(np.uint8) & 1
+
+    def write_row(self, row: int, bits: np.ndarray):
+        if not 0 <= row < self.rows:
+            raise HardwareModelError(f"row {row} out of range")
+        if bits.shape != (self.columns,):
+            raise HardwareModelError(
+                f"row image must have {self.columns} bits, got {bits.shape}"
+            )
+        self.cells[row] = bits.astype(np.uint8) & 1
+
+    # -- read path ----------------------------------------------------------------
+
+    def _sense(self, row: int, select: int) -> np.ndarray:
+        """Bits seen by the sense amps at multiplexer position ``select``.
+
+        Column ``c`` connects to sense amp ``c // mux`` when
+        ``c % mux == select`` (interleaved multiplexing).
+        """
+        return self.cells[row, select :: self.column_mux].copy()
+
+    def _assemble(self, phases: List[SensePhase]) -> np.ndarray:
+        data = np.zeros(self.columns, dtype=np.uint8)
+        for phase in phases:
+            data[phase.select :: self.column_mux] = phase.bits
+        return data
+
+    def read_row_baseline(self, row: int) -> RowRead:
+        """Conventional multiplexed read: ``mux`` full array cycles.
+
+        Each position pays decode + pre-charge + sense (one whole cycle),
+        which is why matching 256 STEs costs 1024 ps without the
+        optimisation.
+        """
+        self._check_row(row)
+        cycle = self.parameters.cycle_time_ps
+        phases = [
+            SensePhase(select, start_ps=select * cycle, bits=self._sense(row, select))
+            for select in range(self.column_mux)
+        ]
+        return RowRead(self._assemble(phases), phases, self.column_mux * cycle)
+
+    def read_row_cycled(self, row: int) -> RowRead:
+        """Sense-amplifier cycling (Figure 4's optimised sequence).
+
+        PCH and RWL assert once — all bit-lines develop their differential
+        together — then SAE/SEL pulse through the positions back-to-back.
+        """
+        self._check_row(row)
+        setup = self.parameters.precharge_wordline_ps
+        step = self.parameters.sense_step_ps
+        phases = [
+            SensePhase(
+                select,
+                start_ps=setup + select * step,
+                bits=self._sense(row, select),
+            )
+            for select in range(self.column_mux)
+        ]
+        return RowRead(
+            self._assemble(phases), phases, setup + self.column_mux * step
+        )
+
+    def _check_row(self, row: int):
+        if not 0 <= row < self.rows:
+            raise HardwareModelError(f"row {row} out of range")
+
+    def match_vector(self, symbol: int, *, cycled: bool = True) -> np.ndarray:
+        """The automata read: broadcast ``symbol`` as the row address."""
+        read = self.read_row_cycled(symbol) if cycled else self.read_row_baseline(
+            symbol
+        )
+        return read.data
+
+
+class RepairableArray:
+    """An SRAM array with spare columns for mapping out dead bit-lines.
+
+    Figure 2(c): "Each array has 2 redundant columns and 4 redundant rows
+    to map out dead lines."  STE placement addresses *logical* columns;
+    the repair map steers a logical column whose physical line is dead to
+    a spare, so the compiler never needs to know about defects.
+    """
+
+    def __init__(
+        self,
+        array: SramArray | None = None,
+        *,
+        spare_columns: int = 2,
+    ):
+        self.array = array or SramArray()
+        if spare_columns < 0 or spare_columns >= self.array.columns:
+            raise HardwareModelError(f"bad spare column count {spare_columns}")
+        self.spare_columns = spare_columns
+        #: Logical columns usable for STEs (the spares are reserved).
+        self.logical_columns = self.array.columns - spare_columns
+        self._repair_map: dict[int, int] = {}
+        self._spares_used = 0
+
+    def mark_defective(self, logical_column: int):
+        """Retire a logical column's physical line onto a spare.
+
+        Data already stored in the column is lost (repair happens at
+        manufacturing test, before configuration).  Raises when the
+        spares are exhausted — the array must then be disabled.
+        """
+        self._check_logical(logical_column)
+        if logical_column in self._repair_map:
+            raise HardwareModelError(
+                f"column {logical_column} already repaired"
+            )
+        if self._spares_used >= self.spare_columns:
+            raise HardwareModelError(
+                f"no spare columns left for column {logical_column}"
+            )
+        spare = self.logical_columns + self._spares_used
+        self._repair_map[logical_column] = spare
+        self._spares_used += 1
+
+    def physical_column(self, logical_column: int) -> int:
+        self._check_logical(logical_column)
+        return self._repair_map.get(logical_column, logical_column)
+
+    def write_column(self, logical_column: int, bits: np.ndarray):
+        self.array.write_column(self.physical_column(logical_column), bits)
+
+    def match_vector(self, symbol: int) -> np.ndarray:
+        """Match vector over *logical* columns (repairs transparent)."""
+        raw = self.array.match_vector(symbol)
+        data = raw[: self.logical_columns].copy()
+        for logical, spare in self._repair_map.items():
+            data[logical] = raw[spare]
+        return data
+
+    def _check_logical(self, logical_column: int):
+        if not 0 <= logical_column < self.logical_columns:
+            raise HardwareModelError(
+                f"logical column {logical_column} outside "
+                f"0..{self.logical_columns - 1}"
+            )

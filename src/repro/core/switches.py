@@ -1,0 +1,209 @@
+"""The 8T-SRAM crossbar switch model (Section 2.7, Table 2).
+
+An automaton switch is an 8T bit-cell array without decode/control
+overhead: a 6T cell stores each cross-point enable bit and a 2T block
+gates the input bit-line onto the output bit-line, so an output wire
+carries the wired-OR of all enabled active inputs.  Two operating modes:
+*crossbar* (evaluate transitions) and *write* (program enable bits).
+
+Delay, energy/bit and area are published for four design sizes (Table 2);
+:class:`SwitchModel` interpolates between those anchor points on log-log
+axes so the Figure 10 design-space sweep can evaluate other sizes, while
+reproducing the published values exactly at the anchors.
+
+The module also contains :class:`CrossbarSwitch`, a *functional* model of
+the switch used by the mapped simulator and bitstream tests: it stores the
+enable matrix and evaluates the wired-OR semantics with numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+
+#: Table 2 anchor points: (inputs, outputs) -> (delay ps, energy pJ/bit, area mm^2).
+TABLE2_ANCHORS = {
+    (128, 128): (128.0, 0.16, 0.011),
+    (256, 256): (163.0, 0.19, 0.032),
+    (280, 256): (163.5, 0.191, 0.033),
+    (512, 512): (327.0, 0.381, 0.1293),
+}
+
+
+def _loglog_interpolate(x: float, points: Sequence[Tuple[float, float]]) -> float:
+    """Piecewise power-law interpolation through ``points`` (x ascending).
+
+    Outside the anchor range the nearest segment's slope extrapolates,
+    which keeps small/large Figure 10 design points physically monotone.
+    """
+    if x <= 0:
+        raise HardwareModelError(f"interpolation input must be positive: {x}")
+    if len(points) < 2:
+        raise HardwareModelError("need at least two anchor points")
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x <= x1 or (x1, y1) == points[-1]:
+            if x0 == x1:
+                return y0
+            slope = math.log(y1 / y0) / math.log(x1 / x0)
+            return y0 * (x / x0) ** slope
+    raise AssertionError("unreachable")
+
+
+# Anchor tables keyed on the physically relevant dimension.
+_DELAY_POINTS = [(128.0, 128.0), (256.0, 163.0), (280.0, 163.5), (512.0, 327.0)]
+_ENERGY_POINTS = [(128.0, 0.16), (256.0, 0.19), (280.0, 0.191), (512.0, 0.381)]
+_AREA_POINTS = [  # keyed on cross-point count (inputs * outputs)
+    (128.0 * 128, 0.011),
+    (256.0 * 256, 0.032),
+    (280.0 * 256, 0.033),
+    (512.0 * 512, 0.1293),
+]
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One crossbar switch design point: ``inputs x outputs`` 1-bit ports."""
+
+    inputs: int
+    outputs: int
+
+    def __post_init__(self):
+        if self.inputs <= 0 or self.outputs <= 0:
+            raise HardwareModelError(f"switch must have positive ports: {self}")
+
+    @property
+    def cross_points(self) -> int:
+        return self.inputs * self.outputs
+
+    @property
+    def delay_ps(self) -> float:
+        """Crossbar-mode propagation delay (input valid -> output sensed).
+
+        Dominated by the output bit-line RC, which grows with the number
+        of input ports hanging off each OBL.
+        """
+        return _loglog_interpolate(float(self.inputs), _DELAY_POINTS)
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Dynamic energy per output bit evaluated in crossbar mode."""
+        return _loglog_interpolate(float(self.inputs), _ENERGY_POINTS)
+
+    @property
+    def area_mm2(self) -> float:
+        """Layout area (8T push-rule cells, no decoder in crossbar mode)."""
+        return _loglog_interpolate(float(self.cross_points), _AREA_POINTS)
+
+    @property
+    def access_energy_pj(self) -> float:
+        """Energy of one full crossbar evaluation (all outputs sensed)."""
+        return self.energy_pj_per_bit * self.outputs
+
+    def __str__(self) -> str:
+        return f"{self.inputs}x{self.outputs}"
+
+
+class CrossbarSwitch:
+    """Functional 8T crossbar: programmable enables, wired-OR evaluation.
+
+    ``enable[i, j]`` connects input port ``i`` to output port ``j``.  In
+    crossbar mode, ``evaluate`` computes, for every output, the OR of its
+    enabled active inputs — the active-low wired-AND of Section 2.7 seen
+    from the logical (active-high) side.
+    """
+
+    def __init__(self, spec: SwitchSpec):
+        self.spec = spec
+        self.enable = np.zeros((spec.inputs, spec.outputs), dtype=bool)
+
+    def connect(self, input_port: int, output_port: int):
+        """Program one cross-point (write mode)."""
+        self._check_ports(input_port, output_port)
+        self.enable[input_port, output_port] = True
+
+    def disconnect(self, input_port: int, output_port: int):
+        self._check_ports(input_port, output_port)
+        self.enable[input_port, output_port] = False
+
+    def write_row(self, input_port: int, row: np.ndarray):
+        """Program a whole word-line of enables in one write-mode cycle."""
+        if row.shape != (self.spec.outputs,):
+            raise HardwareModelError(
+                f"row must have {self.spec.outputs} bits, got {row.shape}"
+            )
+        self._check_ports(input_port, 0)
+        self.enable[input_port] = row.astype(bool)
+
+    def evaluate(self, active_inputs: np.ndarray) -> np.ndarray:
+        """Crossbar mode: boolean outputs = wired-OR of enabled inputs."""
+        if active_inputs.shape != (self.spec.inputs,):
+            raise HardwareModelError(
+                f"expected {self.spec.inputs} inputs, got {active_inputs.shape}"
+            )
+        return (active_inputs[:, None] & self.enable).any(axis=0)
+
+    def fan_in(self, output_port: int) -> int:
+        """Number of inputs wired to ``output_port`` (multi-fan-in support)."""
+        self._check_ports(0, output_port)
+        return int(self.enable[:, output_port].sum())
+
+    def used_cross_points(self) -> int:
+        return int(self.enable.sum())
+
+    def _check_ports(self, input_port: int, output_port: int):
+        if not 0 <= input_port < self.spec.inputs:
+            raise HardwareModelError(f"input port {input_port} out of range")
+        if not 0 <= output_port < self.spec.outputs:
+            raise HardwareModelError(f"output port {output_port} out of range")
+
+
+@dataclass(frozen=True)
+class SwitchInventory:
+    """The switch complement of one design point (a Table 2 row)."""
+
+    local: SwitchSpec
+    local_count: int
+    global_way: SwitchSpec | None
+    global_way_count: int
+    global_ways4: SwitchSpec | None
+    global_ways4_count: int
+    #: STE state space this inventory serves (for per-STE area normalising).
+    supported_states: int
+
+    def total_area_mm2(self) -> float:
+        area = self.local.area_mm2 * self.local_count
+        if self.global_way is not None:
+            area += self.global_way.area_mm2 * self.global_way_count
+        if self.global_ways4 is not None:
+            area += self.global_ways4.area_mm2 * self.global_ways4_count
+        return area
+
+    def area_mm2_for_states(self, states: int) -> float:
+        """Scale the inventory's area to a ``states``-sized state space."""
+        if self.supported_states <= 0:
+            raise HardwareModelError("inventory supports no states")
+        return self.total_area_mm2() * states / self.supported_states
+
+    def rows(self) -> List[tuple]:
+        """(kind, spec, count, delay, energy/bit, area) rows for Table 2."""
+        table = [("L", self.local, self.local_count)]
+        if self.global_way is not None:
+            table.append(("G1", self.global_way, self.global_way_count))
+        if self.global_ways4 is not None:
+            table.append(("G4", self.global_ways4, self.global_ways4_count))
+        return [
+            (
+                kind,
+                str(spec),
+                count,
+                spec.delay_ps,
+                spec.energy_pj_per_bit,
+                spec.area_mm2,
+            )
+            for kind, spec, count in table
+        ]

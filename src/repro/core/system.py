@@ -1,0 +1,201 @@
+"""System integration models (Sections 2.8-2.10, 2.9).
+
+Everything around the datapath that makes Cache Automaton a *system*:
+
+* the **input FIFO** in the CBOX — 128 one-byte entries refilled a cache
+  block (64 B) at a time through regular cache accesses;
+* the **configuration model** — bitstream size, load bandwidth, and the
+  resulting configuration latency (the paper measures ~0.2 ms for its
+  largest benchmark, vs tens of ms for the AP), plus the
+  overlap-configuration-with-processing optimisation sketched as future
+  work in Section 2.10;
+* the **ISA descriptor** — the one new instruction: input base address,
+  symbol count, report-buffer interrupt vector;
+* **way sharing** with the CPU via Intel CAT (Section 2.9): which ways of
+  which slices run NFAs, what remains for regular caching, and the
+  peak-power hint the compiler hands the OS scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler.bitstream import Bitstream
+from repro.compiler.mapping import Mapping
+from repro.core.design import DesignPoint
+from repro.core.energy import EnergyModel
+from repro.errors import HardwareModelError, SimulationError
+
+#: CBOX input FIFO entries (Section 2.8).
+INPUT_FIFO_ENTRIES = 128
+
+#: Cache block size: one FIFO refill transfers this many input bytes.
+CACHE_BLOCK_BYTES = 64
+
+
+@dataclass
+class InputFifoModel:
+    """Counts FIFO refills for an input stream of a given length.
+
+    The FIFO drains one symbol per pipeline clock and is refilled one
+    cache block at a time; with a block refill every 64 cycles against a
+    128-entry buffer, the FIFO never underruns in steady state — the
+    property this model makes checkable.
+    """
+
+    entries: int = INPUT_FIFO_ENTRIES
+    block_bytes: int = CACHE_BLOCK_BYTES
+
+    def __post_init__(self):
+        if self.block_bytes > self.entries:
+            raise HardwareModelError(
+                "a refill block must fit in the FIFO "
+                f"({self.block_bytes} > {self.entries})"
+            )
+
+    def refills_for(self, input_bytes: int) -> int:
+        """Cache-block reads needed to stream ``input_bytes`` symbols."""
+        if input_bytes < 0:
+            raise SimulationError("negative input length")
+        return -(-input_bytes // self.block_bytes)
+
+    def underruns(self, input_bytes: int) -> int:
+        """Refills arrive every ``block_bytes`` drained symbols; capacity
+        is double that, so steady-state underruns are structurally zero."""
+        del input_bytes
+        return 0
+
+
+@dataclass(frozen=True)
+class ScanDescriptor:
+    """The operand block of the Cache Automaton ISA instruction (§2.10).
+
+    One instruction supplies everything the CBOX needs: where the input
+    bytes live, how many to process, and where reports go.
+    """
+
+    input_base_address: int
+    symbol_count: int
+    report_buffer_address: int
+
+    def __post_init__(self):
+        if self.symbol_count <= 0:
+            raise HardwareModelError("symbol count must be positive")
+        if self.input_base_address < 0 or self.report_buffer_address < 0:
+            raise HardwareModelError("addresses must be non-negative")
+
+    def input_cache_blocks(self) -> int:
+        return -(-self.symbol_count // CACHE_BLOCK_BYTES)
+
+
+@dataclass(frozen=True)
+class ConfigurationModel:
+    """Configuration latency from bitstream size and store bandwidth.
+
+    Configuration uses ordinary CPU stores: STE column images load as
+    binary pages (huge-page mapped so set-index bits match), and switches
+    program through their write mode.  The default bandwidth reproduces
+    the paper's ~0.2 ms for the largest benchmark; the AP needs tens of
+    milliseconds ([36]).
+    """
+
+    #: Effective configuration store bandwidth (bytes/s).  A Xeon-class
+    #: core streams ~10 GB/s to L3.
+    bandwidth_bytes_per_s: float = 10e9
+
+    def configuration_bytes(self, bitstream: Bitstream) -> int:
+        return (bitstream.configuration_bits() + 7) // 8
+
+    def configuration_ms(self, bitstream: Bitstream) -> float:
+        return self.configuration_bytes(bitstream) / self.bandwidth_bytes_per_s * 1e3
+
+    def overlapped_configuration_ms(
+        self, bitstreams: List[Bitstream], *, slices: int = 8
+    ) -> float:
+        """Section 2.10's future-work optimisation: configure one slice
+        while others keep processing.  With per-slice configuration
+        streams, only the longest slice's load is exposed."""
+        if not bitstreams:
+            return 0.0
+        if slices < 1:
+            raise HardwareModelError("need at least one slice")
+        per_slice = sorted(
+            self.configuration_ms(bitstream) for bitstream in bitstreams
+        )
+        # Round-robin the bitstreams over slices; exposed time is the
+        # heaviest slice's total.
+        loads = [0.0] * slices
+        for cost in reversed(per_slice):
+            loads[loads.index(min(loads))] += cost
+        return max(loads)
+
+
+@dataclass(frozen=True)
+class WayAllocation:
+    """Intel CAT-style way partitioning between NFAs and regular data.
+
+    Section 2.9: NFA computation occupies 4-8 ways per slice; the other
+    12-16 ways stay available to co-running processes, with the NFA
+    process pinned to a high-priority class of service so its ways are
+    never evicted.
+    """
+
+    design: DesignPoint
+    nfa_ways: int
+
+    def __post_init__(self):
+        if not 1 <= self.nfa_ways <= self.design.geometry.ways:
+            raise HardwareModelError(
+                f"{self.nfa_ways} NFA ways outside 1..{self.design.geometry.ways}"
+            )
+
+    @property
+    def data_ways(self) -> int:
+        return self.design.geometry.ways - self.nfa_ways
+
+    @property
+    def data_capacity_fraction(self) -> float:
+        """Fraction of the slice still serving ordinary cache traffic.
+
+        The perf-optimised design additionally leaves the Array_H half of
+        every NFA way usable for data (Section 3.1)."""
+        total = self.design.geometry.ways
+        fraction = self.data_ways / total
+        if not self.design.full_subarrays:
+            fraction += 0.5 * self.nfa_ways / total
+        return fraction
+
+    def nfa_state_capacity(self, slices: int = 1) -> int:
+        per_way = self.design.geometry.stes_per_way(
+            full_subarrays=self.design.full_subarrays
+        )
+        return per_way * self.nfa_ways * slices
+
+    def peak_power_hint_watts(self, mapping: Mapping) -> float:
+        """The coarse peak-power estimate the compiler hands the OS
+        scheduler (Section 2.9) for TDP admission control."""
+        model = EnergyModel(self.design)
+        return model.peak_power_watts(
+            mapping.partition_count * self.design.partition_size
+        )
+
+
+def scan_time_ms(design: DesignPoint, symbol_count: int) -> float:
+    """Pure streaming time for ``symbol_count`` symbols at line rate."""
+    if symbol_count < 0:
+        raise SimulationError("negative symbol count")
+    return symbol_count / (design.frequency_ghz * 1e9) * 1e3
+
+
+def end_to_end_ms(
+    design: DesignPoint,
+    bitstream: Bitstream,
+    symbol_count: int,
+    *,
+    configuration: ConfigurationModel = ConfigurationModel(),
+) -> float:
+    """Configuration + streaming latency for one scan job."""
+    return configuration.configuration_ms(bitstream) + scan_time_ms(
+        design, symbol_count
+    )

@@ -1,0 +1,107 @@
+"""Pipeline-stage timing and operating-frequency derivation.
+
+Section 2.5's three-stage pipeline processes one input symbol per clock;
+the clock period is the slowest of:
+
+1. **state-match** — read one SRAM row for every STE of a partition.
+   Column multiplexing forces several sense phases; the sense-amplifier
+   cycling optimisation (Section 2.6) pre-charges all bit-lines once and
+   then cycles the sense-amp enable, replacing ``mux`` full array cycles
+   with one pre-charge phase plus ``mux`` short sense steps;
+2. **G-switch** — wire run from the array to the global switch plus the
+   global crossbar delay;
+3. **L-switch** — wire run back plus the local crossbar delay.
+
+Every value in Table 3 and Table 4 is computed by this module from the
+constants in :mod:`repro.core.params` and the slice geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.params import SRAM, GLOBAL_WIRES, SramParameters, WireParameters
+from repro.core.switches import SwitchSpec
+from repro.errors import HardwareModelError
+
+
+def state_match_delay_ps(
+    column_mux_degree: int,
+    *,
+    sense_amp_cycling: bool = True,
+    sram: SramParameters = SRAM,
+) -> float:
+    """Delay to read a partition's match vector.
+
+    Without cycling, every multiplexed bit costs a full array cycle
+    (4-way mux => 1024 ps, Section 2.6's baseline).  With cycling, one
+    pre-charge + word-line phase is followed by ``mux`` sense steps
+    (4-way => 188 + 4 x 62.5 = 438 ps, the Table 3 CA_P value).
+    """
+    if column_mux_degree < 1:
+        raise HardwareModelError(f"bad column mux degree {column_mux_degree}")
+    if sense_amp_cycling:
+        return sram.precharge_wordline_ps + column_mux_degree * sram.sense_step_ps
+    return column_mux_degree * sram.cycle_time_ps
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Delays of the three pipeline stages for one design point."""
+
+    state_match_ps: float
+    g_switch_ps: float
+    l_switch_ps: float
+
+    @property
+    def clock_period_ps(self) -> float:
+        return max(self.state_match_ps, self.g_switch_ps, self.l_switch_ps)
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        return 1000.0 / self.clock_period_ps
+
+    @property
+    def bottleneck(self) -> str:
+        delays = {
+            "state-match": self.state_match_ps,
+            "g-switch": self.g_switch_ps,
+            "l-switch": self.l_switch_ps,
+        }
+        return max(delays, key=delays.get)
+
+
+def pipeline_timing(
+    *,
+    column_mux_degree: int,
+    l_switch: SwitchSpec,
+    g_switch: Optional[SwitchSpec],
+    g_wire_mm: float,
+    l_wire_mm: float,
+    g_switch4: Optional[SwitchSpec] = None,
+    g_wire4_mm: float = 0.0,
+    sense_amp_cycling: bool = True,
+    wires: WireParameters = GLOBAL_WIRES,
+    sram: SramParameters = SRAM,
+) -> PipelineTiming:
+    """Assemble the stage delays for a design point.
+
+    The G-switch stage is the slower of the within-way switch and (when
+    present) the 4-way switch, each including its wire run from the
+    arrays.  The L-switch stage includes the return wire from the
+    G-switch to the local switches.  Designs with no global switch (the
+    64-state Figure 10 point) have a zero-delay second stage.
+    """
+    match_ps = state_match_delay_ps(
+        column_mux_degree, sense_amp_cycling=sense_amp_cycling, sram=sram
+    )
+    g_stage = 0.0
+    if g_switch is not None:
+        g_stage = g_wire_mm * wires.delay_ps_per_mm + g_switch.delay_ps
+    if g_switch4 is not None:
+        g_stage = max(
+            g_stage, g_wire4_mm * wires.delay_ps_per_mm + g_switch4.delay_ps
+        )
+    l_stage = l_switch.delay_ps + l_wire_mm * wires.delay_ps_per_mm
+    return PipelineTiming(match_ps, g_stage, l_stage)

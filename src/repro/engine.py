@@ -1,0 +1,213 @@
+"""High-level scanning engine: the library's front door.
+
+Wraps the whole pipeline — regex/ANML front-end, space optimisation,
+compiler, mapped simulator, performance/energy models — behind one
+object, in the style of a software pattern-matching engine:
+
+>>> from repro.engine import CacheAutomatonEngine
+>>> engine = CacheAutomatonEngine.from_patterns(["bat", "c[ao]t"])
+>>> [match.end for match in engine.scan(b"the cat sat on the bat")]
+[6, 21]
+
+Streams can be scanned incrementally (:meth:`CacheAutomatonEngine.stream`
+returns a stateful scanner using the Section 2.9 checkpoint mechanism),
+and :meth:`performance_summary` reports the modelled line rate, cache
+footprint, and energy for the traffic seen so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.automata.anml import HomogeneousAutomaton, from_anml
+from repro.baselines.ap import ApModel
+from repro.compiler import Mapping, compile_automaton, compile_space_optimized
+from repro.core.design import CA_P, DesignPoint
+from repro.core.energy import ActivityProfile, EnergyModel
+from repro.errors import ReproError
+from repro.regex.compile import compile_patterns
+from repro.sim.functional import MappedSimulator
+from repro.sim.golden import Checkpoint
+
+
+@dataclass(frozen=True)
+class Match:
+    """One match: the rule that fired and the end offset (0-based)."""
+
+    end: int
+    rule: Optional[str]
+    state: str
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """Modelled performance of the engine on the traffic seen so far."""
+
+    design: str
+    throughput_gbps: float
+    speedup_vs_ap: float
+    cache_kilobytes: float
+    states: int
+    partitions: int
+    energy_nj_per_symbol: Optional[float]
+    average_power_watts: Optional[float]
+
+
+class StreamScanner:
+    """Incremental scanner over one logical input stream.
+
+    Feed chunks with :meth:`scan`; match offsets are global across
+    chunks, exactly as if the whole stream were scanned at once.
+    """
+
+    def __init__(self, engine: "CacheAutomatonEngine"):
+        self._engine = engine
+        self._checkpoint: Optional[Checkpoint] = None
+
+    @property
+    def position(self) -> int:
+        """Symbols consumed so far."""
+        if self._checkpoint is None:
+            return 0
+        return self._checkpoint.symbols_processed
+
+    def scan(self, chunk: bytes) -> List[Match]:
+        result = self._engine._simulator.run(chunk, resume=self._checkpoint)
+        self._checkpoint = result.checkpoint
+        self._engine._accumulate(result.profile)
+        return [
+            Match(report.offset, report.report_code, report.ste_id)
+            for report in result.reports
+        ]
+
+
+class CacheAutomatonEngine:
+    """A compiled, ready-to-scan Cache Automaton instance."""
+
+    def __init__(
+        self,
+        automaton: HomogeneousAutomaton,
+        *,
+        design: DesignPoint = CA_P,
+        optimize: bool = False,
+    ):
+        """Compile ``automaton`` onto ``design``.
+
+        ``optimize=True`` runs the space-optimisation ladder first (use
+        with the space-oriented design CA_S); the default maps the
+        automaton as-is, which is the CA_P configuration.
+        """
+        self.design = design
+        if optimize:
+            self.mapping: Mapping = compile_space_optimized(automaton, design)
+        else:
+            self.mapping = compile_automaton(automaton, design)
+        #: The automaton actually mapped (the optimised variant when
+        #: ``optimize`` selected one).
+        self.automaton = self.mapping.automaton
+        self._simulator = MappedSimulator(self.mapping)
+        self._profile = ActivityProfile()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_patterns(
+        cls,
+        patterns: Sequence[str],
+        *,
+        rule_ids: Optional[Iterable[str]] = None,
+        design: DesignPoint = CA_P,
+        optimize: bool = False,
+    ) -> "CacheAutomatonEngine":
+        """Compile a regex rule set; matches carry the rule id."""
+        codes = list(rule_ids) if rule_ids is not None else list(patterns)
+        machine = compile_patterns(
+            patterns, report_codes=codes, automaton_id="engine"
+        )
+        return cls(machine, design=design, optimize=optimize)
+
+    @classmethod
+    def from_anml(
+        cls,
+        document: str,
+        *,
+        design: DesignPoint = CA_P,
+        optimize: bool = False,
+    ) -> "CacheAutomatonEngine":
+        return cls(from_anml(document), design=design, optimize=optimize)
+
+    @classmethod
+    def from_anml_file(
+        cls,
+        path: str,
+        *,
+        design: DesignPoint = CA_P,
+        optimize: bool = False,
+    ) -> "CacheAutomatonEngine":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_anml(
+                handle.read(), design=design, optimize=optimize
+            )
+
+    # -- scanning ------------------------------------------------------------
+
+    def scan(self, data: bytes) -> List[Match]:
+        """Scan one complete input; returns matches in offset order."""
+        result = self._simulator.run(data)
+        self._accumulate(result.profile)
+        return [
+            Match(report.offset, report.report_code, report.ste_id)
+            for report in result.reports
+        ]
+
+    def count(self, data: bytes) -> int:
+        """Number of match events in ``data`` (no record materialisation)."""
+        result = self._simulator.run(data, collect_reports=False)
+        self._accumulate(result.profile)
+        return result.profile.reports
+
+    def stream(self) -> StreamScanner:
+        """A stateful scanner for chunked input (global offsets)."""
+        return StreamScanner(self)
+
+    def _accumulate(self, profile: ActivityProfile):
+        self._profile = self._profile.merged_with(profile)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        return len(self.automaton)
+
+    @property
+    def cache_bytes(self) -> int:
+        return self.mapping.cache_bytes()
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.design.throughput_gbps
+
+    def scan_time_ms(self, input_bytes: int) -> float:
+        """Modelled hardware time to stream ``input_bytes``."""
+        if input_bytes < 0:
+            raise ReproError("negative input length")
+        return input_bytes / (self.design.frequency_ghz * 1e9) * 1e3
+
+    def performance_summary(self) -> PerformanceSummary:
+        """Line rate, footprint, and (if traffic was scanned) energy."""
+        energy_model = EnergyModel(self.design)
+        energy = power = None
+        if self._profile.symbols:
+            energy = energy_model.energy_per_symbol_nj(self._profile)
+            power = energy_model.average_power_watts(self._profile)
+        return PerformanceSummary(
+            design=self.design.name,
+            throughput_gbps=self.design.throughput_gbps,
+            speedup_vs_ap=ApModel().speedup_of(self.design),
+            cache_kilobytes=self.cache_bytes / 1024.0,
+            states=self.state_count,
+            partitions=self.mapping.partition_count,
+            energy_nj_per_symbol=energy,
+            average_power_watts=power,
+        )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Cache Automaton reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: automata construction, regex parsing, compilation/mapping, and
+hardware-model configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class AutomatonError(ReproError):
+    """Invalid automaton structure or an operation on an unsuitable automaton."""
+
+
+class SymbolSetError(AutomatonError):
+    """Invalid symbol, range, or symbol-set expression."""
+
+
+class RegexError(ReproError):
+    """Base class for regex-engine errors."""
+
+
+class RegexSyntaxError(RegexError):
+    """Malformed regular expression.
+
+    Carries the pattern and the offset at which parsing failed so tooling
+    can point at the offending character.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class AnmlError(AutomatonError):
+    """Malformed ANML document or unsupported ANML feature."""
+
+
+class CompileError(ReproError):
+    """The compiler could not map an automaton onto the target design."""
+
+
+class CapacityError(CompileError):
+    """The automaton does not fit in the configured cache capacity."""
+
+
+class ConnectivityError(CompileError):
+    """A mapping violates the interconnect's wire budget."""
+
+
+class PartitioningError(ReproError):
+    """The graph partitioner was given an infeasible request."""
+
+
+class HardwareModelError(ReproError):
+    """Inconsistent hardware-model parameters (geometry, timing, energy)."""
+
+
+class SimulationError(ReproError):
+    """The functional simulator was driven with invalid state or input."""

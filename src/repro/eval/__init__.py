@@ -1,0 +1,53 @@
+"""Evaluation harness: per-table/figure experiment runners."""
+
+from repro.eval.experiments import (
+    BenchmarkEvaluation,
+    multistream,
+    evaluate_benchmark,
+    evaluate_suite,
+    fig7,
+    fig8,
+    fig9a,
+    fig9b,
+    fig10,
+    headline,
+    registry,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.eval.profiling import (
+    energy_breakdown,
+    partition_activity,
+    profile_mapping,
+    utilisation_report,
+    way_load,
+)
+from repro.eval.tables import format_table
+
+__all__ = [
+    "BenchmarkEvaluation",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "fig10",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "energy_breakdown",
+    "format_table",
+    "partition_activity",
+    "profile_mapping",
+    "utilisation_report",
+    "way_load",
+    "headline",
+    "multistream",
+    "registry",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

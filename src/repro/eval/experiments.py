@@ -1,0 +1,371 @@
+"""Experiment runners: one per paper table and figure.
+
+Every function returns structured rows (first row = header) that
+:func:`repro.eval.tables.format_table` renders; the benchmark harness in
+``benchmarks/`` and the paper-vs-measured record in ``EXPERIMENTS.md``
+are generated from these.
+
+The per-benchmark pipeline (used by Table 1 and Figures 7-9) is:
+
+1. build the baseline automaton (the CA_P input) and its space-optimised
+   variant (the CA_S input, via :func:`repro.automata.optimize.space_optimize`);
+2. compile each onto its design with the Cache Automaton compiler;
+3. run the mapped functional simulator over the benchmark's input stream
+   to collect the activity profile;
+4. feed profiles to the energy model and designs to the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.automata.components import component_stats
+from repro.baselines.ap import ApModel, CpuReferenceModel
+from repro.baselines.asic import ca_operating_point, table5_rows
+from repro.compiler import Mapping, compile_automaton, compile_space_optimized
+from repro.core.design import CA_64, CA_P, CA_S
+from repro.core.energy import ActivityProfile, EnergyModel
+from repro.core.params import AP
+from repro.sim.functional import simulate_mapping
+from repro.workloads.suite import Benchmark, build_suite
+
+#: Default input-stream length for activity profiling.  The paper uses
+#: 10 MB traces; trends stabilise far earlier, and CI needs to finish.
+DEFAULT_INPUT_LENGTH = 20_000
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """Everything measured for one benchmark under both designs."""
+
+    benchmark: Benchmark
+    perf_mapping: Mapping
+    space_mapping: Mapping
+    perf_profile: ActivityProfile
+    space_profile: ActivityProfile
+    perf_avg_active_states: float
+    space_avg_active_states: float
+
+
+def evaluate_benchmark(
+    benchmark: Benchmark,
+    *,
+    input_length: int = DEFAULT_INPUT_LENGTH,
+    seed: int = 1,
+) -> BenchmarkEvaluation:
+    """Run the full per-benchmark pipeline for both design points."""
+    baseline = benchmark.build()
+    perf_mapping = compile_automaton(baseline, CA_P)
+    space_mapping = compile_space_optimized(baseline, CA_S)
+    data = benchmark.input_stream(input_length, seed)
+    perf_run = simulate_mapping(perf_mapping, data, collect_reports=False)
+    space_run = simulate_mapping(space_mapping, data, collect_reports=False)
+    return BenchmarkEvaluation(
+        benchmark=benchmark,
+        perf_mapping=perf_mapping,
+        space_mapping=space_mapping,
+        perf_profile=perf_run.profile,
+        space_profile=space_run.profile,
+        perf_avg_active_states=perf_run.stats.average_active_states,
+        space_avg_active_states=space_run.stats.average_active_states,
+    )
+
+
+def evaluate_suite(
+    *,
+    input_length: int = DEFAULT_INPUT_LENGTH,
+    seed: int = 1,
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> List[BenchmarkEvaluation]:
+    benchmarks = build_suite(scale)
+    if names is not None:
+        wanted = set(names)
+        benchmarks = [b for b in benchmarks if b.name in wanted]
+    return [
+        evaluate_benchmark(benchmark, input_length=input_length, seed=seed)
+        for benchmark in benchmarks
+    ]
+
+
+# -- Table 1: benchmark characteristics -------------------------------------------
+
+
+def table1(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    rows = [(
+        "Benchmark",
+        "P.States", "P.CCs", "P.LargestCC", "P.AvgActive",
+        "S.States", "S.CCs", "S.LargestCC", "S.AvgActive",
+    )]
+    for evaluation in evaluations:
+        perf_stats = component_stats(evaluation.perf_mapping.automaton)
+        space_stats = component_stats(evaluation.space_mapping.automaton)
+        rows.append((
+            evaluation.benchmark.name,
+            perf_stats.state_count,
+            perf_stats.component_count,
+            perf_stats.largest_component_size,
+            evaluation.perf_avg_active_states,
+            space_stats.state_count,
+            space_stats.component_count,
+            space_stats.largest_component_size,
+            evaluation.space_avg_active_states,
+        ))
+    return rows
+
+
+# -- Table 2: switch parameters -----------------------------------------------------
+
+
+def table2() -> List[tuple]:
+    rows = [(
+        "Design", "Switch", "Size", "Count", "Delay (ps)",
+        "Energy (pJ/bit)", "Area (mm2)",
+    )]
+    for design in (CA_P, CA_S):
+        inventory = design.switch_inventory(design.states_per_slice)
+        for kind, size, count, delay, energy, area in inventory.rows():
+            rows.append((design.name, kind, size, count, delay, energy, area))
+    return rows
+
+
+# -- Table 3: pipeline delays and frequency ---------------------------------------------
+
+
+def table3() -> List[tuple]:
+    rows = [(
+        "Design", "State-Match (ps)", "G-Switch (ps)", "L-Switch (ps)",
+        "Max Freq (GHz)", "Operated (GHz)",
+    )]
+    for design in (CA_P, CA_S):
+        timing = design.timing
+        rows.append((
+            design.name,
+            timing.state_match_ps,
+            timing.g_switch_ps,
+            timing.l_switch_ps,
+            timing.max_frequency_ghz,
+            design.frequency_ghz,
+        ))
+    return rows
+
+
+# -- Table 4: optimisation/parameter ablations --------------------------------------------
+
+
+def table4() -> List[tuple]:
+    rows = [("Design", "Achieved (GHz)", "w/o SA cycling (GHz)", "with H-Bus (GHz)")]
+    for design in (CA_P, CA_S):
+        rows.append((
+            design.name,
+            design.frequency_ghz,
+            design.without_sa_cycling().frequency_ghz,
+            design.with_h_bus().frequency_ghz,
+        ))
+    return rows
+
+
+# -- Table 5: ASIC comparison on Dotstar0.9 ------------------------------------------------
+
+
+def table5(
+    *, input_length: int = DEFAULT_INPUT_LENGTH, seed: int = 1
+) -> List[tuple]:
+    from repro.workloads.suite import get_benchmark
+
+    benchmark = get_benchmark("Dotstar09")
+    evaluation = evaluate_benchmark(
+        benchmark, input_length=input_length, seed=seed
+    )
+    points = [
+        ca_operating_point(CA_P, evaluation.perf_profile),
+        ca_operating_point(CA_S, evaluation.space_profile),
+    ]
+    return table5_rows(points)
+
+
+# -- Figure 7: throughput -------------------------------------------------------------------
+
+
+def fig7(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    ap = ApModel()
+    cpu = CpuReferenceModel()
+    rows = [(
+        "Benchmark", "AP (Gb/s)", "CA_S (Gb/s)", "CA_P (Gb/s)",
+        "CA_P/AP", "CA_S/AP", "CA_P/CPU",
+    )]
+    for evaluation in evaluations:
+        rows.append((
+            evaluation.benchmark.name,
+            ap.throughput_gbps,
+            CA_S.throughput_gbps,
+            CA_P.throughput_gbps,
+            ap.speedup_of(CA_P),
+            ap.speedup_of(CA_S),
+            cpu.speedup_of(CA_P),
+        ))
+    return rows
+
+
+# -- Figure 8: cache utilisation ----------------------------------------------------------------
+
+
+def fig8(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    rows = [("Benchmark", "CA_P (MB)", "CA_S (MB)", "Saving (MB)")]
+    for evaluation in evaluations:
+        perf_mb = evaluation.perf_mapping.cache_megabytes()
+        space_mb = evaluation.space_mapping.cache_megabytes()
+        rows.append((
+            evaluation.benchmark.name, perf_mb, space_mb, perf_mb - space_mb
+        ))
+    perf_avg = sum(r[1] for r in rows[1:]) / len(evaluations)
+    space_avg = sum(r[2] for r in rows[1:]) / len(evaluations)
+    rows.append(("AVERAGE", perf_avg, space_avg, perf_avg - space_avg))
+    return rows
+
+
+# -- Figure 9: energy and power ---------------------------------------------------------------------
+
+
+def fig9a(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    ap = ApModel()
+    rows = [(
+        "Benchmark", "CA_P (nJ/sym)", "CA_S (nJ/sym)",
+        "IdealAP w/CA_P (nJ/sym)", "IdealAP w/CA_S (nJ/sym)",
+    )]
+    for evaluation in evaluations:
+        perf_energy = EnergyModel(CA_P).energy_per_symbol_nj(evaluation.perf_profile)
+        space_energy = EnergyModel(CA_S).energy_per_symbol_nj(
+            evaluation.space_profile
+        )
+        rows.append((
+            evaluation.benchmark.name,
+            perf_energy,
+            space_energy,
+            ap.ideal_energy_per_symbol_nj(evaluation.perf_profile),
+            ap.ideal_energy_per_symbol_nj(evaluation.space_profile),
+        ))
+    averages = [
+        sum(row[column] for row in rows[1:]) / len(evaluations)
+        for column in range(1, 5)
+    ]
+    rows.append(("AVERAGE", *averages))
+    return rows
+
+
+def fig9b(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    rows = [("Benchmark", "CA_P (W)", "CA_S (W)")]
+    for evaluation in evaluations:
+        rows.append((
+            evaluation.benchmark.name,
+            EnergyModel(CA_P).average_power_watts(evaluation.perf_profile),
+            EnergyModel(CA_S).average_power_watts(evaluation.space_profile),
+        ))
+    return rows
+
+
+# -- multi-stream scaling (Section 5.2's space->speedup conversion) --------------------
+
+
+def multistream(
+    evaluations: List[BenchmarkEvaluation],
+    *,
+    budget_ways: int = 8,
+) -> List[tuple]:
+    """Section 5.2: "space savings can be directly translated to speedup
+    by matching against multiple NFA instances."
+
+    Given the same *silicon* budget (default: the 8 NFA ways of one LLC
+    slice), each design fits ``capacity // footprint`` independent copies
+    of its automaton, each scanning a separate input stream at line rate.
+    CA_S holds twice the partitions per way (whole sub-arrays vs Array_L
+    halves) *and* maps a merged automaton, so its aggregate bandwidth can
+    overtake CA_P's faster clock wherever merging shrinks the machine.
+    """
+    rows = [(
+        "Benchmark", "CA_P streams", "CA_P agg (Gb/s)",
+        "CA_S streams", "CA_S agg (Gb/s)", "CA_S/CA_P agg",
+    )]
+    for evaluation in evaluations:
+        perf_capacity = budget_ways * CA_P.partitions_per_way
+        space_capacity = budget_ways * CA_S.partitions_per_way
+        perf_copies = max(
+            1, perf_capacity // evaluation.perf_mapping.partition_count
+        )
+        space_copies = max(
+            1, space_capacity // evaluation.space_mapping.partition_count
+        )
+        perf_aggregate = perf_copies * CA_P.throughput_gbps
+        space_aggregate = space_copies * CA_S.throughput_gbps
+        rows.append((
+            evaluation.benchmark.name,
+            perf_copies,
+            perf_aggregate,
+            space_copies,
+            space_aggregate,
+            space_aggregate / perf_aggregate,
+        ))
+    return rows
+
+
+# -- Figure 10: reachability vs frequency/area design space -----------------------------------------------
+
+
+def fig10() -> List[tuple]:
+    ap = ApModel()
+    rows = [("Design", "Reachability", "Freq (GHz)", "Area@32K (mm2)", "Max fan-in")]
+    for design in (CA_64, CA_P, CA_S):
+        rows.append((
+            design.name,
+            design.reachability,
+            design.frequency_ghz,
+            design.area_overhead_mm2(32 * 1024),
+            design.max_fan_in,
+        ))
+    rows.append(("AP", ap.reachability, ap.frequency_ghz, ap.area_mm2(), ap.fan_in))
+    return rows
+
+
+# -- headline summary (Section 5.1 claims) ---------------------------------------------------------------------
+
+
+def headline(evaluations: List[BenchmarkEvaluation]) -> List[tuple]:
+    ap = ApModel()
+    cpu = CpuReferenceModel()
+    perf_mb = sum(e.perf_mapping.cache_megabytes() for e in evaluations)
+    space_mb = sum(e.space_mapping.cache_megabytes() for e in evaluations)
+    count = len(evaluations)
+    space_energy = sum(
+        EnergyModel(CA_S).energy_per_symbol_nj(e.space_profile) for e in evaluations
+    )
+    rows = [
+        ("Metric", "Measured", "Paper"),
+        ("CA_P speedup over AP", ap.speedup_of(CA_P), 15.0),
+        ("CA_S speedup over AP", ap.speedup_of(CA_S), 9.0),
+        ("CA_P speedup over CPU", cpu.speedup_of(CA_P), 3840.0),
+        ("Mean CA_P utilisation (MB)*", perf_mb / count, 1.2),
+        ("Mean CA_S utilisation (MB)*", space_mb / count, 0.725),
+        ("Mean CA_S energy (nJ/symbol)*", space_energy / count, 2.3),
+    ]
+    return rows
+
+
+#: Registry: experiment id -> zero-argument runner returning table rows.
+def registry(
+    evaluations_supplier: Callable[[], List[BenchmarkEvaluation]],
+) -> Dict[str, Callable[[], List[tuple]]]:
+    return {
+        "table1": lambda: table1(evaluations_supplier()),
+        "table2": table2,
+        "table3": table3,
+        "table4": table4,
+        "table5": table5,
+        "fig7": lambda: fig7(evaluations_supplier()),
+        "fig8": lambda: fig8(evaluations_supplier()),
+        "fig9a": lambda: fig9a(evaluations_supplier()),
+        "fig9b": lambda: fig9b(evaluations_supplier()),
+        "fig10": fig10,
+        "multistream": lambda: multistream(evaluations_supplier()),
+        "headline": lambda: headline(evaluations_supplier()),
+    }

@@ -1,0 +1,156 @@
+"""Mapping utilisation and activity profiling reports.
+
+Turns a compiled mapping plus a simulated run into the reports a system
+operator would want: per-partition fill and activity (which arrays burn
+power), per-way load, and the energy attribution between array accesses,
+local switches, global switches, and wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.mapping import Mapping
+from repro.core.energy import ActivityProfile, EnergyModel
+from repro.errors import SimulationError
+from repro.sim.functional import MappedRunResult, MappedSimulator
+
+
+@dataclass(frozen=True)
+class PartitionActivity:
+    """One partition's occupancy and dynamic activity."""
+
+    index: int
+    way: int
+    occupancy: int
+    capacity: int
+    activation_cycles: int
+    total_cycles: int
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.occupancy / self.capacity if self.capacity else 0.0
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of cycles this partition's array was accessed."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.activation_cycles / self.total_cycles
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Where the per-symbol energy goes (array / L / G / wires), in pJ."""
+
+    array_pj: float
+    l_switch_pj: float
+    g_switch_pj: float
+    wire_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.array_pj + self.l_switch_pj + self.g_switch_pj + self.wire_pj
+
+    def rows(self) -> List[tuple]:
+        total = self.total_pj or 1.0
+        return [
+            ("Component", "pJ/symbol", "Share"),
+            ("SRAM array reads", self.array_pj, f"{self.array_pj/total:.0%}"),
+            ("L-switches", self.l_switch_pj, f"{self.l_switch_pj/total:.0%}"),
+            ("G-switches", self.g_switch_pj, f"{self.g_switch_pj/total:.0%}"),
+            ("global wires", self.wire_pj, f"{self.wire_pj/total:.0%}"),
+        ]
+
+
+def profile_mapping(
+    mapping: Mapping, data: bytes, *, simulator: Optional[MappedSimulator] = None
+) -> MappedRunResult:
+    """Run the mapped simulation with per-partition stats enabled."""
+    simulator = simulator or MappedSimulator(mapping)
+    return simulator.run(data, collect_reports=False, collect_partition_stats=True)
+
+
+def partition_activity(
+    mapping: Mapping, result: MappedRunResult
+) -> List[PartitionActivity]:
+    """Per-partition fill + duty-cycle table from a profiled run."""
+    if result.partition_activation_counts is None:
+        raise SimulationError(
+            "run was not profiled; use profile_mapping() or pass "
+            "collect_partition_stats=True"
+        )
+    counts = result.partition_activation_counts
+    return [
+        PartitionActivity(
+            index=partition.index,
+            way=partition.way,
+            occupancy=partition.occupancy,
+            capacity=mapping.design.partition_size,
+            activation_cycles=int(counts[partition.index]),
+            total_cycles=result.profile.symbols,
+        )
+        for partition in mapping.partitions
+    ]
+
+
+def way_load(activities: List[PartitionActivity]) -> List[tuple]:
+    """Aggregate duty cycle per way (where does the power concentrate)."""
+    ways = sorted({activity.way for activity in activities})
+    rows = [("Way", "Partitions", "Mean duty cycle", "Max duty cycle")]
+    for way in ways:
+        members = [a for a in activities if a.way == way]
+        duties = [a.duty_cycle for a in members]
+        rows.append((
+            way, len(members), sum(duties) / len(duties), max(duties)
+        ))
+    return rows
+
+
+def energy_breakdown(
+    mapping: Mapping, profile: ActivityProfile
+) -> EnergyBreakdown:
+    """Attribute the measured per-symbol energy to hardware components."""
+    if profile.symbols == 0:
+        raise SimulationError("profile covers no symbols")
+    model = EnergyModel(mapping.design)
+    symbols = profile.symbols
+    array_pj = profile.partition_activations * model.sram.access_energy_pj / symbols
+    l_switch_pj = (
+        profile.partition_activations
+        * mapping.design.l_switch.access_energy_pj
+        / symbols
+    )
+    g_switch_pj = (
+        profile.g1_switch_activations * model.g1_event_pj
+        + profile.g4_switch_activations * model.g4_event_pj
+    ) / symbols
+    wire_pj = (
+        profile.g1_crossings * model.g1_wire_pj_per_crossing
+        + profile.g4_crossings * model.g4_wire_pj_per_crossing
+    ) / symbols
+    return EnergyBreakdown(array_pj, l_switch_pj, g_switch_pj, wire_pj)
+
+
+def hottest_partitions(
+    activities: List[PartitionActivity], count: int = 5
+) -> List[PartitionActivity]:
+    """The partitions with the highest duty cycles (power hot spots)."""
+    return sorted(activities, key=lambda a: a.duty_cycle, reverse=True)[:count]
+
+
+def utilisation_report(
+    mapping: Mapping, result: MappedRunResult
+) -> List[tuple]:
+    """A per-partition table: fill, duty cycle, way."""
+    rows = [("Partition", "Way", "STEs", "Fill", "Duty cycle")]
+    for activity in partition_activity(mapping, result):
+        rows.append((
+            activity.index,
+            activity.way,
+            activity.occupancy,
+            f"{activity.fill_fraction:.0%}",
+            f"{activity.duty_cycle:.1%}",
+        ))
+    return rows

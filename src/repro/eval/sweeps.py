@@ -1,0 +1,128 @@
+"""Design-space sweeps: the generalisation of Figure 10.
+
+The paper evaluates three Cache Automaton points and the AP; the model
+behind them is parametric, so these sweeps walk one knob at a time and
+report how reachability, frequency, and area move — the design-space
+exploration a follow-on architect would run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+from repro.core.design import CA_P, CA_S, DesignPoint
+from repro.errors import HardwareModelError
+
+
+def _row(design: DesignPoint) -> tuple:
+    return (
+        design.name,
+        design.reachability,
+        design.max_frequency_ghz,
+        design.max_frequency_ghz * 8.0,
+        design.area_overhead_mm2(32 * 1024),
+    )
+
+
+_HEADER = (
+    "Design", "Reachability", "Max freq (GHz)", "Line rate (Gb/s)",
+    "Area@32K (mm2)",
+)
+
+
+def sweep_g1_wires(
+    base: DesignPoint = CA_P,
+    wire_counts: Sequence[int] = (0, 4, 8, 16, 32, 64),
+) -> List[tuple]:
+    """Vary the within-way global wire budget per partition.
+
+    More wires buy reachability (each extra wire lets another source STE
+    cross partitions) at the price of bigger, slower G-switches.
+    """
+    rows = [_HEADER]
+    for wires in wire_counts:
+        point = replace(
+            base,
+            name=f"{base.name}/g1={wires}",
+            g1_wires_per_partition=wires,
+            operating_frequency_ghz=1000.0,
+        )
+        rows.append(_row(point))
+    return rows
+
+
+def sweep_g4_wires(
+    base: DesignPoint = CA_S,
+    wire_counts: Sequence[int] = (0, 4, 8, 16),
+) -> List[tuple]:
+    """Vary the cross-way wire budget (the CA_S-only switch layer)."""
+    rows = [_HEADER]
+    for wires in wire_counts:
+        point = replace(
+            base,
+            name=f"{base.name}/g4={wires}",
+            g4_wires_per_partition=wires,
+            operating_frequency_ghz=1000.0,
+        )
+        rows.append(_row(point))
+    return rows
+
+
+def sweep_partition_size(
+    base: DesignPoint = CA_P,
+    sizes: Sequence[int] = (64, 128, 256),
+) -> List[tuple]:
+    """Vary the partition (L-switch) size.
+
+    Smaller partitions read out faster (fewer column-multiplexed sense
+    phases) but reach fewer states — the axis between the paper's 4 GHz
+    corner and CA_P.
+    """
+    rows = [_HEADER]
+    for size in sizes:
+        if size > 256 or size < 1:
+            raise HardwareModelError(f"partition size {size} outside 1..256")
+        point = replace(
+            base,
+            name=f"{base.name}/p={size}",
+            partition_size=size,
+            # Small partitions cannot afford per-partition global wires at
+            # the same budget; scale them proportionally.
+            g1_wires_per_partition=max(
+                0, base.g1_wires_per_partition * size // base.partition_size
+            ),
+            operating_frequency_ghz=1000.0,
+        )
+        rows.append(_row(point))
+    return rows
+
+
+def sweep_ways(
+    base: DesignPoint = CA_P,
+    way_counts: Sequence[int] = (2, 4, 8, 16),
+) -> List[tuple]:
+    """Vary how many LLC ways the NFA occupies (capacity vs cache left).
+
+    Frequency and reachability barely move (the interconnect is per-way);
+    capacity and the cache share surrendered to automata scale linearly.
+    """
+    rows = [(
+        "Design", "NFA ways", "States/slice", "Data capacity left",
+        "Max freq (GHz)",
+    )]
+    from repro.core.system import WayAllocation
+
+    for ways in way_counts:
+        point = replace(
+            base, name=f"{base.name}/w={ways}", ways_used=ways,
+        )
+        allocation = WayAllocation(point, ways)
+        rows.append((
+            point.name,
+            ways,
+            point.states_per_slice,
+            f"{allocation.data_capacity_fraction:.0%}",
+            point.max_frequency_ghz,
+        ))
+    return rows

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Sequence], *, header: bool = True) -> str:
+    """Align ``rows`` into a monospace table; first row is the header."""
+    rendered: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    if not rendered:
+        return ""
+    widths = [
+        max(len(row[column]) for row in rendered if column < len(row))
+        for column in range(max(len(row) for row in rendered))
+    ]
+    lines = []
+    for index, row in enumerate(rendered):
+        line = "  ".join(
+            cell.ljust(widths[column]) if column == 0 else cell.rjust(widths[column])
+            for column, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if header and index == 0:
+            lines.append("-" * len(lines[0]))
+    return "\n".join(lines)

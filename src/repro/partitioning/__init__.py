@@ -1,0 +1,14 @@
+"""Multilevel k-way graph partitioning (the compiler's METIS substitute)."""
+
+from repro.partitioning.graph import PartitionGraph, cut_weight, from_directed_edges, part_weights
+from repro.partitioning.kway import bisect, partition_into_capacity, partition_kway
+
+__all__ = [
+    "PartitionGraph",
+    "bisect",
+    "cut_weight",
+    "from_directed_edges",
+    "part_weights",
+    "partition_into_capacity",
+    "partition_kway",
+]

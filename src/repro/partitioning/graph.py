@@ -1,0 +1,92 @@
+"""Weighted undirected graphs for the partitioner.
+
+The Cache Automaton compiler partitions the *undirected* state-connectivity
+graph of an NFA: a directed transition in either direction between two
+states means they would pay a G-switch wire if placed in different
+partitions, so edge weight counts directed edges collapsed onto the pair.
+
+The representation is index-based (nodes ``0..n-1``) with contiguous
+adjacency dictionaries — simple, and fast enough for the tens-of-thousands
+of-states automata this library handles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import PartitioningError
+
+
+class PartitionGraph:
+    """Undirected graph with integer node weights and edge weights."""
+
+    def __init__(self, node_weights: Sequence[int]):
+        if any(weight <= 0 for weight in node_weights):
+            raise PartitioningError("node weights must be positive")
+        self.node_weights: List[int] = list(node_weights)
+        self.adjacency: List[Dict[int, int]] = [{} for _ in node_weights]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_weights)
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.node_weights)
+
+    def add_edge(self, u: int, v: int, weight: int = 1):
+        """Add ``weight`` to the edge ``{u, v}``; self-loops are ignored
+        (a self-transition never crosses a partition boundary)."""
+        if u == v:
+            return
+        if weight <= 0:
+            raise PartitioningError("edge weights must be positive")
+        if not (0 <= u < self.node_count and 0 <= v < self.node_count):
+            raise PartitioningError(f"edge ({u}, {v}) out of range")
+        self.adjacency[u][v] = self.adjacency[u].get(v, 0) + weight
+        self.adjacency[v][u] = self.adjacency[v].get(u, 0) + weight
+
+    def neighbours(self, u: int) -> Dict[int, int]:
+        return self.adjacency[u]
+
+    def edge_count(self) -> int:
+        return sum(len(a) for a in self.adjacency) // 2
+
+    def edges(self) -> Iterable[Tuple[int, int, int]]:
+        for u, adjacency in enumerate(self.adjacency):
+            for v, weight in adjacency.items():
+                if u < v:
+                    yield (u, v, weight)
+
+    def degree_weight(self, u: int) -> int:
+        return sum(self.adjacency[u].values())
+
+
+def cut_weight(graph: PartitionGraph, assignment: Sequence[int]) -> int:
+    """Total weight of edges whose endpoints are in different parts."""
+    total = 0
+    for u, v, weight in graph.edges():
+        if assignment[u] != assignment[v]:
+            total += weight
+    return total
+
+
+def part_weights(graph: PartitionGraph, assignment: Sequence[int], parts: int) -> List[int]:
+    """Node weight per part under ``assignment``."""
+    weights = [0] * parts
+    for node, part in enumerate(assignment):
+        weights[part] += graph.node_weights[node]
+    return weights
+
+
+def from_directed_edges(
+    node_count: int,
+    directed_edges: Iterable[Tuple[int, int]],
+    node_weights: Sequence[int] | None = None,
+) -> PartitionGraph:
+    """Collapse a directed edge list into the undirected partition graph."""
+    graph = PartitionGraph(node_weights or [1] * node_count)
+    for source, target in directed_edges:
+        if source != target:
+            graph.add_edge(source, target, 1)
+    return graph

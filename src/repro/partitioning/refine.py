@@ -1,0 +1,98 @@
+"""Fiduccia–Mattheyses boundary refinement for bisections.
+
+After each uncoarsening step the projected bisection is improved by FM
+passes: nodes are tentatively moved to the other side in best-gain-first
+order (each node at most once per pass), and the best prefix of the move
+sequence is kept.  Balance is enforced as hard per-side maxima, which is
+how the compiler expresses "a partition holds at most 256 STEs".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.partitioning.graph import PartitionGraph
+
+
+def _gain(graph: PartitionGraph, assignment: Sequence[int], node: int) -> int:
+    """Cut reduction if ``node`` switched sides: external - internal weight."""
+    internal = external = 0
+    side = assignment[node]
+    for neighbour, weight in graph.neighbours(node).items():
+        if assignment[neighbour] == side:
+            internal += weight
+        else:
+            external += weight
+    return external - internal
+
+
+def fm_pass(
+    graph: PartitionGraph,
+    assignment: List[int],
+    side_weights: List[int],
+    max_side_weights: Sequence[int],
+) -> int:
+    """One FM pass, mutating ``assignment``/``side_weights`` in place.
+
+    Returns the cut improvement achieved (>= 0); zero means the pass found
+    nothing and refinement has converged.
+    """
+    heap = []  # (-gain, tiebreak, node)
+    for node in range(graph.node_count):
+        heapq.heappush(heap, (-_gain(graph, assignment, node), node, node))
+    moved = [False] * graph.node_count
+    move_sequence: List[int] = []
+    cumulative = 0
+    best_cumulative = 0
+    best_prefix = 0
+    # Stale-entry lazy deletion: gains change as moves happen, so entries
+    # are re-validated on pop and re-pushed when out of date.
+    while heap:
+        negative_gain, _, node = heapq.heappop(heap)
+        if moved[node]:
+            continue
+        current_gain = _gain(graph, assignment, node)
+        if -negative_gain != current_gain:
+            heapq.heappush(heap, (-current_gain, node, node))
+            continue
+        source = assignment[node]
+        target = 1 - source
+        weight = graph.node_weights[node]
+        if side_weights[target] + weight > max_side_weights[target]:
+            moved[node] = True  # cannot ever move this pass; lock it
+            continue
+        # Tentatively move.
+        assignment[node] = target
+        side_weights[source] -= weight
+        side_weights[target] += weight
+        moved[node] = True
+        move_sequence.append(node)
+        cumulative += current_gain
+        if cumulative > best_cumulative:
+            best_cumulative = cumulative
+            best_prefix = len(move_sequence)
+    # Roll back moves past the best prefix.
+    for node in move_sequence[best_prefix:]:
+        side = assignment[node]
+        weight = graph.node_weights[node]
+        assignment[node] = 1 - side
+        side_weights[side] -= weight
+        side_weights[1 - side] += weight
+    return best_cumulative
+
+
+def refine_bisection(
+    graph: PartitionGraph,
+    assignment: List[int],
+    max_side_weights: Sequence[int],
+    *,
+    max_passes: int = 8,
+) -> None:
+    """Run FM passes until convergence (or ``max_passes``), in place."""
+    side_weights = [0, 0]
+    for node, side in enumerate(assignment):
+        side_weights[side] += graph.node_weights[node]
+    for _ in range(max_passes):
+        if fm_pass(graph, assignment, side_weights, max_side_weights) == 0:
+            break

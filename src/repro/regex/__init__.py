@@ -1,0 +1,18 @@
+"""Regex engine: parser, AST, and compilation to automata."""
+
+from repro.regex.ast import Pattern
+from repro.regex.compile import compile_pattern, compile_patterns, literal_pattern
+from repro.regex.glushkov import build_glushkov
+from repro.regex.parser import parse, parse_many
+from repro.regex.thompson import build_thompson
+
+__all__ = [
+    "Pattern",
+    "build_glushkov",
+    "build_thompson",
+    "compile_pattern",
+    "compile_patterns",
+    "literal_pattern",
+    "parse",
+    "parse_many",
+]

@@ -1,0 +1,186 @@
+"""Regular-expression abstract syntax tree.
+
+A deliberately small node set: everything the parser accepts is desugared
+into literals (character classes), concatenation, alternation, unbounded
+star, and the empty string.  Bounded repetition ``{m,n}`` is expanded by
+duplication in :func:`desugar_repeat`, which is exactly what a spatial
+automata compiler must do anyway — each repetition consumes real STEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexSyntaxError
+
+#: Expanding ``{m,n}`` duplicates the sub-pattern; this cap keeps a single
+#: pattern from consuming an entire cache slice by accident.
+MAX_REPEAT_EXPANSION = 1024
+
+
+class Node:
+    """Base class for AST nodes (value objects, compared structurally)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """Matches any single byte in ``symbols``."""
+
+    symbols: SymbolSet
+
+    __slots__ = ("symbols",)
+
+    def __str__(self) -> str:
+        return self.symbols.canonical_expression()
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Matches ``left`` followed by ``right``."""
+
+    left: Node
+    right: Node
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{self.left}{self.right}"
+
+
+@dataclass(frozen=True)
+class Alternation(Node):
+    """Matches either ``left`` or ``right``."""
+
+    left: Node
+    right: Node
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"(?:{self.left}|{self.right})"
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """Matches zero or more repetitions of ``child``."""
+
+    child: Node
+
+    __slots__ = ("child",)
+
+    def __str__(self) -> str:
+        return f"(?:{self.child})*"
+
+
+def concat_all(nodes: list[Node]) -> Node:
+    """Right-associated concatenation of ``nodes`` (Empty when none)."""
+    result: Node = Empty()
+    for node in reversed(nodes):
+        if isinstance(node, Empty):
+            continue
+        result = node if isinstance(result, Empty) else Concat(node, result)
+    return result
+
+
+def alternate_all(nodes: list[Node]) -> Node:
+    """Right-associated alternation of ``nodes``."""
+    if not nodes:
+        return Empty()
+    result = nodes[-1]
+    for node in reversed(nodes[:-1]):
+        result = Alternation(node, result)
+    return result
+
+
+def desugar_repeat(
+    child: Node, minimum: int, maximum: Optional[int], pattern: str = ""
+) -> Node:
+    """Expand ``child{minimum,maximum}`` into concat/star/optional form.
+
+    ``maximum=None`` means unbounded.  ``x{2,4}`` becomes
+    ``x x (x (x)?)?`` so that the optional tail nests (this keeps the
+    Glushkov position count exactly ``maximum``).
+    """
+    if minimum < 0 or (maximum is not None and maximum < minimum):
+        raise RegexSyntaxError(f"bad repeat bounds {{{minimum},{maximum}}}", pattern)
+    expansion_size = maximum if maximum is not None else minimum + 1
+    if expansion_size > MAX_REPEAT_EXPANSION:
+        raise RegexSyntaxError(
+            f"repeat expansion of {expansion_size} exceeds cap "
+            f"{MAX_REPEAT_EXPANSION}",
+            pattern,
+        )
+    required = concat_all([child] * minimum)
+    if maximum is None:
+        return Concat(required, Star(child)) if minimum else Star(child)
+    optional_count = maximum - minimum
+    optional_tail: Node = Empty()
+    for _ in range(optional_count):
+        # x (tail)? nested: innermost first.
+        inner = Concat(child, optional_tail) if not isinstance(
+            optional_tail, Empty
+        ) else child
+        optional_tail = Alternation(inner, Empty())
+    if isinstance(required, Empty):
+        return optional_tail
+    if isinstance(optional_tail, Empty):
+        return required
+    return Concat(required, optional_tail)
+
+
+def nullable(node: Node) -> bool:
+    """True iff ``node`` matches the empty string."""
+    if isinstance(node, Empty):
+        return True
+    if isinstance(node, Literal):
+        return False
+    if isinstance(node, Concat):
+        return nullable(node.left) and nullable(node.right)
+    if isinstance(node, Alternation):
+        return nullable(node.left) or nullable(node.right)
+    if isinstance(node, Star):
+        return True
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def count_positions(node: Node) -> int:
+    """Number of literal positions = number of Glushkov states."""
+    if isinstance(node, (Empty,)):
+        return 0
+    if isinstance(node, Literal):
+        return 1
+    if isinstance(node, (Concat, Alternation)):
+        return count_positions(node.left) + count_positions(node.right)
+    if isinstance(node, Star):
+        return count_positions(node.child)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A parsed pattern: the AST plus top-level anchoring flags."""
+
+    root: Node
+    anchored_start: bool = False
+    anchored_end: bool = False
+    source: str = ""
+
+    def position_count(self) -> int:
+        return count_positions(self.root)
+
+
+Bounds = Tuple[int, Optional[int]]

@@ -1,0 +1,123 @@
+"""High-level regex -> automaton compilation entry points.
+
+This is the user-facing front door of the regex engine:
+
+>>> from repro.regex.compile import compile_patterns
+>>> machine = compile_patterns(["bat", "bar", "car[t]?"])
+>>> machine.edge_count() > 0
+True
+
+``compile_pattern`` builds one homogeneous automaton per pattern (via the
+Glushkov construction); ``compile_patterns`` merges a whole rule set into
+one multi-pattern machine, each rule reporting with its own report code —
+the shape every paper workload takes before entering the Cache Automaton
+compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind, merge
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexError
+from repro.regex.ast import Concat, Literal, Pattern
+from repro.regex.glushkov import build_glushkov
+from repro.regex.parser import parse
+
+
+def compile_pattern(
+    pattern: str,
+    *,
+    report_code: Optional[str] = None,
+    eod_sentinel: Optional[int] = None,
+    automaton_id: Optional[str] = None,
+) -> HomogeneousAutomaton:
+    """Compile one regex into a homogeneous automaton.
+
+    ``eod_sentinel`` enables ``$`` support: the anchor is desugared into a
+    trailing literal matching the sentinel byte, and the caller must
+    terminate input streams with that byte.  Without it, ``$`` raises
+    :class:`~repro.errors.RegexError`.
+    """
+    parsed = parse(pattern)
+    if parsed.anchored_end:
+        if eod_sentinel is None:
+            raise RegexError(
+                f"pattern {pattern!r} uses '$' but no eod_sentinel was given"
+            )
+        parsed = Pattern(
+            Concat(parsed.root, Literal(SymbolSet.single(eod_sentinel))),
+            parsed.anchored_start,
+            False,
+            parsed.source,
+        )
+    return build_glushkov(
+        parsed,
+        automaton_id=automaton_id or f"re:{pattern}",
+        report_code=report_code,
+    )
+
+
+def compile_patterns(
+    patterns: Sequence[str],
+    *,
+    report_codes: Optional[Iterable[str]] = None,
+    eod_sentinel: Optional[int] = None,
+    automaton_id: str = "ruleset",
+) -> HomogeneousAutomaton:
+    """Compile a rule set into one multi-pattern homogeneous automaton.
+
+    Each rule's reporting states carry its report code (defaulting to the
+    rule index as a string), so simulator report records identify which
+    pattern fired.
+    """
+    if not patterns:
+        raise RegexError("empty rule set")
+    if report_codes is None:
+        codes: List[str] = [str(index) for index in range(len(patterns))]
+    else:
+        codes = list(report_codes)
+        if len(codes) != len(patterns):
+            raise RegexError(
+                f"{len(patterns)} patterns but {len(codes)} report codes"
+            )
+    parts = [
+        compile_pattern(pattern, report_code=code, eod_sentinel=eod_sentinel)
+        for pattern, code in zip(patterns, codes)
+    ]
+    return merge(parts, automaton_id=automaton_id)
+
+
+def literal_pattern(
+    text: str,
+    *,
+    report_code: Optional[str] = None,
+    anchored: bool = False,
+    state_prefix: str = "lit",
+) -> HomogeneousAutomaton:
+    """Build the chain automaton for an exact string (no regex parsing).
+
+    Exact-match rule sets (ExactMatch, ClamAV signatures, dictionary
+    scans) are a large fraction of real workloads; building them directly
+    avoids escaping issues and is O(len).
+    """
+    if not text:
+        raise RegexError("empty literal")
+    automaton = HomogeneousAutomaton(f"lit:{text}")
+    start_kind = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    previous = None
+    for index, character in enumerate(text):
+        ste_id = f"{state_prefix}{index}"
+        is_last = index == len(text) - 1
+        automaton.add_ste(
+            ste_id,
+            SymbolSet.single(character),
+            start=start_kind if index == 0 else StartKind.NONE,
+            reporting=is_last,
+            report_code=report_code if is_last else None,
+        )
+        if previous is not None:
+            automaton.add_edge(previous, ste_id)
+        previous = ste_id
+    return automaton

@@ -1,0 +1,122 @@
+"""Glushkov position automaton: regex AST -> homogeneous automaton.
+
+The Glushkov construction is the natural compiler front-end for spatial
+automata processors: it produces an epsilon-free automaton with exactly
+one state per literal *position* in the pattern, and every state is
+entered only on that position's character class — i.e. the result is
+*already homogeneous* (ANML-shaped), no label splitting required.
+
+Construction (standard): compute ``nullable``, ``first``, ``last`` and the
+``follow`` relation over positions; states are positions, start states are
+``first``, reporting states are ``last``, edges are ``follow``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Pattern,
+    Star,
+)
+
+
+class _Positions:
+    """Assigns dense indices to literal positions and gathers follow pairs."""
+
+    def __init__(self):
+        self.symbols: List[SymbolSet] = []
+        self.follow: Set[Tuple[int, int]] = set()
+
+    def new_position(self, symbols: SymbolSet) -> int:
+        self.symbols.append(symbols)
+        return len(self.symbols) - 1
+
+    def analyse(self, node: Node) -> Tuple[bool, frozenset, frozenset]:
+        """Return (nullable, first, last) of ``node``, recording follows."""
+        if isinstance(node, Empty):
+            return True, frozenset(), frozenset()
+        if isinstance(node, Literal):
+            position = self.new_position(node.symbols)
+            singleton = frozenset({position})
+            return False, singleton, singleton
+        if isinstance(node, Concat):
+            left_nullable, left_first, left_last = self.analyse(node.left)
+            right_nullable, right_first, right_last = self.analyse(node.right)
+            for source in left_last:
+                for target in right_first:
+                    self.follow.add((source, target))
+            first = left_first | right_first if left_nullable else left_first
+            last = right_last | left_last if right_nullable else right_last
+            return left_nullable and right_nullable, first, last
+        if isinstance(node, Alternation):
+            left_nullable, left_first, left_last = self.analyse(node.left)
+            right_nullable, right_first, right_last = self.analyse(node.right)
+            return (
+                left_nullable or right_nullable,
+                left_first | right_first,
+                left_last | right_last,
+            )
+        if isinstance(node, Star):
+            _, first, last = self.analyse(node.child)
+            for source in last:
+                for target in first:
+                    self.follow.add((source, target))
+            return True, first, last
+        raise TypeError(f"unknown AST node {node!r}")
+
+
+def build_glushkov(
+    pattern: Pattern,
+    *,
+    automaton_id: str = "glushkov",
+    report_code: str | None = None,
+    state_prefix: str = "p",
+) -> HomogeneousAutomaton:
+    """Build the homogeneous position automaton for ``pattern``.
+
+    Start-state kind follows the pattern's anchoring: ``^``-anchored
+    patterns get :attr:`StartKind.START_OF_DATA` (active for the first
+    symbol only), unanchored patterns get :attr:`StartKind.ALL_INPUT`
+    (re-armed every cycle — the scanning semantics automata processors
+    use).  Patterns that match the empty string are rejected: a
+    homogeneous automaton cannot report before consuming a symbol.
+
+    ``$`` anchoring has no portable ANML encoding; callers that need it
+    should append an explicit end-of-data sentinel to both pattern and
+    input (see :func:`repro.regex.compile.compile_pattern`).
+    """
+    analysis = _Positions()
+    nullable, first, last = analysis.analyse(pattern.root)
+    if nullable:
+        raise RegexError(
+            f"pattern {pattern.source!r} matches the empty string; "
+            "spatial automata report only after consuming input"
+        )
+    if pattern.anchored_end:
+        raise RegexError(
+            "'$' anchors must be desugared to a sentinel before construction"
+        )
+    start_kind = (
+        StartKind.START_OF_DATA if pattern.anchored_start else StartKind.ALL_INPUT
+    )
+    automaton = HomogeneousAutomaton(automaton_id)
+    for position, symbols in enumerate(analysis.symbols):
+        automaton.add_ste(
+            f"{state_prefix}{position}",
+            symbols,
+            start=start_kind if position in first else StartKind.NONE,
+            reporting=position in last,
+            report_code=report_code if position in last else None,
+        )
+    for source, target in sorted(analysis.follow):
+        automaton.add_edge(f"{state_prefix}{source}", f"{state_prefix}{target}")
+    return automaton

@@ -1,0 +1,207 @@
+"""Recursive-descent regular-expression parser.
+
+Supported syntax (the subset exercised by the Regex/ANMLZoo benchmark
+families — Becchi-style rule sets, Snort content patterns):
+
+* literals, ``\\`` escapes (``\\xNN``, ``\\d \\w \\s`` and complements,
+  control escapes), ``.`` (any byte except newline);
+* character classes ``[...]`` with ranges and negation;
+* grouping ``( )`` and non-capturing ``(?: )``;
+* quantifiers ``* + ?`` and counted ``{m} {m,} {m,n}``, each optionally
+  followed by a lazy ``?`` (accepted and ignored — match *reporting* in
+  automata processing is greedy-agnostic: every match end is reported);
+* alternation ``|``;
+* anchors ``^`` (only as the first character) and ``$`` (only as the
+  last), recorded as pattern-level flags.
+
+Anything else raises :class:`~repro.errors.RegexSyntaxError` with the
+offending offset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.automata.charclass import parse_class_body, parse_escape
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Literal,
+    Node,
+    Pattern,
+    alternate_all,
+    concat_all,
+    desugar_repeat,
+)
+
+#: ``.`` in a regex: every byte except newline (PCRE default).
+DOT = SymbolSet.single("\n").complement()
+
+_QUANTIFIER_START = "*+?{"
+_SPECIAL = set("|()[{*+?\\^$")
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.position = 0
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.position)
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.pattern):
+            return self.pattern[self.position]
+        return None
+
+    def _take(self) -> str:
+        character = self.pattern[self.position]
+        self.position += 1
+        return character
+
+    def _expect(self, character: str):
+        if self._peek() != character:
+            raise self._error(f"expected {character!r}")
+        self.position += 1
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Pattern:
+        anchored_start = False
+        if self._peek() == "^":
+            anchored_start = True
+            self.position += 1
+        root = self._alternation()
+        anchored_end = False
+        # '$' is only valid as the very last character of the pattern;
+        # _alternation stops before it because we treat it as a terminator.
+        if self._peek() == "$":
+            self.position += 1
+            anchored_end = True
+        if self.position != len(self.pattern):
+            raise self._error("unexpected trailing input")
+        return Pattern(root, anchored_start, anchored_end, self.pattern)
+
+    def _alternation(self) -> Node:
+        branches = [self._concatenation()]
+        while self._peek() == "|":
+            self.position += 1
+            branches.append(self._concatenation())
+        return alternate_all(branches)
+
+    def _concatenation(self) -> Node:
+        parts: List[Node] = []
+        while True:
+            character = self._peek()
+            if character is None or character in "|)":
+                break
+            if character == "$" and self.position == len(self.pattern) - 1:
+                break  # terminal anchor, handled by parse()
+            parts.append(self._repeat())
+        return concat_all(parts)
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        while True:
+            character = self._peek()
+            if character is None or character not in _QUANTIFIER_START:
+                return atom
+            if character == "*":
+                self.position += 1
+                atom = desugar_repeat(atom, 0, None, self.pattern)
+            elif character == "+":
+                self.position += 1
+                atom = desugar_repeat(atom, 1, None, self.pattern)
+            elif character == "?":
+                self.position += 1
+                atom = desugar_repeat(atom, 0, 1, self.pattern)
+            else:  # '{'
+                minimum, maximum = self._counted_bounds()
+                atom = desugar_repeat(atom, minimum, maximum, self.pattern)
+            # Lazy modifier: accepted, ignored (see module docstring).
+            if self._peek() == "?":
+                self.position += 1
+
+    def _counted_bounds(self) -> Tuple[int, Optional[int]]:
+        """Parse ``{m}``, ``{m,}`` or ``{m,n}`` starting at '{'."""
+        start = self.position
+        self.position += 1  # consume '{'
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self._take()
+        if not digits:
+            self.position = start
+            raise self._error("'{' must introduce a counted repeat {m,n}")
+        minimum = int(digits)
+        maximum: Optional[int] = minimum
+        if self._peek() == ",":
+            self.position += 1
+            upper_digits = ""
+            while self._peek() is not None and self._peek().isdigit():
+                upper_digits += self._take()
+            maximum = int(upper_digits) if upper_digits else None
+        self._expect("}")
+        return (minimum, maximum)
+
+    def _atom(self) -> Node:
+        character = self._peek()
+        if character is None:
+            raise self._error("expected an atom")
+        if character == "(":
+            self.position += 1
+            if self.pattern.startswith("?:", self.position):
+                self.position += 2
+            elif self._peek() == "?":
+                raise self._error("only (?: ) groups are supported")
+            inner = self._alternation()
+            self._expect(")")
+            return inner
+        if character == "[":
+            self.position += 1
+            symbols, self.position = _parse_class(self.pattern, self.position)
+            return Literal(symbols)
+        if character == "\\":
+            symbols, self.position = parse_escape(self.pattern, self.position)
+            return Literal(symbols)
+        if character == ".":
+            self.position += 1
+            return Literal(DOT)
+        if character in "*+?{":
+            raise self._error(f"quantifier {character!r} with nothing to repeat")
+        if character in ")|":
+            raise self._error(f"unexpected {character!r}")
+        if character in "^$":
+            raise self._error(f"anchor {character!r} only allowed at pattern edge")
+        if ord(character) > 255:
+            raise self._error(f"non-byte character {character!r}")
+        self.position += 1
+        return Literal(SymbolSet.single(character))
+
+
+def _parse_class(pattern: str, position: int) -> Tuple[SymbolSet, int]:
+    try:
+        return parse_class_body(pattern, position)
+    except Exception as error:
+        raise RegexSyntaxError(str(error), pattern, position) from error
+
+
+def parse(pattern: str) -> Pattern:
+    """Parse ``pattern`` into a :class:`~repro.regex.ast.Pattern`."""
+    if pattern == "":
+        raise RegexSyntaxError("empty pattern", pattern, 0)
+    return _Parser(pattern).parse()
+
+
+def parse_many(patterns: List[str]) -> List[Pattern]:
+    """Parse a rule set; errors are annotated with the rule index."""
+    parsed = []
+    for index, pattern in enumerate(patterns):
+        try:
+            parsed.append(parse(pattern))
+        except RegexSyntaxError as error:
+            raise RegexSyntaxError(
+                f"rule {index}: {error}", pattern, error.position
+            ) from error
+    return parsed

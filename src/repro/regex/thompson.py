@@ -1,0 +1,70 @@
+"""Thompson construction: regex AST -> classical epsilon-NFA.
+
+The Thompson automaton is linear in the pattern size and easy to prove
+correct, which makes it the ideal *oracle* against which the Glushkov
+construction is tested (after epsilon removal they must be language-
+equivalent).  It is also the entry point for users who want a classical
+NFA to feed through :func:`repro.automata.transform.to_homogeneous`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.nfa import Nfa
+from repro.errors import RegexError
+from repro.regex.ast import Alternation, Concat, Empty, Literal, Node, Pattern, Star
+
+
+def build_thompson(pattern: Pattern, *, state_prefix: str = "t") -> Nfa:
+    """Build the classical epsilon-NFA for ``pattern``.
+
+    The result has a single start state and a single accept state and
+    accepts exactly the language of the pattern (whole-string semantics;
+    anchors are the caller's concern, as in
+    :func:`repro.regex.glushkov.build_glushkov`).
+    """
+    if pattern.anchored_end:
+        raise RegexError(
+            "'$' anchors must be desugared to a sentinel before construction"
+        )
+    nfa = Nfa()
+    counter = itertools.count()
+
+    def fresh() -> str:
+        return f"{state_prefix}{next(counter)}"
+
+    def build(node: Node) -> tuple[str, str]:
+        """Return (entry, exit) states of the fragment for ``node``."""
+        entry, exit_ = fresh(), fresh()
+        if isinstance(node, Empty):
+            nfa.add_epsilon(entry, exit_)
+        elif isinstance(node, Literal):
+            nfa.add_transition(entry, node.symbols, exit_)
+        elif isinstance(node, Concat):
+            left_entry, left_exit = build(node.left)
+            right_entry, right_exit = build(node.right)
+            nfa.add_epsilon(entry, left_entry)
+            nfa.add_epsilon(left_exit, right_entry)
+            nfa.add_epsilon(right_exit, exit_)
+        elif isinstance(node, Alternation):
+            left_entry, left_exit = build(node.left)
+            right_entry, right_exit = build(node.right)
+            nfa.add_epsilon(entry, left_entry)
+            nfa.add_epsilon(entry, right_entry)
+            nfa.add_epsilon(left_exit, exit_)
+            nfa.add_epsilon(right_exit, exit_)
+        elif isinstance(node, Star):
+            child_entry, child_exit = build(node.child)
+            nfa.add_epsilon(entry, child_entry)
+            nfa.add_epsilon(child_exit, child_entry)
+            nfa.add_epsilon(entry, exit_)
+            nfa.add_epsilon(child_exit, exit_)
+        else:
+            raise TypeError(f"unknown AST node {node!r}")
+        return entry, exit_
+
+    start, accept = build(pattern.root)
+    nfa.set_start(start)
+    nfa.set_accept(accept)
+    return nfa

@@ -1,0 +1,33 @@
+"""Simulators: golden reference, mapped functional, and bit-level crossbar."""
+
+from repro.sim.circuit import CircuitRunResult, CircuitSimulator, simulate_circuit
+from repro.sim.crossbar import CrossbarLevelSimulator
+from repro.sim.functional import MappedRunResult, MappedSimulator, simulate_mapping
+from repro.sim.golden import (
+    Checkpoint,
+    GoldenSimulator,
+    Report,
+    RunResult,
+    RunStats,
+    average_active_states,
+    match_offsets,
+    simulate,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CircuitRunResult",
+    "CircuitSimulator",
+    "CrossbarLevelSimulator",
+    "GoldenSimulator",
+    "MappedRunResult",
+    "MappedSimulator",
+    "Report",
+    "RunResult",
+    "RunStats",
+    "average_active_states",
+    "match_offsets",
+    "simulate",
+    "simulate_circuit",
+    "simulate_mapping",
+]

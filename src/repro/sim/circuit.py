@@ -1,0 +1,168 @@
+"""Reference simulator for ANML circuits (STEs + gates + counters).
+
+Executes the full element semantics documented in
+:mod:`repro.automata.elements`; used to validate circuit front-ends and
+the OR-gate lowering pass (a lowered circuit must report identically).
+Circuits are small (counters gate a handful of patterns), so a clear
+set-based implementation is preferred over the bitmask machinery of the
+pure-NFA simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.automata.anml import StartKind
+from repro.automata.elements import (
+    PORT_ACTIVATE,
+    PORT_COUNT,
+    PORT_RESET,
+    CircuitAutomaton,
+    CounterMode,
+    GateKind,
+)
+from repro.errors import SimulationError
+from repro.sim.golden import Report
+
+
+@dataclass
+class CounterState:
+    value: int = 0
+    latched: bool = False
+
+
+@dataclass
+class CircuitRunResult:
+    reports: List[Report]
+    #: Final counter values (counter id -> value), for inspection.
+    counter_values: Dict[str, int] = field(default_factory=dict)
+
+    def report_offsets(self) -> List[int]:
+        return sorted({report.offset for report in self.reports})
+
+
+class CircuitSimulator:
+    """Cycle-by-cycle interpreter for a validated circuit."""
+
+    def __init__(self, circuit: CircuitAutomaton):
+        circuit.validate()
+        self.circuit = circuit
+        self._ste_ids = {s.ste_id for s in circuit.stes()}
+        self._gate_order = circuit.gate_evaluation_order()
+        # Pre-index wiring.
+        self._ste_enables: Dict[str, List[str]] = {}  # source -> STE targets
+        self._count_inputs: Dict[str, List[str]] = {}
+        self._reset_inputs: Dict[str, List[str]] = {}
+        for source, target, port in circuit.edges():
+            if port == PORT_ACTIVATE and target in self._ste_ids:
+                self._ste_enables.setdefault(source, []).append(target)
+            elif port == PORT_COUNT:
+                self._count_inputs.setdefault(target, []).append(source)
+            elif port == PORT_RESET:
+                self._reset_inputs.setdefault(target, []).append(source)
+
+    def run(self, data: bytes) -> CircuitRunResult:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+        circuit = self.circuit
+        counters = {c.counter_id: CounterState() for c in circuit.counters()}
+        reports: List[Report] = []
+
+        enabled: Set[str] = {
+            s.ste_id for s in circuit.stes() if s.start is not StartKind.NONE
+        }
+        always = {
+            s.ste_id for s in circuit.stes() if s.start is StartKind.ALL_INPUT
+        }
+        for offset, symbol in enumerate(data):
+            # 1. STE match.
+            signals: Dict[str, bool] = {}
+            for ste in circuit.stes():
+                signals[ste.ste_id] = (
+                    ste.ste_id in enabled and ste.symbols.matches(symbol)
+                )
+
+            # 2. Counter outputs reflect *last* cycle's latch state for
+            #    combinational consumers, then update below.  (AP counters
+            #    present their output in the same cycle their target is
+            #    reached; we therefore compute counter updates after STE
+            #    signals but before gate evaluation.)
+            for counter in circuit.counters():
+                state = counters[counter.counter_id]
+                reset = any(
+                    signals.get(source, False)
+                    for source in self._reset_inputs.get(counter.counter_id, ())
+                )
+                count = any(
+                    signals.get(source, False)
+                    for source in self._count_inputs.get(counter.counter_id, ())
+                )
+                fired = False
+                if reset:
+                    state.value = 0
+                    state.latched = False
+                elif count:
+                    if counter.mode is CounterMode.LATCH:
+                        if not state.latched:
+                            state.value += 1
+                            if state.value >= counter.target:
+                                state.latched = True
+                    elif counter.mode is CounterMode.PULSE:
+                        if state.value < counter.target:
+                            state.value += 1
+                            fired = state.value == counter.target
+                    else:  # ROLLOVER
+                        state.value += 1
+                        if state.value >= counter.target:
+                            fired = True
+                            state.value = 0
+                signals[counter.counter_id] = (
+                    state.latched
+                    if counter.mode is CounterMode.LATCH
+                    else fired
+                )
+
+            # 3. Gates, in topological order.
+            for gate_id in self._gate_order:
+                gate = circuit.gate(gate_id)
+                inputs = [
+                    signals.get(source, False)
+                    for source in circuit.inputs_to(gate_id)
+                ]
+                if gate.kind is GateKind.AND:
+                    signals[gate_id] = bool(inputs) and all(inputs)
+                elif gate.kind is GateKind.OR:
+                    signals[gate_id] = any(inputs)
+                else:  # NOT
+                    signals[gate_id] = not inputs[0]
+
+            # 4. Reports from any active reporting element.
+            for element_id in circuit.reporting_elements():
+                if signals.get(element_id, False):
+                    code = self._report_code(element_id)
+                    reports.append(Report(offset, element_id, code))
+
+            # 5. Next-cycle STE enables.
+            enabled = set(always)
+            for source, active in signals.items():
+                if active:
+                    enabled.update(self._ste_enables.get(source, ()))
+
+        return CircuitRunResult(
+            reports,
+            {name: state.value for name, state in counters.items()},
+        )
+
+    def _report_code(self, element_id: str):
+        circuit = self.circuit
+        if element_id in self._ste_ids:
+            return circuit.ste(element_id).report_code
+        if element_id in {g.gate_id for g in circuit.gates()}:
+            return circuit.gate(element_id).report_code
+        return circuit.counter(element_id).report_code
+
+
+def simulate_circuit(circuit: CircuitAutomaton, data: bytes) -> CircuitRunResult:
+    """One-shot convenience wrapper around :class:`CircuitSimulator`."""
+    return CircuitSimulator(circuit).run(data)

@@ -1,0 +1,158 @@
+"""Bit-level simulation of the configuration bitstream.
+
+The most literal executable model of the hardware in this library: state
+is the per-partition active-state vector; each symbol is processed by
+
+1. reading row ``symbol`` of every partition's STE column image (the
+   match vector) and ANDing it with the active-state vector;
+2. driving matched boundary sources onto their assigned G-switch input
+   wires and evaluating the G1/G4 crossbar enable matrices (wired-OR);
+3. evaluating every partition's L-switch on [matched STEs | G1 returns |
+   G4 returns] to produce the next active-state vector.
+
+It is deliberately slow (dense numpy crossbar evaluation every cycle) and
+exists to prove that the *bitstream itself* — cross-point enables, wire
+assignments, column images — encodes the automaton: integration tests
+check its reports against the golden interpreter exactly.  Use
+:class:`repro.sim.functional.MappedSimulator` for long runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.automata.anml import StartKind
+from repro.compiler.bitstream import Bitstream
+from repro.errors import SimulationError
+from repro.sim.golden import Report
+
+
+class CrossbarLevelSimulator:
+    """Executes a compiled :class:`~repro.compiler.bitstream.Bitstream`."""
+
+    def __init__(self, bitstream: Bitstream):
+        self.bitstream = bitstream
+        mapping = bitstream.mapping
+        design = mapping.design
+        self.partition_size = design.partition_size
+        self.g1_wires = design.g1_wires_per_partition
+        self.g4_wires = design.g4_wires_per_partition
+        self.per_way = design.partitions_per_way
+        self.partition_count = mapping.partition_count
+
+        size = self.partition_size
+        self._start_all = np.zeros((self.partition_count, size), dtype=bool)
+        self._start_sod = np.zeros((self.partition_count, size), dtype=bool)
+        self._reporting = np.zeros((self.partition_count, size), dtype=bool)
+        self._ids: List[List[str]] = [
+            list(partition.ste_ids) + [""] * (size - len(partition.ste_ids))
+            for partition in mapping.partitions
+        ]
+        for ste in mapping.automaton.stes():
+            partition_index, slot = mapping.location[ste.ste_id]
+            if ste.start is StartKind.ALL_INPUT:
+                self._start_all[partition_index, slot] = True
+            elif ste.start is StartKind.START_OF_DATA:
+                self._start_sod[partition_index, slot] = True
+            if ste.reporting:
+                self._reporting[partition_index, slot] = True
+
+        # int32 to avoid uint8 overflow when many inputs share an output.
+        self._l_enable = bitstream.l_switch_enable.astype(np.int32)
+        self._ste_columns = bitstream.ste_columns.astype(bool)
+
+    def run(self, data: bytes) -> List[Report]:
+        """Process ``data`` and return the report records."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+        mapping = self.bitstream.mapping
+        size = self.partition_size
+        g1_wires = self.g1_wires
+        g4_wires = self.g4_wires
+        per_way = self.per_way
+        reports: List[Report] = []
+
+        active = self._start_all | self._start_sod
+        for offset, symbol in enumerate(data):
+            # Stage 1 — state match: one row read per partition.
+            match_vectors = self._ste_columns[:, symbol, :]
+            matched = active & match_vectors
+
+            for partition_index, slot in zip(*np.nonzero(matched & self._reporting)):
+                ste_id = self._ids[partition_index][slot]
+                ste = mapping.automaton.ste(ste_id)
+                reports.append(Report(offset, ste_id, ste.report_code))
+
+            # Stage 2 — global switches: drive assigned wires, evaluate.
+            g1_returns = np.zeros((self.partition_count, g1_wires), dtype=bool)
+            g4_returns = np.zeros((self.partition_count, g4_wires), dtype=bool)
+            if g1_wires:
+                for way, enable in self.bitstream.g1_enable.items():
+                    inputs = np.zeros(enable.shape[0], dtype=bool)
+                    self._drive_wires(inputs, matched, way, "out_g1", g1_wires)
+                    outputs = (inputs[:, None] & enable).any(axis=0)
+                    self._collect_returns(outputs, g1_returns, way, g1_wires)
+            if g4_wires:
+                for group, enable in self.bitstream.g4_enable.items():
+                    inputs = np.zeros(enable.shape[0], dtype=bool)
+                    for way_slot in range(4):
+                        way = group * 4 + way_slot
+                        self._drive_wires(
+                            inputs, matched, way, "out_g4", g4_wires,
+                            base=way_slot * per_way * g4_wires,
+                        )
+                    outputs = (inputs[:, None] & enable).any(axis=0)
+                    for way_slot in range(4):
+                        way = group * 4 + way_slot
+                        self._collect_returns(
+                            outputs, g4_returns, way, g4_wires,
+                            base=way_slot * per_way * g4_wires,
+                        )
+
+            # Stage 3 — local switches: wired-OR over all inputs.
+            l_inputs = np.concatenate([matched, g1_returns, g4_returns], axis=1)
+            active = (
+                np.einsum("pi,pio->po", l_inputs.astype(np.int32), self._l_enable)
+                > 0
+            )
+            active |= self._start_all
+        return reports
+
+    def _drive_wires(
+        self,
+        inputs: np.ndarray,
+        matched: np.ndarray,
+        way: int,
+        direction: str,
+        wires: int,
+        base: int = 0,
+    ):
+        """Put each matched boundary source onto its assigned input port."""
+        mapping = self.bitstream.mapping
+        for partition in mapping.partitions:
+            if partition.way != way:
+                continue
+            assignment = getattr(self.bitstream.wires[partition.index], direction)
+            for ste_id, wire in assignment.items():
+                slot = mapping.location[ste_id][1]
+                if matched[partition.index, slot]:
+                    port = base + (partition.index % self.per_way) * wires + wire
+                    inputs[port] = True
+
+    def _collect_returns(
+        self,
+        outputs: np.ndarray,
+        returns: np.ndarray,
+        way: int,
+        wires: int,
+        base: int = 0,
+    ):
+        """Deliver G-switch outputs to each destination partition's inputs."""
+        mapping = self.bitstream.mapping
+        for partition in mapping.partitions:
+            if partition.way != way:
+                continue
+            start = base + (partition.index % self.per_way) * wires
+            returns[partition.index] |= outputs[start : start + wires]

@@ -1,0 +1,322 @@
+"""Functional simulation of a *mapped* Cache Automaton.
+
+Where :mod:`repro.sim.golden` interprets the automaton abstractly, this
+simulator executes the compiled :class:`~repro.compiler.mapping.Mapping`:
+states live at (partition, slot) locations, matches are per-partition
+match-vector reads, and successor activation travels through L/G switch
+paths.  Two things fall out of that fidelity:
+
+* **equivalence evidence** — its reports must equal the golden
+  interpreter's on every input (asserted in the integration tests);
+* the :class:`~repro.core.energy.ActivityProfile` driving Figure 9 —
+  per-cycle active-partition counts (a partition is *accessed* whenever
+  its active-state vector is non-zero; idle partitions are clock-gated
+  by the wired-OR disabling circuit) and dynamic G-switch crossings.
+
+States are laid out so each partition occupies one contiguous 256-bit
+span of a global bitmask; per-partition reductions are then byte-level
+numpy operations, keeping multi-megabyte runs tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automata.anml import StartKind
+from repro.compiler.mapping import Mapping
+from repro.core.energy import ActivityProfile
+from repro.errors import SimulationError
+from repro.sim.golden import Checkpoint, Report, RunStats
+
+#: Output buffer geometry (Section 2.8): 64 entries, CPU interrupt on full.
+OUTPUT_BUFFER_ENTRIES = 64
+
+
+@dataclass(frozen=True)
+class OutputRecord:
+    """One CBOX output-buffer entry (Section 2.8).
+
+    "An output reporting event creates a new entry in the output buffer
+    consisting of active state mask, partition ID, input symbol, and
+    input symbol counter."
+    """
+
+    partition: int
+    #: Matched-state mask of the partition (bit = slot) at report time.
+    active_state_mask: int
+    symbol: int
+    #: Global input-symbol counter (= report offset).
+    symbol_counter: int
+
+
+@dataclass
+class OutputBufferModel:
+    """Models the CBOX output buffer: entries consumed per report event,
+    interrupts raised whenever it fills (Section 2.8)."""
+
+    entries: int = OUTPUT_BUFFER_ENTRIES
+    events: int = 0
+    interrupts: int = 0
+
+    def record(self, new_events: int):
+        self.events += new_events
+        while self.events >= self.entries:
+            self.interrupts += 1
+            self.events -= self.entries
+
+
+@dataclass
+class MappedRunResult:
+    reports: List[Report]
+    stats: RunStats
+    profile: ActivityProfile
+    output_buffer: OutputBufferModel
+    #: Resume state after the run (Section 2.9 suspend/resume).
+    checkpoint: Optional[Checkpoint] = None
+    #: Per-partition activation counts (only when ``collect_partition_stats``
+    #: was requested): how many cycles each partition's array was accessed.
+    partition_activation_counts: Optional[np.ndarray] = None
+    #: CBOX output-buffer entries (only when ``collect_records`` was
+    #: requested): one per (reporting partition, cycle) event.
+    output_records: List[OutputRecord] = field(default_factory=list)
+
+    def report_offsets(self) -> List[int]:
+        return sorted({report.offset for report in self.reports})
+
+
+class MappedSimulator:
+    """Cycle-functional simulator over a compiled mapping."""
+
+    def __init__(self, mapping: Mapping):
+        self.mapping = mapping
+        design = mapping.design
+        partition_size = design.partition_size
+        partition_count = mapping.partition_count
+
+        # Global state order: partition-major, slot-minor; each partition
+        # padded to a full partition_size span so numpy can reduce spans.
+        self._span_bits = partition_size
+        total_bits = partition_count * partition_size
+        self._span_bytes = (partition_size + 7) // 8
+        if partition_size % 8:
+            raise SimulationError("partition size must be byte-aligned")
+        self._mask_bytes = total_bits // 8
+
+        self._ids: List[str] = [""] * total_bits
+        bit_of: Dict[str, int] = {}
+        for partition in mapping.partitions:
+            base = partition.index * partition_size
+            for slot, ste_id in enumerate(partition.ste_ids):
+                bit_of[ste_id] = base + slot
+                self._ids[base + slot] = ste_id
+        self._bit_of = bit_of
+
+        automaton = mapping.automaton
+        self._successor_mask = [0] * total_bits
+        g1_sources = 0
+        g4_sources = 0
+        for source, target in automaton.edges():
+            self._successor_mask[bit_of[source]] |= 1 << bit_of[target]
+            kind = mapping.edge_kind(source, target)
+            if kind == "g1":
+                g1_sources |= 1 << bit_of[source]
+            elif kind == "g4":
+                g4_sources |= 1 << bit_of[source]
+        self._g1_sources = g1_sources
+        self._g4_sources = g4_sources
+
+        self._start_all = 0
+        self._start_sod = 0
+        self._report_mask = 0
+        for ste in automaton.stes():
+            bit = 1 << bit_of[ste.ste_id]
+            if ste.start is StartKind.ALL_INPUT:
+                self._start_all |= bit
+            elif ste.start is StartKind.START_OF_DATA:
+                self._start_sod |= bit
+            if ste.reporting:
+                self._report_mask |= bit
+
+        self._match_table = [0] * 256
+        for ste in automaton.stes():
+            bit = 1 << bit_of[ste.ste_id]
+            for symbol in ste.symbols:
+                self._match_table[symbol] |= bit
+
+        # Way id per partition, for per-way G-switch activation counting.
+        self._partition_ways = np.array(
+            [partition.way for partition in mapping.partitions], dtype=np.int64
+        )
+        self._way_count = int(self._partition_ways.max()) + 1 if partition_count else 0
+
+        # Successor-propagation memoisation (see repro.sim.golden).
+        block_count = (total_bits + 15) // 16
+        self._block_bytes = block_count * 2
+        self._block_cache: List[Dict[int, int]] = [{} for _ in range(block_count)]
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _block_successors(self, block: int, pattern: int) -> int:
+        cache = self._block_cache[block]
+        combined = cache.get(pattern)
+        if combined is None:
+            combined = 0
+            base = block * 16
+            remaining = pattern
+            while remaining:
+                low_bit = remaining & -remaining
+                combined |= self._successor_mask[base + low_bit.bit_length() - 1]
+                remaining ^= low_bit
+            cache[pattern] = combined
+        return combined
+
+    def _propagate(self, matched: int) -> int:
+        if not matched:
+            return 0
+        blocks = np.frombuffer(
+            matched.to_bytes(self._block_bytes, "little"), dtype=np.uint16
+        )
+        enabled = 0
+        for block in np.flatnonzero(blocks):
+            enabled |= self._block_successors(int(block), int(blocks[block]))
+        return enabled
+
+    def _partition_activity(self, mask: int) -> np.ndarray:
+        """Boolean per-partition 'has any set bit in its span'."""
+        raw = np.frombuffer(
+            mask.to_bytes(self._mask_bytes, "little"), dtype=np.uint8
+        )
+        return raw.reshape(-1, self._span_bytes).any(axis=1)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def run(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+        collect_partition_stats: bool = False,
+        collect_records: bool = False,
+    ) -> MappedRunResult:
+        """Process ``data``, returning reports, stats, and activity profile.
+
+        ``resume`` continues a suspended stream from a previous run's
+        ``checkpoint`` (the active-state vector plus the global symbol
+        counter, per Section 2.9); report offsets stay global.
+
+        ``collect_partition_stats`` additionally accumulates per-partition
+        activation counts (for utilisation heat maps / hot-spot analysis);
+        ``collect_records`` materialises the Section 2.8 output-buffer
+        entries (partition id + active-state mask + symbol + counter).
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+        match_table = self._match_table
+        start_all = self._start_all
+        report_mask = self._report_mask
+        g1_sources = self._g1_sources
+        g4_sources = self._g4_sources
+        partition_ways = self._partition_ways
+        way_bins = self._way_count + 1  # bincount needs minlength
+
+        reports: List[Report] = []
+        stats = RunStats()
+        profile = ActivityProfile()
+        buffer_model = OutputBufferModel()
+        partition_counts = (
+            np.zeros(self.mapping.partition_count, dtype=np.int64)
+            if collect_partition_stats
+            else None
+        )
+        output_records: List[OutputRecord] = []
+        span_mask = (1 << self._span_bits) - 1
+
+        if resume is None:
+            base_offset = 0
+            enabled_from_matches = 0
+            sod = self._start_sod
+        else:
+            base_offset = resume.symbols_processed
+            enabled_from_matches = resume.active_state_vector
+            sod = self._start_sod if resume.start_of_data_pending else 0
+        for offset, symbol in enumerate(data, start=base_offset):
+            enabled = enabled_from_matches | start_all | sod
+            sod = 0
+            # State-match phase: every partition with a non-zero active
+            # state vector performs an array read + L-switch access.
+            if enabled:
+                active_now = self._partition_activity(enabled)
+                profile.partition_activations += int(active_now.sum())
+                if partition_counts is not None:
+                    partition_counts += active_now
+            matched = enabled & match_table[symbol]
+            stats.total_matched_states += matched.bit_count()
+
+            # State-transition phase: boundary-crossing matched sources
+            # drive the global switches.
+            g1_active = matched & g1_sources
+            if g1_active:
+                profile.g1_crossings += g1_active.bit_count()
+                active_partitions = self._partition_activity(g1_active)
+                ways_hit = np.bincount(
+                    partition_ways[active_partitions], minlength=way_bins
+                )
+                profile.g1_switch_activations += int((ways_hit > 0).sum())
+            g4_active = matched & g4_sources
+            if g4_active:
+                profile.g4_crossings += g4_active.bit_count()
+                active_partitions = self._partition_activity(g4_active)
+                groups_hit = np.bincount(
+                    partition_ways[active_partitions] // 4, minlength=way_bins
+                )
+                profile.g4_switch_activations += int((groups_hit > 0).sum())
+
+            reporting = matched & report_mask
+            if reporting:
+                count = reporting.bit_count()
+                profile.reports += count
+                buffer_model.record(count)
+                if collect_reports:
+                    self._emit_reports(reporting, offset, reports)
+                if collect_records:
+                    for partition in np.flatnonzero(
+                        self._partition_activity(reporting)
+                    ):
+                        partition = int(partition)
+                        mask = (
+                            matched >> (partition * self._span_bits)
+                        ) & span_mask
+                        output_records.append(
+                            OutputRecord(partition, mask, symbol, offset)
+                        )
+
+            enabled_from_matches = self._propagate(matched)
+        stats.symbols_processed = len(data)
+        profile.symbols = len(data)
+        checkpoint = Checkpoint(
+            symbols_processed=base_offset + len(data),
+            active_state_vector=enabled_from_matches,
+            start_of_data_pending=bool(sod),
+        )
+        return MappedRunResult(
+            reports, stats, profile, buffer_model, checkpoint,
+            partition_counts, output_records,
+        )
+
+    def _emit_reports(self, reporting: int, offset: int, reports: List[Report]):
+        while reporting:
+            low_bit = reporting & -reporting
+            ste = self.mapping.automaton.ste(self._ids[low_bit.bit_length() - 1])
+            reports.append(Report(offset, ste.ste_id, ste.report_code))
+            reporting ^= low_bit
+
+
+def simulate_mapping(
+    mapping: Mapping, data: bytes, **kwargs
+) -> MappedRunResult:
+    """One-shot convenience wrapper around :class:`MappedSimulator`."""
+    return MappedSimulator(mapping).run(data, **kwargs)

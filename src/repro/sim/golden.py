@@ -1,0 +1,229 @@
+"""Golden reference interpreter for homogeneous automata.
+
+This is the reproduction's stand-in for VASim: a functional, hardware-
+agnostic interpreter defining the ground-truth semantics that the mapped
+Cache Automaton simulation (:mod:`repro.sim.functional`) must reproduce
+bit-for-bit.
+
+Semantics per input symbol (Micron AP / ANML convention):
+
+1. *enabled* = successors of last cycle's matched states, plus all-input
+   start states, plus start-of-data start states on the first symbol;
+2. *matched* = enabled states whose label contains the symbol;
+3. every matched reporting state emits a report record for this offset.
+
+The implementation packs state sets into arbitrary-precision integers, so
+one simulation step is a handful of big-int AND/OR operations.  Successor
+propagation — the only per-active-state work — is memoised per 16-bit
+block of the state bitmask, which exploits the same locality the paper's
+partition-disabling hardware does: the distinct local activation patterns
+in a block are few, so after warm-up each cycle costs one dictionary
+lookup per *active block*, not per active state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Report:
+    """One match event: ``ste_id`` fired on the symbol at ``offset``."""
+
+    offset: int
+    ste_id: str
+    report_code: Optional[str] = None
+
+
+@dataclass
+class RunStats:
+    """Per-run activity statistics (feeds Table 1 and the energy model)."""
+
+    symbols_processed: int = 0
+    total_matched_states: int = 0
+    matched_per_cycle: List[int] = field(default_factory=list)
+
+    @property
+    def average_active_states(self) -> float:
+        """Mean number of matched (active) states per input symbol."""
+        if self.symbols_processed == 0:
+            return 0.0
+        return self.total_matched_states / self.symbols_processed
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Suspend/resume state (Section 2.9).
+
+    The OS can suspend an NFA process "by recording the number of input
+    symbols processed and the active state vector to memory" — which is
+    exactly this object: the global symbol counter, the active-state
+    vector (successor activations pending for the next symbol), and
+    whether the start-of-data states are still armed.
+    """
+
+    symbols_processed: int
+    active_state_vector: int
+    start_of_data_pending: bool
+
+
+@dataclass
+class RunResult:
+    reports: List[Report]
+    stats: RunStats
+    #: Resume state after the run (pass back via ``resume=`` to continue).
+    checkpoint: Optional["Checkpoint"] = None
+
+    def report_offsets(self) -> List[int]:
+        return sorted({report.offset for report in self.reports})
+
+
+class GoldenSimulator:
+    """Reference interpreter over a fixed automaton (reusable across runs)."""
+
+    def __init__(self, automaton: HomogeneousAutomaton):
+        automaton.validate()
+        self.automaton = automaton
+        self._ids: List[str] = automaton.ste_ids()
+        index: Dict[str, int] = {ste_id: i for i, ste_id in enumerate(self._ids)}
+        self._index = index
+
+        self._successor_mask: List[int] = [0] * len(self._ids)
+        for source, target in automaton.edges():
+            self._successor_mask[index[source]] |= 1 << index[target]
+
+        self._start_all = 0
+        self._start_sod = 0
+        self._report_mask = 0
+        for ste in automaton.stes():
+            bit = 1 << index[ste.ste_id]
+            if ste.start is StartKind.ALL_INPUT:
+                self._start_all |= bit
+            elif ste.start is StartKind.START_OF_DATA:
+                self._start_sod |= bit
+            if ste.reporting:
+                self._report_mask |= bit
+
+        # match_table[symbol] = bitmask of states whose label contains it.
+        self._match_table = [0] * 256
+        for ste in automaton.stes():
+            bit = 1 << index[ste.ste_id]
+            for symbol in ste.symbols:
+                self._match_table[symbol] |= bit
+
+        # Successor propagation is memoised per 16-bit block of the state
+        # bitmask: _block_cache[block][local_pattern] = OR of the successor
+        # masks of the states set in that pattern.
+        self._block_count = (len(self._ids) + 15) // 16
+        self._mask_bytes = self._block_count * 2
+        self._block_cache: List[Dict[int, int]] = [
+            {} for _ in range(self._block_count)
+        ]
+
+    def _block_successors(self, block: int, pattern: int) -> int:
+        """OR of successor masks for the states in ``pattern`` of ``block``."""
+        cache = self._block_cache[block]
+        combined = cache.get(pattern)
+        if combined is None:
+            combined = 0
+            base = block * 16
+            remaining = pattern
+            while remaining:
+                low_bit = remaining & -remaining
+                combined |= self._successor_mask[base + low_bit.bit_length() - 1]
+                remaining ^= low_bit
+            cache[pattern] = combined
+        return combined
+
+    def run(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        collect_cycle_stats: bool = False,
+        resume: Optional[Checkpoint] = None,
+    ) -> RunResult:
+        """Process ``data`` and return reports plus activity statistics.
+
+        ``collect_reports=False`` skips report materialisation (useful for
+        very long activity-profiling runs); ``collect_cycle_stats`` keeps
+        the full per-cycle matched-state counts, not just the total.
+
+        Passing a previous run's ``checkpoint`` as ``resume`` continues a
+        suspended stream: report offsets stay global, and splitting a
+        stream at any point yields exactly the reports of one long run.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+        match_table = self._match_table
+        start_all = self._start_all
+        report_mask = self._report_mask
+        reports: List[Report] = []
+        stats = RunStats()
+        per_cycle = stats.matched_per_cycle
+        matched = 0
+        if resume is None:
+            base_offset = 0
+            enabled_from_matches = 0
+            sod = self._start_sod
+        else:
+            base_offset = resume.symbols_processed
+            enabled_from_matches = resume.active_state_vector
+            sod = self._start_sod if resume.start_of_data_pending else 0
+        for offset, symbol in enumerate(data, start=base_offset):
+            enabled = enabled_from_matches | start_all | sod
+            sod = 0
+            matched = enabled & match_table[symbol]
+            stats.total_matched_states += matched.bit_count()
+            if collect_cycle_stats:
+                per_cycle.append(matched.bit_count())
+            reporting = matched & report_mask
+            if reporting and collect_reports:
+                self._emit_reports(reporting, offset, reports)
+            enabled_from_matches = 0
+            if matched:
+                blocks = np.frombuffer(
+                    matched.to_bytes(self._mask_bytes, "little"), dtype=np.uint16
+                )
+                for block in np.flatnonzero(blocks):
+                    enabled_from_matches |= self._block_successors(
+                        int(block), int(blocks[block])
+                    )
+        stats.symbols_processed = len(data)
+        checkpoint = Checkpoint(
+            symbols_processed=base_offset + len(data),
+            active_state_vector=enabled_from_matches,
+            start_of_data_pending=bool(sod),
+        )
+        return RunResult(reports, stats, checkpoint)
+
+    def _emit_reports(self, reporting: int, offset: int, reports: List[Report]):
+        while reporting:
+            low_bit = reporting & -reporting
+            ste = self.automaton.ste(self._ids[low_bit.bit_length() - 1])
+            reports.append(Report(offset, ste.ste_id, ste.report_code))
+            reporting ^= low_bit
+
+
+def simulate(automaton: HomogeneousAutomaton, data: bytes, **kwargs) -> RunResult:
+    """One-shot convenience wrapper around :class:`GoldenSimulator`."""
+    return GoldenSimulator(automaton).run(data, **kwargs)
+
+
+def match_offsets(automaton: HomogeneousAutomaton, data: bytes) -> List[int]:
+    """Sorted distinct offsets at which any reporting state fires."""
+    return simulate(automaton, data).report_offsets()
+
+
+def average_active_states(
+    automaton: HomogeneousAutomaton, data: bytes
+) -> float:
+    """Table 1's *Avg. Active States* metric for ``automaton`` on ``data``."""
+    result = simulate(automaton, data, collect_reports=False)
+    return result.stats.average_active_states

@@ -1,0 +1,27 @@
+"""Benchmark workloads: the 20-benchmark suite, generators, and inputs."""
+
+from repro.workloads.distance import (
+    hamming_automaton,
+    levenshtein_automaton,
+    levenshtein_nfa,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    PaperRow,
+    build_suite,
+    get_benchmark,
+    suite_by_name,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "PaperRow",
+    "build_suite",
+    "get_benchmark",
+    "hamming_automaton",
+    "levenshtein_automaton",
+    "levenshtein_nfa",
+    "suite_by_name",
+]

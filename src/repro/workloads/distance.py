@@ -1,0 +1,139 @@
+"""Levenshtein and Hamming distance automata.
+
+Two ANMLZoo benchmark families are *distance automata*: given a pattern
+``p`` and an error budget ``k``, they report every input position where a
+string within distance ``k`` of ``p`` ends.
+
+* **Hamming** — substitutions only.  Directly homogeneous: a lattice of
+  states ``(i, e)`` ("matched i pattern symbols with e mismatches").
+* **Levenshtein** — substitutions, insertions and deletions.  Deletions
+  consume no input, so the automaton is built as a classical epsilon-NFA
+  and run through epsilon elimination + homogenisation
+  (:mod:`repro.automata.transform`), exercising the whole front-end
+  pipeline exactly as a user would.
+"""
+
+from __future__ import annotations
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.nfa import Nfa
+from repro.automata.symbols import SymbolSet
+from repro.automata.transform import to_homogeneous
+from repro.errors import AutomatonError
+
+
+def hamming_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    report_code: str | None = None,
+    anchored: bool = False,
+) -> HomogeneousAutomaton:
+    """Automaton reporting substrings within Hamming distance ``distance``.
+
+    States ``(i, e)`` for ``1 <= i <= len(pattern)``, ``0 <= e <= distance``:
+    position *i* consumed with *e* mismatches so far.  A state's label is
+    the matching symbol (``pattern[i-1]``) on the same-error row and its
+    complement on the error-incrementing diagonal.
+    """
+    if not pattern:
+        raise AutomatonError("empty pattern")
+    if distance < 0:
+        raise AutomatonError("distance must be non-negative")
+    if distance >= len(pattern):
+        raise AutomatonError("distance must be smaller than the pattern length")
+    automaton = HomogeneousAutomaton(f"hamming:{pattern!r}:{distance}")
+    start_kind = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    length = len(pattern)
+
+    def state_id(i: int, e: int, matched: bool) -> str:
+        return f"h{i}.{e}.{'m' if matched else 'x'}"
+
+    # Two STEs per lattice point: entered by a match vs by a mismatch.
+    for i in range(1, length + 1):
+        expected = SymbolSet.single(pattern[i - 1])
+        for e in range(distance + 1):
+            reporting = i == length
+            automaton.add_ste(
+                state_id(i, e, True),
+                expected,
+                start=start_kind if i == 1 and e == 0 else StartKind.NONE,
+                reporting=reporting,
+                report_code=report_code if reporting else None,
+            )
+            if e > 0:
+                automaton.add_ste(
+                    state_id(i, e, False),
+                    expected.complement(),
+                    start=start_kind if i == 1 and e == 1 else StartKind.NONE,
+                    reporting=reporting,
+                    report_code=report_code if reporting else None,
+                )
+
+    for i in range(1, length):
+        for e in range(distance + 1):
+            sources = [state_id(i, e, True)]
+            if e > 0:
+                sources.append(state_id(i, e, False))
+            for source in sources:
+                automaton.add_edge(source, state_id(i + 1, e, True))
+                if e < distance:
+                    automaton.add_edge(source, state_id(i + 1, e + 1, False))
+    return automaton
+
+
+def levenshtein_nfa(pattern: bytes, distance: int) -> Nfa:
+    """Classical epsilon-NFA for edit distance (the textbook lattice).
+
+    States ``(i, e)``: *i* pattern symbols matched, *e* edits spent.
+    Edges: match ``(i,e) -p[i]-> (i+1,e)``; substitution
+    ``(i,e) -any-> (i+1,e+1)``; insertion ``(i,e) -any-> (i,e+1)``;
+    deletion ``(i,e) -eps-> (i+1,e+1)``.
+    """
+    if not pattern:
+        raise AutomatonError("empty pattern")
+    if distance < 0:
+        raise AutomatonError("distance must be non-negative")
+    nfa = Nfa()
+    length = len(pattern)
+    any_symbol = SymbolSet.any()
+
+    def name(i: int, e: int) -> str:
+        return f"l{i}.{e}"
+
+    for e in range(distance + 1):
+        nfa.add_state(name(0, e), start=e == 0)
+        for i in range(1, length + 1):
+            nfa.add_state(name(i, e), accept=i == length)
+    for i in range(length + 1):
+        for e in range(distance + 1):
+            if i < length:
+                nfa.add_transition(
+                    name(i, e), SymbolSet.single(pattern[i]), name(i + 1, e)
+                )
+            if e < distance:
+                if i < length:
+                    nfa.add_transition(name(i, e), any_symbol, name(i + 1, e + 1))
+                    nfa.add_epsilon(name(i, e), name(i + 1, e + 1))
+                nfa.add_transition(name(i, e), any_symbol, name(i, e + 1))
+    return nfa
+
+
+def levenshtein_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    anchored: bool = False,
+) -> HomogeneousAutomaton:
+    """Homogeneous edit-distance automaton (ANMLZoo's *Levenshtein*).
+
+    Built from :func:`levenshtein_nfa` through epsilon removal and
+    label-splitting homogenisation.
+    """
+    if distance >= len(pattern):
+        raise AutomatonError("distance must be smaller than the pattern length")
+    nfa = levenshtein_nfa(pattern, distance)
+    start = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    return to_homogeneous(
+        nfa, automaton_id=f"lev:{pattern!r}:{distance}", start=start
+    )

@@ -1,0 +1,86 @@
+"""Export the synthetic benchmark suite as ANML files.
+
+Writes one ``.anml`` per benchmark (plus its input stream as ``.input``),
+giving downstream tools — VASim, the AP SDK, other automata engines — a
+self-contained corpus to chew on::
+
+    python -m repro.workloads.export out/ --scale 1.0 --input-length 100000
+
+The exported files round-trip through :func:`repro.automata.anml.from_anml`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+from typing import List, Optional
+
+from repro.automata.anml import to_anml
+from repro.workloads.suite import Benchmark, build_suite
+
+
+def export_benchmark(
+    benchmark: Benchmark,
+    directory: pathlib.Path,
+    *,
+    input_length: int = 0,
+    seed: int = 1,
+) -> List[pathlib.Path]:
+    """Write one benchmark's ANML (and optionally its input stream)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    anml_path = directory / f"{benchmark.name}.anml"
+    anml_path.write_text(to_anml(benchmark.build()), encoding="utf-8")
+    written.append(anml_path)
+    if input_length > 0:
+        input_path = directory / f"{benchmark.name}.input"
+        input_path.write_bytes(benchmark.input_stream(input_length, seed))
+        written.append(input_path)
+    return written
+
+
+def export_suite(
+    directory: pathlib.Path,
+    *,
+    scale: float = 1.0,
+    input_length: int = 0,
+    seed: int = 1,
+    names: Optional[List[str]] = None,
+) -> List[pathlib.Path]:
+    """Export every benchmark (or the named subset)."""
+    written = []
+    for benchmark in build_suite(scale):
+        if names and benchmark.name not in names:
+            continue
+        written.extend(
+            export_benchmark(
+                benchmark, directory, input_length=input_length, seed=seed
+            )
+        )
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", type=pathlib.Path)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--input-length", type=int, default=0,
+                        help="also write an input stream of this many bytes")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="benchmark names to export (default: all)")
+    arguments = parser.parse_args(argv)
+    written = export_suite(
+        arguments.directory,
+        scale=arguments.scale,
+        input_length=arguments.input_length,
+        seed=arguments.seed,
+        names=arguments.only,
+    )
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

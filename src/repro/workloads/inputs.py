@@ -1,0 +1,114 @@
+"""Input-stream generators for the benchmark suite.
+
+The ANMLZoo benchmarks ship 1 MB/10 MB input traces; offline we
+synthesise streams with the same *statistical role*: background text over
+the workload's alphabet with occasional planted pattern occurrences, so
+matches (and the activity profile driving the energy model) actually
+happen at a realistic rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+DNA_ALPHABET = b"ACGT"
+PROTEIN_ALPHABET = b"ACDEFGHIKLMNPQRSTVWY"
+LOWERCASE = bytes(range(ord("a"), ord("z") + 1))
+
+
+def random_bytes(length: int, *, seed: int = 0) -> bytes:
+    """Uniform random bytes (worst-case background noise)."""
+    rng = random.Random(seed)
+    return rng.randbytes(length)
+
+
+def random_over_alphabet(
+    length: int, alphabet: bytes, *, seed: int = 0, zipf: bool = False
+) -> bytes:
+    """Random stream over ``alphabet``; optionally Zipf-skewed like text."""
+    if not alphabet:
+        raise ReproError("empty alphabet")
+    rng = random.Random(seed)
+    if not zipf:
+        return bytes(rng.choice(alphabet) for _ in range(length))
+    weights = [1.0 / (rank + 1) for rank in range(len(alphabet))]
+    return bytes(rng.choices(alphabet, weights=weights, k=length))
+
+
+def with_planted_matches(
+    background: bytes,
+    needles: Sequence[bytes],
+    *,
+    occurrences: int,
+    seed: int = 0,
+) -> bytes:
+    """Overwrite ``occurrences`` random windows of ``background`` with
+    randomly chosen needles, so the stream contains guaranteed matches."""
+    if not needles:
+        raise ReproError("no needles to plant")
+    rng = random.Random(seed)
+    stream = bytearray(background)
+    longest = max(len(needle) for needle in needles)
+    if longest > len(stream):
+        raise ReproError("needles longer than the stream")
+    for _ in range(occurrences):
+        needle = rng.choice(list(needles))
+        position = rng.randrange(0, len(stream) - len(needle) + 1)
+        stream[position : position + len(needle)] = needle
+    return bytes(stream)
+
+
+def text_stream(
+    length: int,
+    *,
+    seed: int = 0,
+    words: Optional[List[bytes]] = None,
+) -> bytes:
+    """Space-separated pseudo-text from a vocabulary (log/NLP workloads)."""
+    rng = random.Random(seed)
+    if words is None:
+        words = [
+            bytes(rng.choice(LOWERCASE) for _ in range(rng.randint(2, 9)))
+            for _ in range(200)
+        ]
+    pieces: List[bytes] = []
+    size = 0
+    while size <= length:  # join() adds one separator fewer than words
+        word = rng.choice(words)
+        pieces.append(word)
+        size += len(word) + 1
+    return b" ".join(pieces)[:length]
+
+
+def dna_stream(length: int, *, seed: int = 0) -> bytes:
+    """Uniform DNA bases (gene-matching workloads)."""
+    return random_over_alphabet(length, DNA_ALPHABET, seed=seed)
+
+
+def protein_stream(length: int, *, seed: int = 0) -> bytes:
+    """Uniform amino-acid stream (Protomata-style motif search)."""
+    return random_over_alphabet(length, PROTEIN_ALPHABET, seed=seed)
+
+
+def record_stream(
+    length: int,
+    field_alphabet: bytes,
+    *,
+    record_length: int = 16,
+    separator: int = 0x0A,
+    seed: int = 0,
+) -> bytes:
+    """Fixed-length records over a small symbol alphabet with separators
+    (feature vectors for RandomForest-style workloads, item baskets for
+    sequence mining)."""
+    rng = random.Random(seed)
+    stream = bytearray()
+    while len(stream) < length:
+        stream.extend(
+            rng.choice(field_alphabet) for _ in range(record_length - 1)
+        )
+        stream.append(separator)
+    return bytes(stream[:length])

@@ -1,0 +1,412 @@
+"""The 20-benchmark evaluation suite (ANMLZoo + Regex, Table 1).
+
+Each :class:`Benchmark` bundles a deterministic automaton builder, an
+input-stream builder, and the paper's Table 1 row for reference.  The
+synthetic automata are scaled down (hundreds to a few thousand states
+instead of tens of thousands) so the pure-Python evaluation completes in
+minutes; the *structural* characteristics that drive every result —
+CC-size distribution, the effect of prefix merging, the average active
+set — mirror the originals (asserted by the Table 1 tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.automata.anml import HomogeneousAutomaton, merge
+from repro.errors import ReproError
+from repro.regex.compile import compile_patterns, literal_pattern
+from repro.workloads import inputs, synth
+from repro.workloads.distance import hamming_automaton, levenshtein_automaton
+
+Builder = Callable[[], HomogeneousAutomaton]
+InputBuilder = Callable[[int, int], bytes]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One Table 1 row: performance-optimised and space-optimised variants."""
+
+    states: int
+    ccs: int
+    largest_cc: int
+    avg_active: float
+    s_states: int
+    s_ccs: int
+    s_largest_cc: int
+    s_avg_active: float
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One suite entry: named builders plus the paper's reference row."""
+
+    name: str
+    family: str
+    description: str
+    paper: PaperRow
+    build: Builder
+    make_input: InputBuilder
+
+    def input_stream(self, length: int = 20_000, seed: int = 1) -> bytes:
+        return self.make_input(length, seed)
+
+
+def _mutate(word: bytes, edits: int, rng: random.Random, alphabet: bytes) -> bytes:
+    mutated = bytearray(word)
+    for _ in range(edits):
+        mutated[rng.randrange(len(mutated))] = rng.choice(alphabet)
+    return bytes(mutated)
+
+
+def _planted_text(
+    length: int, seed: int, needles: List[bytes], *, rate: float = 0.003
+) -> bytes:
+    background = inputs.random_over_alphabet(
+        length, inputs.LOWERCASE + b"0123456789 ", seed=seed, zipf=True
+    )
+    occurrences = max(2, int(length * rate / max(1, len(needles[0]))))
+    return inputs.with_planted_matches(
+        background, needles, occurrences=occurrences, seed=seed + 1
+    )
+
+
+def _literal_heads(rules: List[str], limit: int = 12) -> List[bytes]:
+    """Leading literal runs of rules, used as plantable needles."""
+    heads = []
+    for rule in rules:
+        head = []
+        for character in rule:
+            if character.isalnum():
+                head.append(character)
+            else:
+                break
+        if len(head) >= 4:
+            heads.append("".join(head).encode())
+        if len(heads) >= limit:
+            break
+    return heads or [rules[0][:4].encode()]
+
+
+def _regex_benchmark(
+    name: str,
+    family: str,
+    description: str,
+    paper: PaperRow,
+    rules_factory: Callable[[], List[str]],
+    *,
+    input_alphabet: Optional[bytes] = None,
+) -> Benchmark:
+    def build() -> HomogeneousAutomaton:
+        rules = rules_factory()
+        machine = compile_patterns(rules, automaton_id=name)
+        return machine
+
+    def make_input(length: int, seed: int) -> bytes:
+        rules = rules_factory()
+        if input_alphabet is not None:
+            return inputs.random_over_alphabet(length, input_alphabet, seed=seed)
+        return _planted_text(length, seed, _literal_heads(rules))
+
+    return Benchmark(name, family, description, paper, build, make_input)
+
+
+# -- individual builders --------------------------------------------------------
+
+
+def _big_alternation_rule(rng: random.Random, words: int, segments: int) -> str:
+    pieces = []
+    for _ in range(segments):
+        options = "|".join(synth._word(rng, 4, 7) for _ in range(words))
+        pieces.append(f"(?:{options})")
+    return "".join(pieces)
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, round(count * scale))
+
+
+def _tcp_rules(scale: float = 1.0) -> List[str]:
+    rng = random.Random(42)
+    rules = synth.ids_rules(_scaled(60, scale), seed=7, dotstar_probability=0.05)
+    rules.append(_big_alternation_rule(rng, words=10, segments=5))
+    rules.append(_big_alternation_rule(rng, words=8, segments=4))
+    return rules
+
+
+def _brill_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    rules = synth.brill_rules(_scaled(220, scale), seed=11)
+    parts = [
+        literal_pattern(rule, report_code=str(index), state_prefix=f"r{index}_")
+        for index, rule in enumerate(rules)
+    ]
+    return merge(parts, automaton_id="Brill")
+
+
+def _brill_input(length: int, seed: int) -> bytes:
+    rules = synth.brill_rules(220, seed=11)
+    words = sorted({w.encode() for rule in rules for w in rule.split()})
+    return inputs.text_stream(length, seed=seed, words=list(words))
+
+
+def _clamav_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    signatures = synth.clamav_signatures(_scaled(45, scale), seed=13)
+    parts = [
+        literal_pattern(s, report_code=str(i), state_prefix=f"sig{i}_")
+        for i, s in enumerate(signatures)
+    ]
+    return merge(parts, automaton_id="ClamAV")
+
+
+def _clamav_input(length: int, seed: int) -> bytes:
+    signatures = [s.encode() for s in synth.clamav_signatures(45, seed=13)]
+    background = inputs.random_over_alphabet(
+        length, b"0123456789abcdef", seed=seed
+    )
+    return inputs.with_planted_matches(
+        background, signatures, occurrences=max(2, length // 4000), seed=seed
+    )
+
+
+def _entity_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    """Entity resolution compiles one matcher per record *pair*, so the
+    same name recurs in many nearly identical automata — the massive
+    redundancy (Table 1: 95K states / 1000 CCs collapsing to 5.7K / 5)
+    that makes it the space-optimisation poster child."""
+    names = synth.entity_resolution_names(_scaled(35, scale), seed=17)
+    parts = [
+        hamming_automaton(name, 1, report_code=name.decode())
+        for name in names
+        for _ in range(4)  # one instance per record-pair context
+    ]
+    return merge(parts, automaton_id="EntityResolution")
+
+
+def _entity_input(length: int, seed: int) -> bytes:
+    rng = random.Random(seed)
+    names = synth.entity_resolution_names(35, seed=17)
+    needles = [
+        _mutate(name, rng.randint(0, 1), rng, inputs.LOWERCASE) for name in names
+    ]
+    return _planted_text(length, seed, needles, rate=0.01)
+
+
+def _levenshtein_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    rng = random.Random(19)
+    words = [
+        bytes(rng.choice(inputs.LOWERCASE) for _ in range(12))
+        for _ in range(_scaled(24, scale))
+    ]
+    parts = [levenshtein_automaton(word, 2) for word in words]
+    return merge(parts, automaton_id="Levenshtein")
+
+
+def _levenshtein_input(length: int, seed: int) -> bytes:
+    rng = random.Random(19)
+    words = [
+        bytes(rng.choice(inputs.LOWERCASE) for _ in range(12)) for _ in range(24)
+    ]
+    plant_rng = random.Random(seed)
+    needles = [_mutate(w, plant_rng.randint(0, 2), plant_rng, inputs.LOWERCASE) for w in words]
+    return _planted_text(length, seed, needles, rate=0.01)
+
+
+def _hamming_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    rng = random.Random(23)
+    genes = [
+        bytes(rng.choice(inputs.DNA_ALPHABET) for _ in range(20))
+        for _ in range(_scaled(40, scale))
+    ]
+    parts = [hamming_automaton(gene, 2) for gene in genes]
+    return merge(parts, automaton_id="Hamming")
+
+
+def _hamming_input(length: int, seed: int) -> bytes:
+    rng = random.Random(23)
+    genes = [
+        bytes(rng.choice(inputs.DNA_ALPHABET) for _ in range(20)) for _ in range(40)
+    ]
+    plant_rng = random.Random(seed)
+    needles = [
+        _mutate(g, plant_rng.randint(0, 2), plant_rng, inputs.DNA_ALPHABET)
+        for g in genes
+    ]
+    background = inputs.dna_stream(length, seed=seed)
+    return inputs.with_planted_matches(
+        background, needles, occurrences=max(2, length // 1500), seed=seed
+    )
+
+
+def _spm_automaton(scale: float = 1.0) -> HomogeneousAutomaton:
+    patterns = synth.spm_patterns(_scaled(260, scale), items_per_pattern=4, seed=29)
+    return compile_patterns(patterns, automaton_id="SPM")
+
+
+def _spm_input(length: int, seed: int) -> bytes:
+    return inputs.random_over_alphabet(length, inputs.LOWERCASE, seed=seed, zipf=True)
+
+
+def _fermi_input(length: int, seed: int) -> bytes:
+    return inputs.random_bytes(length, seed=seed)
+
+
+def _random_forest_input(length: int, seed: int) -> bytes:
+    return inputs.record_stream(
+        length, bytes(range(0x30, 0x40)), record_length=16, seed=seed
+    )
+
+
+def _protomata_input(length: int, seed: int) -> bytes:
+    return inputs.protein_stream(length, seed=seed)
+
+
+# -- the suite -------------------------------------------------------------------
+
+
+def build_suite(scale: float = 1.0) -> List[Benchmark]:
+    """All 20 benchmarks, in Table 1 order.
+
+    ``scale`` multiplies every family's rule/pattern count: 1.0 (default)
+    is the fast test-suite size; ~8-10 approaches the paper's automaton
+    sizes at proportionally longer build/simulation times.
+    """
+    if scale <= 0:
+        raise ReproError(f"scale must be positive, got {scale}")
+    return [
+        _regex_benchmark(
+            "Dotstar03", "regex", "synthetic rules, 30% with .* gaps",
+            PaperRow(12144, 299, 92, 3.78, 11124, 56, 1639, 0.84),
+            lambda: synth.dotstar_rules(_scaled(150, scale), 0.3, seed=3),
+        ),
+        _regex_benchmark(
+            "Dotstar06", "regex", "synthetic rules, 60% with .* gaps",
+            PaperRow(12640, 298, 104, 37.55, 11598, 54, 1595, 3.40),
+            lambda: synth.dotstar_rules(_scaled(150, scale), 0.6, seed=6),
+        ),
+        _regex_benchmark(
+            "Dotstar09", "regex", "synthetic rules, 90% with .* gaps",
+            PaperRow(12431, 297, 104, 38.07, 11229, 59, 1509, 4.39),
+            lambda: synth.dotstar_rules(_scaled(150, scale), 0.9, seed=9),
+        ),
+        _regex_benchmark(
+            "Ranges05", "regex", "rules averaging 0.5 character ranges",
+            PaperRow(12439, 299, 94, 6.00, 11596, 63, 1197, 1.53),
+            lambda: synth.range_rules(_scaled(150, scale), 0.5, seed=5),
+        ),
+        _regex_benchmark(
+            "Ranges1", "regex", "rules averaging 1 character range",
+            PaperRow(12464, 297, 96, 6.43, 11418, 57, 1820, 1.46),
+            lambda: synth.range_rules(_scaled(150, scale), 1.0, seed=10),
+        ),
+        _regex_benchmark(
+            "ExactMatch", "regex", "pure literal rules",
+            PaperRow(12439, 297, 87, 5.99, 11270, 53, 998, 1.42),
+            lambda: synth.exact_match_rules(_scaled(150, scale), seed=15),
+        ),
+        _regex_benchmark(
+            "Bro217", "ids", "Bro IDS payload patterns",
+            PaperRow(2312, 187, 84, 3.40, 1893, 59, 245, 1.89),
+            lambda: synth.ids_rules(_scaled(40, scale), seed=217, dotstar_probability=0.05),
+        ),
+        _regex_benchmark(
+            "TCP", "ids", "Snort TCP-stream rules with a large component",
+            PaperRow(19704, 715, 391, 12.94, 13819, 47, 3898, 2.21),
+            lambda: _tcp_rules(scale),
+        ),
+        _regex_benchmark(
+            "Snort", "ids", "Snort HTTP ruleset slice",
+            PaperRow(69029, 2585, 222, 431.43, 34480, 73, 10513, 29.59),
+            lambda: synth.ids_rules(
+                _scaled(170, scale), seed=31, dotstar_probability=0.25,
+                shared_prefixes=12,
+            ),
+        ),
+        Benchmark(
+            "Brill", "nlp", "Brill-tagger contextual rules",
+            PaperRow(42568, 1962, 67, 1662.76, 26364, 1, 26364, 14.29),
+            lambda: _brill_automaton(scale), _brill_input,
+        ),
+        Benchmark(
+            "ClamAV", "av", "antivirus hex-literal signatures",
+            PaperRow(49538, 515, 542, 82.84, 42543, 41, 11965, 4.30),
+            lambda: _clamav_automaton(scale), _clamav_input,
+        ),
+        _regex_benchmark(
+            "Dotstar", "regex", "general dot-star rule mix",
+            PaperRow(96438, 2837, 95, 45.05, 38951, 90, 2977, 3.25),
+            lambda: synth.dotstar_rules(_scaled(200, scale), 0.5, seed=50),
+        ),
+        Benchmark(
+            "EntityResolution", "database",
+            "approximate (Hamming-1) name matching",
+            PaperRow(95136, 1000, 96, 1192.84, 5672, 5, 4568, 7.88),
+            lambda: _entity_automaton(scale), _entity_input,
+        ),
+        Benchmark(
+            "Levenshtein", "bioinformatics", "edit-distance-2 word automata",
+            PaperRow(2784, 24, 116, 114.21, 2784, 1, 2605, 114.21),
+            lambda: _levenshtein_automaton(scale), _levenshtein_input,
+        ),
+        Benchmark(
+            "Hamming", "bioinformatics", "Hamming-distance-2 gene automata",
+            PaperRow(11346, 93, 122, 285.1, 11254, 69, 11254, 240.09),
+            lambda: _hamming_automaton(scale), _hamming_input,
+        ),
+        Benchmark(
+            "Fermi", "physics", "track-finding path automata, wide labels",
+            PaperRow(40783, 2399, 17, 4715.96, 39032, 648, 39038, 4715.96),
+            lambda: synth.fermi_automaton(_scaled(130, scale), length=10, seed=37),
+            _fermi_input,
+        ),
+        Benchmark(
+            "SPM", "mining", "sequential pattern mining (.*-gapped itemsets)",
+            PaperRow(100500, 5025, 20, 6964.47, 18126, 1, 18126, 1432.55),
+            lambda: _spm_automaton(scale), _spm_input,
+        ),
+        Benchmark(
+            "RandomForest", "ml", "decision-tree ensemble feature chains",
+            PaperRow(33220, 1661, 20, 398.24, 33220, 1, 33220, 398.24),
+            lambda: synth.random_forest_automaton(_scaled(90, scale), 18, seed=41),
+            _random_forest_input,
+        ),
+        _regex_benchmark(
+            "PowerEN", "ids", "IBM PowerEN regex set",
+            PaperRow(14109, 1000, 48, 61.02, 12194, 62, 357, 30.02),
+            lambda: synth.ids_rules(
+                _scaled(110, scale), seed=43, class_probability=0.35,
+                dotstar_probability=0.08,
+            ),
+        ),
+        Benchmark(
+            "Protomata", "bioinformatics", "PROSITE protein motifs",
+            PaperRow(42011, 2340, 123, 1578.51, 38243, 513, 3745, 594.68),
+            lambda: compile_patterns(
+                synth.prosite_motifs(_scaled(170, scale), seed=47),
+                automaton_id="Protomata",
+            ),
+            _protomata_input,
+        ),
+    ]
+
+
+_SUITE_CACHE: Optional[Dict[str, Benchmark]] = None
+
+
+def suite_by_name() -> Dict[str, Benchmark]:
+    global _SUITE_CACHE
+    if _SUITE_CACHE is None:
+        _SUITE_CACHE = {benchmark.name: benchmark for benchmark in build_suite()}
+    return _SUITE_CACHE
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return suite_by_name()[name]
+    except KeyError:
+        known = ", ".join(sorted(suite_by_name()))
+        raise ReproError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+BENCHMARK_NAMES = [benchmark.name for benchmark in build_suite()]

@@ -1,0 +1,320 @@
+"""Synthetic generators for the benchmark families.
+
+The real ANMLZoo/Regex rule sets are not redistributable, so each family
+is *re-synthesised from its published recipe*: the generators below
+produce rule sets / automata whose structure (connected-component size
+distribution, label shapes, activity behaviour) mirrors the Table 1
+characterisation, scaled down so pure-Python simulation stays fast.
+
+All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.symbols import SymbolSet
+from repro.errors import ReproError
+from repro.workloads.inputs import LOWERCASE, PROTEIN_ALPHABET
+
+#: Characters safe to embed in generated regexes without escaping.
+_SAFE = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _word(rng: random.Random, low: int, high: int) -> str:
+    return "".join(rng.choice(_SAFE) for _ in range(rng.randint(low, high)))
+
+
+# -- Regex-suite families (Becchi's workload generator recipes) ----------------
+
+
+def _prefix_pool(rng: random.Random, count: int) -> List[str]:
+    """Shared rule prefixes: real rule sets (Snort payloads, protocol
+    headers, signature families) share long leading literals, which is
+    what makes prefix merging shrink them severalfold."""
+    return [_word(rng, 6, 10) for _ in range(count)]
+
+
+def dotstar_rules(
+    count: int,
+    dotstar_fraction: float,
+    *,
+    seed: int = 0,
+    prefix_sharing: int = 12,
+) -> List[str]:
+    """Becchi-style synthetic rules: literals, a fraction containing ``.*``.
+
+    ``Dotstar0.3/0.6/0.9`` differ in the probability that a rule contains
+    unbounded ``.*`` gaps; more dot-stars mean more long-lived active
+    states.  ``prefix_sharing`` rules on average share each leading
+    literal (0 disables sharing).
+    """
+    if not 0.0 <= dotstar_fraction <= 1.0:
+        raise ReproError(f"bad dotstar fraction {dotstar_fraction}")
+    rng = random.Random(seed)
+    prefixes = (
+        _prefix_pool(rng, max(1, count // prefix_sharing)) if prefix_sharing else []
+    )
+    rules = []
+    for _ in range(count):
+        segments = [_word(rng, 4, 10) for _ in range(rng.randint(2, 3))]
+        if prefixes:
+            segments[0] = rng.choice(prefixes) + segments[0][:3]
+        if rng.random() < dotstar_fraction:
+            rules.append(".*".join(segments))
+        else:
+            rules.append("".join(segments))
+    return rules
+
+
+def range_rules(
+    count: int,
+    ranges_per_rule: float,
+    *,
+    seed: int = 0,
+    prefix_sharing: int = 12,
+) -> List[str]:
+    """Rules with character ranges (the ``Ranges0.5`` / ``Ranges1`` sets)."""
+    rng = random.Random(seed)
+    prefixes = (
+        _prefix_pool(rng, max(1, count // prefix_sharing)) if prefix_sharing else []
+    )
+    rules = []
+    for _ in range(count):
+        pieces = [rng.choice(prefixes)] if prefixes else []
+        length = rng.randint(8, 16)
+        expected_ranges = ranges_per_rule
+        for position in range(length):
+            if rng.random() < expected_ranges / length:
+                letters = _SAFE[:26]  # ranges stay within a-z (byte-ordered)
+                low = rng.choice(letters[:20])
+                span = rng.randint(2, 8)
+                high_index = min(letters.index(low) + span, len(letters) - 1)
+                pieces.append(f"[{low}-{letters[high_index]}]")
+            else:
+                pieces.append(rng.choice(_SAFE))
+        rules.append("".join(pieces))
+    return rules
+
+
+def exact_match_rules(
+    count: int, *, seed: int = 0, prefix_sharing: int = 12
+) -> List[str]:
+    """Pure literal rules (the ``ExactMatch`` set)."""
+    rng = random.Random(seed)
+    prefixes = (
+        _prefix_pool(rng, max(1, count // prefix_sharing)) if prefix_sharing else []
+    )
+    return [
+        (rng.choice(prefixes) if prefixes else "") + _word(rng, 6, 12)
+        for _ in range(count)
+    ]
+
+
+def ids_rules(
+    count: int,
+    *,
+    seed: int = 0,
+    class_probability: float = 0.25,
+    repeat_probability: float = 0.15,
+    dotstar_probability: float = 0.1,
+    shared_prefixes: int = 0,
+) -> List[str]:
+    """Snort/Bro/PowerEN-flavoured IDS rules: literals, classes, bounded
+    repeats, occasional ``.*`` gaps, and optional shared prefixes (which
+    is what makes prefix merging effective on real IDS sets)."""
+    rng = random.Random(seed)
+    prefixes = [_word(rng, 4, 6) for _ in range(shared_prefixes)] or [""]
+    rules = []
+    for _ in range(count):
+        pieces: List[str] = [rng.choice(prefixes)]
+        for _ in range(rng.randint(5, 12)):
+            roll = rng.random()
+            if roll < class_probability:
+                members = "".join(
+                    sorted(rng.sample(_SAFE, rng.randint(2, 5)))
+                )
+                pieces.append(f"[{members}]")
+            elif roll < class_probability + repeat_probability:
+                low = rng.randint(1, 3)
+                pieces.append(f"{rng.choice(_SAFE)}{{{low},{low + rng.randint(0, 3)}}}")
+            else:
+                pieces.append(rng.choice(_SAFE))
+        if rng.random() < dotstar_probability:
+            pieces.insert(rng.randint(1, len(pieces) - 1), ".*")
+        rules.append("".join(pieces))
+    return rules
+
+
+def clamav_signatures(
+    count: int, *, seed: int = 0, family_sharing: int = 4
+) -> List[str]:
+    """Long literal virus signatures (hex-string style, 30-80 symbols).
+
+    Signatures of one malware *family* share a long common head — the
+    redundancy ClamAV's own signature format exploits and that prefix
+    merging recovers."""
+    rng = random.Random(seed)
+    families = [
+        "".join(rng.choice("0123456789abcdef") for _ in range(rng.randint(16, 28)))
+        for _ in range(max(1, count // family_sharing))
+    ]
+    return [
+        rng.choice(families)
+        + "".join(rng.choice("0123456789abcdef") for _ in range(rng.randint(14, 40)))
+        for _ in range(count)
+    ]
+
+
+def prosite_motifs(count: int, *, seed: int = 0) -> List[str]:
+    """PROSITE-style protein motifs (the Protomata family).
+
+    Amino-acid alternatives in classes, fixed and bounded gaps, e.g.
+    ``[AG]C.{2,4}[DE]HH``.
+    """
+    rng = random.Random(seed)
+    amino = PROTEIN_ALPHABET.decode()
+    # Motif families share conserved heads (protein domains recur).
+    heads = ["".join(rng.choice(amino) for _ in range(4)) for _ in range(count // 8 or 1)]
+    motifs = []
+    for _ in range(count):
+        pieces: List[str] = [rng.choice(heads)]
+        for _ in range(rng.randint(4, 10)):
+            roll = rng.random()
+            if roll < 0.3:
+                members = "".join(sorted(rng.sample(amino, rng.randint(2, 4))))
+                pieces.append(f"[{members}]")
+            elif roll < 0.45:
+                low = rng.randint(1, 3)
+                pieces.append(f".{{{low},{low + rng.randint(0, 2)}}}")
+            else:
+                pieces.append(rng.choice(amino))
+        motifs.append("".join(pieces))
+    return motifs
+
+
+def spm_patterns(
+    count: int, *, item_alphabet: bytes = LOWERCASE, items_per_pattern: int = 4,
+    seed: int = 0,
+) -> List[str]:
+    """Sequential-pattern-mining queries: items separated by ``.*`` gaps.
+
+    Every triggered gap state self-loops forever, which is what gives SPM
+    its enormous average active set (Table 1: ~7000).
+    """
+    rng = random.Random(seed)
+    alphabet = item_alphabet.decode("latin-1")
+    return [
+        ".*".join(rng.choice(alphabet) for _ in range(items_per_pattern))
+        for _ in range(count)
+    ]
+
+
+def brill_rules(count: int, *, seed: int = 0, vocabulary: int = 40) -> List[str]:
+    """Brill-tagger contextual rules: templates over a small shared
+    vocabulary, so common prefixes abound and prefix merging collapses
+    the rule set into one big component (Table 1: 1962 CCs -> 1)."""
+    rng = random.Random(seed)
+    words = [_word(rng, 3, 6) for _ in range(vocabulary)]
+    tags = ["nn", "vb", "jj", "dt", "in", "rb"]
+    rules = []
+    for _ in range(count):
+        rules.append(
+            f"{rng.choice(words)} {rng.choice(tags)} {rng.choice(words)}"
+        )
+    return rules
+
+
+# -- Direct automaton families --------------------------------------------------
+
+
+def random_forest_automaton(
+    trees: int,
+    depth: int,
+    *,
+    feature_alphabet: bytes = bytes(range(0x30, 0x40)),
+    seed: int = 0,
+) -> HomogeneousAutomaton:
+    """Decision-tree ensembles as chain automata (the RandomForest family).
+
+    Each tree path is a chain of feature-interval tests applied to a
+    stream of feature symbols; every chain is its own small CC and many
+    chains match simultaneously — high average active set, near-zero
+    cross-CC redundancy (Table 1: optimisation does not shrink it).
+    """
+    rng = random.Random(seed)
+    automaton = HomogeneousAutomaton("randomforest")
+    low, high = feature_alphabet[0], feature_alphabet[-1]
+    for tree in range(trees):
+        previous = None
+        for level in range(depth):
+            split = rng.randint(low, high - 1)
+            if rng.random() < 0.5:
+                label = SymbolSet.from_range(low, split)
+            else:
+                label = SymbolSet.from_range(split + 1, high)
+            ste_id = f"t{tree}n{level}"
+            automaton.add_ste(
+                ste_id,
+                label,
+                start=StartKind.ALL_INPUT if level == 0 else StartKind.NONE,
+                reporting=level == depth - 1,
+                report_code=f"tree{tree}" if level == depth - 1 else None,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, ste_id)
+            previous = ste_id
+    return automaton
+
+
+def fermi_automaton(
+    paths: int,
+    *,
+    length: int = 10,
+    seed: int = 0,
+) -> HomogeneousAutomaton:
+    """Fermi track-finding: many tiny CCs with very wide labels.
+
+    Hit coordinates are coarse, so each state matches a broad symbol
+    range and a large fraction of all states is active every cycle
+    (Table 1: ~4700 average active of ~40K states).
+    """
+    rng = random.Random(seed)
+    automaton = HomogeneousAutomaton("fermi")
+    for path in range(paths):
+        previous = None
+        for position in range(length):
+            centre = rng.randrange(0, 256)
+            half_width = rng.randint(40, 90)
+            label = SymbolSet.from_range(
+                max(0, centre - half_width), min(255, centre + half_width)
+            )
+            ste_id = f"f{path}.{position}"
+            automaton.add_ste(
+                ste_id,
+                label,
+                start=StartKind.ALL_INPUT if position == 0 else StartKind.NONE,
+                reporting=position == length - 1,
+                report_code=f"track{path}" if position == length - 1 else None,
+            )
+            if previous is not None:
+                automaton.add_edge(previous, ste_id)
+            previous = ste_id
+    return automaton
+
+
+def entity_resolution_names(
+    count: int, *, seed: int = 0, first_letters: str = "abcde"
+) -> List[bytes]:
+    """Name corpus for entity resolution, skewed onto few first letters so
+    prefix merging collapses the per-name CCs into a handful of tries
+    (Table 1: 1000 CCs -> 5)."""
+    rng = random.Random(seed)
+    names = []
+    for _ in range(count):
+        first = rng.choice(first_letters)
+        rest = _word(rng, 5, 10)
+        names.append((first + rest).encode())
+    return names

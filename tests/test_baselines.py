@@ -1,0 +1,138 @@
+"""Tests for the AP, CPU, and ASIC baseline models."""
+
+import pytest
+
+from repro.baselines.ap import ApModel, CpuReferenceModel
+from repro.baselines.asic import (
+    HARE,
+    TABLE5_INPUT_BYTES,
+    UAP,
+    ca_operating_point,
+    table5_rows,
+)
+from repro.baselines.cpu import DfaCpuEngine, try_build_engine
+from repro.core.design import CA_P, CA_S
+from repro.core.energy import ActivityProfile
+from repro.regex.compile import compile_patterns
+from repro.sim.golden import match_offsets
+
+
+class TestApModel:
+    def test_throughput_is_line_rate(self):
+        ap = ApModel()
+        assert ap.throughput_gbps == pytest.approx(0.133 * 8)
+
+    def test_headline_speedups(self):
+        """Section 5.1: CA_P is 15x, CA_S 9x over AP; 3840x over CPU."""
+        ap = ApModel()
+        cpu = CpuReferenceModel()
+        assert ap.speedup_of(CA_P) == pytest.approx(15.0, rel=0.01)
+        assert ap.speedup_of(CA_S) == pytest.approx(9.0, rel=0.01)
+        assert cpu.speedup_of(CA_P) == pytest.approx(3840, rel=0.01)
+
+    def test_runtime(self):
+        ap = ApModel()
+        assert ap.runtime_ms(133_000_000) == pytest.approx(1000.0)
+        with_config = ap.runtime_ms(133_000_000, include_configuration=True)
+        assert with_config > 1000.0
+
+    def test_ideal_energy_model(self):
+        """1 pJ/bit x 256-bit rows x active partitions (Section 5.3)."""
+        ap = ApModel()
+        profile = ActivityProfile(symbols=100, partition_activations=100)
+        assert ap.ideal_energy_per_symbol_nj(profile) == pytest.approx(0.256)
+
+    def test_area_scaling(self):
+        ap = ApModel()
+        assert ap.area_mm2(32 * 1024) == 38.0
+        assert ap.area_mm2(64 * 1024) == 76.0
+
+    def test_cpu_throughput(self):
+        cpu = CpuReferenceModel()
+        assert cpu.throughput_gbps == pytest.approx(ApModel().throughput_gbps / 256)
+
+
+class TestDfaCpuEngine:
+    def test_matches_golden(self, figure1_automaton, figure1_text):
+        engine = DfaCpuEngine(figure1_automaton)
+        assert engine.match_offsets(figure1_text) == match_offsets(
+            figure1_automaton, figure1_text
+        )
+
+    def test_anchored_patterns_stay_anchored(self):
+        """Regression: the scanning embedding must not re-arm
+        start-of-data states at every position."""
+        machine = compile_patterns(["^head", "tail"])
+        engine = DfaCpuEngine(machine)
+        text = b"head then head again, tail"
+        assert engine.match_offsets(text) == match_offsets(machine, text)
+        # Only the position-0 'head' fires.
+        assert 3 in engine.match_offsets(text)
+        assert 13 not in engine.match_offsets(text)
+
+    def test_regex_rules_match_golden(self):
+        machine = compile_patterns(["a[bc]+d", "xy.z", "k{2,3}m"])
+        engine = DfaCpuEngine(machine)
+        text = b"zabcd xy9z kkkm abbbcd"
+        assert engine.match_offsets(text) == match_offsets(machine, text)
+
+    def test_blowup_factor(self, figure1_automaton):
+        engine = DfaCpuEngine(figure1_automaton)
+        assert engine.blowup_factor > 0
+        assert engine.nfa_state_count == len(figure1_automaton)
+
+    def test_table_bytes(self, figure1_automaton):
+        engine = DfaCpuEngine(figure1_automaton)
+        assert engine.table_bytes() == engine.dfa_state_count * 256 * 8
+
+    def test_minimize_reduces_or_keeps(self, figure1_automaton):
+        minimised = DfaCpuEngine(figure1_automaton, minimize=True)
+        raw = DfaCpuEngine(figure1_automaton, minimize=False)
+        assert minimised.dfa_state_count <= raw.dfa_state_count
+
+    def test_try_build_engine_blowup_guard(self):
+        # Dotstar-heavy rules blow up; a tiny cap forces the None path.
+        machine = compile_patterns([f"a.*{c}x.*y" for c in "bcdefgh"])
+        assert try_build_engine(machine, max_states=10) is None
+
+    def test_try_build_engine_success(self, figure1_automaton):
+        assert try_build_engine(figure1_automaton) is not None
+
+
+class TestAsicTable5:
+    def test_reference_points(self):
+        assert HARE.power_watts == 125.0
+        assert UAP.area_mm2 == 5.67
+        # Runtime at published throughput over 10 MB.
+        assert HARE.runtime_ms() == pytest.approx(
+            TABLE5_INPUT_BYTES * 8 / 3.9e9 * 1e3, rel=0.01
+        )
+
+    def test_ca_rows_shape(self):
+        """CA must beat both ASICs on throughput; CA_S must be close to
+        UAP's energy; CA area stays below UAP+HARE."""
+        profile = ActivityProfile(
+            symbols=1000, partition_activations=4000,
+            g1_crossings=100, g1_switch_activations=100,
+        )
+        ca_p = ca_operating_point(CA_P, profile)
+        profile_s = ActivityProfile(symbols=1000, partition_activations=3000)
+        ca_s = ca_operating_point(CA_S, profile_s)
+        assert ca_p.throughput_gbps > UAP.throughput_gbps > HARE.throughput_gbps
+        assert ca_s.throughput_gbps > UAP.throughput_gbps
+        assert ca_p.runtime_ms < UAP.runtime_ms() < HARE.runtime_ms()
+        assert ca_p.area_mm2 < HARE.area_mm2
+        assert ca_p.energy_nj_per_byte < HARE.energy_nj_per_byte
+
+    def test_runtime_includes_configuration(self):
+        profile = ActivityProfile(symbols=10, partition_activations=10)
+        point = ca_operating_point(CA_P, profile)
+        pure_stream = TABLE5_INPUT_BYTES / 2e9 * 1e3
+        assert point.runtime_ms == pytest.approx(pure_stream + 0.2, rel=0.01)
+
+    def test_table5_grid(self):
+        profile = ActivityProfile(symbols=10, partition_activations=10)
+        rows = table5_rows([ca_operating_point(CA_P, profile)])
+        assert rows[0][:3] == ("Metric", "HARE (W=32)", "UAP")
+        assert len(rows) == 6
+        assert all(len(row) == len(rows[0]) for row in rows)

@@ -1,0 +1,113 @@
+"""Tests for the character-class expression parser."""
+
+import pytest
+
+from repro.automata.charclass import parse_class_body, parse_escape, parse_symbol_set
+from repro.automata.symbols import SymbolSet
+from repro.errors import SymbolSetError
+
+
+class TestParseSymbolSet:
+    def test_wildcards(self):
+        assert parse_symbol_set("*").is_full()
+        assert parse_symbol_set(".").is_full()  # ANML convention
+
+    def test_single_character(self):
+        assert parse_symbol_set("a") == SymbolSet.single("a")
+
+    def test_bracket_class(self):
+        assert parse_symbol_set("[abc]") == SymbolSet.from_string("abc")
+
+    def test_range(self):
+        assert parse_symbol_set("[a-e]") == SymbolSet.from_range("a", "e")
+
+    def test_mixed_members_and_ranges(self):
+        expected = SymbolSet.from_range("0", "9") | SymbolSet.from_string("xy")
+        assert parse_symbol_set("[0-9xy]") == expected
+
+    def test_negation(self):
+        assert parse_symbol_set("[^a]") == SymbolSet.single("a").complement()
+
+    def test_literal_dash_at_end(self):
+        assert parse_symbol_set("[a-]") == SymbolSet.from_string("a-")
+
+    def test_hex_escape(self):
+        assert parse_symbol_set(r"\x41") == SymbolSet.single("A")
+        assert parse_symbol_set(r"[\x00-\x1f]") == SymbolSet.from_range(0, 0x1F)
+
+    def test_shorthand_classes(self):
+        assert parse_symbol_set(r"\d") == SymbolSet.from_range("0", "9")
+        assert parse_symbol_set(r"\D") == SymbolSet.from_range("0", "9").complement()
+        assert "_" in parse_symbol_set(r"\w")
+        assert " " in parse_symbol_set(r"\s")
+
+    def test_control_escapes(self):
+        assert parse_symbol_set(r"\n") == SymbolSet.single("\n")
+        assert parse_symbol_set(r"\t") == SymbolSet.single("\t")
+        assert parse_symbol_set(r"\0") == SymbolSet.single(0)
+
+    def test_escaped_metacharacter(self):
+        assert parse_symbol_set(r"\[") == SymbolSet.single("[")
+        assert parse_symbol_set(r"\\") == SymbolSet.single("\\")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("")
+
+    def test_unterminated_class(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("[abc")
+
+    def test_trailing_junk(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("[ab]x")
+
+    def test_reversed_range(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("[z-a]")
+
+    def test_truncated_hex(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set(r"\x4")
+
+    def test_bad_hex(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set(r"\xgg")
+
+    def test_dangling_backslash(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("\\")
+
+    def test_multichar_nonclass_rejected(self):
+        with pytest.raises(SymbolSetError):
+            parse_symbol_set("ab")
+
+
+class TestClassBody:
+    def test_returns_end_position(self):
+        symbols, end = parse_class_body("[abc]xyz", 1)
+        assert symbols == SymbolSet.from_string("abc")
+        assert end == 5
+
+    def test_shorthand_inside_class(self):
+        symbols, _ = parse_class_body(r"[\dx]", 1)
+        assert symbols == SymbolSet.from_range("0", "9") | SymbolSet.single("x")
+
+    def test_range_endpoint_cannot_be_class(self):
+        with pytest.raises(SymbolSetError):
+            parse_class_body(r"[a-\d]", 1)
+
+    def test_negated_range(self):
+        symbols, _ = parse_class_body("[^a-z]", 1)
+        assert symbols == SymbolSet.from_range("a", "z").complement()
+
+
+class TestEscape:
+    def test_returns_position_after(self):
+        symbols, end = parse_escape(r"\x41B", 0)
+        assert symbols == SymbolSet.single("A")
+        assert end == 4
+
+    def test_not_an_escape(self):
+        with pytest.raises(SymbolSetError):
+            parse_escape("abc", 0)

@@ -1,0 +1,131 @@
+"""Tests for suspend/resume (Section 2.9): splitting a stream at any point
+and resuming from the checkpoint must reproduce one long run exactly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.regex.compile import compile_patterns
+from repro.sim.functional import MappedSimulator
+from repro.sim.golden import Checkpoint, GoldenSimulator
+
+
+def reports_of(result):
+    return [(r.offset, r.ste_id) for r in result.reports]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return compile_patterns(["needle", "na[gn]a+", "^anchor", "spl", "it"])
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = random.Random(77)
+    background = bytearray(
+        rng.choice(b"abceghilnoprst ") for _ in range(3000)
+    )
+    background[100:106] = b"needle"
+    background[1500:1506] = b"needle"
+    background[0:6] = b"anchor"
+    background[2000:2005] = b"split"
+    return bytes(background)
+
+
+class TestGoldenResume:
+    @pytest.mark.parametrize("split", [0, 1, 5, 99, 103, 1502, 2999, 3000])
+    def test_split_equals_full_run(self, machine, stream, split):
+        simulator = GoldenSimulator(machine)
+        full = simulator.run(stream)
+        first = simulator.run(stream[:split])
+        second = simulator.run(stream[split:], resume=first.checkpoint)
+        assert reports_of(first) + reports_of(second) == reports_of(full)
+
+    def test_checkpoint_fields(self, machine, stream):
+        simulator = GoldenSimulator(machine)
+        result = simulator.run(stream[:10])
+        assert result.checkpoint.symbols_processed == 10
+        assert not result.checkpoint.start_of_data_pending
+
+    def test_sod_pending_before_first_symbol(self, machine):
+        simulator = GoldenSimulator(machine)
+        result = simulator.run(b"")
+        assert result.checkpoint.start_of_data_pending
+        resumed = simulator.run(b"anchor", resume=result.checkpoint)
+        assert any(r.offset == 5 for r in resumed.reports)
+
+    def test_sod_not_rearmed_after_resume(self, machine):
+        """'^anchor' must not fire when the stream resumes mid-way."""
+        simulator = GoldenSimulator(machine)
+        first = simulator.run(b"xy")
+        resumed = simulator.run(b"anchor", resume=first.checkpoint)
+        assert not any(r.ste_id.startswith("m2_") for r in resumed.reports)
+
+    def test_many_random_splits(self, machine, stream):
+        simulator = GoldenSimulator(machine)
+        full = reports_of(simulator.run(stream))
+        rng = random.Random(3)
+        for _ in range(10):
+            a, b = sorted(rng.sample(range(len(stream)), 2))
+            r1 = simulator.run(stream[:a])
+            r2 = simulator.run(stream[a:b], resume=r1.checkpoint)
+            r3 = simulator.run(stream[b:], resume=r2.checkpoint)
+            assert reports_of(r1) + reports_of(r2) + reports_of(r3) == full
+
+
+class TestMappedResume:
+    def test_split_equals_full_run(self, machine, stream):
+        simulator = MappedSimulator(compile_automaton(machine, CA_P))
+        full = simulator.run(stream)
+        for split in (0, 101, 1503, len(stream)):
+            first = simulator.run(stream[:split])
+            second = simulator.run(stream[split:], resume=first.checkpoint)
+            assert reports_of(first) + reports_of(second) == reports_of(full)
+
+    def test_mapped_checkpoint_matches_golden_semantics(self, machine, stream):
+        golden = GoldenSimulator(machine)
+        mapped = MappedSimulator(compile_automaton(machine, CA_P))
+        golden_split = golden.run(stream[:500])
+        mapped_split = mapped.run(stream[:500])
+        golden_rest = golden.run(stream[500:], resume=golden_split.checkpoint)
+        mapped_rest = mapped.run(stream[500:], resume=mapped_split.checkpoint)
+        assert sorted(reports_of(golden_rest)) == sorted(reports_of(mapped_rest))
+
+    def test_activity_profile_split_merges(self, machine, stream):
+        """Profiles of split runs merge to the full run's profile."""
+        simulator = MappedSimulator(compile_automaton(machine, CA_P))
+        full = simulator.run(stream, collect_reports=False)
+        first = simulator.run(stream[:1000], collect_reports=False)
+        second = simulator.run(
+            stream[1000:], collect_reports=False, resume=first.checkpoint
+        )
+        merged = first.profile.merged_with(second.profile)
+        assert merged.symbols == full.profile.symbols
+        assert merged.partition_activations == full.profile.partition_activations
+        assert merged.g1_crossings == full.profile.g1_crossings
+
+
+class TestCheckpointProperties:
+    @given(
+        st.text(alphabet="ans", max_size=40),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_split_any_input(self, text, split):
+        machine = compile_patterns(["na", "ans", "s"])
+        simulator = GoldenSimulator(machine)
+        data = text.encode()
+        split = min(split, len(data))
+        full = reports_of(simulator.run(data))
+        first = simulator.run(data[:split])
+        second = simulator.run(data[split:], resume=first.checkpoint)
+        assert reports_of(first) + reports_of(second) == full
+
+    def test_checkpoint_is_frozen(self):
+        checkpoint = Checkpoint(0, 0, True)
+        with pytest.raises(AttributeError):
+            checkpoint.symbols_processed = 5

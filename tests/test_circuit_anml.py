@@ -1,0 +1,110 @@
+"""Tests for circuit-level ANML XML round-tripping."""
+
+import pytest
+
+from repro.automata.anml import StartKind
+from repro.automata.circuit_anml import circuit_from_anml, circuit_to_anml
+from repro.automata.elements import CircuitAutomaton, CounterMode, GateKind
+from repro.automata.symbols import SymbolSet
+from repro.errors import AnmlError
+from repro.sim.circuit import simulate_circuit
+
+
+@pytest.fixture
+def full_circuit() -> CircuitAutomaton:
+    circuit = CircuitAutomaton("full")
+    circuit.add_ste("tick", SymbolSet.single("t"), start=StartKind.ALL_INPUT)
+    circuit.add_ste("reset", SymbolSet.single("r"), start=StartKind.ALL_INPUT)
+    circuit.add_ste("follow", SymbolSet.single("f"), reporting=True,
+                    report_code="F")
+    circuit.add_gate("watch", GateKind.OR, reporting=True, report_code="W")
+    circuit.add_counter("c3", 3, mode=CounterMode.PULSE, reporting=True,
+                        report_code="C")
+    circuit.connect("tick", "c3", port="count")
+    circuit.connect("reset", "c3", port="reset")
+    circuit.connect("c3", "watch")
+    circuit.connect("c3", "follow")
+    return circuit
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, full_circuit):
+        parsed = circuit_from_anml(circuit_to_anml(full_circuit))
+        assert len(parsed) == len(full_circuit)
+        assert sorted(parsed.edges()) == sorted(full_circuit.edges())
+        assert parsed.counter("c3").mode is CounterMode.PULSE
+        assert parsed.counter("c3").target == 3
+        assert parsed.gate("watch").kind is GateKind.OR
+        assert parsed.ste("tick").start is StartKind.ALL_INPUT
+
+    def test_behaviour_preserved(self, full_circuit):
+        parsed = circuit_from_anml(circuit_to_anml(full_circuit))
+        data = b"tttf trttt f"
+        original = sorted(
+            (r.offset, r.report_code)
+            for r in simulate_circuit(full_circuit, data).reports
+        )
+        roundtripped = sorted(
+            (r.offset, r.report_code)
+            for r in simulate_circuit(parsed, data).reports
+        )
+        assert original == roundtripped
+
+    def test_counter_port_syntax(self):
+        """Counter ports serialise as 'id:port' and parse back."""
+        document = circuit_to_anml(_counter_circuit())
+        assert "c:count" in document or 'element="c"' in document
+        parsed = circuit_from_anml(document)
+        assert parsed.inputs_to("c", "count") == ["s"]
+
+    def test_bare_counter_reference_means_count(self):
+        document = (
+            '<anml-network id="x">'
+            '<state-transition-element id="s" symbol-set="s" start="all-input">'
+            '<activate-on-match element="c"/></state-transition-element>'
+            '<counter id="c" target="2" at-target="latch">'
+            "<report-on-match/></counter>"
+            "</anml-network>"
+        )
+        parsed = circuit_from_anml(document)
+        assert parsed.inputs_to("c", "count") == ["s"]
+
+
+class TestErrors:
+    def test_bad_counter_target(self):
+        with pytest.raises(AnmlError):
+            circuit_from_anml(
+                '<anml-network id="x"><counter id="c" target="lots"/>'
+                "</anml-network>"
+            )
+
+    def test_missing_counter_target(self):
+        with pytest.raises(AnmlError):
+            circuit_from_anml(
+                '<anml-network id="x"><counter id="c"/></anml-network>'
+            )
+
+    def test_unknown_at_target(self):
+        with pytest.raises(AnmlError):
+            circuit_from_anml(
+                '<anml-network id="x"><counter id="c" target="2" '
+                'at-target="never"/></anml-network>'
+            )
+
+    def test_unknown_element(self):
+        with pytest.raises(AnmlError):
+            circuit_from_anml(
+                '<anml-network id="x"><xor id="g"/></anml-network>'
+            )
+
+    def test_missing_id(self):
+        with pytest.raises(AnmlError):
+            circuit_from_anml('<anml-network id="x"><or/></anml-network>')
+
+
+def _counter_circuit() -> CircuitAutomaton:
+    circuit = CircuitAutomaton()
+    circuit.add_ste("s", SymbolSet.single("s"), start=StartKind.ALL_INPUT)
+    circuit.add_counter("c", 2, reporting=True)
+    circuit.connect("s", "c", port="count")
+    return circuit

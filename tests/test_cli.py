@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("# demo\nbat\nbar[t]?\nc[ao]t\n")
+    return str(path)
+
+
+@pytest.fixture
+def input_file(tmp_path):
+    path = tmp_path / "input.bin"
+    path.write_bytes(b"the cart hit a bat and the cat ran")
+    return str(path)
+
+
+class TestCompile:
+    def test_basic(self, rules_file, capsys):
+        assert main(["compile", rules_file]) == 0
+        output = capsys.readouterr().out
+        assert "CA_P" in output
+        assert "partitions" in output
+        assert "bitstream" in output
+
+    def test_space_design(self, rules_file, capsys):
+        assert main(["compile", rules_file, "--design", "CA_S"]) == 0
+        assert "CA_S" in capsys.readouterr().out
+
+    def test_anml_export_roundtrips(self, rules_file, tmp_path, capsys):
+        anml_path = str(tmp_path / "out.anml")
+        assert main(["compile", rules_file, "--anml", anml_path]) == 0
+        assert main(["anml-info", anml_path]) == 0
+        output = capsys.readouterr().out
+        assert "components:" in output
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/rules.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_rules(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing but comments\n")
+        assert main(["compile", str(path)]) == 1
+        assert "no rules" in capsys.readouterr().err
+
+
+class TestScan:
+    def test_finds_matches(self, rules_file, input_file, capsys):
+        assert main(["scan", rules_file, input_file]) == 0
+        output = capsys.readouterr().out
+        assert "'bat'" in output
+        assert "matches in" in output
+        assert "nJ/symbol" in output
+
+    def test_limit(self, tmp_path, capsys):
+        rules = tmp_path / "r.txt"
+        rules.write_text("a\n")
+        data = tmp_path / "d.bin"
+        data.write_bytes(b"a" * 50)
+        assert main(["scan", str(rules), str(data), "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "and 47 more" in output
+
+
+class TestDesigns:
+    def test_lists_design_points(self, capsys):
+        assert main(["designs"]) == 0
+        output = capsys.readouterr().out
+        for name in ("CA_P", "CA_S", "CA_64"):
+            assert name in output
+
+
+class TestAnmlInfo:
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.anml"
+        path.write_text("<not-anml/>")
+        assert main(["anml-info", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSaveMapping:
+    def test_save_and_reload(self, rules_file, tmp_path, capsys):
+        from repro.compiler import mapping_from_json
+
+        path = str(tmp_path / "mapping.json")
+        assert main(["compile", rules_file, "--save-mapping", path]) == 0
+        assert "mapping written" in capsys.readouterr().out
+        mapping = mapping_from_json(open(path, encoding="utf-8").read())
+        assert mapping.design.name == "CA_P"
+        assert mapping.partition_count == 1

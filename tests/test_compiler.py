@@ -1,0 +1,188 @@
+"""Tests for the Cache Automaton compiler: packing, splitting, placement,
+constraints, and capacity errors."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler import (
+    Compiler,
+    analyse,
+    check,
+    compile_automaton,
+    compile_space_optimized,
+)
+from repro.core.design import CA_P, CA_S
+from repro.core.geometry import SliceGeometry
+from repro.errors import CapacityError, ConnectivityError
+from repro.regex.compile import compile_patterns
+from tests.conftest import chain_automaton
+
+#: Small geometry: 4 partitions/way (full) or 2 (half) — forces multi-way
+#: placement at test-friendly sizes.
+TINY = SliceGeometry(slice_kb=640, ways=20, subarrays_per_way=2)
+TINY_CA_P = replace(CA_P, geometry=TINY, name="CA_P_tiny")
+TINY_CA_S = replace(CA_S, geometry=TINY, name="CA_S_tiny")
+
+
+class TestGreedyPacking:
+    def test_small_ccs_share_partitions(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        # 27 states across 9 CCs fit in one 256-STE partition.
+        assert mapping.partition_count == 1
+        assert mapping.classify_edges() == {
+            "local": figure1_automaton.edge_count(), "g1": 0, "g4": 0
+        }
+
+    def test_packing_fills_partitions(self):
+        machine = compile_patterns(
+            [f"pattern{i:03d}x" for i in range(60)]
+        )  # 60 CCs x 11 states = 660 states -> 3 partitions
+        mapping = compile_automaton(machine, CA_P)
+        assert mapping.partition_count == 3
+        assert mapping.occupancy_fraction() > 0.8
+
+    def test_no_cc_is_split_when_it_fits(self):
+        machine = compile_patterns(["abcdef", "ghijkl"])
+        mapping = compile_automaton(machine, CA_P)
+        partitions_of = {
+            mapping.partition_of(ste.ste_id) for ste in machine.stes()
+        }
+        assert len(partitions_of) == 1
+
+    def test_location_consistency(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        for partition in mapping.partitions:
+            for slot, ste_id in enumerate(partition.ste_ids):
+                assert mapping.location[ste_id] == (partition.index, slot)
+                assert partition.slot_of(ste_id) == slot
+
+
+class TestSplitting:
+    def test_oversized_cc_split_within_way(self):
+        automaton = chain_automaton(600, extra_edges=400, seed=1)
+        mapping = compile_automaton(automaton, CA_P)
+        assert mapping.partition_count >= 3
+        ways = {partition.way for partition in mapping.partitions}
+        assert len(ways) == 1  # CA_P: split CCs stay within a way
+        report = analyse(mapping)
+        assert report.max_out_g1 <= 16
+        assert report.max_in_g1 <= 16
+        assert report.max_out_g4 == 0
+
+    def test_balanced_split(self):
+        automaton = chain_automaton(700, seed=2)
+        mapping = compile_automaton(automaton, CA_P)
+        occupancies = [p.occupancy for p in mapping.partitions]
+        assert max(occupancies) <= 256
+        assert min(occupancies) >= 256 * 0.5
+
+    def test_cross_way_split_uses_g4(self):
+        automaton = chain_automaton(1500, extra_edges=300, seed=3)
+        mapping = compile_automaton(automaton, TINY_CA_S)
+        ways = {partition.way for partition in mapping.partitions}
+        assert len(ways) > 1
+        kinds = mapping.classify_edges()
+        assert kinds["g4"] > 0
+
+    def test_ca_p_rejects_multi_way_cc(self):
+        """A CC too big for one way cannot map on CA_P (no cross-way wires)."""
+        automaton = chain_automaton(600, seed=4)
+        with pytest.raises(CapacityError):
+            compile_automaton(automaton, TINY_CA_P)  # 2 partitions/way only
+
+    def test_domain_capacity_enforced(self):
+        automaton = chain_automaton(5000, seed=5)
+        # TINY CA_S: 4 partitions/way, domain = 16 partitions = 4096 states.
+        with pytest.raises(CapacityError):
+            compile_automaton(automaton, TINY_CA_S)
+
+    def test_total_capacity_enforced(self):
+        automaton = chain_automaton(300, seed=6)
+        with pytest.raises(CapacityError):
+            Compiler(TINY_CA_P, max_slices=0).compile(automaton)
+
+
+class TestPlacement:
+    def test_split_group_starts_at_way_boundary(self):
+        small = compile_patterns(["abc", "def"])
+        big = chain_automaton(1200, extra_edges=100, seed=7, automaton_id="big")
+        from repro.automata.anml import merge
+
+        combined = merge([big, small])
+        mapping = compile_automaton(combined, TINY_CA_S)
+        # The big CC's partitions occupy consecutive slots in one or two
+        # adjacent ways inside one G4 domain.
+        big_partitions = sorted(
+            {mapping.partition_of(f"m0_{i}") for i in range(1200)}
+        )
+        ways = sorted({mapping.partitions[p].way for p in big_partitions})
+        assert ways == list(range(ways[0], ways[-1] + 1))
+        assert ways[-1] // 4 == ways[0] // 4  # single G4 domain
+
+    def test_ways_non_decreasing(self):
+        automaton = chain_automaton(900, extra_edges=100, seed=8)
+        mapping = compile_automaton(automaton, TINY_CA_S)
+        ways = [partition.way for partition in mapping.partitions]
+        assert ways == sorted(ways)
+
+
+class TestMappingMetrics:
+    def test_cache_bytes(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        assert mapping.cache_bytes() == 8192  # one partition = 8 KB
+        assert mapping.cache_megabytes() == pytest.approx(8192 / 2**20)
+
+    def test_repr(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        assert "CA_P" in repr(mapping)
+
+    def test_edge_kind(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        source, target = next(iter(figure1_automaton.edges()))
+        assert mapping.edge_kind(source, target) == "local"
+
+
+class TestConstraints:
+    def test_clean_mapping_passes(self, figure1_automaton):
+        report = check(compile_automaton(figure1_automaton, CA_P))
+        assert report.satisfied
+        assert report.violations() == []
+
+    def test_violation_detected(self):
+        """A globally random dense CC has no 16-wire cut: must be rejected."""
+        automaton = chain_automaton(
+            600, extra_edges=900, locality=600, seed=10, automaton_id="dense"
+        )
+        with pytest.raises(ConnectivityError):
+            compile_automaton(automaton, CA_P)
+
+    def test_analyse_counts_distinct_sources(self):
+        """One source with many cross-partition targets uses ONE wire."""
+        automaton = chain_automaton(300, seed=9, automaton_id="fanout")
+        # Give one state many extra out-edges to the far end.
+        for offset in range(10):
+            automaton.add_edge("s0", f"s{280 + offset}")
+        mapping = compile_automaton(automaton, CA_P)
+        report = analyse(mapping)
+        # s0's signal crosses once no matter how many targets.
+        usage = report.usage[mapping.partition_of("s0")]
+        if mapping.partition_of("s0") != mapping.partition_of("s285"):
+            assert "s0" in usage.out_g1
+            assert len([s for s in usage.out_g1 if s == "s0"]) == 1
+
+
+class TestSpaceOptimizedFallback:
+    def test_routable_automaton_gets_fully_merged(self):
+        machine = compile_patterns(["prefix_aaa", "prefix_bbb", "prefix_ccc"])
+        mapping = compile_space_optimized(machine, CA_S)
+        assert len(mapping.automaton) < len(machine)
+
+    def test_merge_hostile_automaton_falls_back(self):
+        """The merged Levenshtein lattice is unroutable; the fallback must
+        still produce a valid mapping (paper: no CA_S benefit for it)."""
+        from repro.workloads.suite import get_benchmark
+
+        automaton = get_benchmark("Levenshtein").build()
+        mapping = compile_space_optimized(automaton, CA_S)
+        check(mapping)

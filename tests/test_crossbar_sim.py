@@ -1,0 +1,148 @@
+"""Tests for the bitstream generator and bit-level crossbar simulator.
+
+These prove the *configuration itself* — one-hot column images, L/G
+switch enable bits, wire assignments — encodes the automaton: the
+crossbar-level run must agree with the golden interpreter exactly.
+"""
+
+import random
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_automaton, generate
+from repro.core.design import CA_P, CA_S
+from repro.core.geometry import SliceGeometry
+from repro.regex.compile import compile_patterns, literal_pattern
+from repro.sim.crossbar import CrossbarLevelSimulator
+from repro.sim.golden import simulate
+from tests.conftest import chain_automaton
+
+TINY = SliceGeometry(slice_kb=640, ways=20, subarrays_per_way=2)
+
+
+def report_set(reports):
+    return sorted((r.offset, r.ste_id) for r in reports)
+
+
+class TestBitstreamStructure:
+    def test_column_images_are_onehot_labels(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        for partition in mapping.partitions:
+            for slot, ste_id in enumerate(partition.ste_ids):
+                ste = figure1_automaton.ste(ste_id)
+                column = bitstream.ste_columns[partition.index, :, slot]
+                assert (column == ste.symbols.to_onehot()).all()
+
+    def test_unused_slots_match_nothing(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        used = len(mapping.partitions[0].ste_ids)
+        assert bitstream.ste_columns[0, :, used:].sum() == 0
+
+    def test_local_edges_in_l_switch(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        enabled = int(bitstream.l_switch_enable.sum())
+        assert enabled == figure1_automaton.edge_count()
+
+    def test_wire_assignment_within_budget(self):
+        automaton = chain_automaton(700, extra_edges=400, seed=21)
+        mapping = compile_automaton(automaton, CA_P)
+        bitstream = generate(mapping)
+        for assignment in bitstream.wires:
+            assert len(assignment.out_g1) <= CA_P.g1_wires_per_partition
+            assert len(assignment.in_g1) <= CA_P.g1_wires_per_partition
+
+    def test_serialisation_roundtrip_size(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        blob = bitstream.to_bytes()
+        assert len(blob) == (bitstream.configuration_bits() + 7) // 8 or len(
+            blob
+        ) >= bitstream.configuration_bits() // 8
+
+    def test_g1_matrix_present_iff_crossings(self):
+        single = compile_automaton(compile_patterns(["ab"]), CA_P)
+        assert generate(single).g1_enable == {}
+        split = compile_automaton(chain_automaton(400, seed=22), CA_P)
+        assert generate(split).g1_enable != {}
+
+
+class TestCrossbarEquivalence:
+    def test_single_partition(self, figure1_automaton, figure1_text):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        reports = CrossbarLevelSimulator(generate(mapping)).run(figure1_text)
+        golden = simulate(figure1_automaton, figure1_text)
+        assert report_set(reports) == report_set(golden.reports)
+
+    def test_g1_propagation(self):
+        machine = literal_pattern("y" * 500)  # spans 2 partitions
+        mapping = compile_automaton(machine, CA_P)
+        data = b"x" * 10 + b"y" * 500
+        reports = CrossbarLevelSimulator(generate(mapping)).run(data)
+        golden = simulate(machine, data)
+        assert report_set(reports) == report_set(golden.reports)
+        assert reports  # the match actually happened
+
+    def test_g4_propagation(self):
+        design = replace(CA_S, geometry=TINY, name="tiny")
+        rng = random.Random(23)
+        needle = bytes(rng.randrange(97, 123) for _ in range(1200))
+        machine = literal_pattern(needle.decode("latin-1"))
+        mapping = compile_automaton(machine, design)
+        assert len({p.way for p in mapping.partitions}) > 1
+        data = needle + b"zz" + needle
+        reports = CrossbarLevelSimulator(generate(mapping)).run(data)
+        golden = simulate(machine, data)
+        assert report_set(reports) == report_set(golden.reports)
+        assert len(reports) == 2
+
+    def test_random_small_automata(self):
+        for seed in range(3):
+            automaton = chain_automaton(
+                350, extra_edges=150, seed=seed, label_width=30, starts=3
+            )
+            mapping = compile_automaton(automaton, CA_P)
+            data = bytes(random.Random(seed).randrange(256) for _ in range(600))
+            reports = CrossbarLevelSimulator(generate(mapping)).run(data)
+            golden = simulate(automaton, data)
+            assert report_set(reports) == report_set(golden.reports), seed
+
+    def test_start_of_data_semantics(self):
+        machine = compile_patterns(["^abc"])
+        mapping = compile_automaton(machine, CA_P)
+        simulator = CrossbarLevelSimulator(generate(mapping))
+        assert len(simulator.run(b"abcabc")) == 1
+        assert len(simulator.run(b"xabc")) == 0
+
+    def test_bad_input_type(self):
+        from repro.errors import SimulationError
+
+        mapping = compile_automaton(compile_patterns(["a"]), CA_P)
+        with pytest.raises(SimulationError):
+            CrossbarLevelSimulator(generate(mapping)).run("nope")
+
+
+class TestCrossPointMath:
+    def test_l_enable_dimensions(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        expected_inputs = (
+            CA_P.partition_size
+            + CA_P.g1_wires_per_partition
+            + CA_P.g4_wires_per_partition
+        )
+        assert bitstream.l_switch_enable.shape == (
+            mapping.partition_count, expected_inputs, CA_P.partition_size,
+        )
+
+    def test_ste_columns_dimensions(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        bitstream = generate(mapping)
+        assert bitstream.ste_columns.shape == (
+            mapping.partition_count, 256, CA_P.partition_size,
+        )
+        assert bitstream.ste_columns.dtype == np.uint8

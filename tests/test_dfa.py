@@ -1,0 +1,143 @@
+"""Tests for subset construction and DFA minimisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DEAD, Dfa, determinize
+from repro.automata.nfa import Nfa, union
+from repro.automata.symbols import SymbolSet
+from repro.errors import AutomatonError
+
+
+def literal_nfa(text: str) -> Nfa:
+    nfa = Nfa()
+    nfa.add_state("q0", start=True)
+    previous = "q0"
+    for index, character in enumerate(text):
+        state = f"q{index + 1}"
+        nfa.add_transition(previous, SymbolSet.single(character), state)
+        previous = state
+    nfa.set_accept(previous)
+    return nfa
+
+
+class TestDeterminize:
+    def test_literal_acceptance(self):
+        dfa = determinize(literal_nfa("cat"))
+        assert dfa.accepts(b"cat")
+        assert not dfa.accepts(b"cab")
+        assert not dfa.accepts(b"catx")
+        assert not dfa.accepts(b"")
+
+    def test_state_zero_is_dead(self):
+        dfa = determinize(literal_nfa("a"))
+        assert not dfa.accepting[DEAD]
+        assert (dfa.table[DEAD] == DEAD).all()
+
+    def test_union_language(self):
+        dfa = determinize(union([literal_nfa("ab"), literal_nfa("ac")]))
+        assert dfa.accepts(b"ab") and dfa.accepts(b"ac")
+        assert not dfa.accepts(b"ad")
+
+    def test_epsilon_handled(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "m")
+        nfa.add_transition("m", SymbolSet.single("x"), "e")
+        nfa.set_accept("e")
+        assert determinize(nfa).accepts(b"x")
+
+    def test_scanning_reinjects_start(self):
+        dfa = determinize(literal_nfa("ab"), scanning=True)
+        # 1-based end offsets.
+        assert dfa.find_matches(b"abzab") == [2, 5]
+        # Overlapping occurrences are all found.
+        dfa2 = determinize(literal_nfa("aa"), scanning=True)
+        assert dfa2.find_matches(b"aaaa") == [2, 3, 4]
+
+    def test_max_states_guard(self):
+        # Union of many distinct literals is fine; the guard triggers on a
+        # tiny limit.
+        nfa = union([literal_nfa("abc"), literal_nfa("xyz")])
+        with pytest.raises(AutomatonError):
+            determinize(nfa, max_states=2)
+
+    def test_class_labels_grouped(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_transition("s", SymbolSet.from_range(0, 127), "low")
+        nfa.add_transition("s", SymbolSet.from_range(64, 255), "high")
+        nfa.set_accept("low")
+        for symbol in (0, 63, 64, 127, 128, 255):
+            assert nfa.accepts(bytes([symbol])) == determinize(nfa).accepts(
+                bytes([symbol])
+            )
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # (ab|ac) has two equivalent mid states after the first symbol? No:
+        # b-successor vs c-successor differ; but the two accept states merge.
+        dfa = determinize(union([literal_nfa("ab"), literal_nfa("cb")]))
+        minimal = dfa.minimize()
+        assert minimal.state_count < dfa.state_count
+        assert minimal.is_equivalent(dfa)
+
+    def test_idempotent(self):
+        dfa = determinize(union([literal_nfa("ab"), literal_nfa("cb")])).minimize()
+        assert dfa.minimize().state_count == dfa.state_count
+
+    def test_language_preserved(self):
+        dfa = determinize(literal_nfa("hello"), scanning=True)
+        minimal = dfa.minimize()
+        text = b"say hello hellohello"
+        assert dfa.find_matches(text) == minimal.find_matches(text)
+
+    def test_equivalence_detects_difference(self):
+        a = determinize(literal_nfa("ab"))
+        b = determinize(literal_nfa("ac"))
+        assert not a.is_equivalent(b)
+        assert a.is_equivalent(determinize(literal_nfa("ab")))
+
+
+class TestValidation:
+    def test_bad_table_shape(self):
+        with pytest.raises(AutomatonError):
+            Dfa(np.zeros((2, 100), dtype=np.int64), np.zeros(2, dtype=bool), 0)
+
+    def test_accepting_dead_state_rejected(self):
+        table = np.zeros((2, 256), dtype=np.int64)
+        accepting = np.array([True, False])
+        with pytest.raises(AutomatonError):
+            Dfa(table, accepting, 1)
+
+    def test_start_out_of_range(self):
+        table = np.zeros((2, 256), dtype=np.int64)
+        with pytest.raises(AutomatonError):
+            Dfa(table, np.zeros(2, dtype=bool), 5)
+
+
+@st.composite
+def random_literals(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    return [
+        draw(st.text(alphabet="abc", min_size=1, max_size=5)) for _ in range(count)
+    ]
+
+
+class TestProperties:
+    @given(random_literals(), st.text(alphabet="abc", max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_determinize_matches_nfa_language(self, literals, text):
+        nfa = union([literal_nfa(w) for w in literals])
+        dfa = determinize(nfa)
+        data = text.encode()
+        assert dfa.accepts(data) == nfa.accepts(data)
+
+    @given(random_literals(), st.text(alphabet="abc", max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_minimize_preserves_language(self, literals, text):
+        dfa = determinize(union([literal_nfa(w) for w in literals]))
+        assert dfa.accepts(text.encode()) == dfa.minimize().accepts(text.encode())

@@ -1,0 +1,99 @@
+"""Tests for DOT export, slice accounting, and CBOX output records."""
+
+import pytest
+
+from repro.automata.dot import automaton_to_dot, mapping_to_dot
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.regex.compile import compile_patterns, literal_pattern
+from repro.sim.functional import simulate_mapping
+from tests.conftest import chain_automaton
+
+
+class TestAutomatonDot:
+    def test_basic_structure(self, figure1_automaton):
+        dot = automaton_to_dot(figure1_automaton)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # Every state and edge appears.
+        for ste_id in figure1_automaton.ste_ids():
+            assert f'"{ste_id}"' in dot
+        assert dot.count(" -> ") >= figure1_automaton.edge_count()
+
+    def test_start_and_report_markup(self, figure1_automaton):
+        dot = automaton_to_dot(figure1_automaton)
+        assert "doublecircle" in dot  # start states
+        assert "lightgoldenrod" in dot  # reporting states
+
+    def test_quoting(self):
+        machine = compile_patterns(['a"b'])
+        dot = automaton_to_dot(machine)
+        assert '\\"' in dot
+
+    def test_size_guard(self):
+        big = chain_automaton(600, seed=1)
+        with pytest.raises(ValueError):
+            automaton_to_dot(big)
+        assert automaton_to_dot(big, max_states=None)
+
+
+class TestMappingDot:
+    def test_clusters_and_colours(self):
+        machine = literal_pattern("z" * 500)  # 2 partitions, G1 edges
+        mapping = compile_automaton(machine, CA_P)
+        dot = mapping_to_dot(mapping)
+        assert dot.count("subgraph cluster_p") == mapping.partition_count
+        assert "color=blue" in dot  # within-way crossing
+
+    def test_local_edges_uncoloured(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        dot = mapping_to_dot(mapping)
+        assert "color=blue" not in dot
+        assert "color=red" not in dot
+
+
+class TestSliceAccounting:
+    def test_single_slice(self, figure1_automaton):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        assert mapping.slices_used == 1
+        partition = mapping.partitions[0]
+        assert partition.slice_index(CA_P.ways_used) == 0
+        assert partition.way_in_slice(CA_P.ways_used) == partition.way
+
+    def test_way_in_slice_wraps(self):
+        from repro.compiler.mapping import MappedPartition
+
+        partition = MappedPartition(index=0, way=11)
+        assert partition.slice_index(8) == 1
+        assert partition.way_in_slice(8) == 3
+
+
+class TestOutputRecords:
+    def test_records_match_reports(self):
+        machine = compile_patterns(["ab", "cd"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"abxcd", collect_records=True)
+        assert len(result.output_records) == 2
+        by_counter = {record.symbol_counter: record for record in result.output_records}
+        assert set(by_counter) == {1, 4}
+        assert by_counter[1].symbol == ord("b")
+        assert by_counter[4].symbol == ord("d")
+        for record in result.output_records:
+            assert record.active_state_mask != 0
+            assert record.partition == 0
+
+    def test_mask_identifies_slots(self):
+        machine = compile_patterns(["ab"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"ab", collect_records=True)
+        record = result.output_records[0]
+        slot = mapping.location[
+            next(s.ste_id for s in machine.stes() if s.reporting)
+        ][1]
+        assert record.active_state_mask >> slot & 1
+
+    def test_disabled_by_default(self):
+        machine = compile_patterns(["ab"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"ab")
+        assert result.output_records == []

@@ -1,0 +1,124 @@
+"""Tests for the high-level scanning engine façade."""
+
+import pytest
+
+from repro.core.design import CA_S
+from repro.engine import CacheAutomatonEngine, Match
+from repro.errors import ReproError
+from repro.sim.golden import match_offsets
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CacheAutomatonEngine.from_patterns(
+        ["bat", "c[ao]t", "dog+"], rule_ids=["BAT", "CAT", "DOG"]
+    )
+
+
+class TestScan:
+    def test_basic_matches(self, engine):
+        matches = engine.scan(b"the cat sat on the bat")
+        assert [(m.end, m.rule) for m in matches] == [(6, "CAT"), (21, "BAT")]
+
+    def test_matches_are_value_objects(self, engine):
+        match = engine.scan(b"a bat")[0]
+        assert match == Match(4, "BAT", match.state)
+
+    def test_count(self, engine):
+        # cat, cot, bat, and dog+ firing at each of the three trailing g's.
+        assert engine.count(b"cat cot bat doggg") == 6
+
+    def test_agrees_with_golden(self, engine):
+        data = b"doggo cats bats in a cot"
+        expected = match_offsets(engine.automaton, data)
+        assert [m.end for m in engine.scan(data)] == expected
+
+    def test_docstring_example(self):
+        engine = CacheAutomatonEngine.from_patterns(["bat", "c[ao]t"])
+        ends = [match.end for match in engine.scan(b"the cat sat on the bat")]
+        assert ends == [6, 21]
+
+
+class TestStream:
+    def test_chunked_equals_whole(self, engine):
+        data = b"the cat sat on the bat; dogs in cots"
+        whole = [(m.end, m.rule) for m in engine.scan(data)]
+        scanner = engine.stream()
+        chunked = []
+        for start in range(0, len(data), 7):
+            chunked.extend(
+                (m.end, m.rule) for m in scanner.scan(data[start : start + 7])
+            )
+        assert chunked == whole
+        assert scanner.position == len(data)
+
+    def test_match_spanning_chunk_boundary(self, engine):
+        scanner = engine.stream()
+        first = scanner.scan(b"xxca")
+        second = scanner.scan(b"txx")
+        assert first == []
+        assert [(m.end, m.rule) for m in second] == [(4, "CAT")]
+
+    def test_independent_streams(self, engine):
+        scanner_a = engine.stream()
+        scanner_b = engine.stream()
+        scanner_a.scan(b"ca")
+        # scanner_b has no 'ca' prefix: 't' alone must not fire.
+        assert scanner_b.scan(b"t") == []
+        assert [(m.end, m.rule) for m in scanner_a.scan(b"t")] == [(2, "CAT")]
+
+
+class TestConstructors:
+    def test_from_anml(self, engine):
+        from repro.automata.anml import to_anml
+
+        clone = CacheAutomatonEngine.from_anml(to_anml(engine.automaton))
+        data = b"bat cot"
+        assert [m.end for m in clone.scan(data)] == [
+            m.end for m in engine.scan(data)
+        ]
+
+    def test_from_anml_file(self, engine, tmp_path):
+        from repro.automata.anml import to_anml
+
+        path = tmp_path / "machine.anml"
+        path.write_text(to_anml(engine.automaton), encoding="utf-8")
+        clone = CacheAutomatonEngine.from_anml_file(str(path))
+        assert clone.state_count == engine.state_count
+
+    def test_optimize_with_ca_s(self):
+        engine = CacheAutomatonEngine.from_patterns(
+            ["prefix_one", "prefix_two"], design=CA_S, optimize=True
+        )
+        assert engine.state_count < 20  # shared 'prefix_' merged
+        assert [m.end for m in engine.scan(b"a prefix_two!")] == [11]
+
+    def test_default_rule_ids_are_patterns(self):
+        engine = CacheAutomatonEngine.from_patterns(["ab+"])
+        assert engine.scan(b"abb")[0].rule == "ab+"
+
+
+class TestIntrospection:
+    def test_static_properties(self, engine):
+        assert engine.throughput_gbps == 16.0
+        assert engine.cache_bytes == 8192
+        assert engine.state_count == len(engine.automaton)
+
+    def test_scan_time(self, engine):
+        assert engine.scan_time_ms(2_000_000) == pytest.approx(1.0)
+        with pytest.raises(ReproError):
+            engine.scan_time_ms(-1)
+
+    def test_summary_before_traffic(self):
+        engine = CacheAutomatonEngine.from_patterns(["x"])
+        summary = engine.performance_summary()
+        assert summary.energy_nj_per_symbol is None
+        assert summary.speedup_vs_ap == pytest.approx(15.0, rel=0.01)
+
+    def test_summary_accumulates_traffic(self, engine):
+        engine.scan(b"some traffic with a bat")
+        summary = engine.performance_summary()
+        assert summary.energy_nj_per_symbol > 0
+        assert summary.average_power_watts > 0
+        assert summary.design == "CA_P"
+        assert summary.partitions == 1

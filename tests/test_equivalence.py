@@ -1,0 +1,79 @@
+"""Tests for the exact report-equivalence checker."""
+
+import pytest
+
+from repro.automata.equivalence import distinguishing_input, report_equivalent
+from repro.automata.optimize import space_optimize
+from repro.regex.compile import compile_pattern, compile_patterns
+from repro.sim.golden import match_offsets
+
+
+class TestEquivalent:
+    def test_identical_machines(self):
+        a = compile_patterns(["abc", "xyz"])
+        b = compile_patterns(["abc", "xyz"])
+        assert report_equivalent(a, b)
+
+    def test_syntactic_variants(self):
+        assert report_equivalent(
+            compile_pattern("a(b|c)d"), compile_pattern("abd|acd")
+        )
+        assert report_equivalent(
+            compile_pattern("aa*"), compile_pattern("a+")
+        )
+        assert report_equivalent(
+            compile_pattern("x{2,3}"), compile_pattern("xx|xxx")
+        )
+
+    def test_space_optimize_certified(self):
+        machine = compile_patterns(["art", "artisan", "artefact"])
+        assert report_equivalent(machine, space_optimize(machine))
+
+    def test_different_languages(self):
+        assert not report_equivalent(
+            compile_pattern("abc"), compile_pattern("abd")
+        )
+
+    def test_anchoring_matters(self):
+        assert not report_equivalent(
+            compile_pattern("^ab"), compile_pattern("ab")
+        )
+
+
+class TestWitness:
+    def test_none_for_equivalent(self):
+        assert distinguishing_input(
+            compile_pattern("ab"), compile_pattern("ab")
+        ) is None
+
+    def test_witness_actually_distinguishes(self):
+        a = compile_pattern("ab")
+        b = compile_pattern("a[bc]")
+        witness = distinguishing_input(a, b)
+        assert witness is not None
+        assert match_offsets(a, witness) != match_offsets(b, witness)
+
+    def test_witness_is_shortest(self):
+        a = compile_pattern("aaab")
+        b = compile_pattern("aaac")
+        witness = distinguishing_input(a, b)
+        assert len(witness) == 4
+
+    def test_prefix_difference(self):
+        a = compile_pattern("x")
+        b = compile_pattern("y")
+        witness = distinguishing_input(a, b)
+        assert len(witness) == 1
+        assert witness in (b"x", b"y")
+
+
+class TestBenchmarksCertified:
+    @pytest.mark.parametrize("name", ["Bro217", "ExactMatch"])
+    def test_space_variant_equivalent(self, name):
+        """The exact checker certifies the CA_S transform on suite
+        benchmarks small enough to determinise."""
+        from repro.workloads.suite import get_benchmark
+
+        automaton = get_benchmark(name).build()
+        optimised = space_optimize(automaton)
+        assert report_equivalent(automaton, optimised, max_states=150_000)

@@ -1,0 +1,169 @@
+"""Tests for the evaluation harness (experiment runners and table output)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    evaluate_benchmark,
+    evaluate_suite,
+    fig7,
+    fig8,
+    fig9a,
+    fig9b,
+    fig10,
+    headline,
+    registry,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.eval.tables import format_cell, format_table
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def sample_evaluations():
+    """Three representative benchmarks, short inputs (fast for CI)."""
+    return evaluate_suite(
+        input_length=1500, names=["Bro217", "EntityResolution", "SPM"]
+    )
+
+
+class TestEvaluateBenchmark:
+    def test_pipeline_outputs(self):
+        evaluation = evaluate_benchmark(get_benchmark("Bro217"), input_length=1000)
+        assert evaluation.perf_profile.symbols == 1000
+        assert evaluation.space_profile.symbols == 1000
+        assert evaluation.perf_mapping.design.name == "CA_P"
+        assert evaluation.space_mapping.design.name == "CA_S"
+        assert evaluation.perf_avg_active_states > 0
+
+    def test_space_mapping_not_larger(self):
+        evaluation = evaluate_benchmark(
+            get_benchmark("EntityResolution"), input_length=800
+        )
+        assert (
+            evaluation.space_mapping.cache_bytes()
+            <= evaluation.perf_mapping.cache_bytes()
+        )
+
+
+class TestStaticExperiments:
+    def test_table2_contains_published_rows(self):
+        rows = table2()
+        rendered = format_table(rows)
+        assert "280x256" in rendered
+        assert "512x512" in rendered
+        # CA_P has no G4 row.
+        ca_p_rows = [row for row in rows[1:] if row[0] == "CA_P"]
+        assert {row[1] for row in ca_p_rows} == {"L", "G1"}
+
+    def test_table3_values(self):
+        rows = table3()
+        by_name = {row[0]: row for row in rows[1:]}
+        assert by_name["CA_P"][1] == pytest.approx(438, abs=1)
+        assert by_name["CA_P"][5] == 2.0
+        assert by_name["CA_S"][5] == 1.2
+
+    def test_table4_ordering(self):
+        rows = table4()
+        for row in rows[1:]:
+            achieved, no_sa, h_bus = row[1], row[2], row[3]
+            assert no_sa < achieved
+            assert h_bus < achieved
+
+    def test_fig10_shape(self):
+        rows = fig10()
+        names = [row[0] for row in rows[1:]]
+        assert names == ["CA_64", "CA_P", "CA_S", "AP"]
+        by_name = {row[0]: row for row in rows[1:]}
+        # CA_P dominates AP on both axes (reach and frequency).
+        assert by_name["CA_P"][1] > by_name["AP"][1]
+        assert by_name["CA_P"][2] > by_name["AP"][2]
+        assert by_name["CA_P"][3] < by_name["AP"][3]
+
+
+class TestDynamicExperiments:
+    def test_table1_rows(self, sample_evaluations):
+        rows = table1(sample_evaluations)
+        assert len(rows) == 4
+        for row in rows[1:]:
+            p_states, s_states = row[1], row[5]
+            assert s_states <= p_states
+
+    def test_fig7_constant_throughput(self, sample_evaluations):
+        rows = fig7(sample_evaluations)
+        # Deterministic 1 symbol/cycle: same bars for every benchmark.
+        assert len({row[3] for row in rows[1:]}) == 1
+        assert rows[1][3] == 16.0
+        assert rows[1][4] == pytest.approx(15.0, rel=0.01)
+
+    def test_fig8_savings(self, sample_evaluations):
+        rows = fig8(sample_evaluations)
+        assert rows[-1][0] == "AVERAGE"
+        for row in rows[1:]:
+            assert row[2] <= row[1] + 1e-9  # CA_S never uses more
+
+    def test_fig9a_ordering(self, sample_evaluations):
+        rows = fig9a(sample_evaluations)
+        for row in rows[1:]:
+            name, ca_p, ca_s, ap_p, ap_s = row
+            assert ca_p < ap_p  # CA beats Ideal AP on the same mapping
+            assert ca_s < ap_s
+
+    def test_fig9b_power_below_tdp(self, sample_evaluations):
+        from repro.core.params import XEON_TDP_WATTS
+
+        rows = fig9b(sample_evaluations)
+        for row in rows[1:]:
+            assert row[1] < XEON_TDP_WATTS
+            assert row[2] < XEON_TDP_WATTS
+
+    def test_headline_claims(self, sample_evaluations):
+        rows = headline(sample_evaluations)
+        by_metric = {row[0]: row for row in rows[1:]}
+        assert by_metric["CA_P speedup over AP"][1] == pytest.approx(15.0, rel=0.01)
+        assert by_metric["CA_S speedup over AP"][1] == pytest.approx(9.0, rel=0.01)
+        assert by_metric["CA_P speedup over CPU"][1] == pytest.approx(
+            3840, rel=0.01
+        )
+
+    def test_table5_structure(self):
+        rows = table5(input_length=1200)
+        assert rows[0][0] == "Metric"
+        throughput = rows[1]
+        # CA_P column is last-but-one; it must beat HARE and UAP.
+        assert throughput[3] > throughput[1]
+        assert throughput[3] > throughput[2]
+
+    def test_registry_covers_all_experiments(self, sample_evaluations):
+        experiments = registry(lambda: sample_evaluations)
+        assert set(experiments) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig7", "fig8", "fig9a", "fig9b", "fig10", "multistream", "headline",
+        }
+        for name, runner in experiments.items():
+            if name == "table5":
+                continue  # exercised separately (slow path)
+            rows = runner()
+            assert len(rows) >= 2, name
+
+
+class TestTableFormatting:
+    def test_format_cell(self):
+        assert format_cell(3) == "3"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(31.4159) == "31.4"
+        assert format_cell(31415.9) == "31,416"
+        assert format_cell(0.0) == "0"
+        assert format_cell("text") == "text"
+
+    def test_format_table_alignment(self):
+        rendered = format_table([("Name", "Value"), ("x", 1.5), ("long-name", 22)])
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[1].startswith("-")
+
+    def test_empty(self):
+        assert format_table([]) == ""

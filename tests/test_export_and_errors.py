@@ -1,0 +1,99 @@
+"""Tests for the ANML corpus exporter, the eval runner CLI, and the
+exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.automata.anml import from_anml
+from repro.sim.golden import match_offsets
+from repro.workloads.export import export_benchmark, export_suite, main
+from repro.workloads.suite import get_benchmark
+
+
+class TestExport:
+    def test_export_single_roundtrips(self, tmp_path):
+        benchmark = get_benchmark("Bro217")
+        written = export_benchmark(
+            benchmark, tmp_path, input_length=1500, seed=2
+        )
+        assert len(written) == 2
+        automaton = from_anml(written[0].read_text(encoding="utf-8"))
+        data = written[1].read_bytes()
+        assert len(data) == 1500
+        original = benchmark.build()
+        assert match_offsets(automaton, data[:600]) == match_offsets(
+            original, data[:600]
+        )
+
+    def test_export_subset(self, tmp_path):
+        written = export_suite(tmp_path, names=["ExactMatch", "SPM"])
+        names = {path.stem for path in written}
+        assert names == {"ExactMatch", "SPM"}
+
+    def test_cli_main(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--only", "Bro217",
+                     "--input-length", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "Bro217.anml" in output
+        assert (tmp_path / "Bro217.input").stat().st_size == 100
+
+
+class TestEvalRunnerCli:
+    def test_static_experiments(self, capsys):
+        from repro.eval.runner import main as runner_main
+
+        assert runner_main(["table3", "fig10"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+        assert "Figure 10" in output
+        assert "CA_P" in output
+
+    def test_unknown_experiment(self, capsys):
+        from repro.eval.runner import main as runner_main
+
+        with pytest.raises(SystemExit):
+            runner_main(["not-an-experiment"])
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) and issubclass(attribute, Exception):
+                assert issubclass(attribute, errors.ReproError) or (
+                    attribute is errors.ReproError
+                ), name
+
+    def test_regex_syntax_error_position(self):
+        error = errors.RegexSyntaxError("bad", "a[b", 1)
+        assert error.position == 1
+        assert "offset 1" in str(error)
+        assert "a[b" in str(error)
+
+    def test_regex_syntax_error_without_position(self):
+        error = errors.RegexSyntaxError("bad")
+        assert error.position == -1
+        assert str(error) == "bad"
+
+    def test_specific_hierarchies(self):
+        assert issubclass(errors.CapacityError, errors.CompileError)
+        assert issubclass(errors.ConnectivityError, errors.CompileError)
+        assert issubclass(errors.SymbolSetError, errors.AutomatonError)
+        assert issubclass(errors.AnmlError, errors.AutomatonError)
+
+
+class TestMarkdownReport:
+    def test_static_experiments_to_markdown(self, tmp_path):
+        from repro.eval.report import generate_report, main, rows_to_markdown
+
+        report = generate_report(experiments=["table3", "fig10"])
+        assert "## Table 3" in report
+        assert "| CA_P |" in report or "| CA_P " in report
+
+        output = tmp_path / "results.md"
+        assert main([str(output), "--experiments", "table2"]) == 0
+        assert "280x256" in output.read_text(encoding="utf-8")
+
+        assert rows_to_markdown([]) == ""
+        table = rows_to_markdown([("A", "B"), (1, 2.5)])
+        assert table.splitlines()[1] == "|---|---|"

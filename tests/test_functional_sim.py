@@ -1,0 +1,147 @@
+"""Tests for the mapped functional simulator: golden equivalence, activity
+profiling, and the output-buffer model."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P, CA_S
+from repro.core.geometry import SliceGeometry
+from repro.errors import SimulationError
+from repro.regex.compile import compile_patterns
+from repro.sim.functional import (
+    OUTPUT_BUFFER_ENTRIES,
+    MappedSimulator,
+    OutputBufferModel,
+    simulate_mapping,
+)
+from repro.sim.golden import simulate
+from tests.conftest import chain_automaton
+
+TINY = SliceGeometry(slice_kb=640, ways=20, subarrays_per_way=2)
+
+
+def report_set(reports):
+    return sorted((r.offset, r.ste_id) for r in reports)
+
+
+class TestGoldenEquivalence:
+    def test_single_partition(self, figure1_automaton, figure1_text):
+        mapping = compile_automaton(figure1_automaton, CA_P)
+        mapped = simulate_mapping(mapping, figure1_text)
+        golden = simulate(figure1_automaton, figure1_text)
+        assert report_set(mapped.reports) == report_set(golden.reports)
+        assert (
+            mapped.stats.total_matched_states == golden.stats.total_matched_states
+        )
+
+    def test_split_cc_g1(self):
+        automaton = chain_automaton(700, extra_edges=500, seed=11)
+        mapping = compile_automaton(automaton, CA_P)
+        data = bytes(random.Random(1).randrange(256) for _ in range(4000))
+        mapped = simulate_mapping(mapping, data)
+        golden = simulate(automaton, data)
+        assert report_set(mapped.reports) == report_set(golden.reports)
+
+    def test_cross_way_g4(self):
+        design = replace(CA_S, geometry=TINY, name="tiny")
+        automaton = chain_automaton(1400, extra_edges=200, seed=12, label_width=40)
+        mapping = compile_automaton(automaton, design)
+        assert len({p.way for p in mapping.partitions}) > 1
+        data = bytes(random.Random(2).randrange(256) for _ in range(3000))
+        mapped = simulate_mapping(mapping, data)
+        golden = simulate(automaton, data)
+        assert report_set(mapped.reports) == report_set(golden.reports)
+
+    def test_random_rulesets(self):
+        rng = random.Random(13)
+        from repro.workloads.synth import ids_rules
+
+        for trial in range(3):
+            machine = compile_patterns(ids_rules(25, seed=trial))
+            mapping = compile_automaton(machine, CA_P)
+            text = bytes(rng.choice(b"abcdefgh123 ") for _ in range(2500))
+            mapped = simulate_mapping(mapping, text)
+            golden = simulate(machine, text)
+            assert report_set(mapped.reports) == report_set(golden.reports)
+
+
+class TestActivityProfile:
+    def test_partition_activation_counts_enabled(self):
+        """A partition is accessed when its active-state vector is
+        non-empty — even if nothing matches (Section 5.3)."""
+        machine = compile_patterns(["zz"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"aaaa")
+        # The all-input start state keeps its partition enabled each cycle.
+        assert result.profile.partition_activations == 4
+
+    def test_g1_crossings_on_real_propagation(self):
+        from repro.regex.compile import literal_pattern
+
+        needle = "x" * 600  # 3 partitions
+        machine = literal_pattern(needle)
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, needle.encode())
+        assert result.profile.g1_crossings >= 2  # two boundary crossings
+        assert result.profile.g1_switch_activations >= 2
+
+    def test_profile_symbols(self):
+        machine = compile_patterns(["ab"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"abcabc")
+        assert result.profile.symbols == 6
+        assert result.profile.reports == 2
+
+    def test_average_active_partitions(self):
+        machine = compile_patterns(["ab"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"abab")
+        assert result.profile.average_active_partitions == pytest.approx(1.0)
+
+
+class TestOutputBuffer:
+    def test_interrupt_on_full(self):
+        buffer_model = OutputBufferModel()
+        buffer_model.record(OUTPUT_BUFFER_ENTRIES - 1)
+        assert buffer_model.interrupts == 0
+        buffer_model.record(1)
+        assert buffer_model.interrupts == 1
+        assert buffer_model.events == 0
+
+    def test_multiple_interrupts_in_one_burst(self):
+        buffer_model = OutputBufferModel()
+        buffer_model.record(OUTPUT_BUFFER_ENTRIES * 3 + 5)
+        assert buffer_model.interrupts == 3
+        assert buffer_model.events == 5
+
+    def test_simulation_counts_interrupts(self):
+        machine = compile_patterns(["a"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"a" * 130)
+        assert result.profile.reports == 130
+        assert result.output_buffer.interrupts == 130 // OUTPUT_BUFFER_ENTRIES
+
+
+class TestRobustness:
+    def test_bad_input_type(self):
+        machine = compile_patterns(["a"])
+        mapping = compile_automaton(machine, CA_P)
+        with pytest.raises(SimulationError):
+            MappedSimulator(mapping).run("text")
+
+    def test_collect_reports_off_keeps_profile(self):
+        machine = compile_patterns(["ab"])
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"abab", collect_reports=False)
+        assert result.reports == []
+        assert result.profile.reports == 2
+
+    def test_simulator_reusable(self):
+        machine = compile_patterns(["ab"])
+        simulator = MappedSimulator(compile_automaton(machine, CA_P))
+        assert report_set(simulator.run(b"ab").reports) == report_set(
+            simulator.run(b"ab").reports
+        )

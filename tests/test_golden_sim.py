@@ -1,0 +1,140 @@
+"""Tests for the golden reference interpreter."""
+
+import pytest
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.symbols import SymbolSet
+from repro.errors import SimulationError
+from repro.sim.golden import (
+    GoldenSimulator,
+    average_active_states,
+    match_offsets,
+    simulate,
+)
+
+
+def two_step() -> HomogeneousAutomaton:
+    automaton = HomogeneousAutomaton()
+    automaton.add_ste("a", SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+    automaton.add_ste("b", SymbolSet.single("b"), reporting=True, report_code="AB")
+    automaton.add_edge("a", "b")
+    return automaton
+
+
+class TestSemantics:
+    def test_basic_sequence(self):
+        result = simulate(two_step(), b"xabxaby")
+        assert [r.offset for r in result.reports] == [2, 5]
+        assert all(r.report_code == "AB" for r in result.reports)
+
+    def test_all_input_rearms_every_cycle(self):
+        assert match_offsets(two_step(), b"ababab") == [1, 3, 5]
+
+    def test_start_of_data_fires_once(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(
+            "a", SymbolSet.single("a"), start=StartKind.START_OF_DATA, reporting=True
+        )
+        assert match_offsets(automaton, b"aa") == [0]
+        assert match_offsets(automaton, b"xa") == []
+
+    def test_self_loop_stays_active(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste("t", SymbolSet.single("t"), start=StartKind.ALL_INPUT)
+        automaton.add_ste("loop", SymbolSet.any(), reporting=True)
+        automaton.add_edge("t", "loop")
+        automaton.add_edge("loop", "loop")
+        assert match_offsets(automaton, b"xtxxx") == [2, 3, 4]
+
+    def test_no_match_after_break(self):
+        assert match_offsets(two_step(), b"a b") == []
+
+    def test_empty_input(self):
+        result = simulate(two_step(), b"")
+        assert result.reports == []
+        assert result.stats.symbols_processed == 0
+        assert result.stats.average_active_states == 0.0
+
+    def test_multiple_reporters_same_cycle(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(
+            "x", SymbolSet.single("x"), start=StartKind.ALL_INPUT,
+            reporting=True, report_code="one",
+        )
+        automaton.add_ste(
+            "y", SymbolSet.single("x"), start=StartKind.ALL_INPUT,
+            reporting=True, report_code="two",
+        )
+        reports = simulate(automaton, b"x").reports
+        assert {r.report_code for r in reports} == {"one", "two"}
+        assert {r.offset for r in reports} == {0}
+
+    def test_wide_label_class(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(
+            "d", SymbolSet.from_range("0", "9"),
+            start=StartKind.ALL_INPUT, reporting=True,
+        )
+        assert match_offsets(automaton, b"a1b23") == [1, 3, 4]
+
+
+class TestStats:
+    def test_average_active_states(self):
+        # 'a' matches at offsets 1,3,5 and 'b' at 2,4: 5 matched states
+        # over 6 symbols.
+        value = average_active_states(two_step(), b"ababab")
+        assert value == pytest.approx((3 + 2 + 1) / 6)
+
+    def test_per_cycle_stats(self):
+        result = simulate(two_step(), b"abb", collect_cycle_stats=True)
+        assert result.stats.matched_per_cycle == [1, 1, 0]
+
+    def test_collect_reports_off(self):
+        result = simulate(two_step(), b"ab", collect_reports=False)
+        assert result.reports == []
+        assert result.stats.total_matched_states == 2
+
+    def test_report_offsets_deduplicated(self):
+        automaton = HomogeneousAutomaton()
+        for name in ("p", "q"):
+            automaton.add_ste(
+                name, SymbolSet.single("z"), start=StartKind.ALL_INPUT,
+                reporting=True,
+            )
+        result = simulate(automaton, b"z")
+        assert len(result.reports) == 2
+        assert result.report_offsets() == [0]
+
+
+class TestRobustness:
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(two_step(), "string not bytes")
+
+    def test_bytearray_accepted(self):
+        assert match_offsets(two_step(), bytearray(b"ab")) == [1]
+
+    def test_simulator_reusable_across_runs(self):
+        simulator = GoldenSimulator(two_step())
+        first = simulator.run(b"ab")
+        second = simulator.run(b"xxab")
+        assert [r.offset for r in first.reports] == [1]
+        assert [r.offset for r in second.reports] == [3]
+
+    def test_validation_runs_on_construction(self):
+        from repro.errors import AutomatonError
+
+        bad = HomogeneousAutomaton()
+        bad.add_ste("no-start", SymbolSet.single("a"))
+        with pytest.raises(AutomatonError):
+            GoldenSimulator(bad)
+
+    def test_large_automaton_block_cache(self):
+        """Exercise the 16-bit block memoisation across block boundaries."""
+        from tests.conftest import chain_automaton
+
+        automaton = chain_automaton(100, label_width=256, starts=1, seed=0)
+        # label_width=256 means every state matches everything: the chain
+        # lights up progressively, crossing many 16-bit blocks.
+        result = simulate(automaton, bytes(range(60)))
+        assert result.stats.total_matched_states == sum(range(1, 61))

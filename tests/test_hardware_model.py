@@ -1,0 +1,260 @@
+"""Tests for geometry, timing, design points, and energy — the model side
+of Tables 2-4 and Figures 9-10."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.design import CA_64, CA_P, CA_S, design_space
+from repro.core.energy import ActivityProfile, EnergyModel
+from repro.core.geometry import SliceGeometry, XEON_SLICE
+from repro.core.params import AP, H_BUS_WIRES, SRAM
+from repro.core.timing import pipeline_timing, state_match_delay_ps
+from repro.core.switches import SwitchSpec
+from repro.errors import HardwareModelError
+
+
+class TestGeometry:
+    def test_xeon_slice_capacity(self):
+        """2.5 MB slice = 20 ways x 8 x 16 KB sub-arrays (Figure 2b)."""
+        assert XEON_SLICE.slice_kb == 2560
+        assert XEON_SLICE.stes_per_subarray == 512
+        assert XEON_SLICE.partitions_per_subarray_full == 2
+        assert XEON_SLICE.partitions_per_subarray_half == 1
+
+    def test_way_capacities(self):
+        assert XEON_SLICE.stes_per_way(full_subarrays=True) == 4096
+        assert XEON_SLICE.stes_per_way(full_subarrays=False) == 2048
+
+    def test_column_mux_degrees(self):
+        """Section 5.1: half mapping reads via 4 sense phases, full via 8."""
+        assert XEON_SLICE.column_mux_degree(full_subarrays=False) == 4
+        assert XEON_SLICE.column_mux_degree(full_subarrays=True) == 8
+
+    def test_wire_distances(self):
+        assert XEON_SLICE.array_to_gswitch_mm == pytest.approx(1.5)
+        assert XEON_SLICE.array_to_gswitch4_mm == pytest.approx(2.138, abs=0.01)
+
+    def test_inconsistent_geometry_rejected(self):
+        with pytest.raises(HardwareModelError):
+            SliceGeometry(slice_kb=1000)
+        with pytest.raises(HardwareModelError):
+            SliceGeometry(array_rows=128)
+
+    def test_cache_bytes(self):
+        """One partition = 256 STEs x 256 bits = 8 KB of STE storage."""
+        assert XEON_SLICE.cache_bytes_for_partitions(1, full_subarrays=False) == 8192
+
+
+class TestStateMatchDelay:
+    def test_paper_baseline_1024ps(self):
+        """Section 2.6: 4-way mux without cycling needs 4 x 256 ps."""
+        assert state_match_delay_ps(4, sense_amp_cycling=False) == 1024.0
+
+    def test_paper_cycled_438ps(self):
+        """Table 3: CA_P state-match with SA cycling is 438 ps."""
+        assert state_match_delay_ps(4) == pytest.approx(438.0)
+
+    def test_paper_cycled_8way(self):
+        """Table 3: CA_S state-match (8-way mux) is ~687 ps."""
+        assert state_match_delay_ps(8) == pytest.approx(688.0)
+
+    def test_speedup_at_least_2x(self):
+        """Section 2.6 claims the optimisation is 2-3x for 4-way mux."""
+        assert state_match_delay_ps(4, sense_amp_cycling=False) / state_match_delay_ps(
+            4
+        ) > 2.0
+
+    def test_mux_one(self):
+        assert state_match_delay_ps(1) == SRAM.precharge_wordline_ps + SRAM.sense_step_ps
+
+    def test_bad_mux(self):
+        with pytest.raises(HardwareModelError):
+            state_match_delay_ps(0)
+
+
+class TestPipelineTiming:
+    def test_ca_p_table3_row(self):
+        timing = CA_P.timing
+        assert timing.state_match_ps == pytest.approx(438, abs=1)
+        assert timing.g_switch_ps == pytest.approx(227, abs=1)
+        assert timing.l_switch_ps == pytest.approx(263, abs=1)
+        assert timing.max_frequency_ghz == pytest.approx(2.3, abs=0.05)
+        assert timing.bottleneck == "state-match"
+
+    def test_ca_s_table3_row(self):
+        timing = CA_S.timing
+        assert timing.state_match_ps == pytest.approx(687, abs=2)
+        assert timing.g_switch_ps == pytest.approx(468, abs=2)
+        assert timing.l_switch_ps == pytest.approx(304, abs=2)
+        assert timing.max_frequency_ghz == pytest.approx(1.4, abs=0.06)
+
+    def test_no_gswitch_design(self):
+        timing = pipeline_timing(
+            column_mux_degree=1,
+            l_switch=SwitchSpec(64, 64),
+            g_switch=None,
+            g_wire_mm=0.0,
+            l_wire_mm=0.0,
+        )
+        assert timing.g_switch_ps == 0.0
+        assert timing.max_frequency_ghz > 3.9
+
+
+class TestDesignPoints:
+    def test_ca_p_operates_at_2ghz(self):
+        assert CA_P.frequency_ghz == 2.0
+        assert CA_P.throughput_gbps == 16.0
+
+    def test_ca_s_operates_at_1_2ghz(self):
+        assert CA_S.frequency_ghz == 1.2
+        assert CA_S.throughput_gbps == pytest.approx(9.6)
+
+    def test_operating_capped_by_max(self):
+        hot = replace(CA_P, operating_frequency_ghz=10.0)
+        assert hot.frequency_ghz == hot.max_frequency_ghz
+
+    def test_table4_no_sa_cycling(self):
+        """Table 4: ~1 GHz / ~500 MHz without sense-amp cycling."""
+        assert CA_P.without_sa_cycling().frequency_ghz == pytest.approx(1.0, abs=0.05)
+        assert CA_S.without_sa_cycling().frequency_ghz == pytest.approx(0.5, abs=0.03)
+
+    def test_table4_h_bus(self):
+        """Table 4: ~1.5 GHz / ~1 GHz when reusing H-Bus wires."""
+        assert CA_P.with_h_bus().frequency_ghz == pytest.approx(1.6, abs=0.1)
+        assert CA_S.with_h_bus().frequency_ghz == pytest.approx(1.0, abs=0.05)
+        assert CA_P.with_h_bus().wires == H_BUS_WIRES
+
+    def test_switch_topology(self):
+        """Table 2 sizes: L 280x256 (CA_S), G1 128/256, G4 512."""
+        assert str(CA_S.l_switch) == "280x256"
+        assert str(CA_P.g1_switch) == "128x128"
+        assert str(CA_S.g1_switch) == "256x256"
+        assert str(CA_S.g4_switch) == "512x512"
+        assert CA_P.g4_switch is None
+
+    def test_partition_counts(self):
+        assert CA_P.partitions_per_way == 8
+        assert CA_S.partitions_per_way == 16
+        assert CA_P.states_per_slice == 16 * 1024
+        assert CA_S.states_per_slice == 32 * 1024
+
+    def test_figure10_reachability_ordering(self):
+        """CA_64 < AP < CA_P < CA_S in reach; frequencies reversed."""
+        assert CA_64.reachability == 64
+        assert CA_P.reachability == pytest.approx(361, rel=0.05)
+        assert CA_S.reachability == pytest.approx(936, rel=0.08)
+        assert CA_64.frequency_ghz > CA_P.frequency_ghz > CA_S.frequency_ghz
+        assert CA_P.reachability > AP.reachability
+
+    def test_figure10_area(self):
+        """CA designs cost ~4.3-4.6 mm^2 for 32K STEs vs 38 mm^2 for AP."""
+        assert CA_P.area_overhead_mm2(32 * 1024) == pytest.approx(4.3, abs=0.2)
+        assert CA_S.area_overhead_mm2(32 * 1024) == pytest.approx(4.6, abs=0.2)
+        assert CA_P.area_overhead_mm2(32 * 1024) < AP.area_mm2_32k / 8
+
+    def test_fan_in_vs_ap(self):
+        """Section 5.4: CA supports 256 incoming transitions, AP only 16."""
+        assert CA_P.max_fan_in == 256
+        assert CA_P.max_fan_in > AP.fan_in
+
+    def test_design_space_sorted_by_reach(self):
+        reaches = [design.reachability for design in design_space()]
+        assert reaches == sorted(reaches)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            replace(CA_P, partition_size=0).validate()
+        with pytest.raises(HardwareModelError):
+            replace(CA_P, ways_used=25).validate()
+        with pytest.raises(HardwareModelError):
+            replace(CA_P, operating_frequency_ghz=0).validate()
+
+
+class TestEnergyModel:
+    def test_partition_event_energy(self):
+        """Array access (22 pJ) + L-switch access (0.191 x 256 ~ 49 pJ)."""
+        model = EnergyModel(CA_P)
+        assert model.partition_event_pj == pytest.approx(22 + 0.191 * 256, rel=0.02)
+
+    def test_energy_per_symbol(self):
+        model = EnergyModel(CA_P)
+        profile = ActivityProfile(symbols=1000, partition_activations=10_000)
+        expected = 10 * model.partition_event_pj / 1000
+        assert model.energy_per_symbol_nj(profile) == pytest.approx(expected)
+
+    def test_ca_cheaper_than_ideal_ap_same_mapping(self):
+        """Section 5.3: ~3x less energy than Ideal AP with the same mapping."""
+        model = EnergyModel(CA_P)
+        profile = ActivityProfile(symbols=100, partition_activations=1000)
+        ratio = model.ideal_ap_energy_per_symbol_nj(
+            profile
+        ) / model.energy_per_symbol_nj(profile)
+        assert 2.5 < ratio < 4.5
+
+    def test_power_scales_with_frequency(self):
+        profile = ActivityProfile(symbols=100, partition_activations=500)
+        p_power = EnergyModel(CA_P).average_power_watts(profile)
+        s_power = EnergyModel(CA_S).average_power_watts(profile)
+        # Same activity: power ratio tracks frequency ratio (plus CA_S's
+        # slightly costlier switches).
+        assert p_power / s_power == pytest.approx(2.0 / 1.2, rel=0.15)
+
+    def test_peak_power_128k_prototype(self):
+        """Section 5.3: the 128K-STE CA_P prototype peaks near 71-75 W,
+        well under the 160 W Xeon TDP."""
+        peak = EnergyModel(CA_P).peak_power_watts(128 * 1024)
+        assert 65 < peak < 80
+
+    def test_gswitch_energy_counted(self):
+        model = EnergyModel(CA_S)
+        quiet = ActivityProfile(symbols=10, partition_activations=10)
+        busy = ActivityProfile(
+            symbols=10, partition_activations=10,
+            g1_crossings=5, g1_switch_activations=5,
+            g4_crossings=2, g4_switch_activations=2,
+        )
+        assert model.total_energy_pj(busy) > model.total_energy_pj(quiet)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(HardwareModelError):
+            EnergyModel(CA_P).energy_per_symbol_nj(ActivityProfile())
+
+    def test_profile_merge(self):
+        a = ActivityProfile(symbols=10, partition_activations=5, g1_crossings=1)
+        b = ActivityProfile(symbols=20, partition_activations=15, reports=3)
+        merged = a.merged_with(b)
+        assert merged.symbols == 30
+        assert merged.partition_activations == 20
+        assert merged.g1_crossings == 1
+        assert merged.reports == 3
+        assert merged.average_active_partitions == pytest.approx(20 / 30)
+
+
+class TestCapacityClaims:
+    def test_intro_capacity_claim(self):
+        """Section 1: 20-40 MB of LLC can accommodate 640K-1280K states
+        if the entire cache stores NFAs."""
+        per_slice_full = (
+            XEON_SLICE.ways
+            * XEON_SLICE.subarrays_per_way
+            * XEON_SLICE.stes_per_subarray
+        )
+        slices_20mb = 20 * 1024 // XEON_SLICE.slice_kb  # 8 slices
+        assert per_slice_full * slices_20mb >= 640 * 1024
+        assert per_slice_full * slices_20mb * 2 >= 1280 * 1024
+
+    def test_prototype_capacity_claim(self):
+        """Section 5.3: 8 NFA ways per slice over 8 slices store 128K STEs
+        and execute 128K transitions per cycle (CA_P mapping)."""
+        assert CA_P.states_per_slice * 8 == 128 * 1024
+
+    def test_ap_rank_comparison(self):
+        """Section 1: an AP rank holds 384K states; 20-40 MB of cache is
+        comparable or better."""
+        per_slice_full = (
+            XEON_SLICE.ways
+            * XEON_SLICE.subarrays_per_way
+            * XEON_SLICE.stes_per_subarray
+        )
+        assert per_slice_full * 8 > AP.states_per_rank

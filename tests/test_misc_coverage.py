@@ -1,0 +1,137 @@
+"""Edge-path coverage across modules: cross-way DOT colouring, multi-
+partition output records, wire-assignment sharing, sweep customisation,
+and small formatting corners."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.automata.dot import mapping_to_dot
+from repro.compiler import compile_automaton, generate
+from repro.core.design import CA_64, CA_P, CA_S
+from repro.core.geometry import SliceGeometry
+from repro.engine import CacheAutomatonEngine
+from repro.eval.tables import format_cell
+from repro.regex.compile import literal_pattern
+from repro.sim.functional import simulate_mapping
+from tests.conftest import chain_automaton
+
+TINY = SliceGeometry(slice_kb=640, ways=20, subarrays_per_way=2)
+
+
+class TestCrossWayDot:
+    def test_g4_edges_red(self):
+        design = replace(CA_S, geometry=TINY, name="tiny")
+        automaton = chain_automaton(1300, extra_edges=150, seed=55)
+        mapping = compile_automaton(automaton, design)
+        assert mapping.classify_edges()["g4"] > 0
+        dot = mapping_to_dot(mapping, max_states=None)
+        assert "color=red" in dot
+        assert "color=blue" in dot or mapping.classify_edges()["g1"] == 0
+
+
+class TestOutputRecordsMultiPartition:
+    def test_records_carry_partition_ids(self):
+        from dataclasses import replace as dc_replace
+
+        machine = literal_pattern("k" * 600)  # 3 partitions
+        # Make every 100th state a reporter so several partitions report.
+        for index in range(0, 600, 100):
+            ste = machine.ste(f"lit{index}")
+            machine.replace_ste(
+                dc_replace(ste, reporting=True, report_code=f"r{index}")
+            )
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, b"k" * 600, collect_records=True)
+        partitions_seen = {record.partition for record in result.output_records}
+        expected = {
+            mapping.partition_of(f"lit{index}") for index in range(0, 600, 100)
+        }
+        assert partitions_seen == expected
+        assert len(partitions_seen) >= 2
+
+
+class TestWireSharing:
+    def test_one_source_many_destinations_one_out_wire(self):
+        """A source STE fanning out to several partitions costs ONE
+        outgoing wire (the G-switch fans out internally)."""
+        design = replace(CA_S, geometry=TINY, name="tiny")
+        automaton = chain_automaton(900, seed=56)
+        # s0 fans out to states in several partitions.
+        for target in (300, 500, 700, 850):
+            automaton.add_edge("s0", f"s{target}")
+        mapping = compile_automaton(automaton, design)
+        bitstream = generate(mapping)
+        source_partition = mapping.partition_of("s0")
+        wires = bitstream.wires[source_partition]
+        assert list(wires.out_g1.keys()).count("s0") <= 1
+        assert list(wires.out_g4.keys()).count("s0") <= 1
+        total_out = len(wires.out_g1) + len(wires.out_g4)
+        assert total_out >= 1
+
+
+class TestEngineOnOtherDesigns:
+    def test_ca_64_single_partition(self):
+        engine = CacheAutomatonEngine.from_patterns(["tiny"], design=CA_64)
+        assert engine.mapping.partition_count == 1
+        assert [m.end for m in engine.scan(b"a tiny thing")] == [5]
+        assert engine.throughput_gbps > 30  # ~4 GHz x 8 bits
+
+    def test_ca_s_without_optimize(self):
+        engine = CacheAutomatonEngine.from_patterns(["abc"], design=CA_S)
+        assert engine.design.name == "CA_S"
+        assert [m.end for m in engine.scan(b"xabc")] == [3]
+
+
+class TestSweepCustomisation:
+    def test_custom_base_design(self):
+        from repro.eval.sweeps import sweep_g1_wires
+
+        rows = sweep_g1_wires(base=CA_S, wire_counts=(8, 16))
+        assert all(row[0].startswith("CA_S/") for row in rows[1:])
+
+    def test_multistream_budget(self):
+        from repro.eval.experiments import evaluate_suite, multistream
+
+        evaluations = evaluate_suite(input_length=800, names=["Bro217"])
+        narrow = multistream(evaluations, budget_ways=2)
+        wide = multistream(evaluations, budget_ways=8)
+        assert wide[1][1] >= narrow[1][1]  # more silicon, more streams
+
+
+class TestFormatting:
+    def test_negative_numbers(self):
+        assert format_cell(-3.14159) == "-3.142"
+        assert format_cell(-31415.9) == "-31,416"
+
+    def test_bool_passthrough(self):
+        assert format_cell(True) == "True"
+
+
+class TestGoldenResumeWithCycleStats:
+    def test_cycle_stats_on_resumed_run(self):
+        from repro.regex.compile import compile_patterns
+        from repro.sim.golden import GoldenSimulator
+
+        machine = compile_patterns(["ab"])
+        simulator = GoldenSimulator(machine)
+        first = simulator.run(b"ab", collect_cycle_stats=True)
+        second = simulator.run(
+            b"ab", collect_cycle_stats=True, resume=first.checkpoint
+        )
+        assert first.stats.matched_per_cycle == [1, 1]
+        assert second.stats.matched_per_cycle == [1, 1]
+
+
+class TestCircuitSimRobustness:
+    def test_bad_input_type(self):
+        from repro.automata.anml import StartKind
+        from repro.automata.elements import CircuitAutomaton
+        from repro.automata.symbols import SymbolSet
+        from repro.errors import SimulationError
+        from repro.sim.circuit import CircuitSimulator
+
+        circuit = CircuitAutomaton()
+        circuit.add_ste("s", SymbolSet.single("s"), start=StartKind.ALL_INPUT)
+        with pytest.raises(SimulationError):
+            CircuitSimulator(circuit).run("not bytes")

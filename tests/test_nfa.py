@@ -1,0 +1,132 @@
+"""Tests for the classical NFA model."""
+
+import pytest
+
+from repro.automata.nfa import Nfa, union
+from repro.automata.symbols import SymbolSet
+from repro.errors import AutomatonError
+
+
+def literal_nfa(text: str) -> Nfa:
+    nfa = Nfa()
+    nfa.add_state("q0", start=True)
+    previous = "q0"
+    for index, character in enumerate(text):
+        state = f"q{index + 1}"
+        nfa.add_transition(previous, SymbolSet.single(character), state)
+        previous = state
+    nfa.set_accept(previous)
+    return nfa
+
+
+class TestConstruction:
+    def test_add_transition_auto_adds_states(self):
+        nfa = Nfa()
+        nfa.add_transition("a", SymbolSet.single("x"), "b")
+        assert nfa.states == {"a", "b"}
+
+    def test_empty_label_rejected(self):
+        nfa = Nfa()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition("a", SymbolSet.none(), "b")
+
+    def test_validate_requires_start(self):
+        nfa = Nfa()
+        nfa.add_state("a")
+        with pytest.raises(AutomatonError):
+            nfa.validate()
+
+    def test_transition_count(self):
+        nfa = literal_nfa("abc")
+        assert nfa.transition_count() == 3
+        assert len(nfa) == 4
+
+
+class TestSemantics:
+    def test_accepts_literal(self):
+        nfa = literal_nfa("cat")
+        assert nfa.accepts(b"cat")
+        assert not nfa.accepts(b"car")
+        assert not nfa.accepts(b"cats")
+        assert not nfa.accepts(b"ca")
+        assert not nfa.accepts(b"")
+
+    def test_nondeterminism(self):
+        # Two branches from the start on the same symbol.
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_transition("s", SymbolSet.single("a"), "left")
+        nfa.add_transition("s", SymbolSet.single("a"), "right")
+        nfa.add_transition("left", SymbolSet.single("b"), "lend")
+        nfa.add_transition("right", SymbolSet.single("c"), "rend")
+        nfa.set_accept("lend")
+        nfa.set_accept("rend")
+        assert nfa.accepts(b"ab")
+        assert nfa.accepts(b"ac")
+        assert not nfa.accepts(b"ad")
+
+    def test_epsilon_closure(self):
+        nfa = Nfa()
+        nfa.add_epsilon("a", "b")
+        nfa.add_epsilon("b", "c")
+        nfa.add_epsilon("c", "a")  # cycle
+        assert nfa.epsilon_closure({"a"}) == {"a", "b", "c"}
+
+    def test_accepts_through_epsilon(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "mid")
+        nfa.add_transition("mid", SymbolSet.single("x"), "end")
+        nfa.set_accept("end")
+        assert nfa.accepts(b"x")
+
+    def test_find_matches_unanchored(self):
+        # find_matches reports 1-based end offsets (symbols consumed).
+        nfa = literal_nfa("ab")
+        assert nfa.find_matches(b"zabzzab") == [3, 7]
+
+    def test_find_matches_empty_acceptance_at_zero(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True, accept=True)
+        assert nfa.find_matches(b"xy")[0] == 0
+
+    def test_step_dead_end(self):
+        nfa = literal_nfa("a")
+        assert nfa.step({"q0"}, ord("z")) == set()
+
+
+class TestTransformations:
+    def test_trim_removes_unreachable(self):
+        nfa = literal_nfa("ab")
+        nfa.add_transition("island1", SymbolSet.single("z"), "island2")
+        trimmed = nfa.trim()
+        assert "island1" not in trimmed.states
+        assert trimmed.accepts(b"ab")
+
+    def test_relabelled_preserves_language(self):
+        nfa = literal_nfa("hey")
+        renamed = nfa.relabelled("n")
+        assert renamed.accepts(b"hey")
+        assert not renamed.accepts(b"hay")
+        assert all(str(state).startswith("n") for state in renamed.states)
+
+    def test_relabelled_preserves_epsilon(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "m")
+        nfa.add_transition("m", SymbolSet.single("x"), "e")
+        nfa.set_accept("e")
+        assert nfa.relabelled("r").accepts(b"x")
+
+    def test_union_multi_pattern(self):
+        combined = union([literal_nfa("cat"), literal_nfa("dog")])
+        assert combined.accepts(b"cat")
+        assert combined.accepts(b"dog")
+        assert not combined.accepts(b"cog")
+
+    def test_union_keeps_state_spaces_disjoint(self):
+        combined = union([literal_nfa("aa"), literal_nfa("aa")])
+        assert len(combined) == 6
+
+    def test_repr(self):
+        assert "states=4" in repr(literal_nfa("abc"))

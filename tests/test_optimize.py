@@ -1,0 +1,169 @@
+"""Tests for the space-optimisation passes (prefix/suffix merging, pruning).
+
+The cardinal property: every merge is language-preserving — the report
+offsets on any input are unchanged.  Checked both on crafted cases and
+differentially on random rule sets.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.components import component_stats
+from repro.automata.optimize import (
+    merge_common_prefixes,
+    merge_common_suffixes,
+    prune_dead,
+    prune_unreachable,
+    space_optimize,
+)
+from repro.automata.symbols import SymbolSet
+from repro.regex.compile import compile_patterns
+from repro.sim.golden import match_offsets
+
+
+class TestPrefixMerging:
+    def test_shared_prefix_collapses(self):
+        machine = compile_patterns(["art", "artifact"], report_codes=["x", "x"])
+        merged = merge_common_prefixes(machine)
+        # 'a' and 'r' of both patterns fuse; the two 't's stay apart
+        # because one reports and the other does not: 11 -> 9 states.
+        assert len(merged) == 9
+        text = b"the artifact of art"
+        assert match_offsets(merged, text) == match_offsets(machine, text)
+
+    def test_reporting_states_not_fused_with_nonreporting(self):
+        machine = compile_patterns(["ab", "abc"])
+        merged = merge_common_prefixes(machine)
+        # 'b' of "ab" reports, 'b' of "abc" does not: they must stay apart.
+        reporting_b = [
+            s for s in merged.stes()
+            if s.symbols == SymbolSet.single("b") and s.reporting
+        ]
+        plain_b = [
+            s for s in merged.stes()
+            if s.symbols == SymbolSet.single("b") and not s.reporting
+        ]
+        assert len(reporting_b) == 1 and len(plain_b) == 1
+
+    def test_self_loop_states_mergeable(self):
+        """Two identical dot-star self-loop states should fuse."""
+        automaton = HomogeneousAutomaton()
+        for name in ("x", "y"):
+            automaton.add_ste(name, SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+        for name in ("lx", "ly"):
+            automaton.add_ste(name, SymbolSet.any(), reporting=True)
+        automaton.add_edge("x", "lx")
+        automaton.add_edge("y", "ly")
+        automaton.add_edge("lx", "lx")
+        automaton.add_edge("ly", "ly")
+        merged = space_optimize(automaton)
+        assert len(merged) == 2  # one start, one looping reporter
+
+    def test_different_start_kinds_not_merged(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(
+            "anchored", SymbolSet.single("a"), start=StartKind.START_OF_DATA,
+            reporting=True,
+        )
+        automaton.add_ste(
+            "floating", SymbolSet.single("a"), start=StartKind.ALL_INPUT,
+            reporting=True,
+        )
+        assert len(merge_common_prefixes(automaton)) == 2
+
+
+class TestSuffixMerging:
+    def test_shared_suffix_collapses(self):
+        machine = compile_patterns(["xat", "yat"], report_codes=["r", "r"])
+        merged = merge_common_suffixes(machine)
+        assert len(merged) < len(machine)
+        text = b"xat yat zat"
+        assert match_offsets(merged, text) == match_offsets(machine, text)
+
+    def test_start_states_never_suffix_merged(self):
+        # Both starts have identical successors but different labels'
+        # activation conditions must survive; labels differ here so they
+        # wouldn't merge anyway — craft identical-label starts instead.
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste("s1", SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+        automaton.add_ste("s2", SymbolSet.single("a"), start=StartKind.START_OF_DATA)
+        automaton.add_ste("end", SymbolSet.single("b"), reporting=True)
+        automaton.add_edge("s1", "end")
+        automaton.add_edge("s2", "end")
+        merged = merge_common_suffixes(automaton)
+        assert len(merged) == 3
+
+
+class TestPruning:
+    def test_prune_unreachable(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste("s", SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+        automaton.add_ste("r", SymbolSet.single("b"), reporting=True)
+        automaton.add_ste("island", SymbolSet.single("z"), reporting=True)
+        automaton.add_edge("s", "r")
+        pruned = prune_unreachable(automaton)
+        assert "island" not in pruned
+        assert len(pruned) == 2
+
+    def test_prune_dead(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste("s", SymbolSet.single("a"), start=StartKind.ALL_INPUT)
+        automaton.add_ste("r", SymbolSet.single("b"), reporting=True)
+        automaton.add_ste("sink", SymbolSet.single("c"))  # never reports
+        automaton.add_edge("s", "r")
+        automaton.add_edge("s", "sink")
+        pruned = prune_dead(automaton)
+        assert "sink" not in pruned
+
+    def test_prune_noop_returns_same_structure(self):
+        machine = compile_patterns(["abc"])
+        assert len(prune_unreachable(machine)) == len(machine)
+        assert len(prune_dead(machine)) == len(machine)
+
+
+rule_sets = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=6), min_size=1, max_size=8
+)
+
+
+class TestLanguagePreservation:
+    @given(rule_sets, st.text(alphabet="abcd", max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_space_optimize_preserves_offsets(self, rules, text):
+        machine = compile_patterns(rules)
+        optimised = space_optimize(machine)
+        data = text.encode()
+        assert match_offsets(optimised, data) == match_offsets(machine, data)
+
+    @given(rule_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_space_optimize_never_grows(self, rules):
+        machine = compile_patterns(rules)
+        optimised = space_optimize(machine)
+        assert len(optimised) <= len(machine)
+
+    def test_random_regex_rules_preserved(self):
+        rng = random.Random(9)
+        from repro.workloads.synth import dotstar_rules, ids_rules
+
+        for rules in (dotstar_rules(20, 0.5, seed=1), ids_rules(15, seed=2)):
+            machine = compile_patterns(rules)
+            optimised = space_optimize(machine)
+            text = bytes(rng.randrange(97, 123) for _ in range(800))
+            assert match_offsets(optimised, text) == match_offsets(machine, text)
+
+
+class TestStructuralTrends:
+    def test_merging_reduces_components_grows_largest(self):
+        """The Table 1 signature: CCs drop, largest CC grows."""
+        from repro.workloads.synth import exact_match_rules
+
+        machine = compile_patterns(exact_match_rules(40, seed=4))
+        before = component_stats(machine)
+        after = component_stats(space_optimize(machine))
+        assert after.component_count < before.component_count
+        assert after.largest_component_size >= before.largest_component_size
+        assert after.state_count < before.state_count

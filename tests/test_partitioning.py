@@ -1,0 +1,230 @@
+"""Tests for the multilevel k-way partitioner (the METIS substitute)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partitioning import (
+    PartitionGraph,
+    bisect,
+    cut_weight,
+    from_directed_edges,
+    part_weights,
+    partition_into_capacity,
+    partition_kway,
+)
+from repro.partitioning.coarsen import coarsen, contract, heavy_edge_matching
+from repro.partitioning.refine import refine_bisection
+
+
+def clustered_graph(clusters: int, size: int, bridges: int, seed: int = 0):
+    """Dense clusters joined by a few bridge edges (known good cuts)."""
+    rng = random.Random(seed)
+    graph = PartitionGraph([1] * (clusters * size))
+    for cluster in range(clusters):
+        nodes = list(range(cluster * size, (cluster + 1) * size))
+        for _ in range(size * 5):
+            u, v = rng.sample(nodes, 2)
+            graph.add_edge(u, v)
+    for _ in range(bridges):
+        a, b = rng.sample(range(clusters), 2)
+        graph.add_edge(
+            rng.randrange(a * size, (a + 1) * size),
+            rng.randrange(b * size, (b + 1) * size),
+        )
+    return graph
+
+
+class TestGraph:
+    def test_self_loops_ignored(self):
+        graph = PartitionGraph([1, 1])
+        graph.add_edge(0, 0)
+        assert graph.edge_count() == 0
+
+    def test_parallel_edges_accumulate(self):
+        graph = PartitionGraph([1, 1])
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1, 2)
+        assert graph.neighbours(0)[1] == 3
+        assert graph.degree_weight(0) == 3
+
+    def test_bad_weights(self):
+        with pytest.raises(PartitioningError):
+            PartitionGraph([1, 0])
+        graph = PartitionGraph([1, 1])
+        with pytest.raises(PartitioningError):
+            graph.add_edge(0, 1, 0)
+        with pytest.raises(PartitioningError):
+            graph.add_edge(0, 5)
+
+    def test_from_directed_edges_collapses(self):
+        graph = from_directed_edges(3, [(0, 1), (1, 0), (1, 2)])
+        assert graph.neighbours(0)[1] == 2
+        assert graph.neighbours(1)[2] == 1
+
+    def test_cut_weight(self):
+        graph = PartitionGraph([1] * 4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        graph.add_edge(1, 2, 5)
+        assert cut_weight(graph, [0, 0, 1, 1]) == 5
+        assert cut_weight(graph, [0, 1, 1, 0]) == 2
+
+    def test_part_weights(self):
+        graph = PartitionGraph([2, 3, 5])
+        assert part_weights(graph, [0, 1, 1], 2) == [2, 8]
+
+
+class TestCoarsening:
+    def test_matching_projection_valid(self):
+        graph = clustered_graph(2, 30, 3)
+        projection = heavy_edge_matching(graph, random.Random(0), 100)
+        assert len(projection) == graph.node_count
+        assert max(projection) + 1 <= graph.node_count
+        # At most two fine nodes per coarse node.
+        counts = {}
+        for coarse in projection:
+            counts[coarse] = counts.get(coarse, 0) + 1
+        assert max(counts.values()) <= 2
+
+    def test_contract_preserves_total_weight(self):
+        graph = clustered_graph(2, 25, 2)
+        projection = heavy_edge_matching(graph, random.Random(1), 100)
+        coarse = contract(graph, projection)
+        assert coarse.total_weight == graph.total_weight
+
+    def test_coarsen_reduces_size(self):
+        graph = clustered_graph(3, 40, 4)
+        levels = coarsen(graph, random.Random(2), stop_at=20)
+        assert levels
+        assert levels[-1].graph.node_count < graph.node_count // 2
+
+    def test_coarsen_respects_node_weight_cap(self):
+        graph = clustered_graph(2, 32, 2)
+        levels = coarsen(graph, random.Random(3), max_node_weight=4)
+        for level in levels:
+            assert max(level.graph.node_weights) <= 4
+
+
+class TestRefinement:
+    def test_fm_improves_bad_bisection(self):
+        graph = clustered_graph(2, 25, 2, seed=4)
+        # Worst-case start: interleaved assignment.
+        assignment = [node % 2 for node in range(graph.node_count)]
+        before = cut_weight(graph, assignment)
+        refine_bisection(graph, assignment, [30, 30])
+        after = cut_weight(graph, assignment)
+        assert after < before
+
+    def test_fm_respects_balance(self):
+        graph = clustered_graph(2, 20, 1, seed=5)
+        assignment = [node % 2 for node in range(graph.node_count)]
+        refine_bisection(graph, assignment, [22, 22])
+        weights = part_weights(graph, assignment, 2)
+        assert max(weights) <= 22
+
+
+class TestBisect:
+    def test_finds_bridge_cut(self):
+        graph = clustered_graph(2, 50, 4, seed=6)
+        assignment = bisect(graph, [50, 50])
+        assert cut_weight(graph, assignment) <= 8  # near the 4-bridge optimum
+        weights = part_weights(graph, assignment, 2)
+        assert max(weights) <= 56
+
+    def test_infeasible_targets_rejected(self):
+        graph = PartitionGraph([1] * 10)
+        with pytest.raises(PartitioningError):
+            bisect(graph, [3, 3])
+        with pytest.raises(PartitioningError):
+            bisect(graph, [10])
+
+
+class TestKway:
+    def test_chain_optimal_cuts(self):
+        graph = PartitionGraph([1] * 120)
+        for index in range(119):
+            graph.add_edge(index, index + 1)
+        assignment = partition_kway(graph, 4)
+        assert cut_weight(graph, assignment) <= 6  # optimum is 3
+        weights = part_weights(graph, assignment, 4)
+        assert max(weights) <= 40
+
+    def test_small_graph_brute_force_comparison(self):
+        """On tiny graphs the partitioner should be near the true optimum."""
+        rng = random.Random(7)
+        graph = PartitionGraph([1] * 10)
+        for _ in range(16):
+            u, v = rng.sample(range(10), 2)
+            graph.add_edge(u, v)
+        best = min(
+            cut_weight(graph, [0] * 5 + [1] * 5 if False else list(assignment))
+            for assignment in itertools.product([0, 1], repeat=10)
+            if 4 <= sum(assignment) <= 6
+        )
+        found = cut_weight(graph, bisect(graph, [5, 5], attempts=8))
+        assert found <= best * 2 + 1
+
+    def test_k_equals_one(self):
+        graph = clustered_graph(1, 10, 0)
+        assert set(partition_kway(graph, 1)) == {0}
+
+    def test_bad_k(self):
+        with pytest.raises(PartitioningError):
+            partition_kway(PartitionGraph([1]), 0)
+
+    def test_all_parts_used(self):
+        graph = clustered_graph(4, 25, 8, seed=8)
+        assignment = partition_kway(graph, 4)
+        assert set(assignment) == {0, 1, 2, 3}
+
+
+class TestCapacityPartitioning:
+    def test_every_part_fits(self):
+        graph = clustered_graph(3, 70, 5, seed=9)
+        assignment = partition_into_capacity(graph, 64)
+        parts = max(assignment) + 1
+        weights = part_weights(graph, assignment, parts)
+        assert max(weights) <= 64
+        assert parts >= 4  # 210 nodes / 64
+
+    def test_exact_fit(self):
+        graph = PartitionGraph([1] * 64)
+        for index in range(63):
+            graph.add_edge(index, index + 1)
+        assignment = partition_into_capacity(graph, 64)
+        assert max(assignment) == 0
+
+    def test_capacity_below_heaviest_node(self):
+        graph = PartitionGraph([10, 1])
+        with pytest.raises(PartitioningError):
+            partition_into_capacity(graph, 5)
+
+    def test_weighted_nodes(self):
+        graph = PartitionGraph([3] * 30)
+        for index in range(29):
+            graph.add_edge(index, index + 1)
+        assignment = partition_into_capacity(graph, 10)
+        parts = max(assignment) + 1
+        assert max(part_weights(graph, assignment, parts)) <= 10
+
+    def test_deterministic_given_rng(self):
+        graph = clustered_graph(2, 40, 3, seed=10)
+        first = partition_into_capacity(graph, 32, rng=random.Random(1))
+        second = partition_into_capacity(graph, 32, rng=random.Random(1))
+        assert first == second
+
+
+class TestQualityVsRandom:
+    def test_beats_random_partition(self):
+        """The multilevel partitioner must clearly beat random assignment
+        (the ablation justifying METIS in Section 3.2)."""
+        graph = clustered_graph(4, 60, 10, seed=11)
+        rng = random.Random(12)
+        random_cut = cut_weight(
+            graph, [rng.randrange(4) for _ in range(graph.node_count)]
+        )
+        good_cut = cut_weight(graph, partition_kway(graph, 4))
+        assert good_cut < random_cut / 5

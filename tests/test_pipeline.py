@@ -1,0 +1,59 @@
+"""Tests for the three-stage pipeline model (Section 2.5)."""
+
+import pytest
+
+from repro.core.design import CA_P, CA_S
+from repro.core.pipeline import PIPELINE_STAGES, PipelineModel
+from repro.errors import SimulationError
+
+
+class TestCycles:
+    def test_empty_stream(self):
+        model = PipelineModel(CA_P)
+        assert model.total_cycles(0) == 0
+        assert model.effective_throughput_gbps(0) == 0.0
+        assert model.fill_drain_overhead(0) == 0.0
+
+    def test_single_symbol_pays_full_depth(self):
+        assert PipelineModel(CA_P).total_cycles(1) == PIPELINE_STAGES
+
+    def test_steady_state_one_per_cycle(self):
+        model = PipelineModel(CA_P)
+        assert model.total_cycles(1000) - model.total_cycles(999) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            PipelineModel(CA_P).total_cycles(-1)
+
+
+class TestThroughput:
+    def test_converges_to_line_rate(self):
+        model = PipelineModel(CA_P)
+        assert model.effective_throughput_gbps(10) < CA_P.throughput_gbps
+        assert model.effective_throughput_gbps(10_000_000) == pytest.approx(
+            CA_P.throughput_gbps, rel=1e-5
+        )
+
+    def test_fill_drain_inconsequential_at_mb_scale(self):
+        """The paper's remark, quantified: < 1e-5 overhead for MB streams."""
+        model = PipelineModel(CA_S)
+        assert model.fill_drain_overhead(1_000_000) < 1e-5
+        assert model.fill_drain_overhead(10) > 0.1  # but real for tiny bursts
+
+
+class TestLatency:
+    def test_report_latency(self):
+        model = PipelineModel(CA_P)
+        assert model.report_latency_cycles() == 3
+        assert model.report_latency_ns() == pytest.approx(1.5)  # 3 / 2 GHz
+
+    def test_runtime(self):
+        model = PipelineModel(CA_P)
+        # 2e6 symbols at 2 GHz ~ 1 ms (+2 fill cycles).
+        assert model.runtime_ms(2_000_000) == pytest.approx(1.0, rel=1e-4)
+
+    def test_slower_design_longer_latency(self):
+        assert (
+            PipelineModel(CA_S).report_latency_ns()
+            > PipelineModel(CA_P).report_latency_ns()
+        )

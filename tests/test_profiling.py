@@ -1,0 +1,104 @@
+"""Tests for mapping utilisation / activity profiling."""
+
+import pytest
+
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.core.energy import EnergyModel
+from repro.errors import SimulationError
+from repro.eval.profiling import (
+    energy_breakdown,
+    hottest_partitions,
+    partition_activity,
+    profile_mapping,
+    utilisation_report,
+    way_load,
+)
+from repro.regex.compile import literal_pattern
+from repro.sim.functional import simulate_mapping
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    benchmark = get_benchmark("Snort")
+    mapping = compile_automaton(benchmark.build(), CA_P)
+    data = benchmark.input_stream(3000, seed=21)
+    return mapping, profile_mapping(mapping, data)
+
+
+class TestPartitionActivity:
+    def test_counts_align_with_profile(self, profiled):
+        mapping, result = profiled
+        activities = partition_activity(mapping, result)
+        assert len(activities) == mapping.partition_count
+        assert (
+            sum(a.activation_cycles for a in activities)
+            == result.profile.partition_activations
+        )
+
+    def test_duty_cycle_bounds(self, profiled):
+        mapping, result = profiled
+        for activity in partition_activity(mapping, result):
+            assert 0.0 <= activity.duty_cycle <= 1.0
+            assert 0.0 < activity.fill_fraction <= 1.0
+
+    def test_unprofiled_run_rejected(self, profiled):
+        mapping, _ = profiled
+        plain = simulate_mapping(mapping, b"abc")
+        with pytest.raises(SimulationError):
+            partition_activity(mapping, plain)
+
+    def test_start_partition_is_hottest(self):
+        """For a literal chain, the partition with the all-input start
+        state is active every cycle; downstream partitions almost never."""
+        machine = literal_pattern("q" * 600)
+        mapping = compile_automaton(machine, CA_P)
+        result = profile_mapping(mapping, b"x" * 500)
+        activities = partition_activity(mapping, result)
+        start_partition = mapping.partition_of("lit0")
+        hottest = hottest_partitions(activities, 1)[0]
+        assert hottest.index == start_partition
+        assert hottest.duty_cycle == 1.0
+
+
+class TestWayLoad:
+    def test_rows_cover_all_ways(self, profiled):
+        mapping, result = profiled
+        rows = way_load(partition_activity(mapping, result))
+        assert len(rows) - 1 == mapping.ways_used
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_model_total(self, profiled):
+        mapping, result = profiled
+        breakdown = energy_breakdown(mapping, result.profile)
+        model_total = EnergyModel(CA_P).energy_per_symbol_nj(result.profile)
+        assert breakdown.total_pj / 1000 == pytest.approx(model_total, rel=1e-9)
+
+    def test_l_switch_dominates_array(self, profiled):
+        """0.191 pJ/bit x 256 outputs > the 22 pJ array read."""
+        mapping, result = profiled
+        breakdown = energy_breakdown(mapping, result.profile)
+        assert breakdown.l_switch_pj > breakdown.array_pj
+
+    def test_rows_structure(self, profiled):
+        mapping, result = profiled
+        rows = energy_breakdown(mapping, result.profile).rows()
+        assert rows[0][0] == "Component"
+        assert len(rows) == 5
+
+    def test_empty_profile_rejected(self, profiled):
+        from repro.core.energy import ActivityProfile
+
+        mapping, _ = profiled
+        with pytest.raises(SimulationError):
+            energy_breakdown(mapping, ActivityProfile())
+
+
+class TestReport:
+    def test_utilisation_report(self, profiled):
+        mapping, result = profiled
+        rows = utilisation_report(mapping, result)
+        assert len(rows) - 1 == mapping.partition_count
+        assert rows[1][3].endswith("%")

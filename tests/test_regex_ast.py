@@ -1,0 +1,128 @@
+"""Direct tests for the regex AST helpers."""
+
+import pytest
+
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    MAX_REPEAT_EXPANSION,
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Pattern,
+    Star,
+    alternate_all,
+    concat_all,
+    count_positions,
+    desugar_repeat,
+    nullable,
+)
+
+
+def lit(character: str) -> Literal:
+    return Literal(SymbolSet.single(character))
+
+
+class TestCombinators:
+    def test_concat_all_empty_list(self):
+        assert isinstance(concat_all([]), Empty)
+
+    def test_concat_all_skips_empties(self):
+        node = concat_all([Empty(), lit("a"), Empty(), lit("b")])
+        assert count_positions(node) == 2
+        assert not nullable(node)
+
+    def test_concat_all_single(self):
+        assert concat_all([lit("a")]) == lit("a")
+
+    def test_alternate_all_empty(self):
+        assert isinstance(alternate_all([]), Empty)
+
+    def test_alternate_all_single(self):
+        assert alternate_all([lit("x")]) == lit("x")
+
+    def test_alternate_all_many(self):
+        node = alternate_all([lit("a"), lit("b"), lit("c")])
+        assert count_positions(node) == 3
+        assert isinstance(node, Alternation)
+
+
+class TestNullable:
+    def test_base_cases(self):
+        assert nullable(Empty())
+        assert not nullable(lit("a"))
+        assert nullable(Star(lit("a")))
+
+    def test_concat(self):
+        assert nullable(Concat(Star(lit("a")), Star(lit("b"))))
+        assert not nullable(Concat(lit("a"), Star(lit("b"))))
+
+    def test_alternation(self):
+        assert nullable(Alternation(lit("a"), Empty()))
+        assert not nullable(Alternation(lit("a"), lit("b")))
+
+    def test_unknown_node_rejected(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            nullable(Bogus())
+
+
+class TestCountPositions:
+    def test_nested(self):
+        node = Concat(
+            Alternation(lit("a"), Concat(lit("b"), lit("c"))), Star(lit("d"))
+        )
+        assert count_positions(node) == 4
+
+    def test_empty(self):
+        assert count_positions(Empty()) == 0
+
+
+class TestDesugarRepeat:
+    def test_star_equivalent(self):
+        assert isinstance(desugar_repeat(lit("a"), 0, None), Star)
+
+    def test_plus_shape(self):
+        node = desugar_repeat(lit("a"), 1, None)
+        assert isinstance(node, Concat)
+        assert isinstance(node.right, Star)
+
+    def test_positions_equal_maximum(self):
+        for minimum, maximum in [(0, 3), (2, 2), (1, 5)]:
+            node = desugar_repeat(lit("x"), minimum, maximum)
+            assert count_positions(node) == maximum
+
+    def test_nullable_iff_min_zero(self):
+        assert nullable(desugar_repeat(lit("x"), 0, 4))
+        assert not nullable(desugar_repeat(lit("x"), 1, 4))
+
+    def test_expansion_cap(self):
+        with pytest.raises(RegexSyntaxError):
+            desugar_repeat(lit("x"), 0, MAX_REPEAT_EXPANSION + 1)
+        with pytest.raises(RegexSyntaxError):
+            desugar_repeat(lit("x"), MAX_REPEAT_EXPANSION + 1, None)
+
+    def test_bad_bounds(self):
+        with pytest.raises(RegexSyntaxError):
+            desugar_repeat(lit("x"), 3, 2)
+        with pytest.raises(RegexSyntaxError):
+            desugar_repeat(lit("x"), -1, None)
+
+    def test_zero_zero_is_empty(self):
+        assert nullable(desugar_repeat(lit("x"), 0, 0))
+        assert count_positions(desugar_repeat(lit("x"), 0, 0)) == 0
+
+
+class TestPattern:
+    def test_fields(self):
+        pattern = Pattern(lit("a"), anchored_start=True, source="^a")
+        assert pattern.anchored_start
+        assert not pattern.anchored_end
+        assert pattern.position_count() == 1
+
+    def test_str_rendering(self):
+        node = Concat(lit("a"), Star(lit("b")))
+        assert "a" in str(node) and "*" in str(node)

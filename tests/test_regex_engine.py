@@ -1,0 +1,181 @@
+"""Differential tests: our regex engine vs Python's ``re`` module.
+
+The oracle: an end offset *j* is reported iff some substring ending at
+*j* is in the pattern's language — checked with ``re.fullmatch`` over all
+substrings.  This pins the Glushkov construction, the golden simulator,
+and (via separate tests) the Thompson+DFA path against an independent
+implementation.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.automata.dfa import determinize
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.transform import to_homogeneous
+from repro.errors import RegexError
+from repro.regex.compile import compile_pattern, compile_patterns, literal_pattern
+from repro.regex.glushkov import build_glushkov
+from repro.regex.parser import parse
+from repro.regex.thompson import build_thompson
+from repro.sim.golden import match_offsets
+
+#: Patterns spanning every supported construct.
+PATTERNS = [
+    "abc",
+    "a|b",
+    "ab|cd|ef",
+    "a*bc",
+    "a+b",
+    "ab?c",
+    "a{3}",
+    "a{2,4}b",
+    "(ab)+",
+    "(?:ab|cd)*ef",
+    "[abc]x[^abc]",
+    "[a-f]{2}",
+    "a.c",
+    ".*abc",
+    "a.*b",
+    "x(y|z)w",
+    "(a|ab)(c|bc)",
+    "a(b|c)*d",
+    "[ab][ab][ab]",
+    "z{1,2}[xy]+",
+    "(abc|a)bc",
+    "a[b-d]?e",
+]
+
+ALPHABET = "abcdefxyzw"
+
+
+def oracle_ends(pattern: str, text: str) -> list[int]:
+    compiled = re.compile(pattern, re.DOTALL)
+    ends = []
+    for j in range(len(text)):
+        if any(
+            compiled.fullmatch(text, i, j + 1) for i in range(j + 1)
+        ):
+            ends.append(j)
+    return ends
+
+
+def random_text(seed: int, length: int = 60) -> str:
+    rng = random.Random(seed)
+    return "".join(rng.choice(ALPHABET) for _ in range(length))
+
+
+class TestGlushkovVsRe:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_scanning_offsets_match_re(self, pattern):
+        machine = compile_pattern(pattern)
+        for seed in range(4):
+            text = random_text(seed)
+            expected = oracle_ends(pattern, text)
+            assert match_offsets(machine, text.encode()) == expected, (
+                pattern, text
+            )
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_glushkov_equals_thompson_path(self, pattern):
+        """Two independent constructions must produce the same language."""
+        parsed = parse(pattern)
+        glushkov = build_glushkov(parsed)
+        thompson = to_homogeneous(
+            remove_epsilon(build_thompson(parsed)),
+            start=list(glushkov.start_states())[0].start,
+        )
+        for seed in range(3):
+            text = random_text(seed, 50).encode()
+            assert match_offsets(glushkov, text) == match_offsets(thompson, text), (
+                pattern
+            )
+
+    def test_planted_matches_found(self):
+        machine = compile_pattern("needle")
+        text = b"hay needle hayneedlehay"
+        assert match_offsets(machine, text) == [9, 19]
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        machine = compile_pattern("^ab")
+        assert match_offsets(machine, b"abab") == [1]
+
+    def test_end_anchor_requires_sentinel(self):
+        with pytest.raises(RegexError):
+            compile_pattern("ab$")
+
+    def test_end_anchor_with_sentinel(self):
+        machine = compile_pattern("ab$", eod_sentinel=0)
+        assert match_offsets(machine, b"abxab\x00") == [5]
+        assert match_offsets(machine, b"abxab") == []
+
+
+class TestEmptyLanguageEdges:
+    def test_nullable_pattern_rejected(self):
+        with pytest.raises(RegexError):
+            compile_pattern("a*")
+
+    def test_nullable_alternation_rejected(self):
+        with pytest.raises(RegexError):
+            compile_pattern("a|")
+
+
+class TestMultiPattern:
+    def test_report_codes_identify_rules(self):
+        machine = compile_patterns(["cat", "dog"], report_codes=["feline", "canine"])
+        from repro.sim.golden import simulate
+
+        reports = simulate(machine, b"a cat and a dog").reports
+        codes = {report.report_code for report in reports}
+        assert codes == {"feline", "canine"}
+
+    def test_default_codes_are_indices(self):
+        machine = compile_patterns(["aa", "bb"])
+        from repro.sim.golden import simulate
+
+        reports = simulate(machine, b"aabb").reports
+        assert {report.report_code for report in reports} == {"0", "1"}
+
+    def test_code_count_mismatch(self):
+        with pytest.raises(RegexError):
+            compile_patterns(["a", "b"], report_codes=["only-one"])
+
+    def test_empty_rule_set(self):
+        with pytest.raises(RegexError):
+            compile_patterns([])
+
+
+class TestLiteralPattern:
+    def test_chain_matches(self):
+        machine = literal_pattern("exact")
+        assert match_offsets(machine, b"an exact match, exactly") == [7, 20]
+
+    def test_anchored_literal(self):
+        machine = literal_pattern("ab", anchored=True)
+        assert match_offsets(machine, b"abab") == [1]
+
+    def test_single_character(self):
+        machine = literal_pattern("x")
+        assert match_offsets(machine, b"axbx") == [1, 3]
+        assert len(machine) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegexError):
+            literal_pattern("")
+
+
+class TestDfaCrossCheck:
+    @pytest.mark.parametrize("pattern", PATTERNS[:12])
+    def test_golden_equals_scanning_dfa(self, pattern):
+        from repro.automata.transform import homogeneous_to_nfa
+
+        machine = compile_pattern(pattern)
+        dfa = determinize(homogeneous_to_nfa(machine))
+        for seed in range(3):
+            text = random_text(seed, 70).encode()
+            dfa_ends = [offset - 1 for offset in dfa.find_matches(text) if offset > 0]
+            assert match_offsets(machine, text) == dfa_ends, pattern

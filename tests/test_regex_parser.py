@@ -1,0 +1,166 @@
+"""Tests for the regex parser and AST."""
+
+import pytest
+
+from repro.automata.symbols import SymbolSet
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Star,
+    count_positions,
+    desugar_repeat,
+    nullable,
+)
+from repro.regex.parser import DOT, parse, parse_many
+
+
+class TestAtoms:
+    def test_literal_sequence(self):
+        pattern = parse("abc")
+        assert pattern.position_count() == 3
+        assert not pattern.anchored_start
+        assert not pattern.anchored_end
+
+    def test_dot_excludes_newline(self):
+        pattern = parse("a.b")
+        assert "\n" not in DOT
+        assert DOT.cardinality() == 255
+
+    def test_class(self):
+        pattern = parse("[a-c]x")
+        assert isinstance(pattern.root, Concat)
+        assert pattern.root.left.symbols == SymbolSet.from_range("a", "c")
+
+    def test_escape(self):
+        pattern = parse(r"\d\.")
+        assert pattern.position_count() == 2
+
+    def test_group(self):
+        assert parse("(ab)c").position_count() == 3
+        assert parse("(?:ab)c").position_count() == 3
+
+    def test_unsupported_group_kind(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(?=ab)")
+
+
+class TestQuantifiers:
+    def test_star_plus_question(self):
+        assert nullable(parse("a*").root)
+        assert not nullable(parse("a+").root)
+        assert nullable(parse("a?").root)
+
+    def test_plus_positions(self):
+        # a+ == a a*: one consumed position plus the star's.
+        assert parse("a+").position_count() == 2
+
+    def test_counted_exact(self):
+        assert parse("a{3}").position_count() == 3
+
+    def test_counted_range(self):
+        assert parse("a{2,4}").position_count() == 4
+
+    def test_counted_open(self):
+        assert parse("a{2,}").position_count() == 3  # a a a*
+
+    def test_lazy_modifier_accepted(self):
+        assert parse("a+?b").position_count() == 3
+        assert parse("a*?b").position_count() == 2
+
+    def test_quantifier_without_atom(self):
+        for bad in ("*a", "+a", "?a", "{2}a"):
+            with pytest.raises(RegexSyntaxError):
+                parse(bad)
+
+    def test_reversed_bounds(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{4,2}")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{2")
+
+    def test_brace_without_digits(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{x}")
+
+    def test_huge_expansion_capped(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{1,100000}")
+
+
+class TestAlternationAnchors:
+    def test_alternation(self):
+        pattern = parse("ab|cd|ef")
+        assert pattern.position_count() == 6
+
+    def test_empty_branch_makes_nullable(self):
+        assert nullable(parse("a|").root)
+
+    def test_start_anchor(self):
+        assert parse("^abc").anchored_start
+        assert not parse("abc").anchored_start
+
+    def test_end_anchor(self):
+        assert parse("abc$").anchored_end
+
+    def test_interior_anchor_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a^b")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_empty_pattern(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("")
+
+    def test_error_carries_offset(self):
+        try:
+            parse("abc[")
+        except RegexSyntaxError as error:
+            assert error.position >= 3
+            assert "abc[" in str(error)
+        else:
+            pytest.fail("expected RegexSyntaxError")
+
+
+class TestParseMany:
+    def test_annotates_rule_index(self):
+        with pytest.raises(RegexSyntaxError, match="rule 1"):
+            parse_many(["good", "bad["])
+
+    def test_all_good(self):
+        assert len(parse_many(["a", "b", "c"])) == 3
+
+
+class TestDesugarRepeat:
+    def test_zero_to_none_is_star(self):
+        node = desugar_repeat(Literal(SymbolSet.single("a")), 0, None)
+        assert isinstance(node, Star)
+
+    def test_exact_three(self):
+        node = desugar_repeat(Literal(SymbolSet.single("a")), 3, 3)
+        assert count_positions(node) == 3
+        assert not nullable(node)
+
+    def test_zero_to_two_nullable(self):
+        node = desugar_repeat(Literal(SymbolSet.single("a")), 0, 2)
+        assert count_positions(node) == 2
+        assert nullable(node)
+
+    def test_bad_bounds(self):
+        with pytest.raises(RegexSyntaxError):
+            desugar_repeat(Empty(), -1, None)
+
+    def test_nested_optional_structure(self):
+        # x{1,3} = x (x (x)?)? -- alternations with Empty on the right.
+        node = desugar_repeat(Literal(SymbolSet.single("x")), 1, 3)
+        assert isinstance(node, Concat)
+        assert isinstance(node.right, Alternation)

@@ -1,0 +1,171 @@
+"""Property-based regex differential testing.
+
+Hypothesis generates random pattern syntax trees, renders them to pattern
+strings, and checks our whole stack — parser, Glushkov construction,
+golden simulator — against Python's ``re`` on random inputs, using the
+substring-membership oracle.  Nullable patterns (which spatial automata
+reject by design) are filtered out.
+"""
+
+import re
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegexError
+from repro.regex.compile import compile_pattern
+from repro.sim.golden import match_offsets
+
+ALPHABET = "abcd"
+
+
+@st.composite
+def pattern_strings(draw, depth=3):
+    """Render a random regex over a tiny alphabet."""
+
+    def atom():
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            return draw(st.sampled_from(ALPHABET))
+        if kind == 1:
+            members = draw(
+                st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=3)
+            )
+            return "[" + "".join(sorted(set(members))) + "]"
+        if kind == 2:
+            return "."
+        return draw(st.sampled_from(ALPHABET))
+
+    def node(level):
+        if level <= 0:
+            return atom()
+        kind = draw(st.integers(min_value=0, max_value=4))
+        if kind == 0:
+            return node(level - 1) + node(level - 1)
+        if kind == 1:
+            return f"(?:{node(level - 1)}|{node(level - 1)})"
+        if kind == 2:
+            return f"(?:{node(level - 1)})*"
+        if kind == 3:
+            low = draw(st.integers(min_value=1, max_value=2))
+            high = low + draw(st.integers(min_value=0, max_value=2))
+            return f"(?:{node(level - 1)}){{{low},{high}}}"
+        return atom()
+
+    return node(depth)
+
+
+def oracle_ends(pattern: str, text: str) -> list:
+    compiled = re.compile(pattern, re.DOTALL)
+    return [
+        j
+        for j in range(len(text))
+        if any(compiled.fullmatch(text, i, j + 1) for i in range(j + 1))
+    ]
+
+
+class TestDifferential:
+    @given(pattern_strings(), st.text(alphabet=ALPHABET + "x", max_size=25))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_python_re(self, pattern, text):
+        try:
+            machine = compile_pattern(pattern)
+        except RegexError:
+            assume(False)  # nullable pattern: rejected by design
+            return
+        assert match_offsets(machine, text.encode()) == oracle_ends(
+            pattern, text
+        ), pattern
+
+    @given(pattern_strings())
+    @settings(max_examples=60, deadline=None)
+    def test_glushkov_state_count_is_position_count(self, pattern):
+        """Glushkov machines have exactly one state per literal position."""
+        from repro.regex.parser import parse
+
+        try:
+            machine = compile_pattern(pattern)
+        except RegexError:
+            assume(False)
+            return
+        assert len(machine) == parse(pattern).position_count()
+
+    @given(pattern_strings(), st.text(alphabet=ALPHABET, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_space_optimize_preserves_language(self, pattern, text):
+        from repro.automata.optimize import space_optimize
+
+        try:
+            machine = compile_pattern(pattern)
+        except RegexError:
+            assume(False)
+            return
+        optimised = space_optimize(machine)
+        data = text.encode()
+        assert match_offsets(optimised, data) == match_offsets(machine, data)
+
+    @given(pattern_strings(), st.text(alphabet=ALPHABET, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_mapping_matches(self, pattern, text):
+        """End to end: random regex -> compile to cache -> scan."""
+        from repro.compiler import compile_automaton
+        from repro.core.design import CA_P
+        from repro.sim.functional import simulate_mapping
+
+        try:
+            machine = compile_pattern(pattern)
+        except RegexError:
+            assume(False)
+            return
+        mapping = compile_automaton(machine, CA_P)
+        result = simulate_mapping(mapping, text.encode())
+        assert result.report_offsets() == oracle_ends(pattern, text)
+
+
+class TestThompsonDifferential:
+    @given(pattern_strings(), st.text(alphabet=ALPHABET, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_thompson_path_matches_re(self, pattern, text):
+        """Independent construction path: Thompson -> epsilon removal ->
+        homogenisation must also agree with Python re."""
+        from repro.automata.anml import StartKind
+        from repro.automata.epsilon import remove_epsilon
+        from repro.automata.transform import to_homogeneous
+        from repro.errors import ReproError
+        from repro.regex.parser import parse
+        from repro.regex.thompson import build_thompson
+
+        try:
+            parsed = parse(pattern)
+            nfa = remove_epsilon(build_thompson(parsed))
+            machine = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        except ReproError:
+            assume(False)  # nullable patterns cannot be homogenised
+            return
+        assert match_offsets(machine, text.encode()) == oracle_ends(
+            pattern, text
+        ), pattern
+
+    @given(pattern_strings())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_equivalence_of_constructions(self, pattern):
+        """Glushkov and Thompson paths are *formally* equivalent (checked
+        with the product-DFA equivalence oracle, not sampling)."""
+        from repro.automata.anml import StartKind
+        from repro.automata.epsilon import remove_epsilon
+        from repro.automata.equivalence import report_equivalent
+        from repro.automata.transform import to_homogeneous
+        from repro.errors import ReproError
+        from repro.regex.parser import parse
+        from repro.regex.thompson import build_thompson
+
+        try:
+            machine = compile_pattern(pattern)
+            thompson = to_homogeneous(
+                remove_epsilon(build_thompson(parse(pattern))),
+                start=StartKind.ALL_INPUT,
+            )
+        except ReproError:
+            assume(False)
+            return
+        assert report_equivalent(machine, thompson, max_states=20_000), pattern

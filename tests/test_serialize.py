@@ -1,0 +1,117 @@
+"""Tests for mapping JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_automaton
+from repro.compiler.serialize import mapping_from_json, mapping_to_json
+from repro.core.design import CA_P
+from repro.errors import CompileError
+from repro.sim.functional import simulate_mapping
+from tests.conftest import chain_automaton
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return compile_automaton(
+        chain_automaton(600, extra_edges=200, seed=44), CA_P
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, mapping):
+        loaded = mapping_from_json(mapping_to_json(mapping))
+        assert loaded.design.name == "CA_P"
+        assert loaded.partition_count == mapping.partition_count
+        assert [p.ste_ids for p in loaded.partitions] == [
+            p.ste_ids for p in mapping.partitions
+        ]
+        assert loaded.location == mapping.location
+
+    def test_behaviour_preserved(self, mapping):
+        loaded = mapping_from_json(mapping_to_json(mapping))
+        data = bytes(range(256)) * 4
+        original = simulate_mapping(mapping, data)
+        reloaded = simulate_mapping(loaded, data)
+        assert sorted((r.offset, r.ste_id) for r in original.reports) == sorted(
+            (r.offset, r.ste_id) for r in reloaded.reports
+        )
+        assert (
+            original.profile.partition_activations
+            == reloaded.profile.partition_activations
+        )
+
+
+class TestValidationOnLoad:
+    def _payload(self, mapping):
+        return json.loads(mapping_to_json(mapping))
+
+    def test_bad_json(self):
+        with pytest.raises(CompileError):
+            mapping_from_json("{not json")
+
+    def test_bad_version(self, mapping):
+        payload = self._payload(mapping)
+        payload["format_version"] = 99
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_unknown_design(self, mapping):
+        payload = self._payload(mapping)
+        payload["design"] = "CA_X"
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_custom_design_catalogue(self, mapping):
+        payload = self._payload(mapping)
+        payload["design"] = "custom"
+        from dataclasses import replace
+
+        custom = replace(CA_P, name="custom")
+        loaded = mapping_from_json(
+            json.dumps(payload), designs={"custom": custom}
+        )
+        assert loaded.design.name == "custom"
+
+    def test_duplicate_ste_rejected(self, mapping):
+        payload = self._payload(mapping)
+        payload["partitions"][0]["stes"][1] = payload["partitions"][0]["stes"][0]
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_missing_placement_rejected(self, mapping):
+        payload = self._payload(mapping)
+        payload["partitions"][0]["stes"].pop()
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_unknown_ste_rejected(self, mapping):
+        payload = self._payload(mapping)
+        payload["partitions"][0]["stes"][0] = "ghost"
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_sparse_indices_rejected(self, mapping):
+        payload = self._payload(mapping)
+        payload["partitions"][0]["index"] = 7
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))
+
+    def test_tampered_placement_fails_wire_check(self, mapping):
+        """Moving a boundary state to a far partition breaks the budget
+        and must be caught on load."""
+        payload = self._payload(mapping)
+        if len(payload["partitions"]) < 2:
+            pytest.skip("single-partition mapping")
+        # Interleave states between the two partitions to wreck locality:
+        # every second chain edge now crosses the boundary.
+        first = payload["partitions"][0]["stes"]
+        second = payload["partitions"][1]["stes"]
+        limit = min(len(first), len(second))
+        for position in range(0, limit, 2):
+            first[position], second[position] = (
+                second[position], first[position],
+            )
+        with pytest.raises(CompileError):
+            mapping_from_json(json.dumps(payload))

@@ -1,0 +1,202 @@
+"""Tests for the functional SRAM array and the sense-amp cycling sequence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.symbols import SymbolSet
+from repro.core.sram import SramArray
+from repro.errors import HardwareModelError
+
+
+def seeded_array(rows=256, columns=128, mux=4, seed=0) -> SramArray:
+    array = SramArray(rows, columns, mux)
+    rng = np.random.default_rng(seed)
+    array.cells[:] = rng.integers(0, 2, size=(rows, columns), dtype=np.uint8)
+    return array
+
+
+class TestGeometry:
+    def test_sense_amp_count(self):
+        assert SramArray(256, 128, 4).sense_amps == 32
+        assert SramArray(256, 128, 8).sense_amps == 16
+
+    def test_invalid_mux(self):
+        with pytest.raises(HardwareModelError):
+            SramArray(256, 128, 3)  # does not divide
+        with pytest.raises(HardwareModelError):
+            SramArray(256, 128, 0)
+        with pytest.raises(HardwareModelError):
+            SramArray(0, 128, 4)
+
+
+class TestWrite:
+    def test_write_column_roundtrip(self):
+        array = SramArray()
+        image = SymbolSet.from_range("a", "f").to_onehot()
+        array.write_column(5, image)
+        assert (array.cells[:, 5] == image).all()
+
+    def test_write_row_roundtrip(self):
+        array = SramArray()
+        bits = np.arange(128) % 2
+        array.write_row(100, bits)
+        assert (array.cells[100] == bits).all()
+
+    def test_bounds_and_shapes(self):
+        array = SramArray()
+        with pytest.raises(HardwareModelError):
+            array.write_column(128, np.zeros(256))
+        with pytest.raises(HardwareModelError):
+            array.write_column(0, np.zeros(255))
+        with pytest.raises(HardwareModelError):
+            array.write_row(256, np.zeros(128))
+        with pytest.raises(HardwareModelError):
+            array.write_row(0, np.zeros(127))
+
+
+class TestReadSequences:
+    def test_both_sequences_return_identical_data(self):
+        array = seeded_array()
+        for row in (0, 17, 255):
+            baseline = array.read_row_baseline(row)
+            cycled = array.read_row_cycled(row)
+            assert (baseline.data == cycled.data).all()
+            assert (baseline.data == array.cells[row]).all()
+
+    def test_cycled_is_faster(self):
+        """The Section 2.6 claim: > 2x for 4-way, more for 8-way."""
+        array4 = seeded_array(mux=4)
+        array8 = seeded_array(columns=128, mux=8)
+        speedup4 = (
+            array4.read_row_baseline(0).total_ps
+            / array4.read_row_cycled(0).total_ps
+        )
+        speedup8 = (
+            array8.read_row_baseline(0).total_ps
+            / array8.read_row_cycled(0).total_ps
+        )
+        assert speedup4 > 2.0
+        assert speedup8 > speedup4
+
+    def test_cycled_matches_table3_delay(self):
+        """A CA_P partition read (4-way mux) completes in 438 ps."""
+        array = seeded_array(mux=4)
+        assert array.read_row_cycled(0).total_ps == pytest.approx(438.0)
+
+    def test_waveform_shape(self):
+        """Figure 4: one setup phase, then back-to-back SAE pulses."""
+        array = seeded_array(mux=4)
+        read = array.read_row_cycled(9)
+        assert [phase.select for phase in read.phases] == [0, 1, 2, 3]
+        starts = [phase.start_ps for phase in read.phases]
+        gaps = {round(b - a, 3) for a, b in zip(starts, starts[1:])}
+        assert gaps == {array.parameters.sense_step_ps}
+        assert starts[0] == array.parameters.precharge_wordline_ps
+
+    def test_baseline_one_cycle_per_select(self):
+        array = seeded_array(mux=4)
+        read = array.read_row_baseline(9)
+        starts = [phase.start_ps for phase in read.phases]
+        assert starts == [
+            i * array.parameters.cycle_time_ps for i in range(4)
+        ]
+
+    def test_interleaved_mux_wiring(self):
+        """Column c reaches sense amp c // mux at select c % mux."""
+        array = SramArray(4, 8, 4)
+        array.write_row(0, np.array([1, 0, 0, 0, 0, 0, 1, 0]))
+        phase0 = array.read_row_cycled(0).phases[0]
+        assert phase0.bits.tolist() == [1, 0]  # columns 0 and 4
+        phase2 = array.read_row_cycled(0).phases[2]
+        assert phase2.bits.tolist() == [0, 1]  # columns 2 and 6
+
+    def test_row_bounds(self):
+        array = SramArray()
+        with pytest.raises(HardwareModelError):
+            array.read_row_cycled(256)
+        with pytest.raises(HardwareModelError):
+            array.read_row_baseline(-1)
+
+
+class TestMatchVector:
+    def test_match_vector_is_ste_match(self):
+        """Writing STE one-hot columns then reading row=symbol gives the
+        match vector — the state-match phase end to end."""
+        array = SramArray(256, 8, 4)
+        labels = [SymbolSet.from_range(10 * i, 10 * i + 5) for i in range(8)]
+        for column, label in enumerate(labels):
+            array.write_column(column, label.to_onehot())
+        for symbol in (0, 5, 12, 200):
+            vector = array.match_vector(symbol)
+            expected = [1 if label.matches(symbol) else 0 for label in labels]
+            assert vector.tolist() == expected
+
+    def test_cycled_flag(self):
+        array = seeded_array()
+        assert (
+            array.match_vector(42, cycled=True)
+            == array.match_vector(42, cycled=False)
+        ).all()
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_any_symbol_consistent(self, symbol):
+        array = seeded_array(seed=symbol)
+        assert (
+            array.read_row_baseline(symbol).data
+            == array.read_row_cycled(symbol).data
+        ).all()
+
+
+class TestRedundancyRepair:
+    """Figure 2(c): spare columns map out dead bit-lines transparently."""
+
+    def _panel(self):
+        from repro.core.sram import RepairableArray
+
+        repairable = RepairableArray(SramArray(256, 8, 4), spare_columns=2)
+        labels = [SymbolSet.from_range(20 * i, 20 * i + 9) for i in range(6)]
+        return repairable, labels
+
+    def test_transparent_repair(self):
+        repairable, labels = self._panel()
+        repairable.mark_defective(3)
+        for column, label in enumerate(labels):
+            repairable.write_column(column, label.to_onehot())
+        for symbol in (0, 25, 65, 130):
+            vector = repairable.match_vector(symbol)
+            expected = [1 if label.matches(symbol) else 0 for label in labels]
+            assert vector.tolist() == expected
+
+    def test_physical_steering(self):
+        repairable, _ = self._panel()
+        assert repairable.physical_column(3) == 3
+        repairable.mark_defective(3)
+        assert repairable.physical_column(3) == repairable.logical_columns
+        assert repairable.physical_column(2) == 2
+
+    def test_spares_exhausted(self):
+        from repro.errors import HardwareModelError
+
+        repairable, _ = self._panel()
+        repairable.mark_defective(0)
+        repairable.mark_defective(1)
+        with pytest.raises(HardwareModelError):
+            repairable.mark_defective(2)
+
+    def test_double_repair_rejected(self):
+        from repro.errors import HardwareModelError
+
+        repairable, _ = self._panel()
+        repairable.mark_defective(0)
+        with pytest.raises(HardwareModelError):
+            repairable.mark_defective(0)
+
+    def test_logical_bounds(self):
+        from repro.errors import HardwareModelError
+
+        repairable, _ = self._panel()
+        with pytest.raises(HardwareModelError):
+            repairable.write_column(6, np.zeros(256))  # spare region

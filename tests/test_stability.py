@@ -1,0 +1,62 @@
+"""Stability/convergence checks for the measured quantities.
+
+The paper evaluates on 10 MB traces; we use much shorter streams, so
+these tests provide the evidence that the quantities we report (average
+active set, active partitions, energy/symbol) have stabilised well below
+our default input lengths — i.e. that scaling the traces down does not
+change the conclusions.
+"""
+
+import pytest
+
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.core.energy import EnergyModel
+from repro.sim.functional import MappedSimulator
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.mark.parametrize("name", ["Snort", "SPM", "Hamming"])
+def test_activity_metrics_converge(name):
+    """Average active partitions at 8K vs 16K symbols agree within 20%."""
+    benchmark = get_benchmark(name)
+    simulator = MappedSimulator(compile_automaton(benchmark.build(), CA_P))
+    short = simulator.run(
+        benchmark.input_stream(8_000, seed=5), collect_reports=False
+    ).profile
+    long = simulator.run(
+        benchmark.input_stream(16_000, seed=5), collect_reports=False
+    ).profile
+    assert short.average_active_partitions == pytest.approx(
+        long.average_active_partitions, rel=0.2
+    )
+
+
+def test_energy_per_symbol_converges():
+    benchmark = get_benchmark("Dotstar09")
+    simulator = MappedSimulator(compile_automaton(benchmark.build(), CA_P))
+    model = EnergyModel(CA_P)
+    energies = []
+    for length in (4_000, 8_000, 16_000):
+        profile = simulator.run(
+            benchmark.input_stream(length, seed=6), collect_reports=False
+        ).profile
+        energies.append(model.energy_per_symbol_nj(profile))
+    assert max(energies) / min(energies) < 1.3
+
+
+def test_seed_sensitivity_is_modest():
+    """Different input seeds move energy by far less than the CA_P/CA_S
+    or CA/AP gaps the conclusions rest on."""
+    benchmark = get_benchmark("Ranges1")
+    simulator = MappedSimulator(compile_automaton(benchmark.build(), CA_P))
+    model = EnergyModel(CA_P)
+    energies = [
+        model.energy_per_symbol_nj(
+            simulator.run(
+                benchmark.input_stream(8_000, seed=seed), collect_reports=False
+            ).profile
+        )
+        for seed in (1, 2, 3)
+    ]
+    assert max(energies) / min(energies) < 1.5

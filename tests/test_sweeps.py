@@ -1,0 +1,76 @@
+"""Tests for the design-space sweep utilities."""
+
+import pytest
+
+from repro.core.design import CA_P, CA_S
+from repro.errors import HardwareModelError
+from repro.eval.sweeps import (
+    sweep_g1_wires,
+    sweep_g4_wires,
+    sweep_partition_size,
+    sweep_ways,
+)
+
+
+class TestG1Sweep:
+    def test_reachability_monotone_in_wires(self):
+        rows = sweep_g1_wires()
+        reaches = [row[1] for row in rows[1:]]
+        assert reaches == sorted(reaches)
+
+    def test_area_monotone_in_wires(self):
+        rows = sweep_g1_wires()
+        areas = [row[4] for row in rows[1:]]
+        assert areas == sorted(areas)
+
+    def test_zero_wires_reach_is_partition(self):
+        rows = sweep_g1_wires(wire_counts=(0,))
+        assert rows[1][1] == CA_P.partition_size
+
+    def test_frequency_never_increases_with_wires(self):
+        rows = sweep_g1_wires(wire_counts=(0, 16, 64))
+        frequencies = [row[2] for row in rows[1:]]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+
+class TestG4Sweep:
+    def test_reach_grows(self):
+        rows = sweep_g4_wires()
+        reaches = [row[1] for row in rows[1:]]
+        assert reaches == sorted(reaches)
+
+    def test_published_point_present(self):
+        rows = sweep_g4_wires(wire_counts=(8,))
+        assert rows[1][1] == pytest.approx(CA_S.reachability)
+
+
+class TestPartitionSweep:
+    def test_small_partitions_run_faster(self):
+        rows = sweep_partition_size()
+        frequencies = [row[2] for row in rows[1:]]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_covers_figure10_corner(self):
+        """p=64 with proportional wires ~ the 4 GHz / low-reach corner."""
+        rows = sweep_partition_size(sizes=(64,))
+        assert rows[1][2] > 3.0
+
+    def test_invalid_size(self):
+        with pytest.raises(HardwareModelError):
+            sweep_partition_size(sizes=(512,))
+
+
+class TestWaysSweep:
+    def test_capacity_linear_in_ways(self):
+        rows = sweep_ways(way_counts=(2, 4, 8))
+        capacities = [row[2] for row in rows[1:]]
+        assert capacities == [2 * 2048, 4 * 2048, 8 * 2048]
+
+    def test_data_capacity_shrinks(self):
+        rows = sweep_ways(way_counts=(2, 8, 16))
+        fractions = [row[3] for row in rows[1:]]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_frequency_independent_of_ways(self):
+        rows = sweep_ways(way_counts=(2, 16))
+        assert rows[1][4] == rows[2][4]

@@ -1,0 +1,157 @@
+"""Tests for the 8T crossbar switch models (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.switches import (
+    TABLE2_ANCHORS,
+    CrossbarSwitch,
+    SwitchInventory,
+    SwitchSpec,
+)
+from repro.errors import HardwareModelError
+
+
+class TestSwitchSpecAnchors:
+    """The model must reproduce every published Table 2 value exactly."""
+
+    @pytest.mark.parametrize("dims,expected", sorted(TABLE2_ANCHORS.items()))
+    def test_published_delay(self, dims, expected):
+        assert SwitchSpec(*dims).delay_ps == pytest.approx(expected[0], rel=1e-6)
+
+    @pytest.mark.parametrize("dims,expected", sorted(TABLE2_ANCHORS.items()))
+    def test_published_energy(self, dims, expected):
+        assert SwitchSpec(*dims).energy_pj_per_bit == pytest.approx(
+            expected[1], rel=1e-6
+        )
+
+    @pytest.mark.parametrize("dims,expected", sorted(TABLE2_ANCHORS.items()))
+    def test_published_area(self, dims, expected):
+        assert SwitchSpec(*dims).area_mm2 == pytest.approx(expected[2], rel=1e-6)
+
+
+class TestSwitchSpecScaling:
+    def test_delay_monotone_in_inputs(self):
+        sizes = [64, 128, 200, 256, 400, 512, 1024]
+        delays = [SwitchSpec(n, n).delay_ps for n in sizes]
+        assert delays == sorted(delays)
+
+    def test_area_monotone_in_crosspoints(self):
+        sizes = [64, 128, 256, 512, 1024]
+        areas = [SwitchSpec(n, n).area_mm2 for n in sizes]
+        assert areas == sorted(areas)
+
+    def test_access_energy_scales_with_outputs(self):
+        small = SwitchSpec(256, 128)
+        large = SwitchSpec(256, 256)
+        assert large.access_energy_pj == pytest.approx(2 * small.access_energy_pj)
+
+    def test_nonpositive_ports_rejected(self):
+        with pytest.raises(HardwareModelError):
+            SwitchSpec(0, 10)
+        with pytest.raises(HardwareModelError):
+            SwitchSpec(10, -1)
+
+    def test_str(self):
+        assert str(SwitchSpec(280, 256)) == "280x256"
+
+
+class TestCrossbarFunctional:
+    def test_wired_or_semantics(self):
+        """An output is the OR of all enabled active inputs (Section 2.7)."""
+        switch = CrossbarSwitch(SwitchSpec(4, 3))
+        switch.connect(0, 1)
+        switch.connect(2, 1)
+        switch.connect(3, 0)
+        active = np.array([True, False, True, False])
+        outputs = switch.evaluate(active)
+        assert outputs.tolist() == [False, True, False]
+
+    def test_multi_fan_in(self):
+        """Multiple inputs to one output — the feature conventional
+        crossbars lack (Section 2.2)."""
+        switch = CrossbarSwitch(SwitchSpec(8, 2))
+        for source in range(8):
+            switch.connect(source, 0)
+        assert switch.fan_in(0) == 8
+        outputs = switch.evaluate(np.array([False] * 7 + [True]))
+        assert outputs[0]
+
+    def test_disconnect(self):
+        switch = CrossbarSwitch(SwitchSpec(2, 2))
+        switch.connect(0, 0)
+        switch.disconnect(0, 0)
+        assert not switch.evaluate(np.array([True, True])).any()
+
+    def test_write_mode_row(self):
+        """Write mode programs a whole word-line per cycle (Section 2.7)."""
+        switch = CrossbarSwitch(SwitchSpec(2, 4))
+        switch.write_row(1, np.array([1, 0, 1, 0], dtype=np.uint8))
+        outputs = switch.evaluate(np.array([False, True]))
+        assert outputs.tolist() == [True, False, True, False]
+
+    def test_write_row_shape_checked(self):
+        switch = CrossbarSwitch(SwitchSpec(2, 4))
+        with pytest.raises(HardwareModelError):
+            switch.write_row(0, np.zeros(3, dtype=np.uint8))
+
+    def test_port_bounds(self):
+        switch = CrossbarSwitch(SwitchSpec(2, 2))
+        with pytest.raises(HardwareModelError):
+            switch.connect(2, 0)
+        with pytest.raises(HardwareModelError):
+            switch.connect(0, 2)
+
+    def test_evaluate_shape_checked(self):
+        switch = CrossbarSwitch(SwitchSpec(4, 4))
+        with pytest.raises(HardwareModelError):
+            switch.evaluate(np.zeros(3, dtype=bool))
+
+    def test_used_cross_points(self):
+        switch = CrossbarSwitch(SwitchSpec(3, 3))
+        switch.connect(0, 0)
+        switch.connect(1, 2)
+        assert switch.used_cross_points() == 2
+
+    def test_no_arbitration_state(self):
+        """Evaluation is pure: same inputs, same outputs, no history."""
+        switch = CrossbarSwitch(SwitchSpec(3, 3))
+        switch.connect(0, 1)
+        active = np.array([True, False, False])
+        first = switch.evaluate(active)
+        second = switch.evaluate(active)
+        assert (first == second).all()
+
+
+class TestInventory:
+    def test_total_area_sums_components(self):
+        inventory = SwitchInventory(
+            local=SwitchSpec(280, 256), local_count=128,
+            global_way=SwitchSpec(256, 256), global_way_count=8,
+            global_ways4=SwitchSpec(512, 512), global_ways4_count=1,
+            supported_states=32 * 1024,
+        )
+        expected = 128 * 0.033 + 8 * 0.032 + 1 * 0.1293
+        assert inventory.total_area_mm2() == pytest.approx(expected, rel=0.01)
+
+    def test_area_scaling(self):
+        inventory = SwitchInventory(
+            local=SwitchSpec(280, 256), local_count=64,
+            global_way=None, global_way_count=0,
+            global_ways4=None, global_ways4_count=0,
+            supported_states=16 * 1024,
+        )
+        assert inventory.area_mm2_for_states(32 * 1024) == pytest.approx(
+            2 * inventory.total_area_mm2()
+        )
+
+    def test_rows_structure(self):
+        inventory = SwitchInventory(
+            local=SwitchSpec(280, 256), local_count=2,
+            global_way=SwitchSpec(128, 128), global_way_count=1,
+            global_ways4=None, global_ways4_count=0,
+            supported_states=512,
+        )
+        rows = inventory.rows()
+        assert [row[0] for row in rows] == ["L", "G1"]
+        assert rows[0][1] == "280x256"

@@ -1,0 +1,138 @@
+"""Tests for the system-integration models (Sections 2.8-2.10, 2.9)."""
+
+import pytest
+
+from repro.compiler import compile_automaton, generate
+from repro.core.design import CA_P, CA_S
+from repro.core.system import (
+    CACHE_BLOCK_BYTES,
+    ConfigurationModel,
+    InputFifoModel,
+    ScanDescriptor,
+    WayAllocation,
+    end_to_end_ms,
+    scan_time_ms,
+)
+from repro.errors import HardwareModelError, SimulationError
+from repro.regex.compile import compile_patterns
+from tests.conftest import chain_automaton
+
+
+@pytest.fixture(scope="module")
+def small_bitstream():
+    machine = compile_patterns(["abc", "defg", "hij"])
+    return generate(compile_automaton(machine, CA_P))
+
+
+@pytest.fixture(scope="module")
+def large_bitstream():
+    automaton = chain_automaton(900, extra_edges=100, seed=30)
+    return generate(compile_automaton(automaton, CA_P))
+
+
+class TestInputFifo:
+    def test_refill_count(self):
+        fifo = InputFifoModel()
+        assert fifo.refills_for(0) == 0
+        assert fifo.refills_for(1) == 1
+        assert fifo.refills_for(CACHE_BLOCK_BYTES) == 1
+        assert fifo.refills_for(CACHE_BLOCK_BYTES + 1) == 2
+        assert fifo.refills_for(10 * 1024 * 1024) == 10 * 1024 * 1024 // 64
+
+    def test_no_underruns(self):
+        assert InputFifoModel().underruns(1_000_000) == 0
+
+    def test_block_must_fit(self):
+        with pytest.raises(HardwareModelError):
+            InputFifoModel(entries=32, block_bytes=64)
+
+    def test_negative_input(self):
+        with pytest.raises(SimulationError):
+            InputFifoModel().refills_for(-1)
+
+
+class TestScanDescriptor:
+    def test_fields(self):
+        descriptor = ScanDescriptor(0x1000, 640, 0x8000)
+        assert descriptor.input_cache_blocks() == 10
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            ScanDescriptor(0x1000, 0, 0x8000)
+        with pytest.raises(HardwareModelError):
+            ScanDescriptor(-1, 10, 0)
+
+
+class TestConfiguration:
+    def test_size_matches_bitstream(self, small_bitstream):
+        model = ConfigurationModel()
+        assert model.configuration_bytes(small_bitstream) == (
+            small_bitstream.configuration_bits() + 7
+        ) // 8
+
+    def test_latency_scale(self, large_bitstream):
+        """A few-partition NFA configures in well under a millisecond;
+        the paper's largest benchmark took ~0.2 ms."""
+        latency = ConfigurationModel().configuration_ms(large_bitstream)
+        assert 0 < latency < 1.0
+
+    def test_faster_than_ap(self, large_bitstream):
+        from repro.core.params import AP
+
+        assert ConfigurationModel().configuration_ms(large_bitstream) < (
+            AP.configuration_ms / 10
+        )
+
+    def test_overlapped_configuration(self, small_bitstream):
+        model = ConfigurationModel()
+        serial = 4 * model.configuration_ms(small_bitstream)
+        overlapped = model.overlapped_configuration_ms(
+            [small_bitstream] * 4, slices=4
+        )
+        assert overlapped == pytest.approx(serial / 4)
+        assert model.overlapped_configuration_ms([], slices=4) == 0.0
+        with pytest.raises(HardwareModelError):
+            model.overlapped_configuration_ms([small_bitstream], slices=0)
+
+
+class TestWayAllocation:
+    def test_data_capacity_ca_p(self):
+        """CA_P leaves Array_H of NFA ways for data: 8 NFA ways of 20
+        still leave 60% + 20% = 80% of the slice for caching."""
+        allocation = WayAllocation(CA_P, 8)
+        assert allocation.data_ways == 12
+        assert allocation.data_capacity_fraction == pytest.approx(0.8)
+
+    def test_data_capacity_ca_s(self):
+        allocation = WayAllocation(CA_S, 8)
+        assert allocation.data_capacity_fraction == pytest.approx(0.6)
+
+    def test_state_capacity(self):
+        assert WayAllocation(CA_P, 8).nfa_state_capacity() == 16 * 1024
+        assert WayAllocation(CA_S, 8).nfa_state_capacity(slices=8) == 256 * 1024
+
+    def test_bounds(self):
+        with pytest.raises(HardwareModelError):
+            WayAllocation(CA_P, 0)
+        with pytest.raises(HardwareModelError):
+            WayAllocation(CA_P, 21)
+
+    def test_peak_power_hint(self):
+        machine = compile_patterns(["abc"])
+        mapping = compile_automaton(machine, CA_P)
+        hint = WayAllocation(CA_P, 8).peak_power_hint_watts(mapping)
+        assert 0 < hint < 1  # one partition: well under a watt
+
+
+class TestLatency:
+    def test_scan_time(self):
+        # 2e9 symbols at 2 GHz = 1 s = 1000 ms.
+        assert scan_time_ms(CA_P, 2_000_000_000) == pytest.approx(1000.0)
+        with pytest.raises(SimulationError):
+            scan_time_ms(CA_P, -5)
+
+    def test_end_to_end_dominated_by_streaming(self, small_bitstream):
+        """For GB-scale streams, configuration is noise (Section 2.10)."""
+        total = end_to_end_ms(CA_P, small_bitstream, 1_000_000_000)
+        streaming = scan_time_ms(CA_P, 1_000_000_000)
+        assert total / streaming < 1.001

@@ -1,0 +1,153 @@
+"""Tests for epsilon removal and classical->homogeneous conversion."""
+
+import random
+
+import pytest
+
+from repro.automata.anml import StartKind
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.nfa import Nfa, union
+from repro.automata.symbols import SymbolSet
+from repro.automata.transform import (
+    active_projection,
+    homogeneous_to_nfa,
+    to_homogeneous,
+)
+from repro.errors import AutomatonError
+from repro.sim.golden import match_offsets, simulate
+
+
+def literal_nfa(text: str) -> Nfa:
+    nfa = Nfa()
+    nfa.add_state("q0", start=True)
+    previous = "q0"
+    for index, character in enumerate(text):
+        state = f"q{index + 1}"
+        nfa.add_transition(previous, SymbolSet.single(character), state)
+        previous = state
+    nfa.set_accept(previous)
+    return nfa
+
+
+class TestRemoveEpsilon:
+    def test_result_has_no_epsilon(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "m")
+        nfa.add_transition("m", SymbolSet.single("x"), "e")
+        nfa.set_accept("e")
+        cleaned = remove_epsilon(nfa)
+        assert not cleaned.has_epsilon()
+        assert cleaned.accepts(b"x")
+
+    def test_acceptance_through_closure(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_transition("s", SymbolSet.single("a"), "m")
+        nfa.add_epsilon("m", "accepting")
+        nfa.set_accept("accepting")
+        cleaned = remove_epsilon(nfa)
+        assert cleaned.accepts(b"a")
+        assert not cleaned.accepts(b"")
+
+    def test_epsilon_cycle(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "a")
+        nfa.add_epsilon("a", "s")
+        nfa.add_transition("a", SymbolSet.single("x"), "end")
+        nfa.set_accept("end")
+        assert remove_epsilon(nfa).accepts(b"x")
+
+    def test_random_equivalence(self):
+        rng = random.Random(5)
+        for trial in range(10):
+            nfa = Nfa()
+            states = [f"n{i}" for i in range(8)]
+            nfa.add_state(states[0], start=True)
+            nfa.set_accept(states[-1])
+            for _ in range(10):
+                u, v = rng.sample(states, 2)
+                if rng.random() < 0.3:
+                    nfa.add_epsilon(u, v)
+                else:
+                    symbol = rng.choice("abc")
+                    nfa.add_transition(u, SymbolSet.single(symbol), v)
+            cleaned = remove_epsilon(nfa)
+            for _ in range(25):
+                text = "".join(
+                    rng.choice("abc") for _ in range(rng.randint(0, 6))
+                ).encode()
+                assert nfa.accepts(text) == cleaned.accepts(text), (trial, text)
+
+
+class TestToHomogeneous:
+    def test_figure1_shape(self):
+        """The paper's Figure 1: state S1 splits per incoming label."""
+        nfa = union([literal_nfa(w) for w in ("bat", "bar", "car", "cat")])
+        homogeneous = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        # Every STE has a single-symbol label here.
+        assert all(ste.symbols.cardinality() == 1 for ste in homogeneous.stes())
+        homogeneous.validate()
+
+    def test_scanning_equivalence_with_classical(self):
+        nfa = union([literal_nfa(w) for w in ("ab", "bc", "abc")])
+        homogeneous = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        text = b"zababcz"
+        classical_ends = [offset - 1 for offset in nfa.find_matches(text) if offset]
+        assert match_offsets(homogeneous, text) == sorted(set(classical_ends))
+
+    def test_anchored_equivalence(self):
+        nfa = literal_nfa("abc")
+        homogeneous = to_homogeneous(nfa, start=StartKind.START_OF_DATA)
+        assert match_offsets(homogeneous, b"abcabc") == [2]
+        assert match_offsets(homogeneous, b"xabc") == []
+
+    def test_empty_string_acceptor_rejected(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True, accept=True)
+        nfa.add_transition("s", SymbolSet.single("a"), "s")
+        with pytest.raises(AutomatonError):
+            to_homogeneous(nfa)
+
+    def test_start_without_transitions_rejected(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_state("other", accept=True)
+        with pytest.raises(AutomatonError):
+            to_homogeneous(nfa)
+
+    def test_epsilon_input_handled(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        nfa.add_epsilon("s", "m")
+        nfa.add_transition("m", SymbolSet.single("x"), "e")
+        nfa.set_accept("e")
+        homogeneous = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        assert match_offsets(homogeneous, b"zx") == [1]
+
+    def test_class_labels_split_separately(self):
+        nfa = Nfa()
+        nfa.add_state("s", start=True)
+        target = "t"
+        nfa.add_transition("s", SymbolSet.from_range("a", "c"), target)
+        nfa.add_transition("s", SymbolSet.from_range("x", "z"), target)
+        nfa.set_accept(target)
+        homogeneous = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        # Two incoming label groups -> two split states.
+        assert len(homogeneous) == 2
+        assert match_offsets(homogeneous, b"by") == [0, 1]
+
+    def test_active_projection(self):
+        assert active_projection({"q1#0", "q1#3", "q2#1"}) == {"q1", "q2"}
+
+
+class TestRoundTrip:
+    def test_homogeneous_to_nfa_inverse(self):
+        nfa = union([literal_nfa(w) for w in ("cat", "cart")])
+        homogeneous = to_homogeneous(nfa, start=StartKind.ALL_INPUT)
+        back = homogeneous_to_nfa(homogeneous)
+        for text in (b"cat", b"cart", b"ca", b"scatter cart"):
+            golden = simulate(homogeneous, text)
+            ends = [offset - 1 for offset in back.find_matches(text) if offset]
+            assert sorted({r.offset for r in golden.reports}) == sorted(set(ends))
