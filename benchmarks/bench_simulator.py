@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Record simulator throughput into the ``BENCH_simulator.json`` trajectory.
+
+Measures symbols/second of the golden interpreter, the mapped functional
+simulator, and the batched multi-stream path (``run_many`` over four
+streams, aggregate rate) on the PowerEN workload — the same configuration
+as ``benchmarks/test_simulator_perf.py`` — and appends one labelled entry
+to the repo-root ``BENCH_simulator.json`` so successive PRs accumulate a
+before/after performance history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py --label my-change
+    PYTHONPATH=src python benchmarks/bench_simulator.py --dry-run
+
+Each timing is the median of ``--rounds`` runs (default 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.compiler import compile_automaton  # noqa: E402
+from repro.core.design import CA_P  # noqa: E402
+from repro.sim.functional import MappedSimulator  # noqa: E402
+from repro.sim.golden import GoldenSimulator  # noqa: E402
+from repro.workloads.suite import get_benchmark  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_simulator.json",
+)
+
+
+def median_rate(func, symbols: int, rounds: int) -> float:
+    """Median symbols/second of ``func`` over ``rounds`` timed calls."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return symbols / statistics.median(times)
+
+
+def measure(length: int, rounds: int) -> dict:
+    spec = get_benchmark("PowerEN")
+    automaton = spec.build()
+    data = spec.input_stream(length, seed=5)
+    golden = GoldenSimulator(automaton)
+    mapped = MappedSimulator(compile_automaton(automaton, CA_P))
+    quarter = len(data) // 4
+    streams = [data[i * quarter : (i + 1) * quarter] for i in range(4)]
+
+    golden_rate = median_rate(
+        lambda: golden.run(data, collect_reports=False), len(data), rounds
+    )
+    mapped_rate = median_rate(
+        lambda: mapped.run(data, collect_reports=False), len(data), rounds
+    )
+    many_rate = median_rate(
+        lambda: mapped.run_many(streams, collect_reports=False),
+        quarter * 4,
+        rounds,
+    )
+    return {
+        "workload": "PowerEN",
+        "input_symbols": length,
+        "rounds": rounds,
+        "golden_symbols_per_sec": round(golden_rate),
+        "mapped_symbols_per_sec": round(mapped_rate),
+        "run_many_aggregate_symbols_per_sec": round(many_rate),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=8000,
+                        help="input-stream symbols (default 8000)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timed rounds per engine; median wins (default 5)")
+    parser.add_argument("--label", default="local",
+                        help="entry label, e.g. a PR or commit name")
+    parser.add_argument("--note", default="",
+                        help="free-form note stored with the entry")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="trajectory file (default repo-root BENCH_simulator.json)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, but do not write the file")
+    args = parser.parse_args()
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    if args.length < 8:
+        parser.error("--length must be at least 8 symbols")
+
+    entry = measure(args.length, args.rounds)
+    entry["label"] = args.label
+    entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")
+    if args.note:
+        entry["note"] = args.note
+
+    print(json.dumps(entry, indent=2))
+    if args.dry_run:
+        return 0
+
+    history = []
+    if os.path.exists(args.output):
+        with open(args.output, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    history.append(entry)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    print(f"appended to {args.output} ({len(history)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,11 @@ timing the underlying kernel with pytest-benchmark.
 The 20-benchmark suite evaluation is computed once per session; set
 ``REPRO_BENCH_INPUT`` to change the per-benchmark input-stream length
 (default 8000 symbols; the paper uses 10 MB traces — trends are stable
-far earlier).
+far earlier).  Setting ``REPRO_BENCH_SMOKE=1`` shrinks the default to
+2000 symbols so ``pytest benchmarks -q --benchmark-disable`` doubles as
+a fast CI smoke target; ``scripts`` usage lives in
+``benchmarks/bench_simulator.py``, which records simulator symbols/sec
+trajectories into ``BENCH_simulator.json``.
 """
 
 from __future__ import annotations
@@ -20,7 +24,9 @@ import pytest
 from repro.eval.experiments import BenchmarkEvaluation, evaluate_suite
 from repro.eval.tables import format_table
 
-INPUT_LENGTH = int(os.environ.get("REPRO_BENCH_INPUT", "8000"))
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_DEFAULT_INPUT = "2000" if _SMOKE else "8000"
+INPUT_LENGTH = int(os.environ.get("REPRO_BENCH_INPUT", _DEFAULT_INPUT))
 
 
 @pytest.fixture(scope="session")

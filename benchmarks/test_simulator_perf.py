@@ -32,6 +32,17 @@ def test_mapped_simulator_throughput(benchmark):
     assert result.profile.symbols == len(data)
 
 
+def test_mapped_simulator_multi_stream_throughput(benchmark):
+    """Batched ``run_many``: four independent streams through one kernel
+    pass, sharing the match-matrix gather and the propagation cache."""
+    automaton, data = _workload()
+    simulator = MappedSimulator(compile_automaton(automaton, CA_P))
+    quarter = len(data) // 4
+    streams = [data[i * quarter : (i + 1) * quarter] for i in range(4)]
+    results = benchmark(simulator.run_many, streams, collect_reports=False)
+    assert sum(result.profile.symbols for result in results) == quarter * 4
+
+
 def test_dfa_cpu_engine_throughput(benchmark):
     # Determinising PowerEN blows up (the compute-centric problem the
     # paper motivates with!); ExactMatch is the DFA-friendly workload.

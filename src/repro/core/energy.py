@@ -45,6 +45,31 @@ class ActivityProfile:
     #: Report records generated.
     reports: int = 0
 
+    def add_activity(
+        self,
+        *,
+        symbols: int = 0,
+        partition_activations: int = 0,
+        g1_crossings: int = 0,
+        g4_crossings: int = 0,
+        g1_switch_activations: int = 0,
+        g4_switch_activations: int = 0,
+        reports: int = 0,
+    ) -> None:
+        """Bulk accounting hook for batch simulation kernels.
+
+        The packed-bitset kernel computes whole chunks of activity at a
+        time; this is the single audited mutation point through which
+        those batched counters enter the energy model.
+        """
+        self.symbols += symbols
+        self.partition_activations += partition_activations
+        self.g1_crossings += g1_crossings
+        self.g4_crossings += g4_crossings
+        self.g1_switch_activations += g1_switch_activations
+        self.g4_switch_activations += g4_switch_activations
+        self.reports += reports
+
     def merged_with(self, other: "ActivityProfile") -> "ActivityProfile":
         return ActivityProfile(
             symbols=self.symbols + other.symbols,

@@ -11,8 +11,12 @@ object, in the style of a software pattern-matching engine:
 
 Streams can be scanned incrementally (:meth:`CacheAutomatonEngine.stream`
 returns a stateful scanner using the Section 2.9 checkpoint mechanism),
-and :meth:`performance_summary` reports the modelled line rate, cache
-footprint, and energy for the traffic seen so far.
+several independent streams can be batched through one packed-bitset
+kernel invocation (:meth:`CacheAutomatonEngine.scan_many` for whole
+inputs, :meth:`CacheAutomatonEngine.stream_many` for chunked traffic —
+the Section 6 multi-stream scenario), and :meth:`performance_summary`
+reports the modelled line rate, cache footprint, and energy for the
+traffic seen so far.
 """
 
 from __future__ import annotations
@@ -80,6 +84,60 @@ class StreamScanner:
             Match(report.offset, report.report_code, report.ste_id)
             for report in result.reports
         ]
+
+
+class MultiStreamScanner:
+    """Batched incremental scanner over several logical input streams.
+
+    Each call to :meth:`scan` feeds one chunk per stream; all chunks
+    advance together through one kernel invocation
+    (:meth:`repro.sim.functional.MappedSimulator.run_many`), sharing the
+    match-matrix gather and the propagation table across streams.  Match
+    offsets are global per stream, exactly as if each stream were scanned
+    on its own.
+    """
+
+    def __init__(self, engine: "CacheAutomatonEngine", count: int):
+        if count <= 0:
+            raise ReproError(f"stream count must be positive, got {count}")
+        self._engine = engine
+        self._checkpoints: List[Optional[Checkpoint]] = [None] * count
+
+    @property
+    def stream_count(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def positions(self) -> List[int]:
+        """Symbols consumed so far, per stream."""
+        return [
+            0 if checkpoint is None else checkpoint.symbols_processed
+            for checkpoint in self._checkpoints
+        ]
+
+    def scan(self, chunks: Sequence[bytes]) -> List[List[Match]]:
+        """Feed one chunk per stream; returns each stream's new matches.
+
+        Use ``b""`` for streams with no pending traffic this round.
+        """
+        if len(chunks) != len(self._checkpoints):
+            raise ReproError(
+                f"got {len(chunks)} chunks for {len(self._checkpoints)} streams"
+            )
+        results = self._engine._simulator.run_many(
+            list(chunks), resumes=self._checkpoints
+        )
+        self._checkpoints = [result.checkpoint for result in results]
+        matches: List[List[Match]] = []
+        for result in results:
+            self._engine._accumulate(result.profile)
+            matches.append(
+                [
+                    Match(report.offset, report.report_code, report.ste_id)
+                    for report in result.reports
+                ]
+            )
+        return matches
 
 
 class CacheAutomatonEngine:
@@ -167,9 +225,34 @@ class CacheAutomatonEngine:
         self._accumulate(result.profile)
         return result.profile.reports
 
+    def scan_many(self, streams: Sequence[bytes]) -> List[List[Match]]:
+        """Scan several independent streams in one batched kernel pass.
+
+        The Section 6 multi-stream scenario: every stream runs the same
+        compiled automaton, so the kernel advances all of them together
+        and amortises its table lookups across the batch.  Returns one
+        match list per stream, each identical to ``scan`` on that stream
+        alone.
+        """
+        results = self._simulator.run_many(list(streams))
+        matches: List[List[Match]] = []
+        for result in results:
+            self._accumulate(result.profile)
+            matches.append(
+                [
+                    Match(report.offset, report.report_code, report.ste_id)
+                    for report in result.reports
+                ]
+            )
+        return matches
+
     def stream(self) -> StreamScanner:
         """A stateful scanner for chunked input (global offsets)."""
         return StreamScanner(self)
+
+    def stream_many(self, count: int) -> MultiStreamScanner:
+        """A batched stateful scanner over ``count`` logical streams."""
+        return MultiStreamScanner(self, count)
 
     def _accumulate(self, profile: ActivityProfile):
         self._profile = self._profile.merged_with(profile)

@@ -9,6 +9,7 @@ scale or input length.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 from typing import List, Optional, Sequence
 
@@ -69,7 +70,46 @@ def generate_report(
         sections.append("")
         sections.append(rows_to_markdown(runners[name]()))
         sections.append("")
+    throughput = simulator_throughput_section()
+    if throughput:
+        sections.append(throughput)
+        sections.append("")
     return "\n".join(sections)
+
+
+BENCH_TRAJECTORY = (
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
+)
+
+
+def simulator_throughput_section(
+    trajectory: pathlib.Path = BENCH_TRAJECTORY,
+) -> str:
+    """Render the simulator symbols/sec history recorded by
+    ``benchmarks/bench_simulator.py`` (empty string if none exists)."""
+    if not trajectory.exists():
+        return ""
+    entries = json.loads(trajectory.read_text(encoding="utf-8"))
+    if not entries:
+        return ""
+    rows: List[Sequence] = [
+        ["Label", "Workload", "Golden sym/s", "Mapped sym/s",
+         "run_many agg sym/s"]
+    ]
+    for entry in entries:
+        rows.append(
+            [
+                entry.get("label", "?"),
+                entry.get("workload", "?"),
+                entry.get("golden_symbols_per_sec"),
+                entry.get("mapped_symbols_per_sec"),
+                entry.get("run_many_aggregate_symbols_per_sec") or "-",
+            ]
+        )
+    return (
+        "## Simulator software throughput (BENCH_simulator.json)\n\n"
+        + rows_to_markdown(rows)
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

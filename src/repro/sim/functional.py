@@ -14,14 +14,24 @@ paths.  Two things fall out of that fidelity:
   by the wired-OR disabling circuit) and dynamic G-switch crossings.
 
 States are laid out so each partition occupies one contiguous 256-bit
-span of a global bitmask; per-partition reductions are then byte-level
-numpy operations, keeping multi-megabyte runs tractable.
+span of a packed ``uint64`` state vector; execution runs on the shared
+packed-bitset kernel (:mod:`repro.sim.kernel`) and all per-partition
+reductions — activity, G-switch fan-in, report extraction — are computed
+batchwise over whole chunks of cycle history with
+``reshape(-1, span_words).any(axis=-1)``-style numpy operations, keeping
+multi-megabyte runs tractable while staying bit-for-bit equivalent to
+the scalar reference semantics.
+
+:meth:`MappedSimulator.run_many` additionally batches several independent
+input streams through one kernel invocation (the Section 6 multi-stream
+scenario): per-cycle state for all streams advances through shared
+``(streams, words)`` matrix operations and one shared propagation table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +40,12 @@ from repro.compiler.mapping import Mapping
 from repro.core.energy import ActivityProfile
 from repro.errors import SimulationError
 from repro.sim.golden import Checkpoint, Report, RunStats
+from repro.sim.kernel import (
+    CHUNK_SYMBOLS,
+    BitsetKernel,
+    as_symbols,
+    popcount_rows,
+)
 
 #: Output buffer geometry (Section 2.8): 64 entries, CPU interrupt on full.
 OUTPUT_BUFFER_ENTRIES = 64
@@ -63,9 +79,9 @@ class OutputBufferModel:
 
     def record(self, new_events: int):
         self.events += new_events
-        while self.events >= self.entries:
-            self.interrupts += 1
-            self.events -= self.entries
+        if self.events >= self.entries:
+            overflow, self.events = divmod(self.events, self.entries)
+            self.interrupts += overflow
 
 
 @dataclass
@@ -87,6 +103,110 @@ class MappedRunResult:
         return sorted({report.offset for report in self.reports})
 
 
+class _RunAccumulator:
+    """Batchwise statistics for one stream: consumes chunk histories.
+
+    Each :meth:`add` call folds one chunk's packed matched/enabled cycle
+    history into the run's stats, activity profile, output-buffer model,
+    and (optionally) reports, per-partition counts, and output records —
+    reproducing exactly what the scalar per-symbol loop accumulated.
+    """
+
+    def __init__(
+        self,
+        simulator: "MappedSimulator",
+        *,
+        collect_reports: bool,
+        collect_partition_stats: bool,
+        collect_records: bool,
+        collect_cycle_stats: bool,
+    ):
+        self._simulator = simulator
+        self.collect_reports = collect_reports
+        self.collect_records = collect_records
+        self.collect_cycle_stats = collect_cycle_stats
+        self.stats = RunStats()
+        self.profile = ActivityProfile()
+        self.buffer_model = OutputBufferModel()
+        self.reports: List[Report] = []
+        self.output_records: List[OutputRecord] = []
+        self.partition_counts = (
+            np.zeros(simulator.mapping.partition_count, dtype=np.int64)
+            if collect_partition_stats
+            else None
+        )
+
+    def add(
+        self,
+        sym: np.ndarray,
+        matched_rows: np.ndarray,
+        enabled_rows: np.ndarray,
+        base_offset: int,
+    ):
+        simulator = self._simulator
+        counts = popcount_rows(matched_rows)
+        self.stats.total_matched_states += int(counts.sum())
+        if self.collect_cycle_stats:
+            self.stats.matched_per_cycle.extend(counts.tolist())
+        if simulator.mapping.partition_count == 0:
+            return
+
+        activity = simulator._partition_any(enabled_rows)
+        partition_activations = int(np.count_nonzero(activity))
+        if self.partition_counts is not None:
+            self.partition_counts += activity.sum(axis=0, dtype=np.int64)
+
+        g1_crossings = g4_crossings = 0
+        g1_switches = g4_switches = 0
+        g1_rows = matched_rows & simulator._g1_row
+        if g1_rows.any():
+            g1_crossings = int(popcount_rows(g1_rows).sum())
+            g1_switches = simulator._switches_hit(g1_rows, simulator._way_starts)
+        g4_rows = matched_rows & simulator._g4_row
+        if g4_rows.any():
+            g4_crossings = int(popcount_rows(g4_rows).sum())
+            g4_switches = simulator._switches_hit(g4_rows, simulator._domain_starts)
+
+        report_count = 0
+        reporting_rows = matched_rows & simulator._kernel.report_row
+        report_counts = popcount_rows(reporting_rows)
+        report_cycles = np.flatnonzero(report_counts)
+        if report_cycles.size:
+            report_count = int(report_counts.sum())
+            for cycle in report_cycles:
+                cycle = int(cycle)
+                offset = base_offset + cycle
+                self.buffer_model.record(int(report_counts[cycle]))
+                if self.collect_reports:
+                    simulator._emit_reports(
+                        reporting_rows[cycle], offset, self.reports
+                    )
+                if self.collect_records:
+                    simulator._emit_records(
+                        reporting_rows[cycle],
+                        matched_rows[cycle],
+                        int(sym[cycle]),
+                        offset,
+                        self.output_records,
+                    )
+        self.profile.add_activity(
+            partition_activations=partition_activations,
+            g1_crossings=g1_crossings,
+            g4_crossings=g4_crossings,
+            g1_switch_activations=g1_switches,
+            g4_switch_activations=g4_switches,
+            reports=report_count,
+        )
+
+    def finish(self, symbols: int, checkpoint: Checkpoint) -> MappedRunResult:
+        self.stats.symbols_processed = symbols
+        self.profile.add_activity(symbols=symbols)
+        return MappedRunResult(
+            self.reports, self.stats, self.profile, self.buffer_model,
+            checkpoint, self.partition_counts, self.output_records,
+        )
+
+
 class MappedSimulator:
     """Cycle-functional simulator over a compiled mapping."""
 
@@ -103,10 +223,11 @@ class MappedSimulator:
         self._span_bytes = (partition_size + 7) // 8
         if partition_size % 8:
             raise SimulationError("partition size must be byte-aligned")
+        self._span_words = partition_size // 64 if partition_size % 64 == 0 else 0
         self._mask_bytes = total_bits // 8
 
         self._ids: List[str] = [""] * total_bits
-        bit_of: Dict[str, int] = {}
+        bit_of = {}
         for partition in mapping.partitions:
             base = partition.index * partition_size
             for slot, ste_id in enumerate(partition.ste_ids):
@@ -115,83 +236,120 @@ class MappedSimulator:
         self._bit_of = bit_of
 
         automaton = mapping.automaton
-        self._successor_mask = [0] * total_bits
+        successor_masks = [0] * total_bits
         g1_sources = 0
         g4_sources = 0
         for source, target in automaton.edges():
-            self._successor_mask[bit_of[source]] |= 1 << bit_of[target]
+            successor_masks[bit_of[source]] |= 1 << bit_of[target]
             kind = mapping.edge_kind(source, target)
             if kind == "g1":
                 g1_sources |= 1 << bit_of[source]
             elif kind == "g4":
                 g4_sources |= 1 << bit_of[source]
-        self._g1_sources = g1_sources
-        self._g4_sources = g4_sources
 
-        self._start_all = 0
-        self._start_sod = 0
-        self._report_mask = 0
+        start_all = 0
+        start_sod = 0
+        report_mask = 0
+        match_table = [0] * 256
         for ste in automaton.stes():
             bit = 1 << bit_of[ste.ste_id]
             if ste.start is StartKind.ALL_INPUT:
-                self._start_all |= bit
+                start_all |= bit
             elif ste.start is StartKind.START_OF_DATA:
-                self._start_sod |= bit
+                start_sod |= bit
             if ste.reporting:
-                self._report_mask |= bit
-
-        self._match_table = [0] * 256
-        for ste in automaton.stes():
-            bit = 1 << bit_of[ste.ste_id]
+                report_mask |= bit
             for symbol in ste.symbols:
-                self._match_table[symbol] |= bit
+                match_table[symbol] |= bit
+
+        self._kernel = BitsetKernel(
+            total_bits, successor_masks, match_table,
+            start_all, start_sod, report_mask,
+        )
+        self._g1_row = self._kernel.pack(g1_sources)
+        self._g1_row.setflags(write=False)
+        self._g4_row = self._kernel.pack(g4_sources)
+        self._g4_row.setflags(write=False)
 
         # Way id per partition, for per-way G-switch activation counting.
         self._partition_ways = np.array(
             [partition.way for partition in mapping.partitions], dtype=np.int64
         )
-        self._way_count = int(self._partition_ways.max()) + 1 if partition_count else 0
+        # Group boundaries for the batched "distinct ways hit per cycle"
+        # reduction: partitions sorted (stably) by way / by G4 domain.
+        if partition_count:
+            order = np.argsort(self._partition_ways, kind="stable")
+            self._way_order = order
+            sorted_ways = self._partition_ways[order]
+            self._way_starts = np.flatnonzero(
+                np.r_[True, np.diff(sorted_ways) != 0]
+            )
+            sorted_domains = sorted_ways // 4
+            self._domain_starts = np.flatnonzero(
+                np.r_[True, np.diff(sorted_domains) != 0]
+            )
+        else:
+            self._way_order = np.zeros(0, dtype=np.int64)
+            self._way_starts = np.zeros(0, dtype=np.int64)
+            self._domain_starts = np.zeros(0, dtype=np.int64)
 
-        # Successor-propagation memoisation (see repro.sim.golden).
-        block_count = (total_bits + 15) // 16
-        self._block_bytes = block_count * 2
-        self._block_cache: List[Dict[int, int]] = [{} for _ in range(block_count)]
+    # -- packed-history helpers -------------------------------------------
 
-    # -- helpers ---------------------------------------------------------------
-
-    def _block_successors(self, block: int, pattern: int) -> int:
-        cache = self._block_cache[block]
-        combined = cache.get(pattern)
-        if combined is None:
-            combined = 0
-            base = block * 16
-            remaining = pattern
-            while remaining:
-                low_bit = remaining & -remaining
-                combined |= self._successor_mask[base + low_bit.bit_length() - 1]
-                remaining ^= low_bit
-            cache[pattern] = combined
-        return combined
-
-    def _propagate(self, matched: int) -> int:
-        if not matched:
-            return 0
-        blocks = np.frombuffer(
-            matched.to_bytes(self._block_bytes, "little"), dtype=np.uint16
+    def _partition_any(self, rows: np.ndarray) -> np.ndarray:
+        """Boolean (cycles, partitions) 'any set bit in the span' matrix."""
+        cycles = rows.shape[0]
+        partitions = self.mapping.partition_count
+        if self._span_words:
+            return rows.reshape(cycles, partitions, self._span_words).any(axis=2)
+        packed_bytes = np.ascontiguousarray(rows).view(np.uint8)
+        return (
+            packed_bytes[:, : self._mask_bytes]
+            .reshape(cycles, partitions, self._span_bytes)
+            .any(axis=2)
         )
-        enabled = 0
-        for block in np.flatnonzero(blocks):
-            enabled |= self._block_successors(int(block), int(blocks[block]))
-        return enabled
 
-    def _partition_activity(self, mask: int) -> np.ndarray:
-        """Boolean per-partition 'has any set bit in its span'."""
-        raw = np.frombuffer(
-            mask.to_bytes(self._mask_bytes, "little"), dtype=np.uint8
-        )
-        return raw.reshape(-1, self._span_bytes).any(axis=1)
+    def _switches_hit(self, rows: np.ndarray, group_starts: np.ndarray) -> int:
+        """Sum over cycles of switch groups with >= 1 active partition."""
+        activity = self._partition_any(rows)[:, self._way_order]
+        hits = np.logical_or.reduceat(activity, group_starts, axis=1)
+        return int(np.count_nonzero(hits))
 
-    # -- simulation ---------------------------------------------------------------
+    def _emit_reports(self, row: np.ndarray, offset: int, reports: List[Report]):
+        automaton = self.mapping.automaton
+        for bit in self._kernel.bit_indices(row):
+            ste = automaton.ste(self._ids[bit])
+            reports.append(Report(offset, ste.ste_id, ste.report_code))
+
+    def _emit_records(
+        self,
+        reporting_row: np.ndarray,
+        matched_row: np.ndarray,
+        symbol: int,
+        offset: int,
+        output_records: List[OutputRecord],
+    ):
+        matched_bytes = np.ascontiguousarray(matched_row).tobytes()
+        active = self._partition_any(reporting_row.reshape(1, -1))[0]
+        for partition in np.flatnonzero(active):
+            partition = int(partition)
+            span = matched_bytes[
+                partition * self._span_bytes : (partition + 1) * self._span_bytes
+            ]
+            output_records.append(
+                OutputRecord(
+                    partition, int.from_bytes(span, "little"), symbol, offset
+                )
+            )
+
+    def _initial_cursor(self, resume: Optional[Checkpoint]):
+        kernel = self._kernel
+        if resume is None:
+            return kernel.pack(0), False, kernel.has_sod, 0
+        prev = kernel.pack(resume.active_state_vector)
+        sod = kernel.has_sod and resume.start_of_data_pending
+        return prev, bool(prev.any()), sod, resume.symbols_processed
+
+    # -- simulation --------------------------------------------------------
 
     def run(
         self,
@@ -201,6 +359,7 @@ class MappedSimulator:
         resume: Optional[Checkpoint] = None,
         collect_partition_stats: bool = False,
         collect_records: bool = False,
+        collect_cycle_stats: bool = False,
     ) -> MappedRunResult:
         """Process ``data``, returning reports, stats, and activity profile.
 
@@ -211,108 +370,146 @@ class MappedSimulator:
         ``collect_partition_stats`` additionally accumulates per-partition
         activation counts (for utilisation heat maps / hot-spot analysis);
         ``collect_records`` materialises the Section 2.8 output-buffer
-        entries (partition id + active-state mask + symbol + counter).
+        entries (partition id + active-state mask + symbol + counter);
+        ``collect_cycle_stats`` keeps the per-cycle matched-state counts,
+        mirroring the golden simulator's flag.
         """
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
-        match_table = self._match_table
-        start_all = self._start_all
-        report_mask = self._report_mask
-        g1_sources = self._g1_sources
-        g4_sources = self._g4_sources
-        partition_ways = self._partition_ways
-        way_bins = self._way_count + 1  # bincount needs minlength
-
-        reports: List[Report] = []
-        stats = RunStats()
-        profile = ActivityProfile()
-        buffer_model = OutputBufferModel()
-        partition_counts = (
-            np.zeros(self.mapping.partition_count, dtype=np.int64)
-            if collect_partition_stats
-            else None
+        symbols = as_symbols(data)
+        kernel = self._kernel
+        accumulator = _RunAccumulator(
+            self,
+            collect_reports=collect_reports,
+            collect_partition_stats=collect_partition_stats,
+            collect_records=collect_records,
+            collect_cycle_stats=collect_cycle_stats,
         )
-        output_records: List[OutputRecord] = []
-        span_mask = (1 << self._span_bits) - 1
-
-        if resume is None:
-            base_offset = 0
-            enabled_from_matches = 0
-            sod = self._start_sod
-        else:
-            base_offset = resume.symbols_processed
-            enabled_from_matches = resume.active_state_vector
-            sod = self._start_sod if resume.start_of_data_pending else 0
-        for offset, symbol in enumerate(data, start=base_offset):
-            enabled = enabled_from_matches | start_all | sod
-            sod = 0
-            # State-match phase: every partition with a non-zero active
-            # state vector performs an array read + L-switch access.
-            if enabled:
-                active_now = self._partition_activity(enabled)
-                profile.partition_activations += int(active_now.sum())
-                if partition_counts is not None:
-                    partition_counts += active_now
-            matched = enabled & match_table[symbol]
-            stats.total_matched_states += matched.bit_count()
-
-            # State-transition phase: boundary-crossing matched sources
-            # drive the global switches.
-            g1_active = matched & g1_sources
-            if g1_active:
-                profile.g1_crossings += g1_active.bit_count()
-                active_partitions = self._partition_activity(g1_active)
-                ways_hit = np.bincount(
-                    partition_ways[active_partitions], minlength=way_bins
-                )
-                profile.g1_switch_activations += int((ways_hit > 0).sum())
-            g4_active = matched & g4_sources
-            if g4_active:
-                profile.g4_crossings += g4_active.bit_count()
-                active_partitions = self._partition_activity(g4_active)
-                groups_hit = np.bincount(
-                    partition_ways[active_partitions] // 4, minlength=way_bins
-                )
-                profile.g4_switch_activations += int((groups_hit > 0).sum())
-
-            reporting = matched & report_mask
-            if reporting:
-                count = reporting.bit_count()
-                profile.reports += count
-                buffer_model.record(count)
-                if collect_reports:
-                    self._emit_reports(reporting, offset, reports)
-                if collect_records:
-                    for partition in np.flatnonzero(
-                        self._partition_activity(reporting)
-                    ):
-                        partition = int(partition)
-                        mask = (
-                            matched >> (partition * self._span_bits)
-                        ) & span_mask
-                        output_records.append(
-                            OutputRecord(partition, mask, symbol, offset)
-                        )
-
-            enabled_from_matches = self._propagate(matched)
-        stats.symbols_processed = len(data)
-        profile.symbols = len(data)
+        prev, prev_nonzero, sod, base_offset = self._initial_cursor(resume)
+        for start in range(0, len(symbols), CHUNK_SYMBOLS):
+            sym = symbols[start : start + CHUNK_SYMBOLS]
+            matched_rows = kernel.match_matrix[sym]
+            enabled_rows = np.empty((len(sym), kernel.words), dtype=np.uint64)
+            prev, prev_nonzero, sod = kernel.run_chunk(
+                sym, matched_rows, enabled_rows, prev, prev_nonzero, sod
+            )
+            accumulator.add(sym, matched_rows, enabled_rows, base_offset + start)
         checkpoint = Checkpoint(
-            symbols_processed=base_offset + len(data),
-            active_state_vector=enabled_from_matches,
+            symbols_processed=base_offset + len(symbols),
+            active_state_vector=kernel.unpack(prev),
             start_of_data_pending=bool(sod),
         )
-        return MappedRunResult(
-            reports, stats, profile, buffer_model, checkpoint,
-            partition_counts, output_records,
-        )
+        return accumulator.finish(len(symbols), checkpoint)
 
-    def _emit_reports(self, reporting: int, offset: int, reports: List[Report]):
-        while reporting:
-            low_bit = reporting & -reporting
-            ste = self.mapping.automaton.ste(self._ids[low_bit.bit_length() - 1])
-            reports.append(Report(offset, ste.ste_id, ste.report_code))
-            reporting ^= low_bit
+    def run_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+        collect_partition_stats: bool = False,
+        collect_records: bool = False,
+        collect_cycle_stats: bool = False,
+    ) -> List[MappedRunResult]:
+        """Batch several independent streams through one kernel invocation.
+
+        This is the Section 6 multi-stream scenario: every stream scans
+        the same compiled automaton, so their per-cycle state advances
+        together through shared ``(streams, words)`` matrix operations —
+        one match-matrix gather, one batched propagation — while the
+        results stay bit-for-bit identical to running each stream through
+        :meth:`run` on its own.  ``resumes`` optionally supplies one
+        checkpoint (or ``None``) per stream.
+        """
+        buffers = [as_symbols(stream) for stream in streams]
+        count = len(buffers)
+        if resumes is None:
+            resumes = [None] * count
+        elif len(resumes) != count:
+            raise SimulationError(
+                f"got {len(resumes)} checkpoints for {count} streams"
+            )
+        if count == 0:
+            return []
+        kernel = self._kernel
+        flags = dict(
+            collect_reports=collect_reports,
+            collect_partition_stats=collect_partition_stats,
+            collect_records=collect_records,
+            collect_cycle_stats=collect_cycle_stats,
+        )
+        accumulators = [_RunAccumulator(self, **flags) for _ in range(count)]
+
+        # Streams sorted by length (descending) so the live set at any
+        # cycle is a prefix of the state matrix.
+        lengths = np.array([len(buffer) for buffer in buffers], dtype=np.int64)
+        order = np.argsort(-lengths, kind="stable")
+        sorted_lengths = lengths[order]
+        prev = np.zeros((count, kernel.words), dtype=np.uint64)
+        sod = np.zeros(count, dtype=bool)
+        bases = [0] * count
+        for rank, index in enumerate(order):
+            checkpoint = resumes[index]
+            if checkpoint is None:
+                sod[rank] = kernel.has_sod
+            else:
+                prev[rank] = kernel.pack(checkpoint.active_state_vector)
+                sod[rank] = kernel.has_sod and checkpoint.start_of_data_pending
+                bases[rank] = checkpoint.symbols_processed
+
+        longest = int(sorted_lengths[0])
+        chunk = min(CHUNK_SYMBOLS, max(256, 65536 // count))
+        start_row = kernel.start_all_row
+        for t0 in range(0, longest, chunk):
+            span = min(chunk, longest - t0)
+            live = int(np.count_nonzero(sorted_lengths > t0))
+            sym_block = np.zeros((live, span), dtype=np.uint8)
+            for rank in range(live):
+                segment = buffers[order[rank]][t0 : t0 + span]
+                sym_block[rank, : len(segment)] = segment
+            matched_hist = kernel.match_matrix[sym_block]
+            enabled_hist = np.zeros((live, span, kernel.words), dtype=np.uint64)
+            live_counts = (
+                sorted_lengths[:live, None] > np.arange(t0, t0 + span)
+            ).sum(axis=0)
+            for dt in range(span):
+                active = int(live_counts[dt])
+                if active == 0:
+                    break
+                enabled = enabled_hist[:active, dt]
+                np.bitwise_or(prev[:active], start_row, out=enabled)
+                if t0 + dt == 0:
+                    pending = np.flatnonzero(sod[:active])
+                    if pending.size:
+                        enabled[pending] |= kernel.start_sod_row
+                        sod[pending] = False
+                matched = matched_hist[:active, dt]
+                matched &= enabled
+                kernel.propagate_matrix(matched, prev[:active])
+            for rank in range(live):
+                valid = int(min(sorted_lengths[rank] - t0, span))
+                if valid <= 0:
+                    continue
+                accumulators[order[rank]].add(
+                    sym_block[rank, :valid],
+                    matched_hist[rank, :valid],
+                    enabled_hist[rank, :valid],
+                    bases[rank] + t0,
+                )
+
+        results: List[Optional[MappedRunResult]] = [None] * count
+        for rank, index in enumerate(order):
+            checkpoint = Checkpoint(
+                symbols_processed=bases[rank] + int(lengths[index]),
+                active_state_vector=kernel.unpack(prev[rank]),
+                start_of_data_pending=bool(sod[rank]),
+            )
+            results[index] = accumulators[index].finish(
+                int(lengths[index]), checkpoint
+            )
+        return results
+
+    def _partition_activity(self, mask: int) -> np.ndarray:
+        """Boolean per-partition 'has any set bit in its span' (one vector)."""
+        return self._partition_any(self._kernel.pack(mask).reshape(1, -1))[0]
 
 
 def simulate_mapping(

@@ -12,24 +12,24 @@ Semantics per input symbol (Micron AP / ANML convention):
 2. *matched* = enabled states whose label contains the symbol;
 3. every matched reporting state emits a report record for this offset.
 
-The implementation packs state sets into arbitrary-precision integers, so
-one simulation step is a handful of big-int AND/OR operations.  Successor
-propagation — the only per-active-state work — is memoised per 16-bit
-block of the state bitmask, which exploits the same locality the paper's
-partition-disabling hardware does: the distinct local activation patterns
-in a block are few, so after warm-up each cycle costs one dictionary
-lookup per *active block*, not per active state.
+Execution runs on the packed-bitset kernel (:mod:`repro.sim.kernel`):
+state sets are ``uint64`` word arrays, each chunk of input gathers its
+match candidates from a ``(256, words)`` match matrix in one shot, and
+successor propagation is a memoised gather/OR over a precomputed
+successor table — so after warm-up each cycle costs a few fixed-size
+numpy operations instead of per-state Python work, and idle stretches of
+the input are skipped in whole vectorised slices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.automata.anml import HomogeneousAutomaton, StartKind
-from repro.errors import SimulationError
+from repro.sim.kernel import CHUNK_SYMBOLS, BitsetKernel, as_symbols, popcount_rows
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,13 @@ class Report:
 
 @dataclass
 class RunStats:
-    """Per-run activity statistics (feeds Table 1 and the energy model)."""
+    """Per-run activity statistics (feeds Table 1 and the energy model).
+
+    ``matched_per_cycle`` is populated only when the run requested
+    ``collect_cycle_stats=True`` — both :class:`GoldenSimulator` and
+    :class:`repro.sim.functional.MappedSimulator` honour the flag, so the
+    two simulators' stats agree field-for-field.
+    """
 
     symbols_processed: int = 0
     total_matched_states: int = 0
@@ -91,55 +97,32 @@ class GoldenSimulator:
         automaton.validate()
         self.automaton = automaton
         self._ids: List[str] = automaton.ste_ids()
-        index: Dict[str, int] = {ste_id: i for i, ste_id in enumerate(self._ids)}
+        index = {ste_id: i for i, ste_id in enumerate(self._ids)}
         self._index = index
 
-        self._successor_mask: List[int] = [0] * len(self._ids)
+        successor_masks: List[int] = [0] * len(self._ids)
         for source, target in automaton.edges():
-            self._successor_mask[index[source]] |= 1 << index[target]
+            successor_masks[index[source]] |= 1 << index[target]
 
-        self._start_all = 0
-        self._start_sod = 0
-        self._report_mask = 0
+        start_all = 0
+        start_sod = 0
+        report_mask = 0
+        match_table = [0] * 256
         for ste in automaton.stes():
             bit = 1 << index[ste.ste_id]
             if ste.start is StartKind.ALL_INPUT:
-                self._start_all |= bit
+                start_all |= bit
             elif ste.start is StartKind.START_OF_DATA:
-                self._start_sod |= bit
+                start_sod |= bit
             if ste.reporting:
-                self._report_mask |= bit
-
-        # match_table[symbol] = bitmask of states whose label contains it.
-        self._match_table = [0] * 256
-        for ste in automaton.stes():
-            bit = 1 << index[ste.ste_id]
+                report_mask |= bit
             for symbol in ste.symbols:
-                self._match_table[symbol] |= bit
+                match_table[symbol] |= bit
 
-        # Successor propagation is memoised per 16-bit block of the state
-        # bitmask: _block_cache[block][local_pattern] = OR of the successor
-        # masks of the states set in that pattern.
-        self._block_count = (len(self._ids) + 15) // 16
-        self._mask_bytes = self._block_count * 2
-        self._block_cache: List[Dict[int, int]] = [
-            {} for _ in range(self._block_count)
-        ]
-
-    def _block_successors(self, block: int, pattern: int) -> int:
-        """OR of successor masks for the states in ``pattern`` of ``block``."""
-        cache = self._block_cache[block]
-        combined = cache.get(pattern)
-        if combined is None:
-            combined = 0
-            base = block * 16
-            remaining = pattern
-            while remaining:
-                low_bit = remaining & -remaining
-                combined |= self._successor_mask[base + low_bit.bit_length() - 1]
-                remaining ^= low_bit
-            cache[pattern] = combined
-        return combined
+        self._kernel = BitsetKernel(
+            len(self._ids), successor_masks, match_table,
+            start_all, start_sod, report_mask,
+        )
 
     def run(
         self,
@@ -159,56 +142,50 @@ class GoldenSimulator:
         suspended stream: report offsets stay global, and splitting a
         stream at any point yields exactly the reports of one long run.
         """
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
-        match_table = self._match_table
-        start_all = self._start_all
-        report_mask = self._report_mask
+        symbols = as_symbols(data)
+        kernel = self._kernel
         reports: List[Report] = []
         stats = RunStats()
-        per_cycle = stats.matched_per_cycle
-        matched = 0
         if resume is None:
             base_offset = 0
-            enabled_from_matches = 0
-            sod = self._start_sod
+            prev = kernel.pack(0)
+            sod = kernel.has_sod
         else:
             base_offset = resume.symbols_processed
-            enabled_from_matches = resume.active_state_vector
-            sod = self._start_sod if resume.start_of_data_pending else 0
-        for offset, symbol in enumerate(data, start=base_offset):
-            enabled = enabled_from_matches | start_all | sod
-            sod = 0
-            matched = enabled & match_table[symbol]
-            stats.total_matched_states += matched.bit_count()
+            prev = kernel.pack(resume.active_state_vector)
+            sod = kernel.has_sod and resume.start_of_data_pending
+        prev_nonzero = bool(prev.any())
+
+        for start in range(0, len(symbols), CHUNK_SYMBOLS):
+            sym = symbols[start : start + CHUNK_SYMBOLS]
+            matched_rows = kernel.match_matrix[sym]
+            prev, prev_nonzero, sod = kernel.run_chunk(
+                sym, matched_rows, None, prev, prev_nonzero, sod
+            )
+            counts = popcount_rows(matched_rows)
+            stats.total_matched_states += int(counts.sum())
             if collect_cycle_stats:
-                per_cycle.append(matched.bit_count())
-            reporting = matched & report_mask
-            if reporting and collect_reports:
-                self._emit_reports(reporting, offset, reports)
-            enabled_from_matches = 0
-            if matched:
-                blocks = np.frombuffer(
-                    matched.to_bytes(self._mask_bytes, "little"), dtype=np.uint16
-                )
-                for block in np.flatnonzero(blocks):
-                    enabled_from_matches |= self._block_successors(
-                        int(block), int(blocks[block])
+                stats.matched_per_cycle.extend(counts.tolist())
+            if collect_reports:
+                reporting_rows = matched_rows & kernel.report_row
+                for cycle in np.flatnonzero(reporting_rows.any(axis=1)):
+                    self._emit_reports(
+                        reporting_rows[cycle],
+                        base_offset + start + int(cycle),
+                        reports,
                     )
-        stats.symbols_processed = len(data)
+        stats.symbols_processed = len(symbols)
         checkpoint = Checkpoint(
-            symbols_processed=base_offset + len(data),
-            active_state_vector=enabled_from_matches,
+            symbols_processed=base_offset + len(symbols),
+            active_state_vector=kernel.unpack(prev),
             start_of_data_pending=bool(sod),
         )
         return RunResult(reports, stats, checkpoint)
 
-    def _emit_reports(self, reporting: int, offset: int, reports: List[Report]):
-        while reporting:
-            low_bit = reporting & -reporting
-            ste = self.automaton.ste(self._ids[low_bit.bit_length() - 1])
+    def _emit_reports(self, row, offset: int, reports: List[Report]):
+        for bit in self._kernel.bit_indices(row):
+            ste = self.automaton.ste(self._ids[bit])
             reports.append(Report(offset, ste.ste_id, ste.report_code))
-            reporting ^= low_bit
 
 
 def simulate(automaton: HomogeneousAutomaton, data: bytes, **kwargs) -> RunResult:

@@ -1,0 +1,279 @@
+"""Packed-bitset simulation kernel shared by the golden and mapped simulators.
+
+The interpreters in :mod:`repro.sim.golden` and :mod:`repro.sim.functional`
+originally stepped one symbol per Python-loop iteration over
+arbitrary-precision ints.  This module replaces that representation with
+``uint64`` word arrays so the per-symbol work becomes a handful of fixed-size
+numpy operations, and layers three accelerations on top:
+
+* **match matrix** — the 256-entry match table is one ``(256, words)``
+  ``uint64`` matrix; a whole chunk of input gathers its per-symbol match
+  candidates in a single fancy-index operation;
+* **successor table** — per-state successor masks live in a dense
+  ``(n_bits, words)`` matrix (sparse CSR triplets above a size budget), so
+  propagation is a gather plus a bitwise-OR reduction over the active bits
+  only, with whole-vector results memoised by the packed bytes of the
+  matched vector (the automaton revisits few distinct activation patterns,
+  the same locality the paper's partition-disabling hardware exploits);
+* **idle fast path** — while no state is active and the start states are
+  quiescent, the enabled vector is exactly the all-input start set, so the
+  kernel skips ahead over whole input slices with one vectorised
+  escape-table lookup instead of stepping per symbol.
+
+Simulators drive the kernel chunk-at-a-time through :meth:`run_chunk`,
+which fills per-cycle matched/enabled histories; all statistics (match
+counts, partition activity, reports) are then computed *batchwise* over the
+packed history arrays, keeping them bit-for-bit identical to the scalar
+reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Symbols processed per kernel chunk (gather + batched-stats granularity).
+CHUNK_SYMBOLS = 4096
+
+#: Dense successor-table budget; larger automata use the CSR representation.
+DENSE_TABLE_BYTES = 32 * 1024 * 1024
+
+#: Budget for memoised propagation results (bytes of cached rows).
+PROPAGATE_CACHE_BYTES = 32 * 1024 * 1024
+
+
+def as_symbols(data) -> np.ndarray:
+    """Validate ``data`` is bytes-like and view it as a ``uint8`` array.
+
+    Both simulators funnel input through here so they reject bad input
+    with identical errors.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+    return np.frombuffer(bytes(data), dtype=np.uint8)
+
+
+def popcount_rows(rows: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a ``(cycles, words)`` uint64 matrix."""
+    return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+
+
+class BitsetKernel:
+    """Packed-word execution engine for one fixed automaton bit layout.
+
+    ``n_bits`` is the size of the state vector (for the mapped simulator
+    this includes per-partition span padding); ``successor_masks``,
+    ``match_table`` (256 entries), ``start_all``, ``start_sod`` and
+    ``report_mask`` are the arbitrary-precision-int tables the simulators
+    already build — the kernel packs them once at construction.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        successor_masks: List[int],
+        match_table: List[int],
+        start_all: int,
+        start_sod: int,
+        report_mask: int,
+        *,
+        dense_limit: int = DENSE_TABLE_BYTES,
+    ):
+        self.n_bits = n_bits
+        self.words = max(1, -(-n_bits // 64))
+        self.row_bytes = self.words * 8
+
+        self.match_matrix = self._pack_rows(match_table)
+        self.match_matrix.setflags(write=False)
+        self.start_all_row = self.pack(start_all)
+        self.start_all_row.setflags(write=False)
+        self.start_sod_row = self.pack(start_sod)
+        self.start_sod_row.setflags(write=False)
+        self.report_row = self.pack(report_mask)
+        self.report_row.setflags(write=False)
+        self.has_sod = start_sod != 0
+
+        # Successor table: dense (n_bits, words) when it fits the budget,
+        # else CSR triplets (word index + 64-bit mask per entry).
+        self._dense: Optional[np.ndarray] = None
+        if n_bits * self.row_bytes <= dense_limit:
+            self._dense = self._pack_rows(successor_masks)
+            self._dense.setflags(write=False)
+        else:
+            indptr = [0]
+            csr_words: List[int] = []
+            csr_masks: List[int] = []
+            for mask in successor_masks:
+                while mask:
+                    word = (mask & -mask).bit_length() - 1 >> 6
+                    chunk = (mask >> (word * 64)) & 0xFFFF_FFFF_FFFF_FFFF
+                    csr_words.append(word)
+                    csr_masks.append(chunk)
+                    mask &= ~(0xFFFF_FFFF_FFFF_FFFF << (word * 64))
+                indptr.append(len(csr_words))
+            self._csr_indptr = np.array(indptr, dtype=np.int64)
+            self._csr_words = np.array(csr_words, dtype=np.int64)
+            self._csr_masks = np.array(csr_masks, dtype=np.uint64)
+
+        self._prop_cache: Dict[bytes, Tuple[np.ndarray, bool]] = {}
+        self._prop_cache_limit = max(1024, PROPAGATE_CACHE_BYTES // self.row_bytes)
+        self._idle_next: Optional[np.ndarray] = None
+        self._idle_escape: Optional[np.ndarray] = None
+        self._scratch = np.zeros(self.words, dtype=np.uint64)
+
+    # -- packing -----------------------------------------------------------
+
+    def pack(self, value: int) -> np.ndarray:
+        """Arbitrary-precision int -> (words,) uint64 array (little-endian)."""
+        try:
+            raw = value.to_bytes(self.row_bytes, "little")
+        except OverflowError:
+            raise SimulationError(
+                f"state vector needs more than {self.n_bits} bits; "
+                "was the checkpoint taken on a different automaton?"
+            ) from None
+        return np.frombuffer(raw, dtype=np.uint64).copy()
+
+    def unpack(self, row: np.ndarray) -> int:
+        """(words,) uint64 array -> arbitrary-precision int."""
+        return int.from_bytes(np.ascontiguousarray(row).tobytes(), "little")
+
+    def _pack_rows(self, masks: List[int]) -> np.ndarray:
+        raw = b"".join(mask.to_bytes(self.row_bytes, "little") for mask in masks)
+        return (
+            np.frombuffer(raw, dtype=np.uint64)
+            .reshape(len(masks), self.words)
+            .copy()
+        )
+
+    def bit_indices(self, row: np.ndarray) -> np.ndarray:
+        """Ascending indices of the set bits in one packed row."""
+        flat = np.unpackbits(
+            np.ascontiguousarray(row).view(np.uint8), bitorder="little"
+        )
+        return np.flatnonzero(flat)
+
+    # -- propagation -------------------------------------------------------
+
+    def _successors_of(self, row: np.ndarray) -> np.ndarray:
+        bits = self.bit_indices(row)
+        if bits.size == 0:
+            return np.zeros(self.words, dtype=np.uint64)
+        if self._dense is not None:
+            return np.bitwise_or.reduce(self._dense[bits], axis=0)
+        out = np.zeros(self.words, dtype=np.uint64)
+        starts = self._csr_indptr[bits]
+        counts = self._csr_indptr[bits + 1] - starts
+        total = int(counts.sum())
+        if total:
+            run_starts = np.cumsum(counts) - counts
+            sel = np.repeat(starts - run_starts, counts) + np.arange(total)
+            np.bitwise_or.at(out, self._csr_words[sel], self._csr_masks[sel])
+        return out
+
+    def propagate(self, row: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Enabled-successor row of ``row``, plus a non-zero flag.
+
+        Results are memoised by the packed bytes of ``row``; the returned
+        array is read-only and must not be mutated by callers.
+        """
+        key = np.ascontiguousarray(row).tobytes()
+        hit = self._prop_cache.get(key)
+        if hit is None:
+            out = self._successors_of(row)
+            out.setflags(write=False)
+            hit = (out, bool(out.any()))
+            if len(self._prop_cache) < self._prop_cache_limit:
+                self._prop_cache[key] = hit
+        return hit
+
+    def propagate_matrix(self, rows: np.ndarray, out: np.ndarray) -> None:
+        """Batched propagate: (streams, words) matched rows -> ``out`` rows.
+
+        Every stream shares one memoised propagation table, so a pattern
+        any stream has visited is a dictionary hit for all of them.
+        """
+        for index in range(rows.shape[0]):
+            out[index] = self.propagate(rows[index])[0]
+
+    # -- idle fast path ----------------------------------------------------
+
+    def _ensure_idle_tables(self):
+        if self._idle_next is not None:
+            return
+        idle_matched = self.match_matrix & self.start_all_row
+        nxt = np.zeros((256, self.words), dtype=np.uint64)
+        escape = np.zeros(256, dtype=bool)
+        for symbol in range(256):
+            row, nonzero = self.propagate(idle_matched[symbol])
+            nxt[symbol] = row
+            escape[symbol] = nonzero
+        nxt.setflags(write=False)
+        self._idle_next = nxt
+        self._idle_escape = escape
+
+    # -- chunk stepping ----------------------------------------------------
+
+    def run_chunk(
+        self,
+        sym: np.ndarray,
+        matched_rows: np.ndarray,
+        enabled_rows: Optional[np.ndarray],
+        prev: np.ndarray,
+        prev_nonzero: bool,
+        sod: bool,
+    ) -> Tuple[np.ndarray, bool, bool]:
+        """Advance the machine over one chunk of input.
+
+        On entry ``matched_rows`` must be ``match_matrix[sym]``; on exit it
+        holds the per-cycle *matched* vectors.  ``enabled_rows`` (optional)
+        receives the per-cycle *enabled* vectors — every row is written.
+        ``prev`` is the pending successor-activation row (may alias a
+        cached, read-only row); returns the updated
+        ``(prev, prev_nonzero, sod)`` cursor.
+        """
+        cycles = len(sym)
+        start_row = self.start_all_row
+        escape_positions: Optional[np.ndarray] = None
+        i = 0
+        while i < cycles:
+            if prev_nonzero or sod:
+                if enabled_rows is None:
+                    erow = self._scratch
+                else:
+                    erow = enabled_rows[i]
+                np.bitwise_or(prev, start_row, out=erow)
+                if sod:
+                    erow |= self.start_sod_row
+                    sod = False
+                mrow = matched_rows[i]
+                mrow &= erow
+                prev, prev_nonzero = self.propagate(mrow)
+                i += 1
+                continue
+            # Idle: the enabled vector is exactly the all-input start set
+            # until a symbol whose matched start states have successors.
+            if self._idle_escape is None:
+                self._ensure_idle_tables()
+            if escape_positions is None:
+                escape_positions = np.flatnonzero(self._idle_escape[sym])
+            cursor = int(np.searchsorted(escape_positions, i))
+            if cursor < escape_positions.size:
+                j = int(escape_positions[cursor])
+            else:
+                j = cycles
+            if j > i:
+                matched_rows[i:j] &= start_row
+                if enabled_rows is not None:
+                    enabled_rows[i:j] = start_row
+            if j < cycles:
+                if enabled_rows is not None:
+                    enabled_rows[j] = start_row
+                matched_rows[j] &= start_row
+                prev = self._idle_next[int(sym[j])]
+                prev_nonzero = True
+            i = j + 1
+        return prev, prev_nonzero, sod

@@ -122,3 +122,45 @@ class TestIntrospection:
         assert summary.average_power_watts > 0
         assert summary.design == "CA_P"
         assert summary.partitions == 1
+
+
+class TestMultiStream:
+    def test_scan_many_equals_scan(self, engine):
+        streams = [b"the cat sat", b"a bat!", b"", b"doggg"]
+        batched = engine.scan_many(streams)
+        for stream, matches in zip(streams, batched):
+            assert matches == engine.scan(stream)
+
+    def test_stream_many_chunked_equals_whole(self, engine):
+        streams = [b"the cat sat on the bat", b"dogs sleep in cots", b"cat"]
+        whole = [[(m.end, m.rule) for m in engine.scan(s)] for s in streams]
+        scanner = engine.stream_many(len(streams))
+        collected = [[] for _ in streams]
+        for start in range(0, max(len(s) for s in streams), 5):
+            chunks = [s[start : start + 5] for s in streams]
+            for index, matches in enumerate(scanner.scan(chunks)):
+                collected[index].extend((m.end, m.rule) for m in matches)
+        assert collected == whole
+        assert scanner.positions == [len(s) for s in streams]
+
+    def test_stream_many_boundary_match(self, engine):
+        scanner = engine.stream_many(2)
+        first = scanner.scan([b"xxca", b"ba"])
+        assert first == [[], []]
+        second = scanner.scan([b"txx", b"t"])
+        assert [(m.end, m.rule) for m in second[0]] == [(4, "CAT")]
+        assert [(m.end, m.rule) for m in second[1]] == [(2, "BAT")]
+        assert scanner.stream_count == 2
+
+    def test_stream_many_validates(self, engine):
+        with pytest.raises(ReproError):
+            engine.stream_many(0)
+        scanner = engine.stream_many(2)
+        with pytest.raises(ReproError):
+            scanner.scan([b"only one"])
+
+    def test_scan_many_accumulates_profile(self):
+        engine = CacheAutomatonEngine.from_patterns(["bat"])
+        engine.scan_many([b"a bat", b"bat bat"])
+        summary = engine.performance_summary()
+        assert summary.energy_nj_per_symbol > 0

@@ -145,3 +145,44 @@ class TestRobustness:
         assert report_set(simulator.run(b"ab").reports) == report_set(
             simulator.run(b"ab").reports
         )
+
+    def test_large_burst_is_constant_time(self):
+        # The divmod implementation must absorb astronomically large
+        # bursts instantly (the loop version would never return).
+        buffer_model = OutputBufferModel()
+        buffer_model.record(OUTPUT_BUFFER_ENTRIES * 10**15 + 7)
+        assert buffer_model.interrupts == 10**15
+        assert buffer_model.events == 7
+
+
+class TestCycleStats:
+    def test_matched_per_cycle_opt_in(self):
+        machine = compile_patterns(["ab", "b"])
+        simulator = MappedSimulator(compile_automaton(machine, CA_P))
+        off = simulator.run(b"abab")
+        assert off.stats.matched_per_cycle == []
+        on = simulator.run(b"abab", collect_cycle_stats=True)
+        assert len(on.stats.matched_per_cycle) == 4
+        assert sum(on.stats.matched_per_cycle) == on.stats.total_matched_states
+
+    def test_matches_golden_cycle_stats(self):
+        machine = compile_patterns(["ab", "b+c"])
+        data = b"abbbcbab" * 3
+        golden = simulate(machine, data, collect_cycle_stats=True)
+        mapped = MappedSimulator(compile_automaton(machine, CA_P)).run(
+            data, collect_cycle_stats=True
+        )
+        assert mapped.stats.matched_per_cycle == golden.stats.matched_per_cycle
+
+    def test_resume_keeps_collecting(self):
+        machine = compile_patterns(["ab"])
+        simulator = MappedSimulator(compile_automaton(machine, CA_P))
+        first = simulator.run(b"ab", collect_cycle_stats=True)
+        second = simulator.run(
+            b"ab", resume=first.checkpoint, collect_cycle_stats=True
+        )
+        full = simulator.run(b"abab", collect_cycle_stats=True)
+        assert (
+            first.stats.matched_per_cycle + second.stats.matched_per_cycle
+            == full.stats.matched_per_cycle
+        )
