@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Record compile-time trajectories into ``BENCH_compiler.json``.
+
+For every suite workload this measures, at a fixed suite scale:
+
+* ``cold_compile_ms`` — best-of-``--rounds`` wall time of a plain
+  ``compile_automaton`` call (no cache, no simulator build); the
+  methodology used for the pre-optimisation seed entry, so successive
+  PRs compare like against like.
+* ``cold_engine_ms`` — one :class:`~repro.engine.CacheAutomatonEngine`
+  construction against an empty artifact cache: compile, build the
+  packed simulator, persist the artifact.
+* ``warm_engine_ms`` — best-of-``--rounds`` engine construction once
+  the artifact exists: a pure cache hit (mapping + packed kernel tables
+  restored, nothing recompiled).
+
+One labelled entry per invocation is appended to the repo-root
+``BENCH_compiler.json`` so the compile-time history accumulates across
+PRs next to the simulator-throughput history in
+``BENCH_simulator.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiler.py --label my-change
+    PYTHONPATH=src python benchmarks/bench_compiler.py --dry-run
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_compiler.py --dry-run
+
+``REPRO_BENCH_SMOKE=1`` shrinks the run to a three-workload subset at
+scale 1 with a single round — a CI smoke target, not a measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.compiler import CompileCache, compile_automaton  # noqa: E402
+from repro.core.design import CA_P  # noqa: E402
+from repro.engine import CacheAutomatonEngine  # noqa: E402
+from repro.workloads.suite import build_suite  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_compiler.json",
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SMOKE_WORKLOADS = ("Bro217", "TCP", "Fermi")
+
+
+def best_of(func, rounds: int) -> float:
+    """Best wall time of ``rounds`` calls, in milliseconds."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return min(times) * 1e3
+
+
+def measure(scale: float, rounds: int, workloads=None) -> dict:
+    suite = build_suite(scale)
+    if workloads:
+        suite = [spec for spec in suite if spec.name in set(workloads)]
+    results = {}
+    for spec in sorted(suite, key=lambda s: s.name):
+        automaton = spec.build()
+        cold_compile = best_of(
+            lambda: compile_automaton(automaton, CA_P), rounds
+        )
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            cache = CompileCache(cache_dir)
+            start = time.perf_counter()
+            CacheAutomatonEngine(automaton, cache=cache)
+            cold_engine = (time.perf_counter() - start) * 1e3
+            warm_engine = best_of(
+                lambda: CacheAutomatonEngine(automaton, cache=cache), rounds
+            )
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        results[spec.name] = {
+            "states": len(automaton),
+            "cold_compile_ms": round(cold_compile, 2),
+            "cold_engine_ms": round(cold_engine, 2),
+            "warm_engine_ms": round(warm_engine, 2),
+            "warm_speedup": round(cold_engine / warm_engine, 1)
+            if warm_engine
+            else None,
+        }
+        print(
+            f"{spec.name:>16}: {len(automaton):>6} states  "
+            f"cold compile {cold_compile:8.2f} ms  "
+            f"cold engine {cold_engine:8.2f} ms  "
+            f"warm engine {warm_engine:6.2f} ms",
+            file=sys.stderr,
+        )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="unlabelled")
+    parser.add_argument("--rounds", type=int, default=1 if _SMOKE else 3)
+    parser.add_argument("--scale", type=float, default=1.0 if _SMOKE else 6.0)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--workloads", nargs="*", default=SMOKE_WORKLOADS if _SMOKE else None
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="print but do not append"
+    )
+    arguments = parser.parse_args()
+
+    entry = {
+        "label": arguments.label,
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "scale": arguments.scale,
+        "rounds": arguments.rounds,
+        "workloads": measure(
+            arguments.scale, arguments.rounds, arguments.workloads
+        ),
+    }
+    print(json.dumps(entry, indent=1))
+    if arguments.dry_run:
+        return 0
+    history = []
+    if os.path.exists(arguments.output):
+        with open(arguments.output, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    history.append(entry)
+    with open(arguments.output, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=1)
+        handle.write("\n")
+    print(f"appended to {arguments.output} ({len(history)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

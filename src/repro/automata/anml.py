@@ -19,9 +19,31 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
+import numpy as np
+
 from repro.automata.charclass import parse_symbol_set
 from repro.automata.symbols import SymbolSet
 from repro.errors import AnmlError, AutomatonError
+
+
+@dataclass(frozen=True)
+class EdgeIndexArrays:
+    """Integer-indexed view of an automaton's transition graph.
+
+    ``ids`` is the lexically sorted state list; ``index`` maps each id to
+    its position; ``sources``/``targets`` hold one entry per edge as
+    positions into ``ids``.  Edge order is whatever the successor sets
+    yield — canonicalise with :meth:`argsort_edges` when order matters.
+    """
+
+    ids: List[str]
+    index: Dict[str, int]
+    sources: np.ndarray
+    targets: np.ndarray
+
+    def argsort_edges(self) -> np.ndarray:
+        """Permutation putting edges in (source, target) order."""
+        return np.lexsort((self.targets, self.sources))
 
 
 class StartKind(Enum):
@@ -57,6 +79,12 @@ class HomogeneousAutomaton:
         self._stes: Dict[str, Ste] = {}
         self._successors: Dict[str, Set[str]] = {}
         self._predecessors: Dict[str, Set[str]] = {}
+        #: Bumped on every structural mutation; lets derived values (e.g.
+        #: the compile cache's content fingerprint) be memoised safely.
+        self._mutation_version = 0
+        self._edge_arrays: Optional[EdgeIndexArrays] = None
+        self._edge_arrays_version = -1
+        self._validated_version = -1
 
     # -- construction ------------------------------------------------------
 
@@ -78,6 +106,7 @@ class HomogeneousAutomaton:
         self._stes[ste_id] = ste
         self._successors[ste_id] = set()
         self._predecessors[ste_id] = set()
+        self._mutation_version += 1
         return ste
 
     def add_edge(self, source: str, target: str):
@@ -88,6 +117,7 @@ class HomogeneousAutomaton:
             raise AutomatonError(f"unknown target STE {target!r}")
         self._successors[source].add(target)
         self._predecessors[target].add(source)
+        self._mutation_version += 1
 
     def remove_ste(self, ste_id: str):
         """Delete an STE and all edges touching it."""
@@ -98,6 +128,7 @@ class HomogeneousAutomaton:
         for source in self._predecessors.pop(ste_id):
             self._successors[source].discard(ste_id)
         del self._stes[ste_id]
+        self._mutation_version += 1
 
     def replace_ste(self, ste: Ste):
         """Swap in a modified copy of an existing STE (edges kept)."""
@@ -106,6 +137,7 @@ class HomogeneousAutomaton:
         if ste.symbols.is_empty():
             raise AutomatonError(f"STE {ste.ste_id!r} would match no symbol")
         self._stes[ste.ste_id] = ste
+        self._mutation_version += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -138,6 +170,51 @@ class HomogeneousAutomaton:
             for target in sorted(targets):
                 yield (source, target)
 
+    def edges_unordered(self) -> Iterator[tuple[str, str]]:
+        """Edge iterator without the per-node target sort.
+
+        Hot paths (constraint analysis, component finding, simulator table
+        construction) only aggregate over edges, so they skip
+        :meth:`edges`'s deterministic-order guarantee and its sort cost.
+        """
+        for source, targets in self._successors.items():
+            for target in targets:
+                yield (source, target)
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter of structural mutations (for memoisation)."""
+        return self._mutation_version
+
+    def edge_index_arrays(self) -> EdgeIndexArrays:
+        """Cached integer edge view (rebuilt only after mutations).
+
+        Component finding, constraint analysis, and cache fingerprinting
+        all reduce over every edge; sharing one integer-array view turns
+        each of those from a per-edge Python loop into array work.
+        """
+        if (
+            self._edge_arrays is not None
+            and self._edge_arrays_version == self._mutation_version
+        ):
+            return self._edge_arrays
+        ids = sorted(self._stes)
+        index = {ste_id: position for position, ste_id in enumerate(ids)}
+        sources: List[int] = []
+        targets: List[int] = []
+        for ste_id, successor_set in self._successors.items():
+            if successor_set:
+                sources.extend([index[ste_id]] * len(successor_set))
+                targets.extend(map(index.__getitem__, successor_set))
+        self._edge_arrays = EdgeIndexArrays(
+            ids,
+            index,
+            np.asarray(sources, dtype=np.int32),
+            np.asarray(targets, dtype=np.int32),
+        )
+        self._edge_arrays_version = self._mutation_version
+        return self._edge_arrays
+
     def edge_count(self) -> int:
         return sum(len(targets) for targets in self._successors.values())
 
@@ -159,21 +236,35 @@ class HomogeneousAutomaton:
         return self.edge_count() / len(self._stes)
 
     def validate(self):
-        """Check invariants: starts exist, no dangling edges, labels non-empty."""
+        """Check invariants: starts exist, no dangling edges, labels non-empty.
+
+        The per-edge checks are memoised on the mutation counter, so
+        validating an unchanged automaton twice costs only the start-state
+        scan.  The dangling check uses C-level set containment per node
+        instead of a Python loop per edge.
+        """
         if not self._stes:
             raise AutomatonError("automaton has no states")
         if not self.start_states():
             raise AutomatonError("automaton has no start states")
+        if self._validated_version == self._mutation_version:
+            return
+        known = self._stes.keys()
+        predecessors = self._predecessors
         for source, targets in self._successors.items():
-            for target in targets:
-                if target not in self._stes:
-                    raise AutomatonError(f"edge {source!r}->{target!r} dangles")
-        for source, targets in self._successors.items():
-            for target in targets:
-                if source not in self._predecessors[target]:
-                    raise AutomatonError(
-                        f"predecessor index out of sync for {source!r}->{target!r}"
-                    )
+            if not targets:
+                continue
+            if not targets <= known:
+                target = min(targets - known)
+                raise AutomatonError(f"edge {source!r}->{target!r} dangles")
+            if not all(source in predecessors[target] for target in targets):
+                target = next(
+                    t for t in targets if source not in predecessors[t]
+                )
+                raise AutomatonError(
+                    f"predecessor index out of sync for {source!r}->{target!r}"
+                )
+        self._validated_version = self._mutation_version
 
     # -- transformations ---------------------------------------------------
 

@@ -12,31 +12,75 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as np
+
 from repro.automata.anml import HomogeneousAutomaton
+
+try:  # C-speed weak-CC labelling when scipy is present
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components as _csgraph_components
+except ImportError:  # pragma: no cover - exercised only without scipy
+    coo_matrix = None
+    _csgraph_components = None
+
+
+def _component_labels(node_count: int, arrays) -> np.ndarray:
+    """Per-node component label (ints); scipy when available, else
+    union-find with path halving over the edge arrays."""
+    if _csgraph_components is not None:
+        matrix = coo_matrix(
+            (
+                np.ones(arrays.sources.shape[0], dtype=np.int8),
+                (arrays.sources, arrays.targets),
+            ),
+            shape=(node_count, node_count),
+        )
+        _, labels = _csgraph_components(
+            matrix, directed=True, connection="weak"
+        )
+        return labels
+    parent = list(range(node_count))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for source, target in zip(
+        arrays.sources.tolist(), arrays.targets.tolist()
+    ):
+        source_root = find(source)
+        target_root = find(target)
+        if target_root != source_root:
+            parent[max(source_root, target_root)] = min(
+                source_root, target_root
+            )
+    return np.fromiter(
+        (find(node) for node in range(node_count)),
+        dtype=np.int64,
+        count=node_count,
+    )
 
 
 def connected_components(automaton: HomogeneousAutomaton) -> List[List[str]]:
-    """Weakly connected components, each a list of STE ids.
+    """Weakly connected components, each a sorted list of STE ids.
 
     Components are returned sorted by size ascending (the compiler packs
     smallest-first) with ties broken by the smallest member id so the
     result is deterministic.
+
+    Works on the automaton's cached integer edge arrays, so the labelling
+    itself is one sparse-graph call (or one union-find sweep) instead of a
+    per-node BFS with set unions.
     """
-    remaining = set(automaton.ste_ids())
-    components: List[List[str]] = []
-    while remaining:
-        seed = next(iter(remaining))
-        members = {seed}
-        frontier = [seed]
-        while frontier:
-            ste_id = frontier.pop()
-            neighbours = automaton.successors(ste_id) | automaton.predecessors(ste_id)
-            for neighbour in neighbours:
-                if neighbour not in members:
-                    members.add(neighbour)
-                    frontier.append(neighbour)
-        remaining -= members
-        components.append(sorted(members))
+    arrays = automaton.edge_index_arrays()
+    ids = arrays.ids  # lexically sorted, so groups come out sorted too
+    labels = _component_labels(len(ids), arrays)
+    groups: Dict[int, List[str]] = {}
+    for ste_id, label in zip(ids, labels.tolist()):
+        groups.setdefault(label, []).append(ste_id)
+    components = list(groups.values())
     components.sort(key=lambda cc: (len(cc), cc[0]))
     return components
 

@@ -16,6 +16,11 @@ Subcommands::
 
     python -m repro.cli designs
         list the built-in design points with their derived parameters.
+
+    python -m repro.cli profile-compile [RULES.txt | --workload NAME]
+        compile cold (single process) and print the wall-clock
+        attribution per compiler phase: validate, components, pack,
+        split (with coarsen/refine sub-phases), place, check, bitstream.
 """
 
 from __future__ import annotations
@@ -153,6 +158,41 @@ def _cmd_anml_info(arguments) -> int:
     return 0
 
 
+def _cmd_profile_compile(arguments) -> int:
+    from repro.eval.profiling import profile_compile
+
+    design = _design(arguments.design)
+    if arguments.workload:
+        from repro.workloads.suite import build_suite
+
+        suite = {
+            benchmark.name: benchmark
+            for benchmark in build_suite(arguments.scale)
+        }
+        try:
+            automaton = suite[arguments.workload].build()
+        except KeyError:
+            raise ReproError(
+                f"unknown workload {arguments.workload!r}; choose from "
+                f"{', '.join(sorted(suite))}"
+            ) from None
+        source = f"{arguments.workload} (scale {arguments.scale:g})"
+    elif arguments.rules:
+        automaton = compile_patterns(_load_rules(arguments.rules))
+        source = arguments.rules
+    else:
+        raise ReproError("supply a rules file or --workload NAME")
+    profile, mapping = profile_compile(
+        automaton, design, include_bitstream=not arguments.no_bitstream
+    )
+    print(f"workload:   {source}")
+    print(f"design:     {design.name}")
+    print(f"states:     {profile.states}")
+    print(f"partitions: {profile.partitions}")
+    print(format_table(profile.rows()))
+    return 0
+
+
 def _cmd_designs(_arguments) -> int:
     rows = [(
         "Design", "Clock (GHz)", "Throughput (Gb/s)", "Reach",
@@ -200,6 +240,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     designs_parser = subparsers.add_parser("designs", help="list design points")
     designs_parser.set_defaults(handler=_cmd_designs)
+
+    profile_parser = subparsers.add_parser(
+        "profile-compile", help="per-phase compile-time breakdown"
+    )
+    profile_parser.add_argument("rules", nargs="?", help="rule file to compile")
+    profile_parser.add_argument(
+        "--workload", help="profile a suite benchmark instead of a rule file"
+    )
+    profile_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="suite scale factor for --workload (default 1.0)",
+    )
+    profile_parser.add_argument(
+        "--design", default="CA_P", choices=sorted(_DESIGNS)
+    )
+    profile_parser.add_argument(
+        "--no-bitstream", action="store_true",
+        help="skip the bitstream-generation phase",
+    )
+    profile_parser.set_defaults(handler=_cmd_profile_compile)
     return parser
 
 

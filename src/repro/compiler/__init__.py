@@ -1,6 +1,12 @@
 """The Cache Automaton compiler: mapping, constraints, bitstream."""
 
 from repro.compiler.bitstream import Bitstream, generate
+from repro.compiler.cache import (
+    CacheStats,
+    CompileCache,
+    bitstream_bytes,
+    cache_key,
+)
 from repro.compiler.constraints import ConstraintReport, analyse, check
 from repro.compiler.mapping import Compiler, MappedPartition, Mapping
 from repro.compiler.serialize import mapping_from_json, mapping_to_json
@@ -50,11 +56,15 @@ def compile_space_optimized(automaton, design, **kwargs) -> Mapping:
 
 __all__ = [
     "Bitstream",
+    "CacheStats",
+    "CompileCache",
     "Compiler",
     "ConstraintReport",
     "MappedPartition",
     "Mapping",
     "analyse",
+    "bitstream_bytes",
+    "cache_key",
     "check",
     "compile_automaton",
     "compile_space_optimized",

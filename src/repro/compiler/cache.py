@@ -1,0 +1,440 @@
+"""Content-addressed on-disk cache for compiled artefacts.
+
+Compiling an automaton is deterministic in exactly two inputs: the
+automaton's structure (states, labels, flags, edges) and the design
+point.  This module hashes both into one cache key and persists the
+expensive products of compilation — the placement, the packed simulator
+tables, and the configuration bitstream — under a versioned directory
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so repeated engine
+construction over the same workload skips the compiler and the
+simulator-table build entirely.
+
+Key scheme / invalidation rules:
+
+* the **automaton fingerprint** hashes the canonically ordered state
+  list (ids sorted), each state's symbol mask / start kind / report
+  flags, and the canonically ordered edge list — any structural change
+  changes the key (the hash is memoised on the automaton's mutation
+  counter, so unchanged automata fingerprint once per process);
+* the **design fingerprint** hashes every field of the
+  :class:`~repro.core.design.DesignPoint`, so any parameter change
+  (partition size, wire budgets, geometry, clock) busts the key;
+* the cache directory embeds :data:`CACHE_FORMAT_VERSION` (which also
+  folds in the mapping serialisation format version), so artefact-layout
+  changes simply start a fresh namespace — stale artefacts are never
+  reinterpreted.
+
+Artefacts store the fingerprints they were written under and are
+re-verified on load; mismatches and unreadable files count as misses,
+never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.compiler.mapping import MappedPartition, Mapping
+from repro.compiler.serialize import FORMAT_VERSION as MAPPING_FORMAT_VERSION
+from repro.core.design import DesignPoint
+
+#: Environment override for the cache directory root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the artefact layout changes; versions the cache namespace.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def automaton_fingerprint(automaton: HomogeneousAutomaton) -> str:
+    """Content hash of the automaton's structure (canonical order).
+
+    Memoised per automaton object on its mutation counter, so hot paths
+    (engine construction in a warm process) pay the hash once.
+    """
+    memo = getattr(automaton, "_fingerprint_memo", None)
+    if memo is not None and memo[0] == automaton.mutation_version:
+        return memo[1]
+    digest = hashlib.sha256()
+    arrays = automaton.edge_index_arrays()
+    for ste_id in arrays.ids:
+        ste = automaton.ste(ste_id)
+        digest.update(ste_id.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(ste.symbols.mask.to_bytes(32, "little"))
+        digest.update(ste.start.value.encode("ascii"))
+        digest.update(b"R" if ste.reporting else b"-")
+        digest.update((ste.report_code or "").encode("utf-8"))
+        digest.update(b"\x00")
+    order = arrays.argsort_edges()
+    digest.update(arrays.sources[order].astype("<i4").tobytes())
+    digest.update(arrays.targets[order].astype("<i4").tobytes())
+    value = digest.hexdigest()
+    automaton._fingerprint_memo = (automaton.mutation_version, value)
+    return value
+
+
+def design_fingerprint(design: DesignPoint) -> str:
+    """Content hash of every design-point field."""
+    payload = json.dumps(asdict(design), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(automaton: HomogeneousAutomaton, design: DesignPoint) -> str:
+    """The content address of all artefacts for (automaton, design)."""
+    combined = (
+        f"repro:{CACHE_FORMAT_VERSION}:{MAPPING_FORMAT_VERSION}:"
+        f"{design_fingerprint(design)}:{automaton_fingerprint(automaton)}"
+    )
+    return hashlib.sha256(combined.encode("ascii")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/bypass accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "stores": self.stores,
+        }
+
+
+class _LazyLocation(dict):
+    """A mapping's ``location`` dict, materialised on first real access.
+
+    Warm engine construction never touches per-state locations (the
+    simulator tables are cached alongside), so the 10ms+ cost of building
+    a many-thousand-entry dict of tuples is deferred until something —
+    e.g. constraint re-analysis — actually asks for it.
+    """
+
+    def __init__(self, ids: List[str], part: np.ndarray, slot: np.ndarray):
+        super().__init__()
+        self._pending: Optional[Tuple[List[str], np.ndarray, np.ndarray]] = (
+            ids,
+            part,
+            slot,
+        )
+
+    def _materialise(self):
+        if self._pending is not None:
+            ids, part, slot = self._pending
+            self._pending = None
+            self.update(zip(ids, zip(part.tolist(), slot.tolist())))
+
+    def __getitem__(self, key):
+        self._materialise()
+        return dict.__getitem__(self, key)
+
+    def __contains__(self, key):
+        self._materialise()
+        return dict.__contains__(self, key)
+
+    def __iter__(self):
+        self._materialise()
+        return dict.__iter__(self)
+
+    def __len__(self):
+        self._materialise()
+        return dict.__len__(self)
+
+    def __eq__(self, other):
+        self._materialise()
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def get(self, key, default=None):
+        self._materialise()
+        return dict.get(self, key, default)
+
+    def keys(self):
+        self._materialise()
+        return dict.keys(self)
+
+    def values(self):
+        self._materialise()
+        return dict.values(self)
+
+    def items(self):
+        self._materialise()
+        return dict.items(self)
+
+
+class CompileCache:
+    """Content-addressed store of compiled mappings, simulator tables,
+    and bitstreams.
+
+    One instance fronts one on-disk directory; all lookups are keyed by
+    :func:`cache_key`.  ``enabled=False`` turns every operation into an
+    accounted bypass (useful for benchmarking the cold path with the same
+    code shape).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        *,
+        enabled: bool = True,
+    ):
+        root = Path(directory) if directory is not None else default_cache_root()
+        self.directory = root / f"v{CACHE_FORMAT_VERSION}"
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # -- paths -------------------------------------------------------------
+
+    def _artifact_path(self, key: str, suffix: str) -> Path:
+        return self.directory / key[:2] / f"{key}{suffix}"
+
+    def mapping_path(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ) -> Path:
+        return self._artifact_path(cache_key(automaton, design), ".npz")
+
+    def bitstream_path(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ) -> Path:
+        return self._artifact_path(cache_key(automaton, design), ".bitstream")
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: bytes):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
+        )
+        try:
+            handle.write(payload)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            os.unlink(handle.name)
+            raise
+
+    # -- mapping + simulator tables ---------------------------------------
+
+    def store_mapping(
+        self,
+        mapping: Mapping,
+        kernel_arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Optional[Path]:
+        """Persist a compiled mapping (and optional packed simulator
+        tables) under its content address; returns the artefact path."""
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return None
+        automaton = mapping.automaton
+        arrays = automaton.edge_index_arrays()
+        count = len(arrays.ids)
+        part = np.empty(count, dtype=np.int32)
+        slot = np.empty(count, dtype=np.int32)
+        location = mapping.location
+        for position, ste_id in enumerate(arrays.ids):
+            partition_index, slot_index = location[ste_id]
+            part[position] = partition_index
+            slot[position] = slot_index
+        payload: Dict[str, np.ndarray] = {
+            "part": part,
+            "slot": slot,
+            "ways": np.asarray(
+                [partition.way for partition in mapping.partitions],
+                dtype=np.int32,
+            ),
+            "fingerprint": np.asarray(automaton_fingerprint(automaton)),
+            "design": np.asarray(design_fingerprint(mapping.design)),
+        }
+        if kernel_arrays:
+            payload.update(
+                {f"kernel_{name}": array for name, array in kernel_arrays.items()}
+            )
+        buffer = io.BytesIO()
+        np.savez(buffer, **payload)
+        path = self.mapping_path(automaton, mapping.design)
+        try:
+            self._write_atomic(path, buffer.getvalue())
+        except OSError:
+            return None  # unwritable cache dir: behave as uncached
+        self.stats.stores += 1
+        return path
+
+    def load_mapping(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ) -> Optional[Tuple[Mapping, Dict[str, np.ndarray]]]:
+        """Rebuild a cached mapping against the in-memory ``automaton``.
+
+        Returns ``(mapping, kernel_arrays)`` on a hit (``kernel_arrays``
+        empty when the artefact has no simulator tables), else ``None``.
+        The mapping's per-state structures materialise lazily; the hit is
+        trusted without re-running constraint checks, because artefacts
+        are only ever written after a validated compile and the content
+        address pins both compiler inputs.
+        """
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return None
+        path = self.mapping_path(automaton, design)
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        arrays = automaton.edge_index_arrays()
+        try:
+            part = data["part"]
+            slot = data["slot"]
+            ways = data["ways"]
+            stored_fingerprint = str(data["fingerprint"])
+            stored_design = str(data["design"])
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        if (
+            stored_fingerprint != automaton_fingerprint(automaton)
+            or stored_design != design_fingerprint(design)
+            or part.shape[0] != len(arrays.ids)
+        ):
+            self.stats.misses += 1
+            return None
+        placement = _SharedPlacement(arrays.ids, part, slot, ways.shape[0])
+        partitions = [
+            _LazyPartition(index, way, placement)
+            for index, way in enumerate(ways.tolist())
+        ]
+        location = _LazyLocation(arrays.ids, part, slot)
+        mapping = Mapping(design, automaton, partitions, location)
+        kernel_arrays = {
+            name[len("kernel_"):]: data[name]
+            for name in data.files
+            if name.startswith("kernel_")
+        }
+        self.stats.hits += 1
+        return mapping, kernel_arrays
+
+    # -- bitstreams --------------------------------------------------------
+
+    def store_bitstream(self, mapping: Mapping, payload: bytes) -> Optional[Path]:
+        """Persist packed bitstream bytes under the mapping's address."""
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return None
+        path = self.bitstream_path(mapping.automaton, mapping.design)
+        try:
+            self._write_atomic(path, payload)
+        except OSError:
+            return None
+        self.stats.stores += 1
+        return path
+
+    def load_bitstream(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ) -> Optional[bytes]:
+        """Cached packed bitstream bytes, or ``None`` on a miss."""
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return None
+        try:
+            payload = self.bitstream_path(automaton, design).read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+
+class _SharedPlacement:
+    """Placement arrays shared by every partition of one cached mapping;
+    the per-partition slot-ordered id lists materialise together with one
+    vectorised sort, on the first partition that needs them."""
+
+    def __init__(
+        self,
+        ids: List[str],
+        part: np.ndarray,
+        slot: np.ndarray,
+        partition_count: int,
+    ):
+        self._ids = ids
+        self._part = part
+        self._slot = slot
+        self._partition_count = partition_count
+        self._lists: Optional[List[List[str]]] = None
+
+    def ste_lists(self) -> List[List[str]]:
+        if self._lists is None:
+            order = np.lexsort((self._slot, self._part))
+            ordered_parts = self._part[order]
+            bounds = np.searchsorted(
+                ordered_parts, np.arange(self._partition_count + 1)
+            ).tolist()
+            ids = self._ids
+            order_list = order.tolist()
+            self._lists = [
+                [ids[position] for position in order_list[start:end]]
+                for start, end in zip(bounds, bounds[1:])
+            ]
+        return self._lists
+
+
+class _LazyPartition(MappedPartition):
+    """A cached partition whose ``ste_ids`` list fills on first access."""
+
+    def __init__(self, index: int, way: int, placement: _SharedPlacement):
+        super().__init__(index, way)
+        self._placement: Optional[_SharedPlacement] = placement
+
+    def __getattribute__(self, name):
+        if name == "ste_ids":
+            placement = object.__getattribute__(self, "_placement")
+            if placement is not None:
+                object.__setattr__(self, "_placement", None)
+                lists = placement.ste_lists()
+                index = object.__getattribute__(self, "index")
+                object.__setattr__(self, "ste_ids", lists[index])
+        return object.__getattribute__(self, name)
+
+
+def bitstream_bytes(
+    mapping: Mapping, cache: Optional[CompileCache] = None
+) -> bytes:
+    """Packed bitstream for ``mapping``, via the cache when provided.
+
+    A hit returns the stored bytes verbatim (bit-identical to what
+    :func:`repro.compiler.bitstream.generate` produces for this mapping);
+    a miss generates, stores, and returns them.
+    """
+    from repro.compiler.bitstream import generate
+
+    if cache is not None:
+        cached = cache.load_bitstream(mapping.automaton, mapping.design)
+        if cached is not None:
+            return cached
+    payload = generate(mapping).to_bytes()
+    if cache is not None:
+        cache.store_bitstream(mapping, payload)
+    return payload

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set
 
+import numpy as np
+
 from repro.compiler.mapping import Mapping
 from repro.errors import ConnectivityError
 
@@ -83,15 +85,40 @@ class ConstraintReport:
 
 
 def analyse(mapping: Mapping) -> ConstraintReport:
-    """Measure every partition's boundary wire usage."""
+    """Measure every partition's boundary wire usage.
+
+    Partition-crossing edges are found with one vectorised comparison
+    over the automaton's integer edge arrays; only those few edges (their
+    count is bounded by the wire budgets when the mapping is any good)
+    fall back to per-edge Python to collect distinct source signals.
+    """
     usage = [PartitionWireUsage() for _ in mapping.partitions]
-    for source, target in mapping.automaton.edges():
-        kind = mapping.edge_kind(source, target)
-        if kind == "local":
-            continue
-        source_partition = mapping.partition_of(source)
-        target_partition = mapping.partition_of(target)
-        if kind == "g1":
+    arrays = mapping.automaton.edge_index_arrays()
+    location = mapping.location
+    node_partitions = np.fromiter(
+        (location[ste_id][0] for ste_id in arrays.ids),
+        dtype=np.int32,
+        count=len(arrays.ids),
+    )
+    ways = np.asarray(
+        [partition.way for partition in mapping.partitions], dtype=np.int32
+    )
+    source_partitions = node_partitions[arrays.sources]
+    target_partitions = node_partitions[arrays.targets]
+    crossing = np.flatnonzero(source_partitions != target_partitions)
+    ids = arrays.ids
+    edge_sources = arrays.sources
+    for edge, source_partition, target_partition, same_way in zip(
+        crossing.tolist(),
+        source_partitions[crossing].tolist(),
+        target_partitions[crossing].tolist(),
+        (
+            ways[source_partitions[crossing]]
+            == ways[target_partitions[crossing]]
+        ).tolist(),
+    ):
+        source = ids[edge_sources[edge]]
+        if same_way:
             usage[source_partition].out_g1.add(source)
             usage[target_partition].in_g1.add(source)
         else:

@@ -18,15 +18,79 @@ the design's wire budget by :mod:`repro.compiler.constraints`.
 
 from __future__ import annotations
 
+import os
 import random
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.automata.anml import HomogeneousAutomaton
 from repro.automata.components import connected_components
 from repro.core.design import DesignPoint
 from repro.errors import CapacityError
 from repro.partitioning import PartitionGraph, partition_into_capacity
+
+#: Environment override for the split-and-place worker count ("1" = serial).
+COMPILE_JOBS_ENV = "REPRO_COMPILE_JOBS"
+
+#: Oversized-CC states below which process fan-out cannot pay for itself.
+PARALLEL_SPLIT_MIN_STATES = 4096
+
+
+def resolve_compile_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Worker count for parallel CC splitting.
+
+    ``jobs`` may be an int, a numeric string, or ``None``/"auto" — the
+    latter consults ``REPRO_COMPILE_JOBS`` and falls back to the CPU
+    count.  The result is always >= 1.
+    """
+    if jobs is None or jobs == "auto":
+        jobs = os.environ.get(COMPILE_JOBS_ENV) or (os.cpu_count() or 1)
+    return max(1, int(jobs))
+
+
+def _component_seed(base_seed: int, component: List[str]) -> int:
+    """Deterministic per-component partitioning seed.
+
+    Derived from the component's member ids (not from a shared RNG
+    stream), so splitting CCs concurrently — in any order, on any worker
+    count — yields bit-identical assignments to the serial path.
+    """
+    digest = zlib.crc32("\x00".join(component).encode("utf-8"))
+    return (base_seed * 0x9E3779B1 + digest) & 0xFFFFFFFF
+
+
+def _component_split_payload(
+    automaton: HomogeneousAutomaton, component: List[str]
+) -> Tuple[int, List[Tuple[int, int]], List[str]]:
+    """(node count, directed intra-CC edge list, members) for one split."""
+    index = {ste_id: i for i, ste_id in enumerate(component)}
+    edges: List[Tuple[int, int]] = []
+    for ste_id in component:
+        source = index[ste_id]
+        for target in automaton.successors(ste_id):
+            if target in index and target != ste_id:
+                edges.append((source, index[target]))
+    return len(component), edges, component
+
+
+def _split_payload_worker(
+    payload: Tuple[int, List[Tuple[int, int]], List[str], int, int],
+) -> List[List[str]]:
+    """Split one oversized CC (top-level so process pools can pickle it)."""
+    node_count, edges, component, capacity, seed = payload
+    graph = PartitionGraph([1] * node_count)
+    for source, target in edges:
+        graph.add_edge(source, target, 1)
+    assignment = partition_into_capacity(
+        graph, capacity, rng=random.Random(seed)
+    )
+    parts: Dict[int, List[str]] = {}
+    for node, ste_id in enumerate(component):
+        parts.setdefault(assignment[node], []).append(ste_id)
+    return [parts[key] for key in sorted(parts)]
 
 
 @dataclass
@@ -141,50 +205,107 @@ class Compiler:
         *,
         rng: Optional[random.Random] = None,
         max_slices: int = 16,
+        jobs: Union[int, str, None] = None,
     ):
         design.validate()
         self.design = design
         self.rng = rng or random.Random(0xCA)
         self.max_slices = max_slices
+        self.jobs = jobs
+        #: Wall-clock seconds per compile phase, refreshed by :meth:`compile`.
+        self.last_phase_timings: Dict[str, float] = {}
 
     # -- public API ------------------------------------------------------------
 
     def compile(self, automaton: HomogeneousAutomaton) -> Mapping:
         """Produce a validated mapping (raises on infeasible automata)."""
+        timings: Dict[str, float] = {}
+        clock = time.perf_counter
+        started = clock()
         automaton.validate()
+        timings["validate"] = clock() - started
+
         partition_size = self.design.partition_size
+        started = clock()
         components = connected_components(automaton)
+        timings["components"] = clock() - started
 
         small = [cc for cc in components if len(cc) <= partition_size]
         large = [cc for cc in components if len(cc) > partition_size]
 
         # Step 2: greedy smallest-first packing of whole CCs.  components()
-        # returns size-ascending order already.
+        # returns size-ascending order already.  First-fit with a residual
+        # capacity per group, so each placement is an int compare instead
+        # of re-summing the group's CC sizes.
+        started = clock()
         groups: List[List[List[str]]] = []  # groups of CCs per partition
+        residuals: List[int] = []
         for component in small:
-            placed = False
-            for group in groups:
-                if sum(len(cc) for cc in group) + len(component) <= partition_size:
-                    group.append(component)
-                    placed = True
+            size = len(component)
+            for group_index, room in enumerate(residuals):
+                if size <= room:
+                    groups[group_index].append(component)
+                    residuals[group_index] = room - size
                     break
-            if not placed:
+            else:
                 groups.append([component])
+                residuals.append(partition_size - size)
         packed_partitions: List[List[str]] = [
             [ste for cc in group for ste in cc] for group in groups
         ]
+        timings["pack"] = clock() - started
 
         # Step 3: k-way split of each oversized CC; record which partitions
         # belong to the same CC so placement can co-locate them.
-        cc_partition_groups: List[List[List[str]]] = []
-        for component in large:
-            cc_partition_groups.append(
-                self._split_component(automaton, component, partition_size)
-            )
+        started = clock()
+        cc_partition_groups = self._split_components(
+            automaton, large, partition_size
+        )
+        timings["split"] = clock() - started
 
-        return self._place(automaton, packed_partitions, cc_partition_groups)
+        started = clock()
+        mapping = self._place(automaton, packed_partitions, cc_partition_groups)
+        timings["place"] = clock() - started
+        self.last_phase_timings = timings
+        return mapping
 
     # -- splitting ----------------------------------------------------------------
+
+    def _split_components(
+        self,
+        automaton: HomogeneousAutomaton,
+        components: List[List[str]],
+        partition_size: int,
+    ) -> List[List[List[str]]]:
+        """Split every oversized CC, fanning out to processes when it pays.
+
+        Each CC gets a seed derived from its own member ids (plus one base
+        draw from the compiler RNG), so results are identical whatever the
+        worker count or completion order; the merge preserves submission
+        order, keeping the partition numbering deterministic too.
+        """
+        if not components:
+            return []
+        base_seed = self.rng.getrandbits(32)
+        payloads = [
+            _component_split_payload(automaton, component)
+            + (partition_size, _component_seed(base_seed, component))
+            for component in components
+        ]
+        jobs = resolve_compile_jobs(self.jobs)
+        total_states = sum(payload[0] for payload in payloads)
+        if (
+            jobs > 1
+            and len(payloads) > 1
+            and total_states >= PARALLEL_SPLIT_MIN_STATES
+        ):
+            workers = min(jobs, len(payloads))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(_split_payload_worker, payloads))
+            except (OSError, ValueError, RuntimeError):
+                pass  # no usable process pool on this host; run serially
+        return [_split_payload_worker(payload) for payload in payloads]
 
     def _split_component(
         self,
@@ -192,17 +313,11 @@ class Compiler:
         component: List[str],
         partition_size: int,
     ) -> List[List[str]]:
-        index = {ste_id: i for i, ste_id in enumerate(component)}
-        graph = PartitionGraph([1] * len(component))
-        for ste_id in component:
-            for target in automaton.successors(ste_id):
-                if target in index and target != ste_id:
-                    graph.add_edge(index[ste_id], index[target], 1)
-        assignment = partition_into_capacity(graph, partition_size, rng=self.rng)
-        parts: Dict[int, List[str]] = {}
-        for ste_id in component:
-            parts.setdefault(assignment[index[ste_id]], []).append(ste_id)
-        return [parts[key] for key in sorted(parts)]
+        payload = _component_split_payload(automaton, component) + (
+            partition_size,
+            _component_seed(self.rng.getrandbits(32), component),
+        )
+        return _split_payload_worker(payload)
 
     # -- placement ----------------------------------------------------------------
 
@@ -284,14 +399,16 @@ class Compiler:
 
         # Drop padding partitions that stayed empty, re-indexing.
         occupied = [p for p in partitions if p.ste_ids]
-        reindex = {p.index: i for i, p in enumerate(occupied)}
-        for partition in occupied:
-            partition.index = reindex[partition.index]
-        # NOTE: re-indexing must not change ways — recompute way from the
-        # original dense layout is wrong after dropping pads, so ways were
-        # fixed at allocation time and are kept as allocated.
-        location = {
-            ste_id: (reindex[pi], slot) for ste_id, (pi, slot) in location.items()
-        }
+        if len(occupied) != len(partitions):
+            reindex = {p.index: i for i, p in enumerate(occupied)}
+            for partition in occupied:
+                partition.index = reindex[partition.index]
+            # NOTE: re-indexing must not change ways — recompute way from the
+            # original dense layout is wrong after dropping pads, so ways were
+            # fixed at allocation time and are kept as allocated.
+            location = {
+                ste_id: (reindex[pi], slot)
+                for ste_id, (pi, slot) in location.items()
+            }
         mapping = Mapping(self.design, automaton, occupied, location)
         return mapping

@@ -22,17 +22,32 @@ traffic seen so far.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.automata.anml import HomogeneousAutomaton, from_anml
 from repro.baselines.ap import ApModel
 from repro.compiler import Mapping, compile_automaton, compile_space_optimized
+from repro.compiler.cache import CompileCache
 from repro.core.design import CA_P, DesignPoint
 from repro.core.energy import ActivityProfile, EnergyModel
 from repro.errors import ReproError
 from repro.regex.compile import compile_patterns
 from repro.sim.functional import MappedSimulator
 from repro.sim.golden import Checkpoint
+
+#: Accepted values for the engine's ``cache`` argument.
+CacheSpec = Union[CompileCache, str, Path, bool, None]
+
+
+def _resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, CompileCache):
+        return cache
+    if cache is True or cache == "auto":
+        return CompileCache()
+    return CompileCache(cache)
 
 
 @dataclass(frozen=True)
@@ -149,23 +164,71 @@ class CacheAutomatonEngine:
         *,
         design: DesignPoint = CA_P,
         optimize: bool = False,
+        cache: CacheSpec = "auto",
+        compile_jobs: Union[int, str, None] = None,
     ):
         """Compile ``automaton`` onto ``design``.
 
         ``optimize=True`` runs the space-optimisation ladder first (use
         with the space-oriented design CA_S); the default maps the
         automaton as-is, which is the CA_P configuration.
+
+        ``cache`` controls the content-addressed artifact cache:
+        ``"auto"`` (default) uses ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``; a path or :class:`CompileCache` selects a
+        specific store; ``None``/``False`` compiles cold every time.  A
+        cache hit rebuilds both the mapping and the packed simulator
+        tables without recompiling; :meth:`cache_info` reports hit/miss/
+        bypass counts.  ``compile_jobs`` caps the compiler's parallel
+        split workers (also settable via ``REPRO_COMPILE_JOBS``).
+
+        The optimisation ladder chooses among several automaton variants,
+        so ``optimize=True`` always bypasses the cache (the key would
+        identify the input automaton, not the variant actually mapped).
         """
         self.design = design
+        self._cache = _resolve_cache(cache)
         if optimize:
-            self.mapping: Mapping = compile_space_optimized(automaton, design)
+            if self._cache is not None:
+                self._cache.stats.bypasses += 1
+            self.mapping: Mapping = compile_space_optimized(
+                automaton, design, jobs=compile_jobs
+            )
+            self._simulator = MappedSimulator(self.mapping)
         else:
-            self.mapping = compile_automaton(automaton, design)
+            loaded = (
+                self._cache.load_mapping(automaton, design)
+                if self._cache is not None
+                else None
+            )
+            if loaded is not None:
+                self.mapping, tables = loaded
+                if tables:
+                    self._simulator = MappedSimulator.from_cached(
+                        self.mapping, tables
+                    )
+                else:
+                    self._simulator = MappedSimulator(self.mapping)
+            else:
+                self.mapping = compile_automaton(
+                    automaton, design, jobs=compile_jobs
+                )
+                self._simulator = MappedSimulator(self.mapping)
+                if self._cache is not None:
+                    self._cache.store_mapping(
+                        self.mapping, self._simulator.packed_tables()
+                    )
         #: The automaton actually mapped (the optimised variant when
         #: ``optimize`` selected one).
         self.automaton = self.mapping.automaton
-        self._simulator = MappedSimulator(self.mapping)
         self._profile = ActivityProfile()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/bypass/store counts for this engine's artifact cache
+        (all zero when caching is disabled)."""
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "bypasses": 0, "stores": 0}
+        return self._cache.stats.as_dict()
 
     # -- constructors ------------------------------------------------------
 
@@ -177,13 +240,21 @@ class CacheAutomatonEngine:
         rule_ids: Optional[Iterable[str]] = None,
         design: DesignPoint = CA_P,
         optimize: bool = False,
+        cache: CacheSpec = "auto",
+        compile_jobs: Union[int, str, None] = None,
     ) -> "CacheAutomatonEngine":
         """Compile a regex rule set; matches carry the rule id."""
         codes = list(rule_ids) if rule_ids is not None else list(patterns)
         machine = compile_patterns(
             patterns, report_codes=codes, automaton_id="engine"
         )
-        return cls(machine, design=design, optimize=optimize)
+        return cls(
+            machine,
+            design=design,
+            optimize=optimize,
+            cache=cache,
+            compile_jobs=compile_jobs,
+        )
 
     @classmethod
     def from_anml(
@@ -192,8 +263,16 @@ class CacheAutomatonEngine:
         *,
         design: DesignPoint = CA_P,
         optimize: bool = False,
+        cache: CacheSpec = "auto",
+        compile_jobs: Union[int, str, None] = None,
     ) -> "CacheAutomatonEngine":
-        return cls(from_anml(document), design=design, optimize=optimize)
+        return cls(
+            from_anml(document),
+            design=design,
+            optimize=optimize,
+            cache=cache,
+            compile_jobs=compile_jobs,
+        )
 
     @classmethod
     def from_anml_file(
@@ -202,10 +281,16 @@ class CacheAutomatonEngine:
         *,
         design: DesignPoint = CA_P,
         optimize: bool = False,
+        cache: CacheSpec = "auto",
+        compile_jobs: Union[int, str, None] = None,
     ) -> "CacheAutomatonEngine":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_anml(
-                handle.read(), design=design, optimize=optimize
+                handle.read(),
+                design=design,
+                optimize=optimize,
+                cache=cache,
+                compile_jobs=compile_jobs,
             )
 
     # -- scanning ------------------------------------------------------------

@@ -1,17 +1,26 @@
-"""Mapping utilisation and activity profiling reports.
+"""Mapping utilisation, activity, and compile-phase profiling reports.
 
 Turns a compiled mapping plus a simulated run into the reports a system
 operator would want: per-partition fill and activity (which arrays burn
 power), per-way load, and the energy attribution between array accesses,
-local switches, global switches, and wires.
+local switches, global switches, and wires.  :func:`profile_compile`
+additionally times the compiler itself, phase by phase (validate /
+components / pack / split / place / check / bitstream, with the split
+phase further attributed to coarsening and FM refinement), so compile-
+time optimisation work has a measured breakdown to aim at.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.compiler.mapping import Mapping
+from repro.automata.anml import HomogeneousAutomaton
+from repro.compiler.bitstream import generate
+from repro.compiler.constraints import check
+from repro.compiler.mapping import Compiler, Mapping
+from repro.core.design import DesignPoint
 from repro.core.energy import ActivityProfile, EnergyModel
 from repro.errors import SimulationError
 from repro.sim.functional import MappedRunResult, MappedSimulator
@@ -154,3 +163,123 @@ def utilisation_report(
             f"{activity.duty_cycle:.1%}",
         ))
     return rows
+
+
+# -- compile-phase profiling --------------------------------------------------
+
+#: Phase display order for :meth:`CompileProfile.rows`.
+_PHASE_ORDER = (
+    "validate",
+    "components",
+    "pack",
+    "split",
+    "split:coarsen",
+    "split:refine",
+    "place",
+    "check",
+    "bitstream",
+)
+
+
+@dataclass(frozen=True)
+class CompileProfile:
+    """Wall-clock attribution of one cold compile, in milliseconds.
+
+    ``phases`` maps phase name to milliseconds.  The ``split:coarsen``
+    and ``split:refine`` entries are *components of* ``split`` (graph
+    coarsening and FM refinement inside the k-way bisector), not
+    additional time; the bisection bookkeeping between them is
+    ``split`` minus their sum.
+    """
+
+    phases: Dict[str, float]
+    states: int
+    partitions: int
+
+    @property
+    def total_ms(self) -> float:
+        return sum(
+            duration
+            for name, duration in self.phases.items()
+            if not name.startswith("split:")
+        )
+
+    def rows(self) -> List[tuple]:
+        """A printable table, slowest-first ordering preserved by phase."""
+        rows = [("Phase", "ms", "Share")]
+        total = self.total_ms or 1.0
+        for name in _PHASE_ORDER:
+            if name not in self.phases:
+                continue
+            duration = self.phases[name]
+            share = "" if name.startswith("split:") else f"{duration/total:.0%}"
+            label = "  " + name if name.startswith("split:") else name
+            rows.append((label, round(duration, 3), share))
+        rows.append(("total", round(self.total_ms, 3), "100%"))
+        return rows
+
+
+def profile_compile(
+    automaton: HomogeneousAutomaton,
+    design: DesignPoint,
+    *,
+    include_bitstream: bool = True,
+) -> Tuple[CompileProfile, Mapping]:
+    """Compile ``automaton`` cold and attribute the wall-clock per phase.
+
+    Runs the compiler single-process (``jobs=1``) so the coarsen/refine
+    sub-phase timers — installed by temporarily wrapping the k-way
+    bisector's references — observe every split instead of only the ones
+    that stay in the parent process.  Returns the profile and the
+    resulting mapping (already constraint-checked).
+    """
+    from repro.partitioning import kway
+
+    clock = time.perf_counter
+    sub_totals = {"coarsen": 0.0, "refine": 0.0}
+
+    def _timed(name, func):
+        def wrapper(*args, **kwargs):
+            started = clock()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                sub_totals[name] += clock() - started
+
+        return wrapper
+
+    original_coarsen = kway.coarsen
+    original_refine = kway.refine_bisection
+    kway.coarsen = _timed("coarsen", original_coarsen)
+    kway.refine_bisection = _timed("refine", original_refine)
+    try:
+        compiler = Compiler(design, jobs=1)
+        mapping = compiler.compile(automaton)
+    finally:
+        kway.coarsen = original_coarsen
+        kway.refine_bisection = original_refine
+
+    phases = {
+        name: duration * 1e3
+        for name, duration in compiler.last_phase_timings.items()
+    }
+    phases["split:coarsen"] = sub_totals["coarsen"] * 1e3
+    phases["split:refine"] = sub_totals["refine"] * 1e3
+
+    started = clock()
+    check(mapping)
+    phases["check"] = (clock() - started) * 1e3
+
+    if include_bitstream:
+        started = clock()
+        generate(mapping)
+        phases["bitstream"] = (clock() - started) * 1e3
+
+    return (
+        CompileProfile(
+            phases=phases,
+            states=len(automaton),
+            partitions=mapping.partition_count,
+        ),
+        mapping,
+    )

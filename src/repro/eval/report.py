@@ -74,11 +74,19 @@ def generate_report(
     if throughput:
         sections.append(throughput)
         sections.append("")
+    compile_times = compiler_trajectory_section()
+    if compile_times:
+        sections.append(compile_times)
+        sections.append("")
     return "\n".join(sections)
 
 
 BENCH_TRAJECTORY = (
     pathlib.Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
+)
+
+COMPILER_TRAJECTORY = (
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_compiler.json"
 )
 
 
@@ -108,6 +116,78 @@ def simulator_throughput_section(
         )
     return (
         "## Simulator software throughput (BENCH_simulator.json)\n\n"
+        + rows_to_markdown(rows)
+    )
+
+
+def compiler_trajectory_section(
+    trajectory: pathlib.Path = COMPILER_TRAJECTORY,
+) -> str:
+    """Render the compile-time history recorded by
+    ``benchmarks/bench_compiler.py`` (empty string if none exists).
+
+    One row per workload: cold-compile milliseconds under every recorded
+    label, then the artifact-cache columns (cold/warm engine
+    construction and their ratio) from the newest entry that measured
+    them.
+    """
+    if not trajectory.exists():
+        return ""
+    entries = json.loads(trajectory.read_text(encoding="utf-8"))
+    if not entries:
+        return ""
+    labels = [entry.get("label", "?") for entry in entries]
+    cached = next(
+        (
+            entry
+            for entry in reversed(entries)
+            if any(
+                "warm_engine_ms" in stats
+                for stats in entry.get("workloads", {}).values()
+            )
+        ),
+        None,
+    )
+    workloads = sorted(
+        {
+            name
+            for entry in entries
+            for name in entry.get("workloads", {})
+        },
+        key=lambda name: -(
+            entries[-1].get("workloads", {}).get(name, {}).get("states", 0)
+        ),
+    )
+    header: List = ["Workload", "States"]
+    header += [f"Cold ms ({label})" for label in labels]
+    if cached is not None:
+        header += ["Cold engine ms", "Warm engine ms", "Warm speedup"]
+    rows: List[Sequence] = [header]
+    for name in workloads:
+        states = next(
+            (
+                entry["workloads"][name].get("states")
+                for entry in reversed(entries)
+                if name in entry.get("workloads", {})
+            ),
+            None,
+        )
+        row: List = [name, states]
+        for entry in entries:
+            stats = entry.get("workloads", {}).get(name, {})
+            row.append(stats.get("cold_compile_ms", "-"))
+        if cached is not None:
+            stats = cached.get("workloads", {}).get(name, {})
+            row += [
+                stats.get("cold_engine_ms", "-"),
+                stats.get("warm_engine_ms", "-"),
+                f"{stats['warm_speedup']:g}x"
+                if stats.get("warm_speedup")
+                else "-",
+            ]
+        rows.append(row)
+    return (
+        "## Compile-time trajectory (BENCH_compiler.json)\n\n"
         + rows_to_markdown(rows)
     )
 

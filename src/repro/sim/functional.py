@@ -212,21 +212,15 @@ class MappedSimulator:
 
     def __init__(self, mapping: Mapping):
         self.mapping = mapping
-        design = mapping.design
-        partition_size = design.partition_size
+        partition_size = mapping.design.partition_size
         partition_count = mapping.partition_count
 
         # Global state order: partition-major, slot-minor; each partition
         # padded to a full partition_size span so numpy can reduce spans.
-        self._span_bits = partition_size
+        self._init_span_geometry()
         total_bits = partition_count * partition_size
-        self._span_bytes = (partition_size + 7) // 8
-        if partition_size % 8:
-            raise SimulationError("partition size must be byte-aligned")
-        self._span_words = partition_size // 64 if partition_size % 64 == 0 else 0
-        self._mask_bytes = total_bits // 8
 
-        self._ids: List[str] = [""] * total_bits
+        self._ids: Optional[List[str]] = [""] * total_bits
         bit_of = {}
         for partition in mapping.partitions:
             base = partition.index * partition_size
@@ -270,14 +264,27 @@ class MappedSimulator:
         self._g1_row.setflags(write=False)
         self._g4_row = self._kernel.pack(g4_sources)
         self._g4_row.setflags(write=False)
+        self._init_way_groups()
 
-        # Way id per partition, for per-way G-switch activation counting.
-        self._partition_ways = np.array(
-            [partition.way for partition in mapping.partitions], dtype=np.int64
-        )
-        # Group boundaries for the batched "distinct ways hit per cycle"
+    def _init_span_geometry(self):
+        design = self.mapping.design
+        partition_size = design.partition_size
+        self._span_bits = partition_size
+        self._span_bytes = (partition_size + 7) // 8
+        if partition_size % 8:
+            raise SimulationError("partition size must be byte-aligned")
+        self._span_words = partition_size // 64 if partition_size % 64 == 0 else 0
+        self._mask_bytes = self.mapping.partition_count * partition_size // 8
+
+    def _init_way_groups(self):
+        # Way id per partition, for per-way G-switch activation counting;
+        # group boundaries for the batched "distinct ways hit per cycle"
         # reduction: partitions sorted (stably) by way / by G4 domain.
-        if partition_count:
+        self._partition_ways = np.array(
+            [partition.way for partition in self.mapping.partitions],
+            dtype=np.int64,
+        )
+        if self.mapping.partition_count:
             order = np.argsort(self._partition_ways, kind="stable")
             self._way_order = order
             sorted_ways = self._partition_ways[order]
@@ -292,6 +299,54 @@ class MappedSimulator:
             self._way_order = np.zeros(0, dtype=np.int64)
             self._way_starts = np.zeros(0, dtype=np.int64)
             self._domain_starts = np.zeros(0, dtype=np.int64)
+
+    # -- packed-table round-trip ------------------------------------------
+
+    def packed_tables(self) -> dict:
+        """All packed tables needed to rebuild this simulator without
+        touching the automaton again (see :meth:`from_cached`)."""
+        tables = dict(self._kernel.packed_tables())
+        tables["g1_row"] = self._g1_row
+        tables["g4_row"] = self._g4_row
+        return tables
+
+    @classmethod
+    def from_cached(cls, mapping: Mapping, tables: dict) -> "MappedSimulator":
+        """Rebuild a simulator from :meth:`packed_tables` output.
+
+        Skips every per-state Python loop of regular construction; the
+        bit -> STE id table (needed only to materialise report records)
+        is built lazily on the first report.
+        """
+        self = cls.__new__(cls)
+        self.mapping = mapping
+        self._init_span_geometry()
+        self._ids = None
+        self._bit_of = None
+        kernel_tables = {
+            name: array
+            for name, array in tables.items()
+            if name not in ("g1_row", "g4_row")
+        }
+        self._kernel = BitsetKernel.from_packed(kernel_tables)
+        self._g1_row = np.ascontiguousarray(tables["g1_row"])
+        self._g1_row.setflags(write=False)
+        self._g4_row = np.ascontiguousarray(tables["g4_row"])
+        self._g4_row.setflags(write=False)
+        self._init_way_groups()
+        return self
+
+    def _bit_ids(self) -> List[str]:
+        """bit index -> STE id (lazy for cache-rebuilt simulators)."""
+        if self._ids is None:
+            partition_size = self.mapping.design.partition_size
+            ids = [""] * (self.mapping.partition_count * partition_size)
+            for partition in self.mapping.partitions:
+                base = partition.index * partition_size
+                for slot, ste_id in enumerate(partition.ste_ids):
+                    ids[base + slot] = ste_id
+            self._ids = ids
+        return self._ids
 
     # -- packed-history helpers -------------------------------------------
 
@@ -316,8 +371,9 @@ class MappedSimulator:
 
     def _emit_reports(self, row: np.ndarray, offset: int, reports: List[Report]):
         automaton = self.mapping.automaton
+        ids = self._bit_ids()
         for bit in self._kernel.bit_indices(row):
-            ste = automaton.ste(self._ids[bit])
+            ste = automaton.ste(ids[bit])
             reports.append(Report(offset, ste.ste_id, ste.report_code))
 
     def _emit_records(
@@ -409,14 +465,23 @@ class MappedSimulator:
         collect_records: bool = False,
         collect_cycle_stats: bool = False,
     ) -> List[MappedRunResult]:
-        """Batch several independent streams through one kernel invocation.
+        """Batch several independent streams through one shared kernel.
 
         This is the Section 6 multi-stream scenario: every stream scans
-        the same compiled automaton, so their per-cycle state advances
-        together through shared ``(streams, words)`` matrix operations —
-        one match-matrix gather, one batched propagation — while the
-        results stay bit-for-bit identical to running each stream through
-        :meth:`run` on its own.  ``resumes`` optionally supplies one
+        the same compiled automaton, so they share one packed kernel —
+        the match matrix, the memoised propagation table, and the idle
+        fast-path tables all warm up once and serve the whole batch (a
+        propagation pattern any stream has visited is a dictionary hit
+        for all of them).  Each stream then advances through the same
+        chunked hot loop as :meth:`run`, so per-stream throughput matches
+        the solo path and results stay bit-for-bit identical to running
+        each stream through :meth:`run` on its own.  An earlier revision
+        advanced all streams in cycle lockstep through ``(streams,
+        words)`` matrix rows; that paid 3-D slicing overhead every cycle,
+        disabled the idle fast path (all streams are rarely idle
+        *simultaneously*), and amortised nothing the shared propagation
+        table did not already amortise — aggregate throughput trailed the
+        solo path by ~20%.  ``resumes`` optionally supplies one
         checkpoint (or ``None``) per stream.
         """
         buffers = [as_symbols(stream) for stream in streams]
@@ -427,8 +492,6 @@ class MappedSimulator:
             raise SimulationError(
                 f"got {len(resumes)} checkpoints for {count} streams"
             )
-        if count == 0:
-            return []
         kernel = self._kernel
         flags = dict(
             collect_reports=collect_reports,
@@ -436,75 +499,30 @@ class MappedSimulator:
             collect_records=collect_records,
             collect_cycle_stats=collect_cycle_stats,
         )
-        accumulators = [_RunAccumulator(self, **flags) for _ in range(count)]
-
-        # Streams sorted by length (descending) so the live set at any
-        # cycle is a prefix of the state matrix.
-        lengths = np.array([len(buffer) for buffer in buffers], dtype=np.int64)
-        order = np.argsort(-lengths, kind="stable")
-        sorted_lengths = lengths[order]
-        prev = np.zeros((count, kernel.words), dtype=np.uint64)
-        sod = np.zeros(count, dtype=bool)
-        bases = [0] * count
-        for rank, index in enumerate(order):
-            checkpoint = resumes[index]
-            if checkpoint is None:
-                sod[rank] = kernel.has_sod
-            else:
-                prev[rank] = kernel.pack(checkpoint.active_state_vector)
-                sod[rank] = kernel.has_sod and checkpoint.start_of_data_pending
-                bases[rank] = checkpoint.symbols_processed
-
-        longest = int(sorted_lengths[0])
-        chunk = min(CHUNK_SYMBOLS, max(256, 65536 // count))
-        start_row = kernel.start_all_row
-        for t0 in range(0, longest, chunk):
-            span = min(chunk, longest - t0)
-            live = int(np.count_nonzero(sorted_lengths > t0))
-            sym_block = np.zeros((live, span), dtype=np.uint8)
-            for rank in range(live):
-                segment = buffers[order[rank]][t0 : t0 + span]
-                sym_block[rank, : len(segment)] = segment
-            matched_hist = kernel.match_matrix[sym_block]
-            enabled_hist = np.zeros((live, span, kernel.words), dtype=np.uint64)
-            live_counts = (
-                sorted_lengths[:live, None] > np.arange(t0, t0 + span)
-            ).sum(axis=0)
-            for dt in range(span):
-                active = int(live_counts[dt])
-                if active == 0:
-                    break
-                enabled = enabled_hist[:active, dt]
-                np.bitwise_or(prev[:active], start_row, out=enabled)
-                if t0 + dt == 0:
-                    pending = np.flatnonzero(sod[:active])
-                    if pending.size:
-                        enabled[pending] |= kernel.start_sod_row
-                        sod[pending] = False
-                matched = matched_hist[:active, dt]
-                matched &= enabled
-                kernel.propagate_matrix(matched, prev[:active])
-            for rank in range(live):
-                valid = int(min(sorted_lengths[rank] - t0, span))
-                if valid <= 0:
-                    continue
-                accumulators[order[rank]].add(
-                    sym_block[rank, :valid],
-                    matched_hist[rank, :valid],
-                    enabled_hist[rank, :valid],
-                    bases[rank] + t0,
+        results: List[MappedRunResult] = []
+        for index, symbols in enumerate(buffers):
+            accumulator = _RunAccumulator(self, **flags)
+            prev, prev_nonzero, sod, base_offset = self._initial_cursor(
+                resumes[index]
+            )
+            for start in range(0, len(symbols), CHUNK_SYMBOLS):
+                sym = symbols[start : start + CHUNK_SYMBOLS]
+                matched_rows = kernel.match_matrix[sym]
+                enabled_rows = np.empty(
+                    (len(sym), kernel.words), dtype=np.uint64
                 )
-
-        results: List[Optional[MappedRunResult]] = [None] * count
-        for rank, index in enumerate(order):
+                prev, prev_nonzero, sod = kernel.run_chunk(
+                    sym, matched_rows, enabled_rows, prev, prev_nonzero, sod
+                )
+                accumulator.add(
+                    sym, matched_rows, enabled_rows, base_offset + start
+                )
             checkpoint = Checkpoint(
-                symbols_processed=bases[rank] + int(lengths[index]),
-                active_state_vector=kernel.unpack(prev[rank]),
-                start_of_data_pending=bool(sod[rank]),
+                symbols_processed=base_offset + len(symbols),
+                active_state_vector=kernel.unpack(prev),
+                start_of_data_pending=bool(sod),
             )
-            results[index] = accumulators[index].finish(
-                int(lengths[index]), checkpoint
-            )
+            results.append(accumulator.finish(len(symbols), checkpoint))
         return results
 
     def _partition_activity(self, mask: int) -> np.ndarray:

@@ -124,6 +124,64 @@ class BitsetKernel:
         self._idle_escape: Optional[np.ndarray] = None
         self._scratch = np.zeros(self.words, dtype=np.uint64)
 
+    # -- packed-table round-trip ------------------------------------------
+
+    def packed_tables(self) -> Dict[str, np.ndarray]:
+        """The kernel's packed tables, keyed for :meth:`from_packed`.
+
+        Everything expensive about kernel construction is the big-int ->
+        array conversion; exporting the arrays lets an artefact cache
+        round-trip a kernel without ever rebuilding the int masks.
+        """
+        tables = {
+            "n_bits": np.asarray(self.n_bits, dtype=np.int64),
+            "match_matrix": self.match_matrix,
+            "start_all": self.start_all_row,
+            "start_sod": self.start_sod_row,
+            "report": self.report_row,
+        }
+        if self._dense is not None:
+            tables["succ_dense"] = self._dense
+        else:
+            tables["succ_indptr"] = self._csr_indptr
+            tables["succ_words"] = self._csr_words
+            tables["succ_masks"] = self._csr_masks
+        return tables
+
+    @classmethod
+    def from_packed(cls, tables: Dict[str, np.ndarray]) -> "BitsetKernel":
+        """Rebuild a kernel directly from :meth:`packed_tables` output."""
+        self = cls.__new__(cls)
+        self.n_bits = int(tables["n_bits"])
+        self.words = max(1, -(-self.n_bits // 64))
+        self.row_bytes = self.words * 8
+
+        def frozen(array: np.ndarray) -> np.ndarray:
+            array = np.ascontiguousarray(array)
+            array.setflags(write=False)
+            return array
+
+        self.match_matrix = frozen(tables["match_matrix"])
+        self.start_all_row = frozen(tables["start_all"])
+        self.start_sod_row = frozen(tables["start_sod"])
+        self.report_row = frozen(tables["report"])
+        self.has_sod = bool(self.start_sod_row.any())
+        self._dense = None
+        if "succ_dense" in tables:
+            self._dense = frozen(tables["succ_dense"])
+        else:
+            self._csr_indptr = np.ascontiguousarray(tables["succ_indptr"])
+            self._csr_words = np.ascontiguousarray(tables["succ_words"])
+            self._csr_masks = np.ascontiguousarray(tables["succ_masks"])
+        self._prop_cache = {}
+        self._prop_cache_limit = max(
+            1024, PROPAGATE_CACHE_BYTES // self.row_bytes
+        )
+        self._idle_next = None
+        self._idle_escape = None
+        self._scratch = np.zeros(self.words, dtype=np.uint64)
+        return self
+
     # -- packing -----------------------------------------------------------
 
     def pack(self, value: int) -> np.ndarray:
@@ -190,14 +248,18 @@ class BitsetKernel:
                 self._prop_cache[key] = hit
         return hit
 
-    def propagate_matrix(self, rows: np.ndarray, out: np.ndarray) -> None:
+    def propagate_matrix(self, rows: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Batched propagate: (streams, words) matched rows -> ``out`` rows.
 
         Every stream shares one memoised propagation table, so a pattern
         any stream has visited is a dictionary hit for all of them.
+        Returns a boolean vector flagging which output rows are nonzero,
+        so callers can track per-stream idleness without re-scanning.
         """
+        nonzero = np.zeros(rows.shape[0], dtype=bool)
         for index in range(rows.shape[0]):
-            out[index] = self.propagate(rows[index])[0]
+            out[index], nonzero[index] = self.propagate(rows[index])
+        return nonzero
 
     # -- idle fast path ----------------------------------------------------
 
@@ -214,6 +276,18 @@ class BitsetKernel:
         nxt.setflags(write=False)
         self._idle_next = nxt
         self._idle_escape = escape
+
+    def idle_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(next_row, escape)`` idle tables, built on first use.
+
+        ``next_row[symbol]`` is the successor-activation row produced by
+        an idle machine (only all-input start states enabled) consuming
+        ``symbol``; ``escape[symbol]`` flags the symbols that wake it up
+        (nonzero ``next_row``).  Shared by the solo and batched scan
+        paths.
+        """
+        self._ensure_idle_tables()
+        return self._idle_next, self._idle_escape
 
     # -- chunk stepping ----------------------------------------------------
 

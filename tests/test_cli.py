@@ -93,3 +93,25 @@ class TestSaveMapping:
         mapping = mapping_from_json(open(path, encoding="utf-8").read())
         assert mapping.design.name == "CA_P"
         assert mapping.partition_count == 1
+
+
+class TestProfileCompileCommand:
+    def test_rules_file(self, rules_file, capsys):
+        assert main(["profile-compile", rules_file, "--no-bitstream"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase" in out
+        assert "split" in out
+        assert "total" in out
+
+    def test_workload(self, capsys):
+        assert main(
+            ["profile-compile", "--workload", "Bro217", "--scale", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bitstream" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["profile-compile", "--workload", "NotASuite"]) == 1
+
+    def test_no_source(self, capsys):
+        assert main(["profile-compile"]) == 1

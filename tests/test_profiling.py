@@ -102,3 +102,33 @@ class TestReport:
         rows = utilisation_report(mapping, result)
         assert len(rows) - 1 == mapping.partition_count
         assert rows[1][3].endswith("%")
+
+
+class TestCompileProfile:
+    def test_phase_breakdown(self):
+        from repro.eval.profiling import profile_compile
+        from tests.conftest import chain_automaton
+
+        profile, mapping = profile_compile(
+            chain_automaton(500, seed=2), CA_P
+        )
+        assert mapping.partition_count >= 1
+        assert profile.states == 500
+        for phase in ("validate", "components", "pack", "split", "place",
+                      "check", "bitstream"):
+            assert phase in profile.phases
+        # Sub-phases decompose the split phase, never exceed it wildly
+        # (timer nesting means tiny skews are possible, not factors).
+        assert profile.total_ms > 0.0
+        rows = profile.rows()
+        assert rows[0] == ("Phase", "ms", "Share")
+        assert rows[-1][0] == "total"
+
+    def test_no_bitstream_flag(self):
+        from repro.eval.profiling import profile_compile
+        from tests.conftest import chain_automaton
+
+        profile, _ = profile_compile(
+            chain_automaton(300, seed=4), CA_P, include_bitstream=False
+        )
+        assert "bitstream" not in profile.phases
