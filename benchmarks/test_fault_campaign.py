@@ -1,0 +1,41 @@
+"""Fault-campaign throughput and outcome invariants.
+
+Times a seeded single-fault campaign over a suite workload and asserts
+the outcome structure the fault model guarantees: every trial lands in
+exactly one of masked/detected/SDC, match-array flips are fully covered
+by the per-column parity check, and the same seed reproduces the same
+table bit-for-bit (the property CI leans on).
+"""
+
+from conftest import show
+from repro.eval.faults import run_campaign
+from repro.workloads.inputs import LOWERCASE, random_over_alphabet
+from repro.workloads.suite import build_suite
+
+
+def _workload():
+    suite = {b.name: b for b in build_suite(0.05)}
+    return suite["Ranges05"].build()
+
+
+def test_fault_campaign(benchmark):
+    automaton = _workload()
+    data = random_over_alphabet(2048, LOWERCASE, seed=7)
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(automaton, data),
+        kwargs={"trials": 24, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Fault campaign: Ranges05 (scale 0.05), 24 trials, seed 7",
+        result.table_rows(),
+    )
+
+    totals = result.totals()
+    assert sum(totals.values()) == 24
+    match_row = next(row for row in result.rows if row.site == "match")
+    assert match_row.detected == match_row.trials
+    rerun = run_campaign(automaton, data, trials=24, seed=7)
+    assert rerun == result

@@ -21,6 +21,11 @@ Subcommands::
         compile cold (single process) and print the wall-clock
         attribution per compiler phase: validate, components, pack,
         split (with coarsen/refine sub-phases), place, check, bitstream.
+
+    python -m repro.cli fault-campaign [RULES.txt | --workload NAME]
+        run a seeded single-fault injection campaign (match-array flips,
+        crossbar stuck-ats, state-vector upsets) and print the AVF-style
+        masked / detected / SDC table per fault site.
 """
 
 from __future__ import annotations
@@ -193,6 +198,51 @@ def _cmd_profile_compile(arguments) -> int:
     return 0
 
 
+def _cmd_fault_campaign(arguments) -> int:
+    from repro.eval.faults import run_campaign
+    from repro.workloads.inputs import LOWERCASE, random_over_alphabet
+
+    design = _design(arguments.design)
+    if arguments.workload:
+        from repro.workloads.suite import build_suite
+
+        suite = {
+            benchmark.name: benchmark
+            for benchmark in build_suite(arguments.scale)
+        }
+        try:
+            automaton = suite[arguments.workload].build()
+        except KeyError:
+            raise ReproError(
+                f"unknown workload {arguments.workload!r}; choose from "
+                f"{', '.join(sorted(suite))}"
+            ) from None
+        source = f"{arguments.workload} (scale {arguments.scale:g})"
+    elif arguments.rules:
+        rules = _load_rules(arguments.rules)
+        automaton = compile_patterns(rules, report_codes=rules)
+        source = arguments.rules
+    else:
+        raise ReproError("supply a rules file or --workload NAME")
+    data = random_over_alphabet(
+        arguments.input_bytes, LOWERCASE, seed=arguments.seed
+    )
+    result = run_campaign(
+        automaton,
+        data,
+        design=design,
+        trials=arguments.trials,
+        seed=arguments.seed,
+    )
+    print(f"workload:   {source}")
+    print(f"design:     {design.name}")
+    print(f"states:     {result.states}")
+    print(f"input:      {result.input_bytes} bytes, "
+          f"{result.trials} trials, seed {result.seed}")
+    print(format_table(result.table_rows()))
+    return 0
+
+
 def _cmd_designs(_arguments) -> int:
     rows = [(
         "Design", "Clock (GHz)", "Throughput (Gb/s)", "Reach",
@@ -260,6 +310,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the bitstream-generation phase",
     )
     profile_parser.set_defaults(handler=_cmd_profile_compile)
+
+    fault_parser = subparsers.add_parser(
+        "fault-campaign", help="seeded fault-injection campaign (AVF table)"
+    )
+    fault_parser.add_argument("rules", nargs="?", help="rule file to compile")
+    fault_parser.add_argument(
+        "--workload", help="inject into a suite benchmark instead of a rule file"
+    )
+    fault_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="suite scale factor for --workload (default 1.0)",
+    )
+    fault_parser.add_argument(
+        "--design", default="CA_P", choices=sorted(_DESIGNS)
+    )
+    fault_parser.add_argument(
+        "--trials", type=int, default=48,
+        help="single-fault trials to run (default 48)",
+    )
+    fault_parser.add_argument(
+        "--input-bytes", type=int, default=2048,
+        help="length of the generated input stream (default 2048)",
+    )
+    fault_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="campaign seed (input generation and fault draws)",
+    )
+    fault_parser.set_defaults(handler=_cmd_fault_campaign)
     return parser
 
 

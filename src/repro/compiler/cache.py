@@ -26,7 +26,11 @@ Key scheme / invalidation rules:
 
 Artefacts store the fingerprints they were written under and are
 re-verified on load; mismatches and unreadable files count as misses,
-never errors.
+never errors.  Corrupt artefacts are additionally *quarantined*
+(deleted) so every subsequent warm start does not re-hit the same bad
+file, and transient I/O errors are retried with bounded exponential
+backoff before the cache degrades to a cold compile
+(:class:`~repro.errors.DegradedModeWarning` is emitted when it does).
 """
 
 from __future__ import annotations
@@ -36,6 +40,9 @@ import io
 import json
 import os
 import tempfile
+import time
+import warnings
+import zipfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -46,12 +53,25 @@ from repro.automata.anml import HomogeneousAutomaton
 from repro.compiler.mapping import MappedPartition, Mapping
 from repro.compiler.serialize import FORMAT_VERSION as MAPPING_FORMAT_VERSION
 from repro.core.design import DesignPoint
+from repro.errors import DegradedModeWarning
 
 #: Environment override for the cache directory root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump when the artefact layout changes; versions the cache namespace.
 CACHE_FORMAT_VERSION = 1
+
+#: Bounded-retry policy for transient cache I/O errors.
+RETRY_ATTEMPTS = 3
+RETRY_BACKOFF_SECONDS = 0.01
+
+#: OSError subclasses that no amount of retrying will fix.
+_PERMANENT_OS_ERRORS = (
+    FileNotFoundError,
+    PermissionError,
+    IsADirectoryError,
+    NotADirectoryError,
+)
 
 
 def default_cache_root() -> Path:
@@ -107,12 +127,18 @@ def cache_key(automaton: HomogeneousAutomaton, design: DesignPoint) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/bypass accounting for one cache instance."""
+    """Hit/miss/bypass accounting for one cache instance.
+
+    ``quarantines`` counts corrupt artefacts deleted on load;
+    ``retries`` counts transient I/O errors that were retried.
+    """
 
     hits: int = 0
     misses: int = 0
     bypasses: int = 0
     stores: int = 0
+    quarantines: int = 0
+    retries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -120,6 +146,8 @@ class CacheStats:
             "misses": self.misses,
             "bypasses": self.bypasses,
             "stores": self.stores,
+            "quarantines": self.quarantines,
+            "retries": self.retries,
         }
 
 
@@ -201,11 +229,57 @@ class CompileCache:
         directory: Union[str, Path, None] = None,
         *,
         enabled: bool = True,
+        retry_attempts: int = RETRY_ATTEMPTS,
+        retry_backoff: float = RETRY_BACKOFF_SECONDS,
     ):
         root = Path(directory) if directory is not None else default_cache_root()
         self.directory = root / f"v{CACHE_FORMAT_VERSION}"
         self.enabled = enabled
+        self.retry_attempts = max(1, retry_attempts)
+        self.retry_backoff = retry_backoff
         self.stats = CacheStats()
+
+    # -- resilience --------------------------------------------------------
+
+    def _with_retries(self, operation):
+        """Run ``operation``, retrying transient ``OSError``\\ s with
+        bounded exponential backoff; permanent errors raise immediately."""
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except _PERMANENT_OS_ERRORS:
+                raise
+            except OSError:
+                attempt += 1
+                if attempt >= self.retry_attempts:
+                    raise
+                self.stats.retries += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _quarantine(self, path: Path, reason: str):
+        """Delete a corrupt artefact so warm starts stop re-hitting it."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.quarantines += 1
+        warnings.warn(
+            f"quarantined corrupt cache artefact {path.name}: {reason}",
+            DegradedModeWarning,
+            stacklevel=4,
+        )
+
+    def quarantine_mapping(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ):
+        """Evict the mapping artefact for (automaton, design).
+
+        Called by the engine when an artefact loads cleanly but its
+        simulator tables turn out to be unusable."""
+        self._quarantine(
+            self.mapping_path(automaton, design), "unusable simulator tables"
+        )
 
     # -- paths -------------------------------------------------------------
 
@@ -228,11 +302,14 @@ class CompileCache:
         handle = tempfile.NamedTemporaryFile(
             dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
         )
+        # Only Exception: KeyboardInterrupt/SystemExit must propagate
+        # untouched (a stray .tmp file is harmless; intercepting the
+        # interrupt to clean it up is not).
         try:
             handle.write(payload)
             handle.close()
             os.replace(handle.name, path)
-        except BaseException:
+        except Exception:
             handle.close()
             os.unlink(handle.name)
             raise
@@ -277,7 +354,9 @@ class CompileCache:
         np.savez(buffer, **payload)
         path = self.mapping_path(automaton, mapping.design)
         try:
-            self._write_atomic(path, buffer.getvalue())
+            self._with_retries(
+                lambda: self._write_atomic(path, buffer.getvalue())
+            )
         except OSError:
             return None  # unwritable cache dir: behave as uncached
         self.stats.stores += 1
@@ -294,14 +373,35 @@ class CompileCache:
         trusted without re-running constraint checks, because artefacts
         are only ever written after a validated compile and the content
         address pins both compiler inputs.
+
+        Failure handling: a missing file is a plain miss; transient read
+        errors are retried with backoff, then degrade to a miss with a
+        :class:`DegradedModeWarning`; a corrupt or mismatching artefact
+        (the content address pins both fingerprints, so a mismatch means
+        the file's bytes are wrong) is quarantined and counts as a miss.
         """
         if not self.enabled:
             self.stats.bypasses += 1
             return None
         path = self.mapping_path(automaton, design)
         try:
-            data = np.load(path, allow_pickle=False)
-        except (OSError, ValueError):
+            data = self._with_retries(
+                lambda: np.load(path, allow_pickle=False)
+            )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as error:
+            self.stats.misses += 1
+            warnings.warn(
+                f"cache read failed after {self.retry_attempts} attempt(s) "
+                f"({error}); compiling cold",
+                DegradedModeWarning,
+                stacklevel=2,
+            )
+            return None
+        except (ValueError, zipfile.BadZipFile) as error:
+            self._quarantine(path, str(error))
             self.stats.misses += 1
             return None
         arrays = automaton.edge_index_arrays()
@@ -311,7 +411,8 @@ class CompileCache:
             ways = data["ways"]
             stored_fingerprint = str(data["fingerprint"])
             stored_design = str(data["design"])
-        except KeyError:
+        except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
+            self._quarantine(path, f"unreadable member: {error}")
             self.stats.misses += 1
             return None
         if (
@@ -319,6 +420,7 @@ class CompileCache:
             or stored_design != design_fingerprint(design)
             or part.shape[0] != len(arrays.ids)
         ):
+            self._quarantine(path, "stored fingerprints do not match the key")
             self.stats.misses += 1
             return None
         placement = _SharedPlacement(arrays.ids, part, slot, ways.shape[0])
@@ -345,7 +447,7 @@ class CompileCache:
             return None
         path = self.bitstream_path(mapping.automaton, mapping.design)
         try:
-            self._write_atomic(path, payload)
+            self._with_retries(lambda: self._write_atomic(path, payload))
         except OSError:
             return None
         self.stats.stores += 1
@@ -358,8 +460,9 @@ class CompileCache:
         if not self.enabled:
             self.stats.bypasses += 1
             return None
+        path = self.bitstream_path(automaton, design)
         try:
-            payload = self.bitstream_path(automaton, design).read_bytes()
+            payload = self._with_retries(path.read_bytes)
         except OSError:
             self.stats.misses += 1
             return None

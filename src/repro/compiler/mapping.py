@@ -21,15 +21,17 @@ from __future__ import annotations
 import os
 import random
 import time
+import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.automata.anml import HomogeneousAutomaton
 from repro.automata.components import connected_components
 from repro.core.design import DesignPoint
-from repro.errors import CapacityError
+from repro.errors import CapacityError, DegradedModeWarning
 from repro.partitioning import PartitionGraph, partition_into_capacity
 
 #: Environment override for the split-and-place worker count ("1" = serial).
@@ -300,11 +302,24 @@ class Compiler:
             and total_states >= PARALLEL_SPLIT_MIN_STATES
         ):
             workers = min(jobs, len(payloads))
+            # Degrade to the serial path only when the *pool* is unusable
+            # (no fork/spawn on this host, workers killed): those surface
+            # as OSError from process creation or BrokenProcessPool from
+            # the map.  A genuine exception raised *inside*
+            # _split_payload_worker is a compiler bug or an infeasible
+            # split and must propagate — retrying it serially would just
+            # mask it (or fail identically, twice as slowly).
             try:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     return list(pool.map(_split_payload_worker, payloads))
-            except (OSError, ValueError, RuntimeError):
-                pass  # no usable process pool on this host; run serially
+            except (OSError, BrokenProcessPool) as error:
+                warnings.warn(
+                    "parallel CC splitting unavailable "
+                    f"({type(error).__name__}: {error}); "
+                    "degrading to serial compilation",
+                    DegradedModeWarning,
+                    stacklevel=3,
+                )
         return [_split_payload_worker(payload) for payload in payloads]
 
     def _split_component(

@@ -115,11 +115,22 @@ class CrossbarSwitch:
     crossbar mode, ``evaluate`` computes, for every output, the OR of its
     enabled active inputs — the active-low wired-AND of Section 2.7 seen
     from the logical (active-high) side.
+
+    Manufacturing/wear-out defects on the port wires are modelled as
+    stuck-at faults (:meth:`set_stuck_input`, :meth:`set_stuck_output`):
+    a stuck-at-0 wire never carries its signal, a stuck-at-1 wire always
+    does, regardless of the programmed enables.  The fault-injection
+    campaign (:mod:`repro.faults`) uses these to mirror its kernel-level
+    crossbar faults at the structural layer.
     """
 
     def __init__(self, spec: SwitchSpec):
         self.spec = spec
         self.enable = np.zeros((spec.inputs, spec.outputs), dtype=bool)
+        self._stuck_in_zero = np.zeros(spec.inputs, dtype=bool)
+        self._stuck_in_one = np.zeros(spec.inputs, dtype=bool)
+        self._stuck_out_zero = np.zeros(spec.outputs, dtype=bool)
+        self._stuck_out_one = np.zeros(spec.outputs, dtype=bool)
 
     def connect(self, input_port: int, output_port: int):
         """Program one cross-point (write mode)."""
@@ -139,13 +150,59 @@ class CrossbarSwitch:
         self._check_ports(input_port, 0)
         self.enable[input_port] = row.astype(bool)
 
+    def set_stuck_input(self, input_port: int, value: int):
+        """Model input wire ``input_port`` stuck at ``value`` (0 or 1)."""
+        self._check_ports(input_port, 0)
+        self._set_stuck(self._stuck_in_zero, self._stuck_in_one, input_port, value)
+
+    def set_stuck_output(self, output_port: int, value: int):
+        """Model output wire ``output_port`` stuck at ``value`` (0 or 1)."""
+        self._check_ports(0, output_port)
+        self._set_stuck(
+            self._stuck_out_zero, self._stuck_out_one, output_port, value
+        )
+
+    @staticmethod
+    def _set_stuck(zeros: np.ndarray, ones: np.ndarray, port: int, value: int):
+        if value not in (0, 1):
+            raise HardwareModelError(f"stuck value must be 0 or 1, got {value}")
+        zeros[port] = value == 0
+        ones[port] = value == 1
+
+    def clear_stuck_faults(self):
+        """Remove all injected stuck-at wire faults."""
+        for mask in (
+            self._stuck_in_zero,
+            self._stuck_in_one,
+            self._stuck_out_zero,
+            self._stuck_out_one,
+        ):
+            mask[:] = False
+
+    def has_stuck_faults(self) -> bool:
+        return bool(
+            self._stuck_in_zero.any()
+            or self._stuck_in_one.any()
+            or self._stuck_out_zero.any()
+            or self._stuck_out_one.any()
+        )
+
     def evaluate(self, active_inputs: np.ndarray) -> np.ndarray:
-        """Crossbar mode: boolean outputs = wired-OR of enabled inputs."""
+        """Crossbar mode: boolean outputs = wired-OR of enabled inputs.
+
+        Stuck-at wire faults apply here: a stuck input drives (or never
+        drives) its row regardless of the actual activation, and a stuck
+        output overrides whatever the wired-OR computed.
+        """
         if active_inputs.shape != (self.spec.inputs,):
             raise HardwareModelError(
                 f"expected {self.spec.inputs} inputs, got {active_inputs.shape}"
             )
-        return (active_inputs[:, None] & self.enable).any(axis=0)
+        driven = (
+            active_inputs.astype(bool) | self._stuck_in_one
+        ) & ~self._stuck_in_zero
+        outputs = (driven[:, None] & self.enable).any(axis=0)
+        return (outputs | self._stuck_out_one) & ~self._stuck_out_zero
 
     def fan_in(self, output_port: int) -> int:
         """Number of inputs wired to ``output_port`` (multi-fan-in support)."""

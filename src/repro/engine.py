@@ -21,9 +21,10 @@ traffic seen so far.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.automata.anml import HomogeneousAutomaton, from_anml
 from repro.baselines.ap import ApModel
@@ -31,13 +32,27 @@ from repro.compiler import Mapping, compile_automaton, compile_space_optimized
 from repro.compiler.cache import CompileCache
 from repro.core.design import CA_P, DesignPoint
 from repro.core.energy import ActivityProfile, EnergyModel
-from repro.errors import ReproError
+from repro.errors import DegradedModeWarning, ReproError, SimulationError
 from repro.regex.compile import compile_patterns
 from repro.sim.functional import MappedSimulator
-from repro.sim.golden import Checkpoint
+from repro.sim.golden import Checkpoint, GoldenSimulator, Report
 
 #: Accepted values for the engine's ``cache`` argument.
 CacheSpec = Union[CompileCache, str, Path, bool, None]
+
+#: Engine tiers, best first — which rung of the fallback chain built the
+#: scanning backend (see :meth:`CacheAutomatonEngine.health`).
+TIER_WARM_CACHE = "warm-cache"
+TIER_COLD_COMPILE = "cold-compile"
+TIER_RECOMPILED = "recompiled"
+TIER_GOLDEN = "golden-fallback"
+
+
+def _require_bytes(value, what: str) -> None:
+    if not isinstance(value, (bytes, bytearray, memoryview)):
+        raise SimulationError(
+            f"{what} must be bytes-like, got {type(value).__name__}"
+        )
 
 
 def _resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
@@ -57,6 +72,85 @@ class Match:
     end: int
     rule: Optional[str]
     state: str
+
+
+@dataclass(frozen=True)
+class EngineHealth:
+    """Which tier of the fallback chain served this engine, and why.
+
+    ``tier`` is one of ``warm-cache`` (artifact cache hit), ``cold-compile``
+    (no cached artifact), ``recompiled`` (a corrupt artifact was
+    quarantined first), or ``golden-fallback`` (the packed kernel could
+    not be built and the reference interpreter is scanning instead).
+    ``events`` is the ordered log of degradation decisions taken during
+    construction; ``cache`` snapshots the artifact-cache counters.
+    """
+
+    tier: str
+    backend: str
+    degraded: bool
+    events: Tuple[str, ...]
+    cache: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class _GoldenRunResult:
+    """Adapter result mirroring the fields the engine reads off
+    :class:`~repro.sim.functional.MappedRunResult`."""
+
+    reports: List[Report]
+    profile: ActivityProfile
+    checkpoint: Optional[Checkpoint]
+
+
+class _GoldenBackend:
+    """Last-rung scanning backend: the golden reference interpreter.
+
+    Speaks just enough of :class:`~repro.sim.functional.MappedSimulator`'s
+    dialect (``run`` / ``run_many`` returning objects with ``reports``,
+    ``profile``, ``checkpoint``) for the engine to serve traffic when the
+    packed kernel cannot be constructed.  Activity profiles carry only
+    symbol and report counts — enough for match results and totals, not
+    for the energy model, which is the documented cost of this tier.
+    """
+
+    def __init__(self, automaton: HomogeneousAutomaton):
+        self._golden = GoldenSimulator(automaton)
+
+    def run(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+        **_ignored,
+    ) -> _GoldenRunResult:
+        result = self._golden.run(data, resume=resume)
+        profile = ActivityProfile()
+        profile.add_activity(
+            symbols=result.stats.symbols_processed,
+            reports=len(result.reports),
+        )
+        reports = result.reports if collect_reports else []
+        return _GoldenRunResult(reports, profile, result.checkpoint)
+
+    def run_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+    ) -> List[_GoldenRunResult]:
+        if resumes is None:
+            resumes = [None] * len(streams)
+        if len(resumes) != len(streams):
+            raise SimulationError(
+                f"got {len(resumes)} checkpoints for {len(streams)} streams"
+            )
+        return [
+            self.run(data, collect_reports=collect_reports, resume=resume)
+            for data, resume in zip(streams, resumes)
+        ]
 
 
 @dataclass(frozen=True)
@@ -92,6 +186,7 @@ class StreamScanner:
         return self._checkpoint.symbols_processed
 
     def scan(self, chunk: bytes) -> List[Match]:
+        _require_bytes(chunk, "stream chunk")
         result = self._engine._simulator.run(chunk, resume=self._checkpoint)
         self._checkpoint = result.checkpoint
         self._engine._accumulate(result.profile)
@@ -114,7 +209,9 @@ class MultiStreamScanner:
 
     def __init__(self, engine: "CacheAutomatonEngine", count: int):
         if count <= 0:
-            raise ReproError(f"stream count must be positive, got {count}")
+            raise SimulationError(
+                f"stream count must be positive, got {count}"
+            )
         self._engine = engine
         self._checkpoints: List[Optional[Checkpoint]] = [None] * count
 
@@ -135,10 +232,17 @@ class MultiStreamScanner:
 
         Use ``b""`` for streams with no pending traffic this round.
         """
+        if isinstance(chunks, (bytes, bytearray, memoryview, str)):
+            raise SimulationError(
+                "scan() expects a sequence of per-stream chunks, "
+                "not a single byte string"
+            )
         if len(chunks) != len(self._checkpoints):
-            raise ReproError(
+            raise SimulationError(
                 f"got {len(chunks)} chunks for {len(self._checkpoints)} streams"
             )
+        for index, chunk in enumerate(chunks):
+            _require_bytes(chunk, f"chunk for stream {index}")
         results = self._engine._simulator.run_many(
             list(chunks), resumes=self._checkpoints
         )
@@ -185,49 +289,135 @@ class CacheAutomatonEngine:
         The optimisation ladder chooses among several automaton variants,
         so ``optimize=True`` always bypasses the cache (the key would
         identify the input automaton, not the variant actually mapped).
+
+        Construction walks a documented fallback chain and never leaves
+        the engine unusable short of a compile error: a warm cache hit is
+        preferred; a corrupt artifact is quarantined and the automaton
+        recompiled; if the packed simulator cannot be built at all, the
+        golden reference interpreter serves traffic (slower, but
+        match-for-match identical).  :meth:`health` reports which tier
+        won and why.
         """
         self.design = design
         self._cache = _resolve_cache(cache)
+        self._health_events: List[str] = []
+        self._tier = TIER_COLD_COMPILE
+        simulator = None
         if optimize:
             if self._cache is not None:
                 self._cache.stats.bypasses += 1
             self.mapping: Mapping = compile_space_optimized(
                 automaton, design, jobs=compile_jobs
             )
-            self._simulator = MappedSimulator(self.mapping)
         else:
-            loaded = (
-                self._cache.load_mapping(automaton, design)
-                if self._cache is not None
-                else None
-            )
-            if loaded is not None:
-                self.mapping, tables = loaded
-                if tables:
-                    self._simulator = MappedSimulator.from_cached(
-                        self.mapping, tables
+            loaded = None
+            recompiling = False
+            if self._cache is not None:
+                # load_mapping quarantines (deletes + warns about) corrupt
+                # artifacts itself; the stats delta tells us it happened.
+                quarantines_before = self._cache.stats.quarantines
+                loaded = self._cache.load_mapping(automaton, design)
+                if self._cache.stats.quarantines > quarantines_before:
+                    recompiling = True
+                    self._health_events.append(
+                        "quarantined corrupt cache artifact"
                     )
-                else:
-                    self._simulator = MappedSimulator(self.mapping)
-            else:
+            if loaded is not None:
+                cached_mapping, tables = loaded
+                try:
+                    if tables:
+                        simulator = MappedSimulator.from_cached(
+                            cached_mapping, tables
+                        )
+                    else:
+                        simulator = MappedSimulator(cached_mapping)
+                    self.mapping = cached_mapping
+                    self._tier = TIER_WARM_CACHE
+                except Exception as error:
+                    # Tables passed the loader's integrity checks but the
+                    # kernel still refused them (stale format, bad shapes).
+                    self._cache.quarantine_mapping(automaton, design)
+                    warnings.warn(
+                        "cached simulator tables rejected "
+                        f"({type(error).__name__}: {error}); "
+                        "quarantining artifact and recompiling",
+                        DegradedModeWarning,
+                        stacklevel=2,
+                    )
+                    self._health_events.append(
+                        "cached tables rejected by kernel; "
+                        "quarantined and recompiled"
+                    )
+                    recompiling = True
+                    simulator = None
+            if simulator is None:
                 self.mapping = compile_automaton(
                     automaton, design, jobs=compile_jobs
                 )
-                self._simulator = MappedSimulator(self.mapping)
-                if self._cache is not None:
-                    self._cache.store_mapping(
-                        self.mapping, self._simulator.packed_tables()
-                    )
+                if recompiling:
+                    self._tier = TIER_RECOMPILED
+        if simulator is None:
+            simulator = self._build_simulator(self.mapping)
+            if (
+                self._cache is not None
+                and not optimize
+                and isinstance(simulator, MappedSimulator)
+            ):
+                self._cache.store_mapping(
+                    self.mapping, simulator.packed_tables()
+                )
+        self._simulator = simulator
         #: The automaton actually mapped (the optimised variant when
         #: ``optimize`` selected one).
         self.automaton = self.mapping.automaton
         self._profile = ActivityProfile()
 
+    def _build_simulator(self, mapping: Mapping):
+        """Packed kernel if possible, golden interpreter as the last rung."""
+        try:
+            return MappedSimulator(mapping)
+        except Exception as error:
+            warnings.warn(
+                "packed simulator construction failed "
+                f"({type(error).__name__}: {error}); "
+                "falling back to the golden reference interpreter",
+                DegradedModeWarning,
+                stacklevel=3,
+            )
+            self._health_events.append(
+                "packed kernel construction failed; "
+                "golden interpreter serving traffic"
+            )
+            self._tier = TIER_GOLDEN
+            return _GoldenBackend(mapping.automaton)
+
+    def health(self) -> EngineHealth:
+        """Which fallback tier served this engine, and the decisions taken."""
+        backend = (
+            "golden-interpreter"
+            if isinstance(self._simulator, _GoldenBackend)
+            else "packed-kernel"
+        )
+        return EngineHealth(
+            tier=self._tier,
+            backend=backend,
+            degraded=self._tier in (TIER_RECOMPILED, TIER_GOLDEN),
+            events=tuple(self._health_events),
+            cache=self.cache_info(),
+        )
+
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/bypass/store counts for this engine's artifact cache
         (all zero when caching is disabled)."""
         if self._cache is None:
-            return {"hits": 0, "misses": 0, "bypasses": 0, "stores": 0}
+            return {
+                "hits": 0,
+                "misses": 0,
+                "bypasses": 0,
+                "stores": 0,
+                "quarantines": 0,
+                "retries": 0,
+            }
         return self._cache.stats.as_dict()
 
     # -- constructors ------------------------------------------------------
@@ -297,6 +487,7 @@ class CacheAutomatonEngine:
 
     def scan(self, data: bytes) -> List[Match]:
         """Scan one complete input; returns matches in offset order."""
+        _require_bytes(data, "scan() input")
         result = self._simulator.run(data)
         self._accumulate(result.profile)
         return [
@@ -306,6 +497,7 @@ class CacheAutomatonEngine:
 
     def count(self, data: bytes) -> int:
         """Number of match events in ``data`` (no record materialisation)."""
+        _require_bytes(data, "count() input")
         result = self._simulator.run(data, collect_reports=False)
         self._accumulate(result.profile)
         return result.profile.reports
@@ -319,6 +511,14 @@ class CacheAutomatonEngine:
         match list per stream, each identical to ``scan`` on that stream
         alone.
         """
+        if isinstance(streams, (bytes, bytearray, memoryview, str)):
+            raise SimulationError(
+                "scan_many() expects a sequence of byte streams; "
+                "use scan() for a single input"
+            )
+        streams = list(streams)
+        for index, stream in enumerate(streams):
+            _require_bytes(stream, f"scan_many() stream {index}")
         results = self._simulator.run_many(list(streams))
         matches: List[List[Match]] = []
         for result in results:

@@ -66,3 +66,19 @@ class HardwareModelError(ReproError):
 
 class SimulationError(ReproError):
     """The functional simulator was driven with invalid state or input."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection configuration or an uninjectable target."""
+
+
+class DegradedModeWarning(RuntimeWarning):
+    """A subsystem fell back to a slower but safe tier.
+
+    Emitted (never raised) when the engine or compiler degrades
+    gracefully instead of failing: parallel compilation dropping to the
+    serial path, a corrupt cache artefact being quarantined and
+    recompiled, or the mapped simulator giving way to the golden
+    interpreter.  It derives from :class:`RuntimeWarning`, not
+    :class:`ReproError`, because the operation still succeeds.
+    """

@@ -18,6 +18,7 @@ from repro.eval.experiments import (
     table4,
     table5,
 )
+from repro.eval.faults import CampaignResult, CampaignRow, run_campaign
 from repro.eval.profiling import (
     energy_breakdown,
     partition_activity,
@@ -29,6 +30,9 @@ from repro.eval.tables import format_table
 
 __all__ = [
     "BenchmarkEvaluation",
+    "CampaignResult",
+    "CampaignRow",
+    "run_campaign",
     "evaluate_benchmark",
     "evaluate_suite",
     "fig10",

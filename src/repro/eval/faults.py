@@ -1,0 +1,196 @@
+"""Fault-injection campaign runner (AVF-style vulnerability table).
+
+A campaign compiles one automaton, scans one input clean to fix the
+reference report signature (cross-checked against the golden
+interpreter), then runs ``trials`` single-fault experiments: each trial
+draws exactly one :class:`~repro.faults.models.FaultEvent` for a fault
+site chosen round-robin over the config's enabled sites, replays the
+input under that fault, and classifies the outcome —
+
+* **masked** — the report signature is bit-identical to the clean run;
+* **detected** — the per-column match-parity check fired;
+* **sdc** — silent data corruption: reports differ, nothing fired.
+
+One fault per trial keeps attribution unambiguous (the architectural
+vulnerability factor of a site is just its SDC fraction), and per-trial
+seeding from ``(campaign seed, trial index)`` makes every campaign fully
+reproducible — the same seed always injects the same faults in the same
+order, regardless of trial count changes elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P, DesignPoint
+from repro.errors import FaultError
+from repro.faults import (
+    ALL_SITES,
+    DETECTED,
+    MASKED,
+    OUTCOMES,
+    SDC,
+    FaultConfig,
+    FaultSite,
+    FaultySimulator,
+    classify,
+    draw_event,
+)
+from repro.sim.functional import MappedSimulator
+from repro.sim.golden import match_offsets
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Per-site outcome tally of one campaign."""
+
+    site: str
+    trials: int
+    masked: int
+    detected: int
+    sdc: int
+
+    @property
+    def avf(self) -> float:
+        """Architectural vulnerability factor: SDC fraction of trials."""
+        if self.trials == 0:
+            return 0.0
+        return self.sdc / self.trials
+
+    @property
+    def coverage(self) -> float:
+        """Detection coverage among non-masked outcomes."""
+        visible = self.detected + self.sdc
+        if visible == 0:
+            return 1.0
+        return self.detected / visible
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Full result of :func:`run_campaign`."""
+
+    seed: int
+    trials: int
+    input_bytes: int
+    states: int
+    rows: Tuple[CampaignRow, ...]
+    #: (site, kind, cycle, bit, outcome) per trial, in trial order.
+    outcomes: Tuple[Tuple[str, str, int, int, str], ...]
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            MASKED: sum(row.masked for row in self.rows),
+            DETECTED: sum(row.detected for row in self.rows),
+            SDC: sum(row.sdc for row in self.rows),
+        }
+
+    def table_rows(self) -> List[List]:
+        """Rows for :func:`repro.eval.tables.format_table`."""
+        table: List[List] = [
+            ["Site", "Trials", "Masked", "Detected", "SDC", "AVF", "Coverage"]
+        ]
+        for row in self.rows:
+            table.append(
+                [
+                    row.site,
+                    row.trials,
+                    row.masked,
+                    row.detected,
+                    row.sdc,
+                    f"{row.avf:.3f}",
+                    f"{row.coverage:.3f}",
+                ]
+            )
+        totals = self.totals()
+        total_trials = sum(row.trials for row in self.rows)
+        visible = totals[DETECTED] + totals[SDC]
+        table.append(
+            [
+                "all",
+                total_trials,
+                totals[MASKED],
+                totals[DETECTED],
+                totals[SDC],
+                f"{totals[SDC] / total_trials:.3f}" if total_trials else "0.000",
+                f"{totals[DETECTED] / visible:.3f}" if visible else "1.000",
+            ]
+        )
+        return table
+
+
+def run_campaign(
+    automaton: HomogeneousAutomaton,
+    data: bytes,
+    *,
+    design: DesignPoint = CA_P,
+    trials: int = 48,
+    seed: int = 7,
+    config: Optional[FaultConfig] = None,
+) -> CampaignResult:
+    """Run a single-fault injection campaign; see the module docstring."""
+    if trials <= 0:
+        raise FaultError(f"trial count must be positive, got {trials}")
+    if len(data) == 0:
+        raise FaultError("campaign input must be non-empty")
+    if config is None:
+        config = ALL_SITES
+    config.validate()
+    sites: Sequence[FaultSite] = config.enabled_sites()
+    if not sites:
+        raise FaultError("no fault sites enabled (all rates are zero)")
+
+    mapping = compile_automaton(automaton, design)
+    simulator = FaultySimulator(MappedSimulator(mapping))
+
+    reference = simulator.run(data)
+    if reference.detected:
+        raise FaultError("parity check fired on the clean reference run")
+    golden = match_offsets(mapping.automaton, data)
+    if reference.report_offsets() != golden:
+        raise FaultError(
+            "fault harness diverges from the golden interpreter on the "
+            "clean run; refusing to attribute outcomes to faults"
+        )
+
+    tallies = {
+        site: {MASKED: 0, DETECTED: 0, SDC: 0} for site in sites
+    }
+    outcomes: List[Tuple[str, str, int, int, str]] = []
+    for trial in range(trials):
+        site = sites[trial % len(sites)]
+        rng = np.random.default_rng([seed, trial])
+        event = draw_event(
+            rng, site, config, len(data),
+            simulator.state_bits, simulator.edge_bits,
+        )
+        outcome = classify(simulator.run(data, [event]), reference)
+        assert outcome in OUTCOMES
+        tallies[site][outcome] += 1
+        outcomes.append(
+            (site.value, event.kind, event.cycle, event.bit, outcome)
+        )
+
+    rows = tuple(
+        CampaignRow(
+            site=site.value,
+            trials=sum(tallies[site].values()),
+            masked=tallies[site][MASKED],
+            detected=tallies[site][DETECTED],
+            sdc=tallies[site][SDC],
+        )
+        for site in sites
+    )
+    return CampaignResult(
+        seed=seed,
+        trials=trials,
+        input_bytes=len(data),
+        states=len(mapping.automaton),
+        rows=rows,
+        outcomes=tuple(outcomes),
+    )

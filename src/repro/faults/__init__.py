@@ -1,0 +1,54 @@
+"""Fault models, injection, and detection for the Cache Automaton.
+
+Computing *in* LLC SRAM arrays with aggressive sense-amplifier cycling
+makes transient bit flips in STE match columns and stuck-at faults in
+the 8T crossbar switches first-class hardware concerns (related
+in-memory automata designs — CAMA, ReRAM crossbar FSAs — evaluate
+device non-idealities as a core axis).  This package models them:
+
+* :mod:`repro.faults.models` — the fault taxonomy: sites (match array,
+  crossbar switch, active state vector), kinds (flip, drop, ghost,
+  stuck-at-0/1), per-subsystem rate knobs, and outcome classes
+  (masked / detected / silent data corruption);
+* :mod:`repro.faults.injector` — the seeded deterministic
+  :class:`FaultInjector` and the :class:`FaultySimulator` harness that
+  drives a compiled mapping under injected faults with per-column
+  parity detection.
+
+The AVF-style campaign runner lives in :mod:`repro.eval.faults`
+(``python -m repro.cli fault-campaign``).
+"""
+
+from repro.faults.models import (
+    ALL_SITES,
+    DETECTED,
+    MASKED,
+    OUTCOMES,
+    SDC,
+    FaultConfig,
+    FaultEvent,
+    FaultSite,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultRunReport,
+    FaultySimulator,
+    classify,
+    draw_event,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "DETECTED",
+    "MASKED",
+    "OUTCOMES",
+    "SDC",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRunReport",
+    "FaultSite",
+    "FaultySimulator",
+    "classify",
+    "draw_event",
+]

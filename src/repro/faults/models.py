@@ -1,0 +1,148 @@
+"""Fault taxonomy for the Cache Automaton hardware state.
+
+Three fault *sites* cover the state the paper actually builds:
+
+* ``MATCH`` — a transient bit flip in one packed match-matrix word: the
+  sense amplifiers mis-read one bit of an STE column during the state
+  match.  Transient (one cycle, one bit).
+* ``CROSSBAR`` — a stuck-at fault in an L/G-switch 8T crossbar:
+  stuck-at-0 kills one cross-point (the transition never fires),
+  stuck-at-1 holds a state's enable wire high (the state is enabled
+  every cycle).  Persistent for the run.
+* ``STATE`` — a dropped or ghost bit in the active state vector between
+  cycles (a flip in the latches holding pending successor activations).
+  Transient (strikes before one cycle).
+
+Each injected fault is classified into one of three *outcomes*:
+
+* ``masked`` — the report stream is unchanged and no detector fired
+  (the fault hit a don't-care: a disabled state, a dead cycle, an
+  unused column);
+* ``detected`` — the per-column parity check on the match-vector read
+  caught it (parity covers every odd-weight match read upset, so single
+  MATCH flips are always detected);
+* ``sdc`` — silent data corruption: the report stream differs from the
+  golden reference and nothing fired.  This is the AVF numerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import FaultError
+
+#: Outcome classes of one injected fault.
+MASKED = "masked"
+DETECTED = "detected"
+SDC = "sdc"
+OUTCOMES = (MASKED, DETECTED, SDC)
+
+
+class FaultSite(str, Enum):
+    """Where a fault strikes (the three hardware structures modelled)."""
+
+    MATCH = "match"
+    CROSSBAR = "crossbar"
+    STATE = "state"
+
+
+#: Fault kinds per site (documented here, checked by FaultEvent.validate).
+_SITE_KINDS = {
+    FaultSite.MATCH: ("flip",),
+    FaultSite.CROSSBAR: ("stuck0", "stuck1"),
+    FaultSite.STATE: ("drop", "ghost"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    ``cycle`` is the symbol index at which a transient fault strikes
+    (``-1`` for persistent stuck-at faults, which hold for the whole
+    run).  ``bit`` is the state-bit coordinate (for ``stuck0`` it is the
+    *source* bit and ``target`` the destination bit of the dead
+    cross-point).
+    """
+
+    site: FaultSite
+    kind: str
+    cycle: int
+    bit: int
+    target: int = -1
+
+    def validate(self) -> "FaultEvent":
+        kinds = _SITE_KINDS[self.site]
+        if self.kind not in kinds:
+            raise FaultError(
+                f"{self.site.value} faults must be one of {kinds}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "stuck0" and self.target < 0:
+            raise FaultError("stuck0 faults need a target bit")
+        persistent = self.kind in ("stuck0", "stuck1")
+        if persistent != (self.cycle < 0):
+            raise FaultError(
+                f"{self.kind} faults are "
+                f"{'persistent (cycle=-1)' if persistent else 'transient (cycle>=0)'}"
+                f", got cycle={self.cycle}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-subsystem fault-rate knobs for rate-driven injection.
+
+    Transient rates (``match_flip_rate``, ``state_drop_rate``,
+    ``state_ghost_rate``) are per-symbol-cycle probabilities; stuck
+    rates are per-cross-point (``crossbar_stuck0_rate``, over edges) and
+    per-enable-wire (``crossbar_stuck1_rate``, over states)
+    probabilities, drawn once per run.  A site with every rate at zero
+    is excluded from campaigns.
+    """
+
+    seed: int = 0
+    match_flip_rate: float = 0.0
+    state_drop_rate: float = 0.0
+    state_ghost_rate: float = 0.0
+    crossbar_stuck0_rate: float = 0.0
+    crossbar_stuck1_rate: float = 0.0
+
+    def validate(self) -> "FaultConfig":
+        for name in (
+            "match_flip_rate",
+            "state_drop_rate",
+            "state_ghost_rate",
+            "crossbar_stuck0_rate",
+            "crossbar_stuck1_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {rate}")
+        return self
+
+    def enabled_sites(self) -> Tuple[FaultSite, ...]:
+        """Sites with at least one positive rate, in stable order."""
+        sites = []
+        if self.match_flip_rate > 0:
+            sites.append(FaultSite.MATCH)
+        if self.crossbar_stuck0_rate > 0 or self.crossbar_stuck1_rate > 0:
+            sites.append(FaultSite.CROSSBAR)
+        if self.state_drop_rate > 0 or self.state_ghost_rate > 0:
+            sites.append(FaultSite.STATE)
+        return tuple(sites)
+
+
+#: Convenience config enabling every site at a uniform (low) rate —
+#: campaigns that inject exactly one fault per trial only consult the
+#: rates to decide which sites and kinds are in play.
+ALL_SITES = FaultConfig(
+    match_flip_rate=1e-4,
+    state_drop_rate=1e-4,
+    state_ghost_rate=1e-4,
+    crossbar_stuck0_rate=1e-4,
+    crossbar_stuck1_rate=1e-4,
+)

@@ -30,9 +30,17 @@ from repro.sim.golden import Report
 
 
 class CrossbarLevelSimulator:
-    """Executes a compiled :class:`~repro.compiler.bitstream.Bitstream`."""
+    """Executes a compiled :class:`~repro.compiler.bitstream.Bitstream`.
 
-    def __init__(self, bitstream: Bitstream):
+    ``stuck_wires`` injects persistent stuck-at faults on activation
+    wires: each ``(partition, slot, value)`` triple pins that slot's
+    enable wire to ``value`` every cycle, before the match read — the
+    structural twin of the kernel-level crossbar faults in
+    :mod:`repro.faults` (a stuck-at-1 wire behaves like an all-input
+    start state; a stuck-at-0 wire can never be activated).
+    """
+
+    def __init__(self, bitstream: Bitstream, *, stuck_wires=()):
         self.bitstream = bitstream
         mapping = bitstream.mapping
         design = mapping.design
@@ -63,6 +71,25 @@ class CrossbarLevelSimulator:
         self._l_enable = bitstream.l_switch_enable.astype(np.int32)
         self._ste_columns = bitstream.ste_columns.astype(bool)
 
+        self._stuck_zero = np.zeros((self.partition_count, size), dtype=bool)
+        self._stuck_one = np.zeros((self.partition_count, size), dtype=bool)
+        for partition_index, slot, value in stuck_wires:
+            if not 0 <= partition_index < self.partition_count:
+                raise SimulationError(
+                    f"stuck wire partition {partition_index} out of range"
+                )
+            if not 0 <= slot < size:
+                raise SimulationError(f"stuck wire slot {slot} out of range")
+            if value not in (0, 1):
+                raise SimulationError(
+                    f"stuck wire value must be 0 or 1, got {value}"
+                )
+            self._stuck_zero[partition_index, slot] = value == 0
+            self._stuck_one[partition_index, slot] = value == 1
+
+    def _apply_stuck(self, active: np.ndarray) -> np.ndarray:
+        return (active | self._stuck_one) & ~self._stuck_zero
+
     def run(self, data: bytes) -> List[Report]:
         """Process ``data`` and return the report records."""
         if not isinstance(data, (bytes, bytearray, memoryview)):
@@ -74,7 +101,7 @@ class CrossbarLevelSimulator:
         per_way = self.per_way
         reports: List[Report] = []
 
-        active = self._start_all | self._start_sod
+        active = self._apply_stuck(self._start_all | self._start_sod)
         for offset, symbol in enumerate(data):
             # Stage 1 — state match: one row read per partition.
             match_vectors = self._ste_columns[:, symbol, :]
@@ -118,6 +145,7 @@ class CrossbarLevelSimulator:
                 > 0
             )
             active |= self._start_all
+            active = self._apply_stuck(active)
         return reports
 
     def _drive_wires(

@@ -300,6 +300,12 @@ class MappedSimulator:
             self._way_starts = np.zeros(0, dtype=np.int64)
             self._domain_starts = np.zeros(0, dtype=np.int64)
 
+    @property
+    def kernel(self) -> BitsetKernel:
+        """The packed-bitset kernel executing this mapping (read-mostly;
+        used by the fault-injection harness in :mod:`repro.faults`)."""
+        return self._kernel
+
     # -- packed-table round-trip ------------------------------------------
 
     def packed_tables(self) -> dict:

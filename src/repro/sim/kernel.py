@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import FaultError, SimulationError
 
 #: Symbols processed per kernel chunk (gather + batched-stats granularity).
 CHUNK_SYMBOLS = 4096
@@ -150,29 +150,62 @@ class BitsetKernel:
 
     @classmethod
     def from_packed(cls, tables: Dict[str, np.ndarray]) -> "BitsetKernel":
-        """Rebuild a kernel directly from :meth:`packed_tables` output."""
+        """Rebuild a kernel directly from :meth:`packed_tables` output.
+
+        The tables are validated for mutual consistency (shapes, dtypes,
+        word widths) before use: they typically arrive from an on-disk
+        artefact cache, and a corrupt artefact must surface here as a
+        :class:`SimulationError` the engine can quarantine on — not as a
+        wrong-shaped gather deep inside a scan.
+        """
         self = cls.__new__(cls)
-        self.n_bits = int(tables["n_bits"])
+        try:
+            self.n_bits = int(tables["n_bits"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SimulationError(f"corrupt kernel tables: {error}") from None
+        if self.n_bits <= 0:
+            raise SimulationError(
+                f"corrupt kernel tables: n_bits={self.n_bits}"
+            )
         self.words = max(1, -(-self.n_bits // 64))
         self.row_bytes = self.words * 8
 
-        def frozen(array: np.ndarray) -> np.ndarray:
+        def frozen(array: np.ndarray, shape) -> np.ndarray:
             array = np.ascontiguousarray(array)
+            if array.dtype != np.uint64 or array.shape != shape:
+                raise SimulationError(
+                    "corrupt kernel tables: expected uint64 array of shape "
+                    f"{shape}, got {array.dtype} {array.shape}"
+                )
             array.setflags(write=False)
             return array
 
-        self.match_matrix = frozen(tables["match_matrix"])
-        self.start_all_row = frozen(tables["start_all"])
-        self.start_sod_row = frozen(tables["start_sod"])
-        self.report_row = frozen(tables["report"])
-        self.has_sod = bool(self.start_sod_row.any())
-        self._dense = None
-        if "succ_dense" in tables:
-            self._dense = frozen(tables["succ_dense"])
-        else:
-            self._csr_indptr = np.ascontiguousarray(tables["succ_indptr"])
-            self._csr_words = np.ascontiguousarray(tables["succ_words"])
-            self._csr_masks = np.ascontiguousarray(tables["succ_masks"])
+        try:
+            self.match_matrix = frozen(tables["match_matrix"], (256, self.words))
+            self.start_all_row = frozen(tables["start_all"], (self.words,))
+            self.start_sod_row = frozen(tables["start_sod"], (self.words,))
+            self.report_row = frozen(tables["report"], (self.words,))
+            self.has_sod = bool(self.start_sod_row.any())
+            self._dense = None
+            if "succ_dense" in tables:
+                self._dense = frozen(
+                    tables["succ_dense"], (self.n_bits, self.words)
+                )
+            else:
+                self._csr_indptr = np.ascontiguousarray(tables["succ_indptr"])
+                self._csr_words = np.ascontiguousarray(tables["succ_words"])
+                self._csr_masks = np.ascontiguousarray(tables["succ_masks"])
+                if (
+                    self._csr_indptr.shape != (self.n_bits + 1,)
+                    or self._csr_words.shape != self._csr_masks.shape
+                ):
+                    raise SimulationError(
+                        "corrupt kernel tables: inconsistent CSR arrays"
+                    )
+        except KeyError as error:
+            raise SimulationError(
+                f"corrupt kernel tables: missing {error}"
+            ) from None
         self._prop_cache = {}
         self._prop_cache_limit = max(
             1024, PROPAGATE_CACHE_BYTES // self.row_bytes
@@ -181,6 +214,55 @@ class BitsetKernel:
         self._idle_escape = None
         self._scratch = np.zeros(self.words, dtype=np.uint64)
         return self
+
+    # -- fault modelling ---------------------------------------------------
+
+    def match_parity(self) -> np.ndarray:
+        """Per-symbol parity of the match-matrix rows, as ``(256,)`` uint8.
+
+        Models a per-column parity bit stored alongside each STE column:
+        any odd number of bit flips in one match-vector read changes the
+        read's parity against this table, so single-event upsets in the
+        match path are always detectable.
+        """
+        return (popcount_rows(self.match_matrix) & 1).astype(np.uint8)
+
+    def with_faults(
+        self,
+        *,
+        drop_edges: Tuple[Tuple[int, int], ...] = (),
+        stuck_high_bits: Tuple[int, ...] = (),
+    ) -> "BitsetKernel":
+        """A fault-perturbed copy of this kernel (fresh caches).
+
+        ``drop_edges`` are ``(source_bit, target_bit)`` pairs whose
+        crossbar cross-point is stuck at 0 — the transition never fires.
+        ``stuck_high_bits`` are state bits whose L-switch enable wire is
+        stuck at 1 — the state is enabled every cycle, modelled by
+        promoting it to an all-input start state.  The perturbed kernel
+        shares nothing mutable with the original.
+        """
+        if self._dense is None and drop_edges:
+            raise FaultError(
+                "crossbar fault injection requires the dense successor "
+                "table; this automaton uses the CSR representation"
+            )
+        tables = {
+            name: array.copy() for name, array in self.packed_tables().items()
+        }
+        for source, target in drop_edges:
+            if not (0 <= source < self.n_bits and 0 <= target < self.n_bits):
+                raise FaultError(
+                    f"edge fault ({source}, {target}) outside state space"
+                )
+            tables["succ_dense"][source, target >> 6] &= ~np.uint64(
+                1 << (target & 63)
+            )
+        for bit in stuck_high_bits:
+            if not 0 <= bit < self.n_bits:
+                raise FaultError(f"stuck-high bit {bit} outside state space")
+            tables["start_all"][bit >> 6] |= np.uint64(1 << (bit & 63))
+        return BitsetKernel.from_packed(tables)
 
     # -- packing -----------------------------------------------------------
 

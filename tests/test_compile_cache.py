@@ -155,6 +155,7 @@ class TestEngineCachePath:
         engine = CacheAutomatonEngine(automaton, cache=None)
         assert engine.cache_info() == {
             "hits": 0, "misses": 0, "bypasses": 0, "stores": 0,
+            "quarantines": 0, "retries": 0,
         }
 
     def test_optimize_bypasses_cache(self, cache, automaton):

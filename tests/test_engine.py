@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.design import CA_S
 from repro.engine import CacheAutomatonEngine, Match
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationError
 from repro.sim.golden import match_offsets
 
 
@@ -164,3 +164,49 @@ class TestMultiStream:
         engine.scan_many([b"a bat", b"bat bat"])
         summary = engine.performance_summary()
         assert summary.energy_nj_per_symbol > 0
+
+
+class TestInputValidation:
+    def test_scan_rejects_non_bytes(self, engine):
+        with pytest.raises(SimulationError, match="bytes-like.*str"):
+            engine.scan("not bytes")
+        with pytest.raises(SimulationError, match="bytes-like.*int"):
+            engine.scan(42)
+
+    def test_count_rejects_non_bytes(self, engine):
+        with pytest.raises(SimulationError, match="bytes-like"):
+            engine.count(None)
+
+    def test_scan_accepts_bytes_like(self, engine):
+        assert engine.scan(bytearray(b"a bat")) == engine.scan(b"a bat")
+        assert engine.scan(memoryview(b"a bat")) == engine.scan(b"a bat")
+
+    def test_scan_many_rejects_single_byte_string(self, engine):
+        with pytest.raises(SimulationError, match="sequence of byte streams"):
+            engine.scan_many(b"one stream")
+        with pytest.raises(SimulationError, match="sequence of byte streams"):
+            engine.scan_many("text")
+
+    def test_scan_many_names_offending_stream(self, engine):
+        with pytest.raises(SimulationError, match="stream 1"):
+            engine.scan_many([b"fine", "broken"])
+
+    def test_stream_chunk_rejects_non_bytes(self, engine):
+        scanner = engine.stream()
+        with pytest.raises(SimulationError, match="stream chunk"):
+            scanner.scan("oops")
+
+    def test_stream_many_rejects_bad_chunks(self, engine):
+        scanner = engine.stream_many(2)
+        with pytest.raises(SimulationError, match="sequence of per-stream"):
+            scanner.scan(b"both")
+        with pytest.raises(SimulationError, match="chunk for stream 0"):
+            scanner.scan([None, b"ok"])
+        # A failed scan must not corrupt the scanner's checkpoints.
+        assert scanner.scan([b"bat", b""])[0]
+
+    def test_empty_inputs_are_fine(self, engine):
+        assert engine.scan(b"") == []
+        assert engine.scan_many([]) == []
+        assert engine.scan_many([b"", b""]) == [[], []]
+        assert engine.count(b"") == 0

@@ -60,6 +60,10 @@ class TestErrorHierarchy:
         for name in dir(errors):
             attribute = getattr(errors, name)
             if isinstance(attribute, type) and issubclass(attribute, Exception):
+                # Warnings (DegradedModeWarning) live outside the error
+                # hierarchy so `except ReproError` never swallows one.
+                if issubclass(attribute, Warning):
+                    continue
                 assert issubclass(attribute, errors.ReproError) or (
                     attribute is errors.ReproError
                 ), name
@@ -80,6 +84,8 @@ class TestErrorHierarchy:
         assert issubclass(errors.ConnectivityError, errors.CompileError)
         assert issubclass(errors.SymbolSetError, errors.AutomatonError)
         assert issubclass(errors.AnmlError, errors.AutomatonError)
+        assert issubclass(errors.FaultError, errors.ReproError)
+        assert issubclass(errors.DegradedModeWarning, RuntimeWarning)
 
 
 class TestMarkdownReport:
