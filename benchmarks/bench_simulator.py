@@ -8,6 +8,13 @@ as ``benchmarks/test_simulator_perf.py`` — and appends one labelled entry
 to the repo-root ``BENCH_simulator.json`` so successive PRs accumulate a
 before/after performance history.
 
+Each entry also carries a ``backends`` table: single-stream throughput of
+every backend registered with :mod:`repro.backends` over a (shorter)
+``--matrix-length`` prefix of the same input, so per-backend rates track
+the same history.  Backends that cannot build for the workload (e.g. the
+DFA baseline when subset construction explodes) are recorded as skipped
+with the reason instead of aborting the run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_simulator.py --label my-change
@@ -30,8 +37,11 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
+from repro.backends import backend_names, create_backend  # noqa: E402
+from repro.backends.artifact import CompiledArtifact  # noqa: E402
 from repro.compiler import compile_automaton  # noqa: E402
 from repro.core.design import CA_P  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
 from repro.sim.functional import MappedSimulator  # noqa: E402
 from repro.sim.golden import GoldenSimulator  # noqa: E402
 from repro.workloads.suite import get_benchmark  # noqa: E402
@@ -52,12 +62,42 @@ def median_rate(func, symbols: int, rounds: int) -> float:
     return symbols / statistics.median(times)
 
 
-def measure(length: int, rounds: int) -> dict:
+#: Per-backend construction options for the throughput matrix.  The DFA
+#: baseline gets a deliberately low state cap (no minimisation) so a
+#: workload whose subset construction explodes fails in seconds and is
+#: recorded as skipped rather than stalling the benchmark.
+_MATRIX_OPTIONS = {
+    "cpu-dfa": {"minimize": False, "max_states": 4000},
+}
+
+
+def backend_matrix(artifact, data: bytes, rounds: int) -> dict:
+    """Symbols/second of every registered backend on ``data``."""
+    matrix = {}
+    for name in backend_names():
+        try:
+            backend = create_backend(
+                name, artifact, **_MATRIX_OPTIONS.get(name, {})
+            )
+            rate = median_rate(
+                lambda: backend.scan(data, collect_reports=False),
+                len(data),
+                rounds,
+            )
+        except ReproError as error:
+            matrix[name] = {"skipped": str(error)}
+            continue
+        matrix[name] = {"symbols_per_sec": round(rate)}
+    return matrix
+
+
+def measure(length: int, rounds: int, matrix_length: int) -> dict:
     spec = get_benchmark("PowerEN")
     automaton = spec.build()
     data = spec.input_stream(length, seed=5)
     golden = GoldenSimulator(automaton)
-    mapped = MappedSimulator(compile_automaton(automaton, CA_P))
+    artifact = CompiledArtifact.from_mapping(compile_automaton(automaton, CA_P))
+    mapped = MappedSimulator(artifact.mapping)
     quarter = len(data) // 4
     streams = [data[i * quarter : (i + 1) * quarter] for i in range(4)]
 
@@ -79,6 +119,8 @@ def measure(length: int, rounds: int) -> dict:
         "golden_symbols_per_sec": round(golden_rate),
         "mapped_symbols_per_sec": round(mapped_rate),
         "run_many_aggregate_symbols_per_sec": round(many_rate),
+        "backend_matrix_symbols": matrix_length,
+        "backends": backend_matrix(artifact, data[:matrix_length], rounds),
     }
 
 
@@ -88,6 +130,9 @@ def main() -> int:
                         help="input-stream symbols (default 8000)")
     parser.add_argument("--rounds", type=int, default=5,
                         help="timed rounds per engine; median wins (default 5)")
+    parser.add_argument("--matrix-length", type=int, default=2000,
+                        help="input prefix for the per-backend throughput "
+                             "matrix (default 2000)")
     parser.add_argument("--label", default="local",
                         help="entry label, e.g. a PR or commit name")
     parser.add_argument("--note", default="",
@@ -101,8 +146,10 @@ def main() -> int:
         parser.error("--rounds must be at least 1")
     if args.length < 8:
         parser.error("--length must be at least 8 symbols")
+    if not 8 <= args.matrix_length <= args.length:
+        parser.error("--matrix-length must be in [8, --length]")
 
-    entry = measure(args.length, args.rounds)
+    entry = measure(args.length, args.rounds, args.matrix_length)
     entry["label"] = args.label
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")
     if args.note:

@@ -1,0 +1,335 @@
+"""The compiled-artifact IR: one object every backend builds from.
+
+A :class:`CompiledArtifact` is the complete, serialisable product of
+compilation — the placement (:class:`~repro.compiler.mapping.Mapping`),
+the packed simulator kernel tables, and the content fingerprints of both
+compiler inputs.  It replaces the ad-hoc ``(mapping, kernel_arrays)``
+tuples that used to be duplicated across the artifact cache, the
+simulator cache round-trip, and the engine's warm-start path, and it is
+the single argument of every backend's ``from_artifact``.
+
+Serialisation is versioned (:data:`ARTIFACT_FORMAT_VERSION`) and shared:
+:meth:`CompiledArtifact.to_payload` / :meth:`from_payload` define the
+array-dict layout the on-disk cache persists (``.npz``), and
+:meth:`npz_bytes` / :meth:`from_npz_bytes` wrap it for byte-oriented
+transport.  Version-1 payloads written before the field existed load
+unchanged; any corrupt or mismatching payload raises
+:class:`~repro.errors.ArtifactError`, which the cache converts into
+"quarantine and recompile".
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.compiler.cache import automaton_fingerprint, design_fingerprint
+from repro.compiler.mapping import MappedPartition, Mapping
+from repro.core.design import DesignPoint
+from repro.errors import ArtifactError
+
+#: Bump when the payload layout changes.  Version 1 is the original
+#: layout (``part``/``slot``/``ways``/fingerprints/``kernel_*``); the
+#: explicit ``artifact_version`` member was introduced while the layout
+#: was still version 1, so payloads without it are read as version 1.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Payload member prefix under which kernel tables are stored.
+_KERNEL_PREFIX = "kernel_"
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """Everything needed to execute a compiled automaton on any backend.
+
+    ``kernel_tables`` may be empty — backends that need the packed
+    tables (see :attr:`~repro.backends.base.AutomatonBackend.
+    consumes_kernel_tables`) rebuild them from the mapping when absent.
+    """
+
+    mapping: Mapping
+    kernel_tables: Dict[str, np.ndarray] = field(default_factory=dict)
+    automaton_fingerprint: str = ""
+    design_fingerprint: str = ""
+    version: int = ARTIFACT_FORMAT_VERSION
+
+    @property
+    def automaton(self) -> HomogeneousAutomaton:
+        """The automaton actually mapped (post any optimisation)."""
+        return self.mapping.automaton
+
+    @property
+    def design(self) -> DesignPoint:
+        return self.mapping.design
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: Mapping,
+        kernel_tables: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "CompiledArtifact":
+        """Wrap a freshly compiled mapping, fingerprinting its inputs."""
+        return cls(
+            mapping=mapping,
+            kernel_tables=dict(kernel_tables or {}),
+            automaton_fingerprint=automaton_fingerprint(mapping.automaton),
+            design_fingerprint=design_fingerprint(mapping.design),
+        )
+
+    def with_kernel_tables(
+        self, kernel_tables: Dict[str, np.ndarray]
+    ) -> "CompiledArtifact":
+        """A copy of this artifact carrying ``kernel_tables``."""
+        return CompiledArtifact(
+            mapping=self.mapping,
+            kernel_tables=dict(kernel_tables),
+            automaton_fingerprint=self.automaton_fingerprint,
+            design_fingerprint=self.design_fingerprint,
+            version=self.version,
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """The versioned array-dict payload persisted by the cache."""
+        automaton = self.mapping.automaton
+        arrays = automaton.edge_index_arrays()
+        count = len(arrays.ids)
+        part = np.empty(count, dtype=np.int32)
+        slot = np.empty(count, dtype=np.int32)
+        location = self.mapping.location
+        for position, ste_id in enumerate(arrays.ids):
+            partition_index, slot_index = location[ste_id]
+            part[position] = partition_index
+            slot[position] = slot_index
+        payload: Dict[str, np.ndarray] = {
+            "artifact_version": np.asarray(self.version, dtype=np.int64),
+            "part": part,
+            "slot": slot,
+            "ways": np.asarray(
+                [partition.way for partition in self.mapping.partitions],
+                dtype=np.int32,
+            ),
+            "fingerprint": np.asarray(
+                self.automaton_fingerprint
+                or automaton_fingerprint(automaton)
+            ),
+            "design": np.asarray(
+                self.design_fingerprint or design_fingerprint(self.design)
+            ),
+        }
+        for name, array in self.kernel_tables.items():
+            payload[f"{_KERNEL_PREFIX}{name}"] = array
+        return payload
+
+    @classmethod
+    def from_payload(
+        cls,
+        data,
+        automaton: HomogeneousAutomaton,
+        design: DesignPoint,
+    ) -> "CompiledArtifact":
+        """Rebuild an artifact against the in-memory compiler inputs.
+
+        ``data`` is any mapping of member name -> array (an open ``npz``
+        file works directly).  The payload's stored fingerprints are
+        re-verified against ``automaton``/``design``; any missing
+        member, shape mismatch, unsupported version, or fingerprint
+        mismatch raises :class:`ArtifactError`.  Per-state structures of
+        the returned mapping materialise lazily — warm engine starts
+        never touch them.
+        """
+        try:
+            members = set(
+                data.files if hasattr(data, "files") else data.keys()
+            )
+            version = (
+                int(data["artifact_version"])
+                if "artifact_version" in members
+                else 1
+            )
+            if version != ARTIFACT_FORMAT_VERSION:
+                raise ArtifactError(
+                    f"unsupported artifact version {version} "
+                    f"(expected {ARTIFACT_FORMAT_VERSION})"
+                )
+            part = data["part"]
+            slot = data["slot"]
+            ways = data["ways"]
+            stored_fingerprint = str(data["fingerprint"])
+            stored_design = str(data["design"])
+        except ArtifactError:
+            raise
+        except Exception as error:
+            raise ArtifactError(f"unreadable member: {error}") from None
+        arrays = automaton.edge_index_arrays()
+        if (
+            stored_fingerprint != automaton_fingerprint(automaton)
+            or stored_design != design_fingerprint(design)
+            or part.shape[0] != len(arrays.ids)
+        ):
+            raise ArtifactError("stored fingerprints do not match the key")
+        placement = _SharedPlacement(arrays.ids, part, slot, ways.shape[0])
+        partitions = [
+            _LazyPartition(index, way, placement)
+            for index, way in enumerate(ways.tolist())
+        ]
+        location = _LazyLocation(arrays.ids, part, slot)
+        mapping = Mapping(design, automaton, partitions, location)
+        kernel_tables = {
+            name[len(_KERNEL_PREFIX):]: data[name]
+            for name in members
+            if name.startswith(_KERNEL_PREFIX)
+        }
+        return cls(
+            mapping=mapping,
+            kernel_tables=kernel_tables,
+            automaton_fingerprint=stored_fingerprint,
+            design_fingerprint=stored_design,
+            version=version,
+        )
+
+    def npz_bytes(self) -> bytes:
+        """The payload serialised as ``npz`` bytes (cache file format)."""
+        buffer = io.BytesIO()
+        np.savez(buffer, **self.to_payload())
+        return buffer.getvalue()
+
+    @classmethod
+    def from_npz_bytes(
+        cls,
+        payload: bytes,
+        automaton: HomogeneousAutomaton,
+        design: DesignPoint,
+    ) -> "CompiledArtifact":
+        """Inverse of :meth:`npz_bytes`; raises :class:`ArtifactError`."""
+        try:
+            data = np.load(io.BytesIO(payload), allow_pickle=False)
+        except Exception as error:
+            raise ArtifactError(f"not a valid artifact archive: {error}") from None
+        return cls.from_payload(data, automaton, design)
+
+    def bitstream_bytes(self) -> bytes:
+        """The configuration bitstream for this artifact's mapping."""
+        from repro.compiler.bitstream import generate
+
+        return generate(self.mapping).to_bytes()
+
+
+class _SharedPlacement:
+    """Placement arrays shared by every partition of one loaded artifact;
+    the per-partition slot-ordered id lists materialise together with one
+    vectorised sort, on the first partition that needs them."""
+
+    def __init__(
+        self,
+        ids: List[str],
+        part: np.ndarray,
+        slot: np.ndarray,
+        partition_count: int,
+    ):
+        self._ids = ids
+        self._part = part
+        self._slot = slot
+        self._partition_count = partition_count
+        self._lists: Optional[List[List[str]]] = None
+
+    def ste_lists(self) -> List[List[str]]:
+        if self._lists is None:
+            order = np.lexsort((self._slot, self._part))
+            ordered_parts = self._part[order]
+            bounds = np.searchsorted(
+                ordered_parts, np.arange(self._partition_count + 1)
+            ).tolist()
+            ids = self._ids
+            order_list = order.tolist()
+            self._lists = [
+                [ids[position] for position in order_list[start:end]]
+                for start, end in zip(bounds, bounds[1:])
+            ]
+        return self._lists
+
+
+class _LazyPartition(MappedPartition):
+    """A loaded partition whose ``ste_ids`` list fills on first access."""
+
+    def __init__(self, index: int, way: int, placement: _SharedPlacement):
+        super().__init__(index, way)
+        self._placement: Optional[_SharedPlacement] = placement
+
+    def __getattribute__(self, name):
+        if name == "ste_ids":
+            placement = object.__getattribute__(self, "_placement")
+            if placement is not None:
+                object.__setattr__(self, "_placement", None)
+                lists = placement.ste_lists()
+                index = object.__getattribute__(self, "index")
+                object.__setattr__(self, "ste_ids", lists[index])
+        return object.__getattribute__(self, name)
+
+
+class _LazyLocation(dict):
+    """A mapping's ``location`` dict, materialised on first real access.
+
+    Warm engine construction never touches per-state locations (the
+    simulator tables travel in the artifact), so the 10ms+ cost of
+    building a many-thousand-entry dict of tuples is deferred until
+    something — e.g. constraint re-analysis — actually asks for it.
+    """
+
+    def __init__(self, ids: List[str], part: np.ndarray, slot: np.ndarray):
+        super().__init__()
+        self._pending: Optional[Tuple[List[str], np.ndarray, np.ndarray]] = (
+            ids,
+            part,
+            slot,
+        )
+
+    def _materialise(self):
+        if self._pending is not None:
+            ids, part, slot = self._pending
+            self._pending = None
+            self.update(zip(ids, zip(part.tolist(), slot.tolist())))
+
+    def __getitem__(self, key):
+        self._materialise()
+        return dict.__getitem__(self, key)
+
+    def __contains__(self, key):
+        self._materialise()
+        return dict.__contains__(self, key)
+
+    def __iter__(self):
+        self._materialise()
+        return dict.__iter__(self)
+
+    def __len__(self):
+        self._materialise()
+        return dict.__len__(self)
+
+    def __eq__(self, other):
+        self._materialise()
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def get(self, key, default=None):
+        self._materialise()
+        return dict.get(self, key, default)
+
+    def keys(self):
+        self._materialise()
+        return dict.keys(self)
+
+    def values(self):
+        self._materialise()
+        return dict.values(self)
+
+    def items(self):
+        self._materialise()
+        return dict.items(self)

@@ -1,0 +1,175 @@
+"""The execution-backend protocol: one contract for every substrate.
+
+The paper evaluates the same NFAs on several execution substrates (the
+cache automaton proper, the AP, CPU baselines); this module defines the
+software analogue — a uniform :class:`AutomatonBackend` surface over the
+golden interpreter, the packed-bitset kernel, the set-based circuit
+interpreter, the fault-injection harness, and the CPU DFA baseline, so
+the engine, the CLI, the eval harness, and the differential tests can
+treat "which substrate scans the bytes" as a runtime parameter.
+
+Every backend is constructed :meth:`~AutomatonBackend.from_artifact` a
+:class:`~repro.backends.artifact.CompiledArtifact` and answers
+:meth:`~AutomatonBackend.capabilities` so callers can discover — rather
+than hard-code — whether it supports checkpointed resume, native
+multi-stream batching, full energy-model activity profiles, or
+per-report STE identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.backends.validation import require_resume_count
+from repro.core.energy import ActivityProfile
+from repro.errors import SimulationError
+from repro.sim.golden import Checkpoint, Report, RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.backends.artifact import CompiledArtifact
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can and cannot do; consult before relying on it.
+
+    ``resume`` — checkpointed chunked scanning (:meth:`AutomatonBackend.
+    stream` and the ``resume=`` argument); ``batch`` — a native
+    multi-stream ``scan_many`` (others fall back to a per-stream loop);
+    ``activity_profile`` — full energy-model counters (partition
+    activations, G-switch crossings), not just symbol/report totals;
+    ``report_identity`` — reports carry the firing STE's identity and
+    rule code (the CPU DFA baseline collapses rule identity during
+    determinisation, so only match *offsets* are comparable);
+    ``fault_events`` — accepts injected
+    :class:`~repro.faults.models.FaultEvent`\\ s.
+    """
+
+    resume: bool = False
+    batch: bool = False
+    activity_profile: bool = False
+    report_identity: bool = True
+    fault_events: bool = False
+    description: str = ""
+
+
+@dataclass
+class BackendResult:
+    """Normalised result of one backend scan.
+
+    ``reports`` follow golden-simulator conventions (0-based end
+    offsets); ``profile`` always carries at least ``symbols`` and
+    ``reports`` counts (full activity only when the backend's
+    capabilities claim ``activity_profile``); ``checkpoint`` resumes the
+    stream on backends supporting it.  ``stats``, ``output_buffer`` and
+    ``detected`` are substrate extras: run statistics, the CBOX
+    output-buffer model, and fault-parity detection cycles.
+    """
+
+    reports: List[Report]
+    profile: ActivityProfile
+    checkpoint: Optional[Checkpoint] = None
+    stats: Optional[RunStats] = None
+    output_buffer: Optional[object] = None
+    detected: Tuple[int, ...] = field(default_factory=tuple)
+
+    def report_offsets(self) -> List[int]:
+        return sorted({report.offset for report in self.reports})
+
+
+class BackendStream:
+    """Stateful chunked scanner over one backend (global offsets)."""
+
+    def __init__(self, backend: "AutomatonBackend"):
+        self._backend = backend
+        self.checkpoint: Optional[Checkpoint] = None
+
+    @property
+    def position(self) -> int:
+        if self.checkpoint is None:
+            return 0
+        return self.checkpoint.symbols_processed
+
+    def scan(self, chunk: bytes, *, collect_reports: bool = True) -> BackendResult:
+        result = self._backend.scan(
+            chunk, collect_reports=collect_reports, resume=self.checkpoint
+        )
+        self.checkpoint = result.checkpoint
+        return result
+
+
+class AutomatonBackend:
+    """Base class / protocol for execution backends.
+
+    Subclasses implement :meth:`from_artifact`, :meth:`scan`, and
+    :meth:`capabilities`; ``scan_many`` and ``stream`` have protocol-level
+    defaults (per-stream loop; checkpoint-driven scanner).  ``name`` is
+    set by :func:`repro.backends.registry.register_backend`.
+    """
+
+    #: Canonical registry name (assigned at registration).
+    name: str = "abstract"
+
+    #: True when :meth:`from_artifact` consumes the artifact's packed
+    #: kernel tables — the engine uses this to decide whether a backend
+    #: construction failure on a warm cache hit indicts the artifact
+    #: (quarantine + recompile) or the request itself.
+    consumes_kernel_tables: bool = False
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: "CompiledArtifact", **options
+    ) -> "AutomatonBackend":
+        raise NotImplementedError
+
+    def capabilities(self) -> BackendCapabilities:
+        raise NotImplementedError
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        raise NotImplementedError
+
+    def scan_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+    ) -> List[BackendResult]:
+        streams = list(streams)
+        resumes = require_resume_count(resumes, len(streams))
+        return [
+            self.scan(data, collect_reports=collect_reports, resume=resume)
+            for data, resume in zip(streams, resumes)
+        ]
+
+    def stream(self) -> BackendStream:
+        if not self.capabilities().resume:
+            raise SimulationError(
+                f"backend {self.name!r} does not support checkpointed "
+                "streaming (capabilities().resume is False)"
+            )
+        return BackendStream(self)
+
+    def _basic_result(
+        self,
+        reports: List[Report],
+        *,
+        symbols: int,
+        report_count: Optional[int] = None,
+        checkpoint: Optional[Checkpoint] = None,
+        stats: Optional[RunStats] = None,
+    ) -> BackendResult:
+        """Result with a symbols/reports-only activity profile."""
+        profile = ActivityProfile()
+        profile.add_activity(
+            symbols=symbols,
+            reports=len(reports) if report_count is None else report_count,
+        )
+        return BackendResult(reports, profile, checkpoint, stats)

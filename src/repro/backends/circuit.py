@@ -1,0 +1,93 @@
+"""The circuit-interpreter backend: element-level ANML semantics.
+
+Lifts the artifact's homogeneous automaton into a pure-STE
+:class:`~repro.automata.elements.CircuitAutomaton` and scans with the
+set-based :class:`~repro.sim.circuit.CircuitSimulator`.  Deliberately
+the slowest, most literal substrate in the registry: per-symbol Python
+sets, no bitset packing, no placement — which makes it a third
+independent implementation of the report semantics for the differential
+matrix (a bug would have to be reproduced in set algebra, in the golden
+kernel, *and* in the mapped kernel to slip through).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.anml import HomogeneousAutomaton
+from repro.automata.elements import CircuitAutomaton
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+)
+from repro.backends.registry import register_backend
+from repro.backends.validation import require_bytes
+from repro.errors import SimulationError
+from repro.sim.circuit import CircuitSimulator
+from repro.sim.golden import Checkpoint
+
+_CAPABILITIES = BackendCapabilities(
+    resume=False,
+    batch=False,
+    activity_profile=False,
+    report_identity=True,
+    fault_events=False,
+    description=(
+        "set-based element-level interpreter over the automaton lifted "
+        "to an ANML circuit; independent reference, whole-stream only"
+    ),
+)
+
+
+def _lift_to_circuit(automaton: HomogeneousAutomaton) -> CircuitAutomaton:
+    """A pure-STE circuit with the automaton's exact structure."""
+    circuit = CircuitAutomaton()
+    for ste in automaton.stes():
+        circuit.add_ste(
+            ste.ste_id,
+            ste.symbols,
+            start=ste.start,
+            reporting=ste.reporting,
+            report_code=ste.report_code,
+        )
+    for source, target in automaton.edges():
+        circuit.connect(source, target)
+    return circuit
+
+
+@register_backend("circuit", aliases=("circuit-interpreter",))
+class CircuitInterpreterBackend(AutomatonBackend):
+    """Execution on the element-level circuit interpreter."""
+
+    def __init__(self, simulator: CircuitSimulator):
+        self.simulator = simulator
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: CompiledArtifact, **_options
+    ) -> "CircuitInterpreterBackend":
+        return cls(CircuitSimulator(_lift_to_circuit(artifact.automaton)))
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        if resume is not None:
+            raise SimulationError(
+                "backend 'circuit' does not support checkpointed resume"
+            )
+        require_bytes(data, "input")
+        run = self.simulator.run(data)
+        return self._basic_result(
+            run.reports if collect_reports else [],
+            symbols=len(data),
+            report_count=len(run.reports),
+        )

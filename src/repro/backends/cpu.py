@@ -1,0 +1,119 @@
+"""The compute-centric baseline backend: a table-driven DFA walk.
+
+Wraps :class:`~repro.baselines.cpu.DfaCpuEngine` behind the backend
+protocol, with a resume-capable scan loop over the dense transition
+table (the DFA state *is* the checkpoint).  Determinisation collapses
+which rule fired into a single accepting bit, so reports carry match
+offsets only — ``capabilities().report_identity`` is False and the
+differential matrix compares this backend on offsets alone, exactly the
+comparison the paper's CPU-baseline numbers rest on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+)
+from repro.backends.registry import register_backend
+from repro.backends.validation import as_symbols
+from repro.baselines.cpu import DfaCpuEngine
+from repro.sim.golden import Checkpoint, Report, RunStats
+
+#: STE id stamped on every report (determinisation erased the real one).
+REPORT_ID = "cpu-dfa"
+
+_CAPABILITIES = BackendCapabilities(
+    resume=True,
+    batch=False,
+    activity_profile=False,
+    report_identity=False,
+    fault_events=False,
+    description=(
+        "determinised table-driven DFA baseline; match offsets only "
+        "(rule identity is erased by subset construction)"
+    ),
+)
+
+
+@register_backend("cpu-dfa", aliases=("cpu", "dfa"))
+class CpuDfaBackend(AutomatonBackend):
+    """Execution as one dense-table DFA transition per input byte."""
+
+    def __init__(self, engine: DfaCpuEngine):
+        self.engine = engine
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: CompiledArtifact,
+        *,
+        minimize: bool = True,
+        max_states: int = 200_000,
+        **_options,
+    ) -> "CpuDfaBackend":
+        """Determinise the artifact's automaton into a scanning DFA.
+
+        Raises :class:`~repro.errors.AutomatonError` when subset
+        construction blows past ``max_states`` — the blow-up itself is
+        one of the paper's motivating observations, so it surfaces
+        rather than being silently capped.
+        """
+        return cls(
+            DfaCpuEngine(
+                artifact.automaton, minimize=minimize, max_states=max_states
+            )
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        """One table load per symbol; golden-convention report offsets.
+
+        The DFA enters an accepting state *after* consuming the matching
+        symbol, so the report offset is the 0-based index of that symbol
+        — identical to the golden interpreter's convention.  On resume
+        the checkpoint's ``active_state_vector`` carries the DFA state.
+        """
+        symbols = as_symbols(data)
+        dfa = self.engine.dfa
+        if resume is None:
+            state = dfa.start
+            base_offset = 0
+        else:
+            state = int(resume.active_state_vector)
+            base_offset = resume.symbols_processed
+        table = dfa.table
+        accepting = dfa.accepting
+        reports: List[Report] = []
+        report_count = 0
+        for index, symbol in enumerate(symbols.tolist()):
+            state = int(table[state, symbol])
+            if accepting[state]:
+                report_count += 1
+                if collect_reports:
+                    reports.append(Report(base_offset + index, REPORT_ID))
+        checkpoint = Checkpoint(
+            symbols_processed=base_offset + len(symbols),
+            active_state_vector=state,
+            start_of_data_pending=False,
+        )
+        stats = RunStats(symbols_processed=len(symbols))
+        return self._basic_result(
+            reports,
+            symbols=len(symbols),
+            report_count=report_count,
+            checkpoint=checkpoint,
+            stats=stats,
+        )

@@ -1,0 +1,69 @@
+"""The golden-interpreter backend: ground-truth semantics, no placement.
+
+Wraps :class:`~repro.sim.golden.GoldenSimulator` (the VASim stand-in)
+behind the backend protocol.  It ignores the artifact's placement and
+kernel tables entirely — which is exactly why the engine uses it as the
+last-resort fallback tier: it cannot be poisoned by a corrupt artifact.
+No activity profile beyond symbol/report totals (there is no placement
+to attribute activity to).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+)
+from repro.backends.registry import register_backend
+from repro.sim.golden import Checkpoint, GoldenSimulator
+
+_CAPABILITIES = BackendCapabilities(
+    resume=True,
+    batch=False,
+    activity_profile=False,
+    report_identity=True,
+    fault_events=False,
+    description=(
+        "reference interpreter over the automaton alone; ground-truth "
+        "reports, no placement-level activity accounting"
+    ),
+)
+
+
+@register_backend("golden-interpreter", aliases=("golden",))
+class GoldenInterpreterBackend(AutomatonBackend):
+    """Execution on the hardware-agnostic reference interpreter."""
+
+    def __init__(self, simulator: GoldenSimulator):
+        self.simulator = simulator
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: CompiledArtifact, **_options
+    ) -> "GoldenInterpreterBackend":
+        return cls(GoldenSimulator(artifact.automaton))
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        # Reports are always materialised internally so the profile's
+        # report count stays correct when the caller only wants totals.
+        run = self.simulator.run(data, resume=resume)
+        return self._basic_result(
+            run.reports if collect_reports else [],
+            symbols=run.stats.symbols_processed,
+            report_count=len(run.reports),
+            checkpoint=run.checkpoint,
+            stats=run.stats,
+        )

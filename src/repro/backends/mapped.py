@@ -1,0 +1,111 @@
+"""The default backend: the packed-bitset mapped-kernel simulator.
+
+Wraps :class:`~repro.sim.functional.MappedSimulator` — the
+cycle-functional model of the compiled placement — behind the
+:class:`~repro.backends.base.AutomatonBackend` protocol.  This is the
+only backend with the full capability set: checkpointed resume, native
+multi-stream batching, and the complete energy-model activity profile
+(partition activations, G1/G4 switch crossings, CBOX output buffer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+)
+from repro.backends.registry import register_backend
+from repro.backends.validation import require_resume_count
+from repro.sim.functional import MappedRunResult, MappedSimulator
+from repro.sim.golden import Checkpoint
+
+_CAPABILITIES = BackendCapabilities(
+    resume=True,
+    batch=True,
+    activity_profile=True,
+    report_identity=True,
+    fault_events=False,
+    description=(
+        "packed-bitset simulation of the compiled mapping; full "
+        "activity/energy accounting, resume, and batched multi-stream "
+        "scanning"
+    ),
+)
+
+
+def _to_result(run: MappedRunResult) -> BackendResult:
+    return BackendResult(
+        reports=run.reports,
+        profile=run.profile,
+        checkpoint=run.checkpoint,
+        stats=run.stats,
+        output_buffer=run.output_buffer,
+    )
+
+
+@register_backend("packed-kernel", aliases=("kernel", "mapped"))
+class PackedKernelBackend(AutomatonBackend):
+    """Execution on the packed uint64 kernel of the mapped simulator."""
+
+    consumes_kernel_tables = True
+
+    def __init__(self, simulator: MappedSimulator):
+        self.simulator = simulator
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: CompiledArtifact, *, simulator_cls=None, **_options
+    ) -> "PackedKernelBackend":
+        """Build from the artifact's kernel tables when present (the warm
+        path — no per-state Python loops), else from the mapping.
+
+        ``simulator_cls`` substitutes the simulator implementation (the
+        degradation tests drive this); it must match the
+        :class:`MappedSimulator` construction surface.
+        """
+        simulator_cls = simulator_cls or MappedSimulator
+        if artifact.kernel_tables:
+            simulator = simulator_cls.from_cached(
+                artifact.mapping, artifact.kernel_tables
+            )
+        else:
+            simulator = simulator_cls(artifact.mapping)
+        return cls(simulator)
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def packed_tables(self) -> dict:
+        """The simulator's kernel tables, for persisting into the cache."""
+        return self.simulator.packed_tables()
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        return _to_result(
+            self.simulator.run(
+                data, collect_reports=collect_reports, resume=resume
+            )
+        )
+
+    def scan_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+    ) -> List[BackendResult]:
+        streams = list(streams)
+        resumes = require_resume_count(resumes, len(streams))
+        runs = self.simulator.run_many(
+            streams, resumes=resumes, collect_reports=collect_reports
+        )
+        return [_to_result(run) for run in runs]

@@ -1,0 +1,79 @@
+"""Shared input validation for every execution backend.
+
+Before this module existed, bytes/shape checks were repeated — with
+slightly diverging messages — in ``engine.scan``/``scan_many``/``stream``
+and in each simulator's ``run``.  All backends, simulators, and the
+engine now funnel input through these helpers, so bad input is rejected
+with identical :class:`~repro.errors.SimulationError`\\ s everywhere.
+
+Import discipline: this module must stay importable from
+:mod:`repro.sim.kernel` (which re-exports :func:`as_symbols`), so it may
+depend only on :mod:`repro.errors` and numpy — never on simulators,
+backends implementations, or the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def require_bytes(value, what: str) -> None:
+    """Raise :class:`SimulationError` unless ``value`` is bytes-like."""
+    if not isinstance(value, (bytes, bytearray, memoryview)):
+        raise SimulationError(
+            f"{what} must be bytes-like, got {type(value).__name__}"
+        )
+
+
+def as_symbols(data) -> np.ndarray:
+    """Validate ``data`` is bytes-like and view it as a ``uint8`` array.
+
+    Every simulator and backend funnels input through here so they
+    reject bad input with identical errors.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+    return np.frombuffer(bytes(data), dtype=np.uint8)
+
+
+def require_stream_sequence(streams, message: str) -> List[bytes]:
+    """Reject a single byte string masquerading as a stream batch.
+
+    ``message`` is the full error text (call sites phrase the hint for
+    their own API); returns ``streams`` as a list on success.
+    """
+    if isinstance(streams, (bytes, bytearray, memoryview, str)):
+        raise SimulationError(message)
+    return list(streams)
+
+
+def require_byte_streams(
+    streams, *, what: str, single_hint: str
+) -> List[bytes]:
+    """Validate a batch of byte streams; names the offending stream.
+
+    ``what`` labels each stream in errors (e.g. ``"scan_many() stream"``),
+    ``single_hint`` is the error raised when a single byte string was
+    passed instead of a sequence.
+    """
+    streams = require_stream_sequence(streams, single_hint)
+    for index, stream in enumerate(streams):
+        require_bytes(stream, f"{what} {index}")
+    return streams
+
+
+def require_resume_count(
+    resumes: Optional[Sequence], count: int
+) -> Sequence:
+    """One checkpoint (or ``None``) per stream, defaulting to all-None."""
+    if resumes is None:
+        return [None] * count
+    if len(resumes) != count:
+        raise SimulationError(
+            f"got {len(resumes)} checkpoints for {count} streams"
+        )
+    return resumes

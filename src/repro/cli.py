@@ -8,8 +8,15 @@ Subcommands::
         usage, derived clock.
 
     python -m repro.cli scan RULES.txt INPUT.bin [--design CA_P] [--limit N]
+                        [--backend NAME]
         compile, map, and scan a binary input file; print match records
-        and the modelled performance/energy summary.
+        and the modelled performance/energy summary.  ``--backend``
+        selects any registered execution backend (default: the packed
+        kernel).
+
+    python -m repro.cli backends
+        list the registered execution backends with their aliases and
+        capability matrix.
 
     python -m repro.cli anml-info FILE.anml
         parse an ANML document and print its structural characteristics.
@@ -36,6 +43,14 @@ from typing import List, Optional
 
 from repro.automata.anml import from_anml, to_anml
 from repro.automata.components import component_stats
+from repro.backends import (
+    DEFAULT_BACKEND,
+    backend_names,
+    backend_spec,
+    create_backend,
+    resolve_backend_name,
+)
+from repro.backends.artifact import CompiledArtifact
 from repro.baselines.ap import ApModel
 from repro.compiler import (
     analyse,
@@ -50,7 +65,6 @@ from repro.core.system import ConfigurationModel
 from repro.errors import ReproError
 from repro.eval.tables import format_table
 from repro.regex.compile import compile_patterns
-from repro.sim.functional import simulate_mapping
 
 _DESIGNS = {design.name: design for design in (CA_P, CA_S, CA_64)}
 
@@ -127,10 +141,12 @@ def _cmd_compile(arguments) -> int:
 
 def _cmd_scan(arguments) -> int:
     design = _design(arguments.design)
+    backend_name = resolve_backend_name(arguments.backend)
     mapping = _compile(_load_rules(arguments.rules), design)
     with open(arguments.input, "rb") as handle:
         data = handle.read()
-    result = simulate_mapping(mapping, data)
+    backend = create_backend(backend_name, CompiledArtifact.from_mapping(mapping))
+    result = backend.scan(data)
     shown = result.reports[: arguments.limit]
     for record in shown:
         print(f"offset {record.offset}: {record.report_code!r}")
@@ -138,15 +154,41 @@ def _cmd_scan(arguments) -> int:
         print(f"... and {len(result.reports) - len(shown)} more")
     energy = EnergyModel(design)
     ap = ApModel()
-    print(f"\n{len(result.reports)} matches in {len(data)} bytes")
+    print(f"\n{len(result.reports)} matches in {len(data)} bytes "
+          f"(backend {backend.name})")
     print(f"modelled scan:  {len(data)/(design.frequency_ghz*1e9)*1e3:.4f} ms "
           f"at {design.throughput_gbps:.1f} Gb/s "
           f"({ap.speedup_of(design):.1f}x Micron's AP)")
-    if result.profile.symbols:
+    if backend.capabilities().activity_profile and result.profile.symbols:
         print(f"energy:         "
               f"{energy.energy_per_symbol_nj(result.profile):.3f} nJ/symbol, "
               f"avg power {energy.average_power_watts(result.profile):.2f} W")
-    print(f"output buffer:  {result.output_buffer.interrupts} interrupt(s)")
+    if result.output_buffer is not None:
+        print(f"output buffer:  {result.output_buffer.interrupts} interrupt(s)")
+    return 0
+
+
+def _cmd_backends(_arguments) -> int:
+    machine = compile_patterns(["a"])
+    artifact = CompiledArtifact.from_mapping(compile_automaton(machine, CA_P))
+    rows = [(
+        "Backend", "Aliases", "Resume", "Batch", "Profile", "Faults",
+        "Description",
+    )]
+    for name in backend_names():
+        spec = backend_spec(name)
+        capabilities = create_backend(name, artifact).capabilities()
+        rows.append((
+            f"{name} *" if name == DEFAULT_BACKEND else name,
+            ", ".join(spec.aliases) if spec.aliases else "-",
+            "yes" if capabilities.resume else "no",
+            "yes" if capabilities.batch else "no",
+            "yes" if capabilities.activity_profile else "no",
+            "yes" if capabilities.fault_events else "no",
+            capabilities.description,
+        ))
+    print(format_table(rows))
+    print("\n* default backend")
     return 0
 
 
@@ -282,7 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
     scan_parser.add_argument("--design", default="CA_P", choices=sorted(_DESIGNS))
     scan_parser.add_argument("--limit", type=int, default=20,
                              help="max match records to print")
+    scan_parser.add_argument(
+        "--backend", default=DEFAULT_BACKEND,
+        help="execution backend (see `python -m repro.cli backends`)",
+    )
     scan_parser.set_defaults(handler=_cmd_scan)
+
+    backends_parser = subparsers.add_parser(
+        "backends", help="list registered execution backends"
+    )
+    backends_parser.set_defaults(handler=_cmd_backends)
 
     info_parser = subparsers.add_parser("anml-info", help="inspect an ANML file")
     info_parser.add_argument("file")

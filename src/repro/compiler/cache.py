@@ -24,9 +24,11 @@ Key scheme / invalidation rules:
   changes simply start a fresh namespace — stale artefacts are never
   reinterpreted.
 
-Artefacts store the fingerprints they were written under and are
-re-verified on load; mismatches and unreadable files count as misses,
-never errors.  Corrupt artefacts are additionally *quarantined*
+The payload layout itself is owned by
+:class:`repro.backends.artifact.CompiledArtifact` — this module only
+addresses, stores, and quarantines it.  Artefacts store the fingerprints
+they were written under and are re-verified on load; mismatches and
+unreadable files count as misses, never errors.  Corrupt artefacts are additionally *quarantined*
 (deleted) so every subsequent warm start does not re-hit the same bad
 file, and transient I/O errors are retried with bounded exponential
 backoff before the cache degrades to a cold compile
@@ -36,7 +38,6 @@ backoff before the cache degrades to a cold compile
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 import os
 import tempfile
@@ -45,15 +46,15 @@ import warnings
 import zipfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.automata.anml import HomogeneousAutomaton
-from repro.compiler.mapping import MappedPartition, Mapping
+from repro.compiler.mapping import Mapping
 from repro.compiler.serialize import FORMAT_VERSION as MAPPING_FORMAT_VERSION
 from repro.core.design import DesignPoint
-from repro.errors import DegradedModeWarning
+from repro.errors import ArtifactError, DegradedModeWarning
 
 #: Environment override for the cache directory root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -149,69 +150,6 @@ class CacheStats:
             "quarantines": self.quarantines,
             "retries": self.retries,
         }
-
-
-class _LazyLocation(dict):
-    """A mapping's ``location`` dict, materialised on first real access.
-
-    Warm engine construction never touches per-state locations (the
-    simulator tables are cached alongside), so the 10ms+ cost of building
-    a many-thousand-entry dict of tuples is deferred until something —
-    e.g. constraint re-analysis — actually asks for it.
-    """
-
-    def __init__(self, ids: List[str], part: np.ndarray, slot: np.ndarray):
-        super().__init__()
-        self._pending: Optional[Tuple[List[str], np.ndarray, np.ndarray]] = (
-            ids,
-            part,
-            slot,
-        )
-
-    def _materialise(self):
-        if self._pending is not None:
-            ids, part, slot = self._pending
-            self._pending = None
-            self.update(zip(ids, zip(part.tolist(), slot.tolist())))
-
-    def __getitem__(self, key):
-        self._materialise()
-        return dict.__getitem__(self, key)
-
-    def __contains__(self, key):
-        self._materialise()
-        return dict.__contains__(self, key)
-
-    def __iter__(self):
-        self._materialise()
-        return dict.__iter__(self)
-
-    def __len__(self):
-        self._materialise()
-        return dict.__len__(self)
-
-    def __eq__(self, other):
-        self._materialise()
-        return dict.__eq__(self, other)
-
-    def __ne__(self, other):
-        return not self.__eq__(other)
-
-    def get(self, key, default=None):
-        self._materialise()
-        return dict.get(self, key, default)
-
-    def keys(self):
-        self._materialise()
-        return dict.keys(self)
-
-    def values(self):
-        self._materialise()
-        return dict.values(self)
-
-    def items(self):
-        self._materialise()
-        return dict.items(self)
 
 
 class CompileCache:
@@ -314,72 +252,46 @@ class CompileCache:
             os.unlink(handle.name)
             raise
 
-    # -- mapping + simulator tables ---------------------------------------
+    # -- compiled artifacts ------------------------------------------------
 
-    def store_mapping(
-        self,
-        mapping: Mapping,
-        kernel_arrays: Optional[Dict[str, np.ndarray]] = None,
-    ) -> Optional[Path]:
-        """Persist a compiled mapping (and optional packed simulator
-        tables) under its content address; returns the artefact path."""
+    def store_artifact(self, artifact) -> Optional[Path]:
+        """Persist a :class:`~repro.backends.artifact.CompiledArtifact`
+        under its content address; returns the artefact path (``None``
+        when the cache is disabled or the directory is unwritable)."""
         if not self.enabled:
             self.stats.bypasses += 1
             return None
-        automaton = mapping.automaton
-        arrays = automaton.edge_index_arrays()
-        count = len(arrays.ids)
-        part = np.empty(count, dtype=np.int32)
-        slot = np.empty(count, dtype=np.int32)
-        location = mapping.location
-        for position, ste_id in enumerate(arrays.ids):
-            partition_index, slot_index = location[ste_id]
-            part[position] = partition_index
-            slot[position] = slot_index
-        payload: Dict[str, np.ndarray] = {
-            "part": part,
-            "slot": slot,
-            "ways": np.asarray(
-                [partition.way for partition in mapping.partitions],
-                dtype=np.int32,
-            ),
-            "fingerprint": np.asarray(automaton_fingerprint(automaton)),
-            "design": np.asarray(design_fingerprint(mapping.design)),
-        }
-        if kernel_arrays:
-            payload.update(
-                {f"kernel_{name}": array for name, array in kernel_arrays.items()}
-            )
-        buffer = io.BytesIO()
-        np.savez(buffer, **payload)
-        path = self.mapping_path(automaton, mapping.design)
+        path = self.mapping_path(artifact.automaton, artifact.design)
         try:
             self._with_retries(
-                lambda: self._write_atomic(path, buffer.getvalue())
+                lambda: self._write_atomic(path, artifact.npz_bytes())
             )
         except OSError:
             return None  # unwritable cache dir: behave as uncached
         self.stats.stores += 1
         return path
 
-    def load_mapping(
+    def load_artifact(
         self, automaton: HomogeneousAutomaton, design: DesignPoint
-    ) -> Optional[Tuple[Mapping, Dict[str, np.ndarray]]]:
-        """Rebuild a cached mapping against the in-memory ``automaton``.
+    ):
+        """The cached :class:`~repro.backends.artifact.CompiledArtifact`
+        for (automaton, design), or ``None`` on a miss.
 
-        Returns ``(mapping, kernel_arrays)`` on a hit (``kernel_arrays``
-        empty when the artefact has no simulator tables), else ``None``.
-        The mapping's per-state structures materialise lazily; the hit is
-        trusted without re-running constraint checks, because artefacts
-        are only ever written after a validated compile and the content
-        address pins both compiler inputs.
+        The artifact's per-state structures materialise lazily; the hit
+        is trusted without re-running constraint checks, because
+        artefacts are only ever written after a validated compile and
+        the content address pins both compiler inputs.
 
         Failure handling: a missing file is a plain miss; transient read
         errors are retried with backoff, then degrade to a miss with a
         :class:`DegradedModeWarning`; a corrupt or mismatching artefact
         (the content address pins both fingerprints, so a mismatch means
-        the file's bytes are wrong) is quarantined and counts as a miss.
+        the file's bytes are wrong — surfaced by the deserialiser as
+        :class:`~repro.errors.ArtifactError`) is quarantined and counts
+        as a miss.
         """
+        from repro.backends.artifact import CompiledArtifact
+
         if not self.enabled:
             self.stats.bypasses += 1
             return None
@@ -404,39 +316,39 @@ class CompileCache:
             self._quarantine(path, str(error))
             self.stats.misses += 1
             return None
-        arrays = automaton.edge_index_arrays()
         try:
-            part = data["part"]
-            slot = data["slot"]
-            ways = data["ways"]
-            stored_fingerprint = str(data["fingerprint"])
-            stored_design = str(data["design"])
-        except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
-            self._quarantine(path, f"unreadable member: {error}")
+            artifact = CompiledArtifact.from_payload(data, automaton, design)
+        except ArtifactError as error:
+            self._quarantine(path, str(error))
             self.stats.misses += 1
             return None
-        if (
-            stored_fingerprint != automaton_fingerprint(automaton)
-            or stored_design != design_fingerprint(design)
-            or part.shape[0] != len(arrays.ids)
-        ):
-            self._quarantine(path, "stored fingerprints do not match the key")
-            self.stats.misses += 1
-            return None
-        placement = _SharedPlacement(arrays.ids, part, slot, ways.shape[0])
-        partitions = [
-            _LazyPartition(index, way, placement)
-            for index, way in enumerate(ways.tolist())
-        ]
-        location = _LazyLocation(arrays.ids, part, slot)
-        mapping = Mapping(design, automaton, partitions, location)
-        kernel_arrays = {
-            name[len("kernel_"):]: data[name]
-            for name in data.files
-            if name.startswith("kernel_")
-        }
         self.stats.hits += 1
-        return mapping, kernel_arrays
+        return artifact
+
+    # -- mapping + simulator tables (tuple-era shims) ----------------------
+
+    def store_mapping(
+        self,
+        mapping: Mapping,
+        kernel_arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Optional[Path]:
+        """Persist a compiled mapping (and optional packed simulator
+        tables); shim over :meth:`store_artifact` for pre-artifact callers."""
+        from repro.backends.artifact import CompiledArtifact
+
+        return self.store_artifact(
+            CompiledArtifact.from_mapping(mapping, kernel_arrays)
+        )
+
+    def load_mapping(
+        self, automaton: HomogeneousAutomaton, design: DesignPoint
+    ) -> Optional[Tuple[Mapping, Dict[str, np.ndarray]]]:
+        """``(mapping, kernel_arrays)`` on a hit, else ``None``; shim over
+        :meth:`load_artifact` for pre-artifact callers."""
+        artifact = self.load_artifact(automaton, design)
+        if artifact is None:
+            return None
+        return artifact.mapping, artifact.kernel_tables
 
     # -- bitstreams --------------------------------------------------------
 
@@ -468,58 +380,6 @@ class CompileCache:
             return None
         self.stats.hits += 1
         return payload
-
-
-class _SharedPlacement:
-    """Placement arrays shared by every partition of one cached mapping;
-    the per-partition slot-ordered id lists materialise together with one
-    vectorised sort, on the first partition that needs them."""
-
-    def __init__(
-        self,
-        ids: List[str],
-        part: np.ndarray,
-        slot: np.ndarray,
-        partition_count: int,
-    ):
-        self._ids = ids
-        self._part = part
-        self._slot = slot
-        self._partition_count = partition_count
-        self._lists: Optional[List[List[str]]] = None
-
-    def ste_lists(self) -> List[List[str]]:
-        if self._lists is None:
-            order = np.lexsort((self._slot, self._part))
-            ordered_parts = self._part[order]
-            bounds = np.searchsorted(
-                ordered_parts, np.arange(self._partition_count + 1)
-            ).tolist()
-            ids = self._ids
-            order_list = order.tolist()
-            self._lists = [
-                [ids[position] for position in order_list[start:end]]
-                for start, end in zip(bounds, bounds[1:])
-            ]
-        return self._lists
-
-
-class _LazyPartition(MappedPartition):
-    """A cached partition whose ``ste_ids`` list fills on first access."""
-
-    def __init__(self, index: int, way: int, placement: _SharedPlacement):
-        super().__init__(index, way)
-        self._placement: Optional[_SharedPlacement] = placement
-
-    def __getattribute__(self, name):
-        if name == "ste_ids":
-            placement = object.__getattribute__(self, "_placement")
-            if placement is not None:
-                object.__setattr__(self, "_placement", None)
-                lists = placement.ste_lists()
-                index = object.__getattribute__(self, "index")
-                object.__setattr__(self, "ste_ids", lists[index])
-        return object.__getattribute__(self, name)
 
 
 def bitstream_bytes(

@@ -1,13 +1,22 @@
 """High-level scanning engine: the library's front door.
 
 Wraps the whole pipeline — regex/ANML front-end, space optimisation,
-compiler, mapped simulator, performance/energy models — behind one
+compiler, execution backends, performance/energy models — behind one
 object, in the style of a software pattern-matching engine:
 
 >>> from repro.engine import CacheAutomatonEngine
 >>> engine = CacheAutomatonEngine.from_patterns(["bat", "c[ao]t"])
 >>> [match.end for match in engine.scan(b"the cat sat on the bat")]
 [6, 21]
+
+The engine itself is a *policy* layer.  All execution goes through the
+pluggable backend registry (:mod:`repro.backends`): compilation produces
+one :class:`~repro.backends.artifact.CompiledArtifact`, the requested
+backend (``backend=`` — default the packed-bitset mapped kernel) is
+instantiated from it, and the engine's job is deciding *which* artifact
+and backend serve traffic — warm cache hit, cold compile,
+quarantine-and-recompile, or golden-interpreter fallback
+(:meth:`CacheAutomatonEngine.health` reports which rung won and why).
 
 Streams can be scanned incrementally (:meth:`CacheAutomatonEngine.stream`
 returns a stateful scanner using the Section 2.9 checkpoint mechanism),
@@ -27,6 +36,19 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.automata.anml import HomogeneousAutomaton, from_anml
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import AutomatonBackend, BackendCapabilities
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    backend_class,
+    create_backend,
+    resolve_backend_name,
+)
+from repro.backends.validation import (
+    require_byte_streams,
+    require_bytes,
+    require_stream_sequence,
+)
 from repro.baselines.ap import ApModel
 from repro.compiler import Mapping, compile_automaton, compile_space_optimized
 from repro.compiler.cache import CompileCache
@@ -35,7 +57,7 @@ from repro.core.energy import ActivityProfile, EnergyModel
 from repro.errors import DegradedModeWarning, ReproError, SimulationError
 from repro.regex.compile import compile_patterns
 from repro.sim.functional import MappedSimulator
-from repro.sim.golden import Checkpoint, GoldenSimulator, Report
+from repro.sim.golden import Checkpoint
 
 #: Accepted values for the engine's ``cache`` argument.
 CacheSpec = Union[CompileCache, str, Path, bool, None]
@@ -46,13 +68,6 @@ TIER_WARM_CACHE = "warm-cache"
 TIER_COLD_COMPILE = "cold-compile"
 TIER_RECOMPILED = "recompiled"
 TIER_GOLDEN = "golden-fallback"
-
-
-def _require_bytes(value, what: str) -> None:
-    if not isinstance(value, (bytes, bytearray, memoryview)):
-        raise SimulationError(
-            f"{what} must be bytes-like, got {type(value).__name__}"
-        )
 
 
 def _resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
@@ -80,10 +95,14 @@ class EngineHealth:
 
     ``tier`` is one of ``warm-cache`` (artifact cache hit), ``cold-compile``
     (no cached artifact), ``recompiled`` (a corrupt artifact was
-    quarantined first), or ``golden-fallback`` (the packed kernel could
+    quarantined first), or ``golden-fallback`` (the requested backend could
     not be built and the reference interpreter is scanning instead).
-    ``events`` is the ordered log of degradation decisions taken during
-    construction; ``cache`` snapshots the artifact-cache counters.
+    ``backend`` is the registry name of the backend actually serving
+    traffic; ``requested`` is the name the caller asked for (``None``
+    when the default was used), so a fallback is visible as
+    ``backend != requested``.  ``events`` is the ordered log of
+    degradation decisions taken during construction; ``cache`` snapshots
+    the artifact-cache counters.
     """
 
     tier: str
@@ -91,66 +110,7 @@ class EngineHealth:
     degraded: bool
     events: Tuple[str, ...]
     cache: Dict[str, int]
-
-
-@dataclass(frozen=True)
-class _GoldenRunResult:
-    """Adapter result mirroring the fields the engine reads off
-    :class:`~repro.sim.functional.MappedRunResult`."""
-
-    reports: List[Report]
-    profile: ActivityProfile
-    checkpoint: Optional[Checkpoint]
-
-
-class _GoldenBackend:
-    """Last-rung scanning backend: the golden reference interpreter.
-
-    Speaks just enough of :class:`~repro.sim.functional.MappedSimulator`'s
-    dialect (``run`` / ``run_many`` returning objects with ``reports``,
-    ``profile``, ``checkpoint``) for the engine to serve traffic when the
-    packed kernel cannot be constructed.  Activity profiles carry only
-    symbol and report counts — enough for match results and totals, not
-    for the energy model, which is the documented cost of this tier.
-    """
-
-    def __init__(self, automaton: HomogeneousAutomaton):
-        self._golden = GoldenSimulator(automaton)
-
-    def run(
-        self,
-        data: bytes,
-        *,
-        collect_reports: bool = True,
-        resume: Optional[Checkpoint] = None,
-        **_ignored,
-    ) -> _GoldenRunResult:
-        result = self._golden.run(data, resume=resume)
-        profile = ActivityProfile()
-        profile.add_activity(
-            symbols=result.stats.symbols_processed,
-            reports=len(result.reports),
-        )
-        reports = result.reports if collect_reports else []
-        return _GoldenRunResult(reports, profile, result.checkpoint)
-
-    def run_many(
-        self,
-        streams: Sequence[bytes],
-        *,
-        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
-        collect_reports: bool = True,
-    ) -> List[_GoldenRunResult]:
-        if resumes is None:
-            resumes = [None] * len(streams)
-        if len(resumes) != len(streams):
-            raise SimulationError(
-                f"got {len(resumes)} checkpoints for {len(streams)} streams"
-            )
-        return [
-            self.run(data, collect_reports=collect_reports, resume=resume)
-            for data, resume in zip(streams, resumes)
-        ]
+    requested: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -186,21 +146,18 @@ class StreamScanner:
         return self._checkpoint.symbols_processed
 
     def scan(self, chunk: bytes) -> List[Match]:
-        _require_bytes(chunk, "stream chunk")
-        result = self._engine._simulator.run(chunk, resume=self._checkpoint)
+        require_bytes(chunk, "stream chunk")
+        result = self._engine._backend.scan(chunk, resume=self._checkpoint)
         self._checkpoint = result.checkpoint
         self._engine._accumulate(result.profile)
-        return [
-            Match(report.offset, report.report_code, report.ste_id)
-            for report in result.reports
-        ]
+        return self._engine._matches(result.reports)
 
 
 class MultiStreamScanner:
     """Batched incremental scanner over several logical input streams.
 
-    Each call to :meth:`scan` feeds one chunk per stream; all chunks
-    advance together through one kernel invocation
+    Each call to :meth:`scan` feeds one chunk per stream; on the default
+    backend all chunks advance together through one kernel invocation
     (:meth:`repro.sim.functional.MappedSimulator.run_many`), sharing the
     match-matrix gather and the propagation table across streams.  Match
     offsets are global per stream, exactly as if each stream were scanned
@@ -211,6 +168,11 @@ class MultiStreamScanner:
         if count <= 0:
             raise SimulationError(
                 f"stream count must be positive, got {count}"
+            )
+        if not engine._backend.capabilities().resume:
+            raise SimulationError(
+                f"backend {engine._backend.name!r} does not support "
+                "checkpointed streaming (capabilities().resume is False)"
             )
         self._engine = engine
         self._checkpoints: List[Optional[Checkpoint]] = [None] * count
@@ -232,30 +194,25 @@ class MultiStreamScanner:
 
         Use ``b""`` for streams with no pending traffic this round.
         """
-        if isinstance(chunks, (bytes, bytearray, memoryview, str)):
-            raise SimulationError(
-                "scan() expects a sequence of per-stream chunks, "
-                "not a single byte string"
-            )
+        chunks = require_stream_sequence(
+            chunks,
+            "scan() expects a sequence of per-stream chunks, "
+            "not a single byte string",
+        )
         if len(chunks) != len(self._checkpoints):
             raise SimulationError(
                 f"got {len(chunks)} chunks for {len(self._checkpoints)} streams"
             )
         for index, chunk in enumerate(chunks):
-            _require_bytes(chunk, f"chunk for stream {index}")
-        results = self._engine._simulator.run_many(
-            list(chunks), resumes=self._checkpoints
+            require_bytes(chunk, f"chunk for stream {index}")
+        results = self._engine._backend.scan_many(
+            chunks, resumes=self._checkpoints
         )
         self._checkpoints = [result.checkpoint for result in results]
         matches: List[List[Match]] = []
         for result in results:
             self._engine._accumulate(result.profile)
-            matches.append(
-                [
-                    Match(report.offset, report.report_code, report.ste_id)
-                    for report in result.reports
-                ]
-            )
+            matches.append(self._engine._matches(result.reports))
         return matches
 
 
@@ -270,6 +227,8 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Dict[str, object]] = None,
     ):
         """Compile ``automaton`` onto ``design``.
 
@@ -286,6 +245,11 @@ class CacheAutomatonEngine:
         bypass counts.  ``compile_jobs`` caps the compiler's parallel
         split workers (also settable via ``REPRO_COMPILE_JOBS``).
 
+        ``backend`` selects the execution substrate by registry name
+        (see :func:`repro.backends.backend_names`; aliases accepted) —
+        the packed mapped kernel by default.  ``backend_options`` are
+        passed through to the backend's ``from_artifact``.
+
         The optimisation ladder chooses among several automaton variants,
         so ``optimize=True`` always bypasses the cache (the key would
         identify the input automaton, not the variant actually mapped).
@@ -293,47 +257,57 @@ class CacheAutomatonEngine:
         Construction walks a documented fallback chain and never leaves
         the engine unusable short of a compile error: a warm cache hit is
         preferred; a corrupt artifact is quarantined and the automaton
-        recompiled; if the packed simulator cannot be built at all, the
+        recompiled; if the default backend cannot be built at all, the
         golden reference interpreter serves traffic (slower, but
-        match-for-match identical).  :meth:`health` reports which tier
-        won and why.
+        match-for-match identical).  An explicitly requested backend is
+        never silently substituted — its construction errors propagate.
+        :meth:`health` reports which tier won and why.
         """
         self.design = design
         self._cache = _resolve_cache(cache)
         self._health_events: List[str] = []
         self._tier = TIER_COLD_COMPILE
-        simulator = None
+        self._requested_backend = (
+            None if backend is None else resolve_backend_name(backend)
+        )
+        backend_name = self._requested_backend or DEFAULT_BACKEND
+        backend_options = dict(backend_options or {})
+        engine_backend: Optional[AutomatonBackend] = None
+        artifact: Optional[CompiledArtifact] = None
+        recompiling = False
+
         if optimize:
             if self._cache is not None:
                 self._cache.stats.bypasses += 1
-            self.mapping: Mapping = compile_space_optimized(
+            mapping = compile_space_optimized(
                 automaton, design, jobs=compile_jobs
             )
+            artifact = CompiledArtifact.from_mapping(mapping)
         else:
             loaded = None
-            recompiling = False
             if self._cache is not None:
-                # load_mapping quarantines (deletes + warns about) corrupt
-                # artifacts itself; the stats delta tells us it happened.
+                # load_artifact quarantines (deletes + warns about)
+                # corrupt artifacts itself; the stats delta tells us it
+                # happened.
                 quarantines_before = self._cache.stats.quarantines
-                loaded = self._cache.load_mapping(automaton, design)
+                loaded = self._cache.load_artifact(automaton, design)
                 if self._cache.stats.quarantines > quarantines_before:
                     recompiling = True
                     self._health_events.append(
                         "quarantined corrupt cache artifact"
                     )
             if loaded is not None:
-                cached_mapping, tables = loaded
                 try:
-                    if tables:
-                        simulator = MappedSimulator.from_cached(
-                            cached_mapping, tables
-                        )
-                    else:
-                        simulator = MappedSimulator(cached_mapping)
-                    self.mapping = cached_mapping
+                    engine_backend = self._create_backend(
+                        backend_name, loaded, backend_options
+                    )
+                    artifact = loaded
                     self._tier = TIER_WARM_CACHE
                 except Exception as error:
+                    if not backend_class(backend_name).consumes_kernel_tables:
+                        # The artifact is not implicated: this backend
+                        # never touched its kernel tables.
+                        raise
                     # Tables passed the loader's integrity checks but the
                     # kernel still refused them (stale format, bad shapes).
                     self._cache.quarantine_mapping(automaton, design)
@@ -349,34 +323,65 @@ class CacheAutomatonEngine:
                         "quarantined and recompiled"
                     )
                     recompiling = True
-                    simulator = None
-            if simulator is None:
-                self.mapping = compile_automaton(
+            if artifact is None:
+                mapping = compile_automaton(
                     automaton, design, jobs=compile_jobs
                 )
+                artifact = CompiledArtifact.from_mapping(mapping)
                 if recompiling:
                     self._tier = TIER_RECOMPILED
-        if simulator is None:
-            simulator = self._build_simulator(self.mapping)
-            if (
-                self._cache is not None
-                and not optimize
-                and isinstance(simulator, MappedSimulator)
-            ):
-                self._cache.store_mapping(
-                    self.mapping, simulator.packed_tables()
+
+        if engine_backend is None:
+            engine_backend = self._build_backend(
+                backend_name, artifact, backend_options
+            )
+        if (
+            self._cache is not None
+            and not optimize
+            and self._tier is not TIER_GOLDEN
+            and not artifact.kernel_tables
+        ):
+            stored = artifact
+            if hasattr(engine_backend, "packed_tables"):
+                stored = artifact.with_kernel_tables(
+                    engine_backend.packed_tables()
                 )
-        self._simulator = simulator
+            if self._tier is not TIER_WARM_CACHE or stored is not artifact:
+                self._cache.store_artifact(stored)
+
+        self.artifact = artifact
+        self.mapping: Mapping = artifact.mapping
+        self._backend = engine_backend
         #: The automaton actually mapped (the optimised variant when
         #: ``optimize`` selected one).
-        self.automaton = self.mapping.automaton
+        self.automaton = artifact.automaton
         self._profile = ActivityProfile()
 
-    def _build_simulator(self, mapping: Mapping):
-        """Packed kernel if possible, golden interpreter as the last rung."""
+    @staticmethod
+    def _create_backend(
+        backend_name: str,
+        artifact: CompiledArtifact,
+        options: Dict[str, object],
+    ) -> AutomatonBackend:
+        # The module-global MappedSimulator is resolved at call time so a
+        # substituted implementation reaches the kernel-table backends.
+        options = dict(options)
+        options.setdefault("simulator_cls", MappedSimulator)
+        return create_backend(backend_name, artifact, **options)
+
+    def _build_backend(
+        self,
+        backend_name: str,
+        artifact: CompiledArtifact,
+        options: Dict[str, object],
+    ) -> AutomatonBackend:
+        """Requested backend if possible; golden interpreter as the last
+        rung — but only when the caller did not name a backend."""
         try:
-            return MappedSimulator(mapping)
+            return self._create_backend(backend_name, artifact, options)
         except Exception as error:
+            if self._requested_backend is not None:
+                raise
             warnings.warn(
                 "packed simulator construction failed "
                 f"({type(error).__name__}: {error}); "
@@ -389,22 +394,27 @@ class CacheAutomatonEngine:
                 "golden interpreter serving traffic"
             )
             self._tier = TIER_GOLDEN
-            return _GoldenBackend(mapping.automaton)
+            return self._create_backend("golden-interpreter", artifact, {})
 
     def health(self) -> EngineHealth:
         """Which fallback tier served this engine, and the decisions taken."""
-        backend = (
-            "golden-interpreter"
-            if isinstance(self._simulator, _GoldenBackend)
-            else "packed-kernel"
-        )
         return EngineHealth(
             tier=self._tier,
-            backend=backend,
+            backend=self._backend.name,
             degraded=self._tier in (TIER_RECOMPILED, TIER_GOLDEN),
             events=tuple(self._health_events),
             cache=self.cache_info(),
+            requested=self._requested_backend,
         )
+
+    @property
+    def backend(self) -> AutomatonBackend:
+        """The execution backend serving this engine's traffic."""
+        return self._backend
+
+    def backend_capabilities(self) -> BackendCapabilities:
+        """Capability flags of the backend serving traffic."""
+        return self._backend.capabilities()
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/bypass/store counts for this engine's artifact cache
@@ -432,6 +442,8 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
         """Compile a regex rule set; matches carry the rule id."""
         codes = list(rule_ids) if rule_ids is not None else list(patterns)
@@ -444,6 +456,8 @@ class CacheAutomatonEngine:
             optimize=optimize,
             cache=cache,
             compile_jobs=compile_jobs,
+            backend=backend,
+            backend_options=backend_options,
         )
 
     @classmethod
@@ -455,6 +469,8 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
         return cls(
             from_anml(document),
@@ -462,6 +478,8 @@ class CacheAutomatonEngine:
             optimize=optimize,
             cache=cache,
             compile_jobs=compile_jobs,
+            backend=backend,
+            backend_options=backend_options,
         )
 
     @classmethod
@@ -473,6 +491,8 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_anml(
@@ -481,58 +501,65 @@ class CacheAutomatonEngine:
                 optimize=optimize,
                 cache=cache,
                 compile_jobs=compile_jobs,
+                backend=backend,
+                backend_options=backend_options,
             )
 
     # -- scanning ------------------------------------------------------------
 
-    def scan(self, data: bytes) -> List[Match]:
-        """Scan one complete input; returns matches in offset order."""
-        _require_bytes(data, "scan() input")
-        result = self._simulator.run(data)
-        self._accumulate(result.profile)
+    @staticmethod
+    def _matches(reports) -> List[Match]:
         return [
             Match(report.offset, report.report_code, report.ste_id)
-            for report in result.reports
+            for report in reports
         ]
+
+    def scan(self, data: bytes) -> List[Match]:
+        """Scan one complete input; returns matches in offset order."""
+        require_bytes(data, "scan() input")
+        result = self._backend.scan(data)
+        self._accumulate(result.profile)
+        return self._matches(result.reports)
 
     def count(self, data: bytes) -> int:
         """Number of match events in ``data`` (no record materialisation)."""
-        _require_bytes(data, "count() input")
-        result = self._simulator.run(data, collect_reports=False)
+        require_bytes(data, "count() input")
+        result = self._backend.scan(data, collect_reports=False)
         self._accumulate(result.profile)
         return result.profile.reports
 
     def scan_many(self, streams: Sequence[bytes]) -> List[List[Match]]:
-        """Scan several independent streams in one batched kernel pass.
+        """Scan several independent streams in one batched backend pass.
 
         The Section 6 multi-stream scenario: every stream runs the same
-        compiled automaton, so the kernel advances all of them together
-        and amortises its table lookups across the batch.  Returns one
-        match list per stream, each identical to ``scan`` on that stream
-        alone.
+        compiled automaton, so the default backend advances all of them
+        through one shared kernel and amortises its table lookups across
+        the batch (backends without native batching fall back to a
+        per-stream loop).  Returns one match list per stream, each
+        identical to ``scan`` on that stream alone.
         """
-        if isinstance(streams, (bytes, bytearray, memoryview, str)):
-            raise SimulationError(
+        streams = require_byte_streams(
+            streams,
+            what="scan_many() stream",
+            single_hint=(
                 "scan_many() expects a sequence of byte streams; "
                 "use scan() for a single input"
-            )
-        streams = list(streams)
-        for index, stream in enumerate(streams):
-            _require_bytes(stream, f"scan_many() stream {index}")
-        results = self._simulator.run_many(list(streams))
+            ),
+        )
+        results = self._backend.scan_many(streams)
         matches: List[List[Match]] = []
         for result in results:
             self._accumulate(result.profile)
-            matches.append(
-                [
-                    Match(report.offset, report.report_code, report.ste_id)
-                    for report in result.reports
-                ]
-            )
+            matches.append(self._matches(result.reports))
         return matches
 
     def stream(self) -> StreamScanner:
         """A stateful scanner for chunked input (global offsets)."""
+        if not self._backend.capabilities().resume:
+            raise SimulationError(
+                f"backend {self._backend.name!r} does not support "
+                "checkpointed streaming (capabilities().resume is False)"
+            )
         return StreamScanner(self)
 
     def stream_many(self, count: int) -> MultiStreamScanner:

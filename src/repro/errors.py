@@ -68,6 +68,18 @@ class SimulationError(ReproError):
     """The functional simulator was driven with invalid state or input."""
 
 
+class BackendError(ReproError):
+    """Unknown execution backend, or a backend request it cannot serve."""
+
+
+class ArtifactError(ReproError):
+    """A compiled-artifact payload is corrupt, incomplete, or does not
+    belong to the (automaton, design) it was loaded against.
+
+    The artifact cache treats this as "quarantine and recompile", never
+    as a hard failure."""
+
+
 class FaultError(ReproError):
     """Invalid fault-injection configuration or an uninjectable target."""
 

@@ -10,8 +10,8 @@ The per-benchmark pipeline (used by Table 1 and Figures 7-9) is:
 1. build the baseline automaton (the CA_P input) and its space-optimised
    variant (the CA_S input, via :func:`repro.automata.optimize.space_optimize`);
 2. compile each onto its design with the Cache Automaton compiler;
-3. run the mapped functional simulator over the benchmark's input stream
-   to collect the activity profile;
+3. scan the benchmark's input stream on the registry's packed-kernel
+   execution backend to collect the activity profile;
 4. feed profiles to the energy model and designs to the timing model.
 """
 
@@ -21,13 +21,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.automata.components import component_stats
+from repro.backends import create_backend
+from repro.backends.artifact import CompiledArtifact
 from repro.baselines.ap import ApModel, CpuReferenceModel
 from repro.baselines.asic import ca_operating_point, table5_rows
 from repro.compiler import Mapping, compile_automaton, compile_space_optimized
 from repro.core.design import CA_64, CA_P, CA_S
 from repro.core.energy import ActivityProfile, EnergyModel
 from repro.core.params import AP
-from repro.sim.functional import simulate_mapping
 from repro.workloads.suite import Benchmark, build_suite
 
 #: Default input-stream length for activity profiling.  The paper uses
@@ -59,8 +60,14 @@ def evaluate_benchmark(
     perf_mapping = compile_automaton(baseline, CA_P)
     space_mapping = compile_space_optimized(baseline, CA_S)
     data = benchmark.input_stream(input_length, seed)
-    perf_run = simulate_mapping(perf_mapping, data, collect_reports=False)
-    space_run = simulate_mapping(space_mapping, data, collect_reports=False)
+    perf_backend = create_backend(
+        "packed-kernel", CompiledArtifact.from_mapping(perf_mapping)
+    )
+    space_backend = create_backend(
+        "packed-kernel", CompiledArtifact.from_mapping(space_mapping)
+    )
+    perf_run = perf_backend.scan(data, collect_reports=False)
+    space_run = space_backend.scan(data, collect_reports=False)
     return BenchmarkEvaluation(
         benchmark=benchmark,
         perf_mapping=perf_mapping,

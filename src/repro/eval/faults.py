@@ -1,7 +1,9 @@
 """Fault-injection campaign runner (AVF-style vulnerability table).
 
-A campaign compiles one automaton, scans one input clean to fix the
-reference report signature (cross-checked against the golden
+A campaign compiles one automaton into a
+:class:`~repro.backends.artifact.CompiledArtifact`, instantiates the
+registry's ``fault-injected`` backend on it, scans one input clean to
+fix the reference report signature (cross-checked against the golden
 interpreter), then runs ``trials`` single-fault experiments: each trial
 draws exactly one :class:`~repro.faults.models.FaultEvent` for a fault
 site chosen round-robin over the config's enabled sites, replays the
@@ -26,6 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.automata.anml import HomogeneousAutomaton
+from repro.backends import create_backend
+from repro.backends.artifact import CompiledArtifact
 from repro.compiler import compile_automaton
 from repro.core.design import CA_P, DesignPoint
 from repro.errors import FaultError
@@ -37,11 +41,9 @@ from repro.faults import (
     SDC,
     FaultConfig,
     FaultSite,
-    FaultySimulator,
     classify,
     draw_event,
 )
-from repro.sim.functional import MappedSimulator
 from repro.sim.golden import match_offsets
 
 
@@ -145,10 +147,11 @@ def run_campaign(
     if not sites:
         raise FaultError("no fault sites enabled (all rates are zero)")
 
-    mapping = compile_automaton(automaton, design)
-    simulator = FaultySimulator(MappedSimulator(mapping))
+    artifact = CompiledArtifact.from_mapping(compile_automaton(automaton, design))
+    backend = create_backend("fault-injected", artifact)
+    mapping = artifact.mapping
 
-    reference = simulator.run(data)
+    reference = backend.run_report(data)
     if reference.detected:
         raise FaultError("parity check fired on the clean reference run")
     golden = match_offsets(mapping.automaton, data)
@@ -167,9 +170,9 @@ def run_campaign(
         rng = np.random.default_rng([seed, trial])
         event = draw_event(
             rng, site, config, len(data),
-            simulator.state_bits, simulator.edge_bits,
+            backend.state_bits, backend.edge_bits,
         )
-        outcome = classify(simulator.run(data, [event]), reference)
+        outcome = classify(backend.run_report(data, [event]), reference)
         assert outcome in OUTCOMES
         tallies[site][outcome] += 1
         outcomes.append(

@@ -100,20 +100,31 @@ def simulator_throughput_section(
     entries = json.loads(trajectory.read_text(encoding="utf-8"))
     if not entries:
         return ""
+    backend_columns = sorted(
+        {name for entry in entries for name in entry.get("backends", {})}
+    )
     rows: List[Sequence] = [
         ["Label", "Workload", "Golden sym/s", "Mapped sym/s",
          "run_many agg sym/s"]
+        + [f"{name} sym/s" for name in backend_columns]
     ]
     for entry in entries:
-        rows.append(
-            [
-                entry.get("label", "?"),
-                entry.get("workload", "?"),
-                entry.get("golden_symbols_per_sec"),
-                entry.get("mapped_symbols_per_sec"),
-                entry.get("run_many_aggregate_symbols_per_sec") or "-",
-            ]
-        )
+        row = [
+            entry.get("label", "?"),
+            entry.get("workload", "?"),
+            entry.get("golden_symbols_per_sec"),
+            entry.get("mapped_symbols_per_sec"),
+            entry.get("run_many_aggregate_symbols_per_sec") or "-",
+        ]
+        for name in backend_columns:
+            cell = entry.get("backends", {}).get(name, {})
+            if "symbols_per_sec" in cell:
+                row.append(cell["symbols_per_sec"])
+            elif "skipped" in cell:
+                row.append("skipped")
+            else:
+                row.append("-")
+        rows.append(row)
     return (
         "## Simulator software throughput (BENCH_simulator.json)\n\n"
         + rows_to_markdown(rows)

@@ -22,7 +22,7 @@ from repro.automata.elements import (
     CounterMode,
     GateKind,
 )
-from repro.errors import SimulationError
+from repro.backends.validation import require_bytes
 from repro.sim.golden import Report
 
 
@@ -63,8 +63,7 @@ class CircuitSimulator:
                 self._reset_inputs.setdefault(target, []).append(source)
 
     def run(self, data: bytes) -> CircuitRunResult:
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
+        require_bytes(data, "input")
         circuit = self.circuit
         counters = {c.counter_id: CounterState() for c in circuit.counters()}
         reports: List[Report] = []

@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.automata.anml import StartKind
+from repro.backends.validation import require_resume_count
 from repro.compiler.mapping import Mapping
 from repro.core.energy import ActivityProfile
 from repro.errors import SimulationError
@@ -491,13 +492,7 @@ class MappedSimulator:
         checkpoint (or ``None``) per stream.
         """
         buffers = [as_symbols(stream) for stream in streams]
-        count = len(buffers)
-        if resumes is None:
-            resumes = [None] * count
-        elif len(resumes) != count:
-            raise SimulationError(
-                f"got {len(resumes)} checkpoints for {count} streams"
-            )
+        resumes = require_resume_count(resumes, len(buffers))
         kernel = self._kernel
         flags = dict(
             collect_reports=collect_reports,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backends.validation import as_symbols  # noqa: F401  (re-export)
 from repro.errors import FaultError, SimulationError
 
 #: Symbols processed per kernel chunk (gather + batched-stats granularity).
@@ -43,17 +44,6 @@ DENSE_TABLE_BYTES = 32 * 1024 * 1024
 
 #: Budget for memoised propagation results (bytes of cached rows).
 PROPAGATE_CACHE_BYTES = 32 * 1024 * 1024
-
-
-def as_symbols(data) -> np.ndarray:
-    """Validate ``data`` is bytes-like and view it as a ``uint8`` array.
-
-    Both simulators funnel input through here so they reject bad input
-    with identical errors.
-    """
-    if not isinstance(data, (bytes, bytearray, memoryview)):
-        raise SimulationError(f"input must be bytes-like, got {type(data)!r}")
-    return np.frombuffer(bytes(data), dtype=np.uint8)
 
 
 def popcount_rows(rows: np.ndarray) -> np.ndarray:

@@ -1,0 +1,286 @@
+"""Backend registry, artifact IR, and the cross-backend differential matrix.
+
+The differential matrix is the refactor's safety net: every registered
+execution backend must produce the identical match set — same offsets —
+on the same compiled artifact, across crafted inputs, suite workloads,
+and seeded random streams, whole-stream and chunked.  Backends whose
+capabilities erase rule identity (the DFA baseline) still must agree on
+offsets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    backend_class,
+    backend_names,
+    backend_spec,
+    create_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.backends import registry as registry_module
+from repro.backends.artifact import ARTIFACT_FORMAT_VERSION, CompiledArtifact
+from repro.backends.base import AutomatonBackend
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.engine import CacheAutomatonEngine
+from repro.errors import ArtifactError, AutomatonError, BackendError, SimulationError
+from repro.regex.compile import compile_patterns
+from repro.sim.golden import match_offsets
+from repro.workloads.inputs import LOWERCASE, random_over_alphabet
+from repro.workloads.suite import build_suite
+
+PATTERNS = ["bat", "c[ao]t", "dog+", "bar[t]?"]
+DATA = b"the cat sat on the bat; doggg barts in cots near a bart"
+
+#: Suite benchmarks exercised by the matrix (small at scale 0.05).
+SUITE_NAMES = ("Bro217", "ExactMatch", "Ranges05", "PowerEN")
+
+#: Options keeping the DFA baseline's subset construction bounded; every
+#: other backend ignores them.
+_OPTIONS = {"minimize": False, "max_states": 60_000}
+
+
+def _artifact(patterns):
+    machine = compile_patterns(patterns, report_codes=patterns)
+    return CompiledArtifact.from_mapping(compile_automaton(machine, CA_P))
+
+
+def _backend(name, artifact):
+    try:
+        return create_backend(name, artifact, **_OPTIONS)
+    except AutomatonError as error:  # DFA state blow-up on this workload
+        pytest.skip(f"{name}: {error}")
+
+
+@pytest.fixture(scope="module")
+def pattern_artifact():
+    return _artifact(PATTERNS)
+
+
+@pytest.fixture(scope="module")
+def suite_artifacts():
+    benchmarks = {b.name: b for b in build_suite(0.05)}
+    artifacts = {}
+    for name in SUITE_NAMES:
+        benchmark = benchmarks[name]
+        artifacts[name] = (
+            CompiledArtifact.from_mapping(
+                compile_automaton(benchmark.build(), CA_P)
+            ),
+            benchmark.input_stream(768, 3),
+        )
+    return artifacts
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("name", backend_names())
+    def test_crafted_input(self, name, pattern_artifact):
+        golden = match_offsets(pattern_artifact.automaton, DATA)
+        backend = _backend(name, pattern_artifact)
+        assert backend.scan(DATA).report_offsets() == golden
+
+    @pytest.mark.parametrize("name", backend_names())
+    @pytest.mark.parametrize("workload", SUITE_NAMES)
+    def test_suite_workloads(self, name, workload, suite_artifacts):
+        artifact, data = suite_artifacts[workload]
+        golden = match_offsets(artifact.automaton, data)
+        backend = _backend(name, artifact)
+        assert backend.scan(data).report_offsets() == golden
+
+    @pytest.mark.parametrize("name", backend_names())
+    @pytest.mark.parametrize("seed", (11, 12))
+    def test_seeded_random_streams(self, name, seed, pattern_artifact):
+        data = random_over_alphabet(600, b"abcdgorst ", seed=seed)
+        golden = match_offsets(pattern_artifact.automaton, data)
+        backend = _backend(name, pattern_artifact)
+        assert backend.scan(data).report_offsets() == golden
+
+    @pytest.mark.parametrize("name", backend_names())
+    def test_report_counts_without_collection(self, name, pattern_artifact):
+        backend = _backend(name, pattern_artifact)
+        result = backend.scan(DATA, collect_reports=False)
+        assert result.reports == []
+        assert result.profile.reports == len(
+            match_offsets(pattern_artifact.automaton, DATA)
+        )
+
+
+class TestChunkedResume:
+    @pytest.mark.parametrize("name", backend_names())
+    @pytest.mark.parametrize("chunk_size", (7, 64))
+    def test_chunked_equals_whole_stream(
+        self, name, chunk_size, pattern_artifact
+    ):
+        backend = _backend(name, pattern_artifact)
+        if not backend.capabilities().resume:
+            with pytest.raises(SimulationError):
+                backend.stream()
+            return
+        whole = backend.scan(DATA).report_offsets()
+        stream = backend.stream()
+        offsets = []
+        for start in range(0, len(DATA), chunk_size):
+            result = stream.scan(DATA[start : start + chunk_size])
+            offsets.extend(result.report_offsets())
+        assert sorted(set(offsets)) == whole
+        assert stream.position == len(DATA)
+
+    @pytest.mark.parametrize("name", backend_names())
+    def test_scan_many_matches_scan(self, name, pattern_artifact):
+        backend = _backend(name, pattern_artifact)
+        streams = [DATA, b"no matches here", DATA[10:40]]
+        results = backend.scan_many(streams)
+        assert len(results) == len(streams)
+        for data, result in zip(streams, results):
+            assert (
+                result.report_offsets()
+                == backend.scan(data).report_offsets()
+            )
+
+    @pytest.mark.parametrize("name", backend_names())
+    def test_scan_many_resume_count_mismatch(self, name, pattern_artifact):
+        backend = _backend(name, pattern_artifact)
+        with pytest.raises(SimulationError, match="2 checkpoints"):
+            backend.scan_many([DATA], resumes=[None, None])
+
+
+class TestRegistry:
+    def test_default_is_registered(self):
+        assert DEFAULT_BACKEND in backend_names()
+
+    def test_unknown_name(self):
+        with pytest.raises(BackendError, match="unknown backend 'nope'"):
+            resolve_backend_name("nope")
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("kernel", "packed-kernel"),
+            ("mapped", "packed-kernel"),
+            ("golden", "golden-interpreter"),
+            ("circuit-interpreter", "circuit"),
+            ("dfa", "cpu-dfa"),
+            ("faulty", "fault-injected"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_backend_name(alias) == canonical
+        assert backend_spec(alias).name == canonical
+
+    def test_registration_is_latest_wins(self):
+        saved_registry = dict(registry_module._REGISTRY)
+        saved_aliases = dict(registry_module._ALIASES)
+        try:
+
+            @register_backend("temp-backend", aliases=("tmp",))
+            class First(AutomatonBackend):
+                pass
+
+            assert backend_class("tmp") is First
+            assert First.name == "temp-backend"
+
+            @register_backend("temp-backend")
+            class Second(AutomatonBackend):
+                pass
+
+            assert backend_class("temp-backend") is Second
+        finally:
+            registry_module._REGISTRY.clear()
+            registry_module._REGISTRY.update(saved_registry)
+            registry_module._ALIASES.clear()
+            registry_module._ALIASES.update(saved_aliases)
+
+    def test_every_backend_declares_capabilities(self, pattern_artifact):
+        for name in backend_names():
+            backend = _backend(name, pattern_artifact)
+            capabilities = backend.capabilities()
+            assert capabilities.description
+            assert backend.name == name
+
+
+class TestCompiledArtifact:
+    def test_npz_round_trip_cold(self, pattern_artifact):
+        restored = CompiledArtifact.from_npz_bytes(
+            pattern_artifact.npz_bytes(),
+            pattern_artifact.automaton,
+            pattern_artifact.design,
+        )
+        assert restored.version == ARTIFACT_FORMAT_VERSION
+        assert restored.automaton_fingerprint == (
+            pattern_artifact.automaton_fingerprint
+        )
+        assert not restored.kernel_tables
+        assert (
+            restored.mapping.partition_count
+            == pattern_artifact.mapping.partition_count
+        )
+        for partition, original in zip(
+            restored.mapping.partitions, pattern_artifact.mapping.partitions
+        ):
+            assert list(partition.ste_ids) == list(original.ste_ids)
+
+    def test_npz_round_trip_warm(self, pattern_artifact):
+        backend = create_backend("packed-kernel", pattern_artifact)
+        warm = pattern_artifact.with_kernel_tables(backend.packed_tables())
+        restored = CompiledArtifact.from_npz_bytes(
+            warm.npz_bytes(), warm.automaton, warm.design
+        )
+        assert set(restored.kernel_tables) == set(warm.kernel_tables)
+        for key, table in warm.kernel_tables.items():
+            assert np.array_equal(restored.kernel_tables[key], table)
+        offsets = (
+            create_backend("packed-kernel", restored)
+            .scan(DATA)
+            .report_offsets()
+        )
+        assert offsets == match_offsets(warm.automaton, DATA)
+
+    def test_wrong_automaton_is_rejected(self, pattern_artifact):
+        other = _artifact(["completely", "different"])
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            CompiledArtifact.from_npz_bytes(
+                pattern_artifact.npz_bytes(), other.automaton, other.design
+            )
+
+    def test_corrupt_payload_is_rejected(self, pattern_artifact):
+        with pytest.raises(ArtifactError):
+            CompiledArtifact.from_npz_bytes(
+                b"not an npz payload",
+                pattern_artifact.automaton,
+                pattern_artifact.design,
+            )
+
+
+class TestEngineBackendSelection:
+    @pytest.mark.parametrize("name", ("golden", "cpu-dfa", "circuit"))
+    def test_explicit_backend_matches_default(self, name, tmp_path):
+        default = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path)
+        )
+        engine = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path), backend=name
+        )
+        assert (
+            sorted(m.end for m in engine.scan(DATA))
+            == sorted(m.end for m in default.scan(DATA))
+        )
+        health = engine.health()
+        assert health.backend == resolve_backend_name(name)
+        assert health.requested == resolve_backend_name(name)
+
+    def test_unknown_backend_raises(self, tmp_path):
+        with pytest.raises(BackendError, match="unknown backend"):
+            CacheAutomatonEngine.from_patterns(
+                PATTERNS, cache=str(tmp_path), backend="warp-drive"
+            )
+
+    def test_default_reports_no_request(self, tmp_path):
+        engine = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path)
+        )
+        health = engine.health()
+        assert health.backend == DEFAULT_BACKEND
+        assert health.requested is None
