@@ -8,6 +8,15 @@ as ``benchmarks/test_simulator_perf.py`` — and appends one labelled entry
 to the repo-root ``BENCH_simulator.json`` so successive PRs accumulate a
 before/after performance history.
 
+Two lazy-DFA measurements ride along: warm single-stream throughput of
+the ``lazy-dfa`` backend (transition cache populated by one untimed
+pass) and the process-sharded ``scan_many`` aggregate over four longer
+streams (``--shard-symbols`` total, ``--shard-jobs`` workers) so the
+shared-memory fan-out path is tracked in the same history.  Each entry
+also records the kernel and lazy-DFA cache counters
+(:meth:`~repro.sim.kernel.BitsetKernel.cache_info`-style hit/miss/flush
+totals) observed during the run.
+
 Each entry also carries a ``backends`` table: single-stream throughput of
 every backend registered with :mod:`repro.backends` over a (shorter)
 ``--matrix-length`` prefix of the same input, so per-backend rates track
@@ -62,12 +71,13 @@ def median_rate(func, symbols: int, rounds: int) -> float:
     return symbols / statistics.median(times)
 
 
-#: Per-backend construction options for the throughput matrix.  The DFA
-#: baseline gets a deliberately low state cap (no minimisation) so a
-#: workload whose subset construction explodes fails in seconds and is
-#: recorded as skipped rather than stalling the benchmark.
+#: Per-backend construction options for the throughput matrix.  The
+#: eager DFA baseline gets a deliberately low state cap (no
+#: minimisation) so a workload whose subset construction explodes fails
+#: in seconds and is recorded as skipped rather than stalling the
+#: benchmark.
 _MATRIX_OPTIONS = {
-    "cpu-dfa": {"minimize": False, "max_states": 4000},
+    "eager-dfa": {"minimize": False, "max_states": 4000},
 }
 
 
@@ -91,7 +101,13 @@ def backend_matrix(artifact, data: bytes, rounds: int) -> dict:
     return matrix
 
 
-def measure(length: int, rounds: int, matrix_length: int) -> dict:
+def measure(
+    length: int,
+    rounds: int,
+    matrix_length: int,
+    shard_symbols: int,
+    shard_jobs: int,
+) -> dict:
     spec = get_benchmark("PowerEN")
     automaton = spec.build()
     data = spec.input_stream(length, seed=5)
@@ -112,6 +128,31 @@ def measure(length: int, rounds: int, matrix_length: int) -> dict:
         quarter * 4,
         rounds,
     )
+
+    # Lazy-DFA single-stream throughput with a warm transition cache
+    # (one untimed pass populates it), plus the process-sharded
+    # scan_many aggregate over longer streams — long enough that worker
+    # scanning amortises the pool startup.
+    lazy = create_backend("lazy-dfa", artifact)
+    lazy.scan(data, collect_reports=False)
+    lazy_rate = median_rate(
+        lambda: lazy.scan(data, collect_reports=False), len(data), rounds
+    )
+    shard_data = spec.input_stream(shard_symbols, seed=6)
+    shard_quarter = len(shard_data) // 4
+    shard_streams = [
+        shard_data[i * shard_quarter : (i + 1) * shard_quarter]
+        for i in range(4)
+    ]
+    lazy.scan(shard_data, collect_reports=False)  # warm the shard patterns
+    sharded_rate = median_rate(
+        lambda: lazy.scan_many(
+            shard_streams, collect_reports=False, jobs=shard_jobs
+        ),
+        shard_quarter * 4,
+        rounds,
+    )
+
     return {
         "workload": "PowerEN",
         "input_symbols": length,
@@ -119,6 +160,14 @@ def measure(length: int, rounds: int, matrix_length: int) -> dict:
         "golden_symbols_per_sec": round(golden_rate),
         "mapped_symbols_per_sec": round(mapped_rate),
         "run_many_aggregate_symbols_per_sec": round(many_rate),
+        "lazy_dfa_warm_symbols_per_sec": round(lazy_rate),
+        "sharded_scan_many_symbols_per_sec": round(sharded_rate),
+        "shard_symbols": shard_symbols,
+        "shard_jobs": shard_jobs,
+        "cache_counters": {
+            "kernel": mapped.cache_info(),
+            "lazy_dfa": lazy.cache_info(),
+        },
         "backend_matrix_symbols": matrix_length,
         "backends": backend_matrix(artifact, data[:matrix_length], rounds),
     }
@@ -133,6 +182,13 @@ def main() -> int:
     parser.add_argument("--matrix-length", type=int, default=2000,
                         help="input prefix for the per-backend throughput "
                              "matrix (default 2000)")
+    parser.add_argument("--shard-symbols", type=int, default=800_000,
+                        help="total symbols for the process-sharded "
+                             "scan_many measurement (default 800000; "
+                             "large so workers amortise pool startup)")
+    parser.add_argument("--shard-jobs", type=int, default=2,
+                        help="worker processes for the sharded "
+                             "measurement (default 2)")
     parser.add_argument("--label", default="local",
                         help="entry label, e.g. a PR or commit name")
     parser.add_argument("--note", default="",
@@ -148,8 +204,15 @@ def main() -> int:
         parser.error("--length must be at least 8 symbols")
     if not 8 <= args.matrix_length <= args.length:
         parser.error("--matrix-length must be in [8, --length]")
+    if args.shard_symbols < 8:
+        parser.error("--shard-symbols must be at least 8 symbols")
+    if args.shard_jobs < 1:
+        parser.error("--shard-jobs must be at least 1")
 
-    entry = measure(args.length, args.rounds, args.matrix_length)
+    entry = measure(
+        args.length, args.rounds, args.matrix_length,
+        args.shard_symbols, args.shard_jobs,
+    )
     entry["label"] = args.label
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")
     if args.note:

@@ -10,8 +10,8 @@ The package splits into three layers:
   ``capabilities``) and its result/capability types;
 * :mod:`~repro.backends.registry` — name -> backend class, with the
   built-in substrates (packed kernel, golden interpreter, circuit
-  interpreter, CPU DFA baseline, fault-injection harness) registered
-  lazily on first lookup.
+  interpreter, lazy-DFA, eager-DFA baseline, fault-injection harness)
+  registered lazily on first lookup.
 
 Import discipline: importing this package must stay cheap and
 cycle-free — :mod:`repro.sim.kernel` imports
@@ -52,6 +52,7 @@ _LAZY = {
     "GoldenInterpreterBackend": "repro.backends.golden",
     "CircuitInterpreterBackend": "repro.backends.circuit",
     "CpuDfaBackend": "repro.backends.cpu",
+    "LazyDfaBackend": "repro.backends.lazydfa",
     "FaultInjectedBackend": "repro.backends.faulty",
 }
 

@@ -1,4 +1,4 @@
-"""The compute-centric baseline backend: a table-driven DFA walk.
+"""The eager-determinisation baseline backend: a table-driven DFA walk.
 
 Wraps :class:`~repro.baselines.cpu.DfaCpuEngine` behind the backend
 protocol, with a resume-capable scan loop over the dense transition
@@ -7,6 +7,13 @@ which rule fired into a single accepting bit, so reports carry match
 offsets only — ``capabilities().report_identity`` is False and the
 differential matrix compares this backend on offsets alone, exactly the
 comparison the paper's CPU-baseline numbers rest on.
+
+Subset construction is *eager*: the whole DFA is built before the first
+symbol, which blows up on real rule sets (PowerEN exceeds any sane state
+cap).  It is therefore registered as ``eager-dfa``; the ``cpu-dfa``
+name — and the default CPU-DFA strategy — now belong to the lazy-DFA
+backend (:mod:`repro.backends.lazydfa`), which determinises on demand
+and never aborts.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.baselines.cpu import DfaCpuEngine
 from repro.sim.golden import Checkpoint, Report, RunStats
 
 #: STE id stamped on every report (determinisation erased the real one).
-REPORT_ID = "cpu-dfa"
+REPORT_ID = "eager-dfa"
 
 _CAPABILITIES = BackendCapabilities(
     resume=True,
@@ -40,7 +47,7 @@ _CAPABILITIES = BackendCapabilities(
 )
 
 
-@register_backend("cpu-dfa", aliases=("cpu", "dfa"))
+@register_backend("eager-dfa", aliases=("eager",))
 class CpuDfaBackend(AutomatonBackend):
     """Execution as one dense-table DFA transition per input byte."""
 

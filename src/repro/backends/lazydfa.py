@@ -1,0 +1,243 @@
+"""The lazy-DFA backend: on-demand determinisation of the packed kernel.
+
+This is the default DFA strategy (it owns the ``cpu-dfa``/``cpu``/``dfa``
+aliases): instead of eagerly determinising the automaton — which blows
+up on real rule sets like PowerEN — it hash-conses the packed kernel's
+activation rows into DFA states *as the input visits them*
+(:class:`~repro.sim.lazydfa.LazyDfaKernel`), so a warm transition costs
+two list indexes and match/report semantics stay bit-identical to the
+golden interpreter, full STE identity included.  The eager subset-
+construction baseline remains available as ``eager-dfa``.
+
+``scan_many`` additionally shards streams across a process pool
+(:mod:`repro.sim.shard`): the kernel's packed tables and the warm DFA
+transition tables are published once through shared memory, workers
+rebuild zero-copy and return raw report events, and the parent
+materialises :class:`Report` objects — so results are deterministic and
+independent of the worker count.  Control the pool with the ``jobs=``
+backend option (engine: ``backend_options={"jobs": N}``) or
+``REPRO_SCAN_JOBS``; pool-level failures degrade to the serial loop
+with a :class:`~repro.errors.DegradedModeWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+)
+from repro.backends.registry import register_backend
+from repro.backends.validation import require_resume_count
+from repro.sim.functional import MappedSimulator
+from repro.sim.golden import Checkpoint, Report, RunStats
+from repro.sim.kernel import as_symbols
+from repro.sim.lazydfa import LazyDfaKernel
+from repro.sim.shard import (
+    RawScanResult,
+    resolve_scan_jobs,
+    scan_streams_sharded,
+)
+
+_CAPABILITIES = BackendCapabilities(
+    resume=True,
+    batch=True,
+    activity_profile=False,
+    report_identity=True,
+    fault_events=False,
+    description=(
+        "lazy-DFA over the packed kernel: activation rows hash-consed "
+        "into DFA states on demand (RE2-style bounded transition cache, "
+        "flush on overflow), bit-identical reports with full STE "
+        "identity; scan_many shards streams across a process pool over "
+        "shared-memory tables"
+    ),
+)
+
+
+@register_backend("lazy-dfa", aliases=("cpu-dfa", "cpu", "dfa"))
+class LazyDfaBackend(AutomatonBackend):
+    """Execution as lazily-determinised transitions over the kernel."""
+
+    consumes_kernel_tables = True
+
+    def __init__(
+        self,
+        simulator: MappedSimulator,
+        *,
+        jobs: Union[int, str, None] = None,
+        max_states: Optional[int] = None,
+    ):
+        self.simulator = simulator
+        self.dfa = LazyDfaKernel(simulator.kernel, max_states=max_states)
+        self._jobs = jobs
+        #: reporting-row bytes -> ((ste_id, report_code), ...) memo.
+        self._idents: Dict[bytes, Tuple[Tuple[str, Optional[str]], ...]] = {}
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: CompiledArtifact,
+        *,
+        simulator_cls=None,
+        jobs: Union[int, str, None] = None,
+        max_states: Optional[int] = None,
+        **_options,
+    ) -> "LazyDfaBackend":
+        """Build over the artifact's kernel tables when present (warm
+        path), else from the mapping; no subset construction ever runs.
+
+        ``jobs`` presets the ``scan_many`` worker count (``None`` defers
+        to ``REPRO_SCAN_JOBS``/CPU count at scan time); ``max_states``
+        overrides the DFA cache's state budget.
+        """
+        simulator_cls = simulator_cls or MappedSimulator
+        if artifact.kernel_tables:
+            simulator = simulator_cls.from_cached(
+                artifact.mapping, artifact.kernel_tables
+            )
+        else:
+            simulator = simulator_cls(artifact.mapping)
+        return cls(simulator, jobs=jobs, max_states=max_states)
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def packed_tables(self) -> dict:
+        """The simulator's kernel tables, for persisting into the cache."""
+        return self.simulator.packed_tables()
+
+    def cache_info(self) -> Dict[str, int]:
+        """The DFA transition cache's effectiveness counters."""
+        return self.dfa.cache_info()
+
+    # -- report materialisation --------------------------------------------
+
+    def _ident_of(
+        self, rep_bytes: bytes
+    ) -> Tuple[Tuple[str, Optional[str]], ...]:
+        """(ste_id, report_code) per firing bit of one reporting row."""
+        ident = self._idents.get(rep_bytes)
+        if ident is None:
+            kernel = self.simulator.kernel
+            ids = self.simulator._bit_ids()
+            automaton = self.simulator.mapping.automaton
+            row = np.frombuffer(rep_bytes, dtype=np.uint64)
+            entries = []
+            for bit in kernel.bit_indices(row):
+                ste = automaton.ste(ids[int(bit)])
+                entries.append((ste.ste_id, ste.report_code))
+            ident = tuple(entries)
+            self._idents[rep_bytes] = ident
+        return ident
+
+    def _materialise(
+        self, raw: RawScanResult, base_offset: int, collect_reports: bool
+    ) -> BackendResult:
+        raw_events, report_total, vector, sod, symbols = raw
+        reports: List[Report] = []
+        if collect_reports:
+            for event_offset, _count, rep_bytes in raw_events:
+                for ste_id, code in self._ident_of(rep_bytes):
+                    reports.append(
+                        Report(base_offset + event_offset, ste_id, code)
+                    )
+        checkpoint = Checkpoint(
+            symbols_processed=base_offset + symbols,
+            active_state_vector=vector,
+            start_of_data_pending=sod,
+        )
+        stats = RunStats(symbols_processed=symbols)
+        return self._basic_result(
+            reports,
+            symbols=symbols,
+            report_count=report_total,
+            checkpoint=checkpoint,
+            stats=stats,
+        )
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        symbols = as_symbols(data)
+        kernel = self.simulator.kernel
+        if resume is None:
+            prev = kernel.pack(0)
+            sod = kernel.has_sod
+            base_offset = 0
+        else:
+            prev = kernel.pack(resume.active_state_vector)
+            sod = kernel.has_sod and resume.start_of_data_pending
+            base_offset = resume.symbols_processed
+        events, report_total, final_row, sod = self.dfa.scan(
+            symbols, prev=prev, sod=sod, collect_events=collect_reports
+        )
+        raw_events = [
+            (event_offset,) + self.dfa.event(event_id)
+            for event_offset, event_id in events
+        ]
+        raw = (
+            raw_events,
+            report_total,
+            kernel.unpack(final_row),
+            bool(sod),
+            len(symbols),
+        )
+        return self._materialise(raw, base_offset, collect_reports)
+
+    def scan_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+        jobs: Union[int, str, None] = None,
+    ) -> List[BackendResult]:
+        """Scan a batch of streams, sharding across processes when
+        ``jobs`` (argument, backend option, or ``REPRO_SCAN_JOBS``)
+        resolves above 1.  Results are index-ordered and identical to
+        the serial loop for every worker count.
+        """
+        streams = list(streams)
+        resumes = require_resume_count(resumes, len(streams))
+        workers = resolve_scan_jobs(self._jobs if jobs is None else jobs)
+        if workers > 1 and len(streams) > 1:
+            items = []
+            for index, (data, resume) in enumerate(zip(streams, resumes)):
+                cursor = None
+                if resume is not None:
+                    cursor = (
+                        resume.symbols_processed,
+                        resume.active_state_vector,
+                        resume.start_of_data_pending,
+                    )
+                items.append((index, bytes(as_symbols(data)), cursor))
+            tables = dict(self.simulator.kernel.packed_tables())
+            tables.update(self.dfa.export_tables())
+            raws = scan_streams_sharded(
+                tables, items, workers, collect_events=collect_reports
+            )
+            if raws is not None:
+                return [
+                    self._materialise(
+                        raw,
+                        0 if resume is None else resume.symbols_processed,
+                        collect_reports,
+                    )
+                    for raw, resume in zip(raws, resumes)
+                ]
+        return [
+            self.scan(data, collect_reports=collect_reports, resume=resume)
+            for data, resume in zip(streams, resumes)
+        ]

@@ -31,6 +31,7 @@ _BUILTIN_MODULES = (
     "repro.backends.golden",
     "repro.backends.circuit",
     "repro.backends.cpu",
+    "repro.backends.lazydfa",
     "repro.backends.faulty",
 )
 

@@ -7,12 +7,16 @@ Subcommands::
         the mapping report: states, partitions, ways, cache bytes, wire
         usage, derived clock.
 
-    python -m repro.cli scan RULES.txt INPUT.bin [--design CA_P] [--limit N]
-                        [--backend NAME]
-        compile, map, and scan a binary input file; print match records
-        and the modelled performance/energy summary.  ``--backend``
-        selects any registered execution backend (default: the packed
-        kernel).
+    python -m repro.cli scan RULES.txt INPUT.bin [INPUT2.bin ...]
+                        [--design CA_P] [--limit N] [--backend NAME]
+                        [--jobs N]
+        compile, map, and scan one or more binary input files; print
+        match records and the modelled performance/energy summary.
+        ``--backend`` selects any registered execution backend (default:
+        the packed kernel; ``--backend lazy-dfa`` for the lazy-DFA
+        transition cache).  With several inputs and a sharding backend,
+        ``--jobs`` controls the scan worker pool (also settable via
+        ``REPRO_SCAN_JOBS``).
 
     python -m repro.cli backends
         list the registered execution backends with their aliases and
@@ -143,18 +147,35 @@ def _cmd_scan(arguments) -> int:
     design = _design(arguments.design)
     backend_name = resolve_backend_name(arguments.backend)
     mapping = _compile(_load_rules(arguments.rules), design)
-    with open(arguments.input, "rb") as handle:
-        data = handle.read()
-    backend = create_backend(backend_name, CompiledArtifact.from_mapping(mapping))
-    result = backend.scan(data)
-    shown = result.reports[: arguments.limit]
-    for record in shown:
-        print(f"offset {record.offset}: {record.report_code!r}")
-    if len(result.reports) > len(shown):
-        print(f"... and {len(result.reports) - len(shown)} more")
+    streams = []
+    for path in arguments.input:
+        with open(path, "rb") as handle:
+            streams.append(handle.read())
+    options = {}
+    if arguments.jobs is not None:
+        options["jobs"] = arguments.jobs
+    backend = create_backend(
+        backend_name, CompiledArtifact.from_mapping(mapping), **options
+    )
+    if len(streams) == 1:
+        results = [backend.scan(streams[0])]
+    else:
+        results = backend.scan_many(streams)
+    total_matches = 0
+    for path, result in zip(arguments.input, results):
+        if len(streams) > 1:
+            print(f"-- {path}")
+        total_matches += len(result.reports)
+        shown = result.reports[: arguments.limit]
+        for record in shown:
+            print(f"offset {record.offset}: {record.report_code!r}")
+        if len(result.reports) > len(shown):
+            print(f"... and {len(result.reports) - len(shown)} more")
+    result = results[0]
+    data = streams[0]
     energy = EnergyModel(design)
     ap = ApModel()
-    print(f"\n{len(result.reports)} matches in {len(data)} bytes "
+    print(f"\n{total_matches} matches in {sum(map(len, streams))} bytes "
           f"(backend {backend.name})")
     print(f"modelled scan:  {len(data)/(design.frequency_ghz*1e9)*1e3:.4f} ms "
           f"at {design.throughput_gbps:.1f} Gb/s "
@@ -318,15 +339,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_parser.set_defaults(handler=_cmd_compile)
 
-    scan_parser = subparsers.add_parser("scan", help="compile and scan an input file")
+    scan_parser = subparsers.add_parser(
+        "scan", help="compile and scan one or more input files"
+    )
     scan_parser.add_argument("rules")
-    scan_parser.add_argument("input")
+    scan_parser.add_argument("input", nargs="+")
     scan_parser.add_argument("--design", default="CA_P", choices=sorted(_DESIGNS))
     scan_parser.add_argument("--limit", type=int, default=20,
-                             help="max match records to print")
+                             help="max match records to print (per input)")
     scan_parser.add_argument(
         "--backend", default=DEFAULT_BACKEND,
         help="execution backend (see `python -m repro.cli backends`)",
+    )
+    scan_parser.add_argument(
+        "--jobs", default=None,
+        help="worker processes for multi-input scans on backends that "
+             "shard (lazy-dfa); default REPRO_SCAN_JOBS or the CPU count",
     )
     scan_parser.set_defaults(handler=_cmd_scan)
 

@@ -227,6 +227,7 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        scan_jobs: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ):
@@ -249,6 +250,10 @@ class CacheAutomatonEngine:
         (see :func:`repro.backends.backend_names`; aliases accepted) —
         the packed mapped kernel by default.  ``backend_options`` are
         passed through to the backend's ``from_artifact``.
+        ``scan_jobs`` presets the worker count for process-sharded
+        ``scan_many`` on backends that support it (the lazy-DFA
+        backend; also settable via ``REPRO_SCAN_JOBS``); it is shorthand
+        for ``backend_options={"jobs": ...}``.
 
         The optimisation ladder chooses among several automaton variants,
         so ``optimize=True`` always bypasses the cache (the key would
@@ -272,6 +277,8 @@ class CacheAutomatonEngine:
         )
         backend_name = self._requested_backend or DEFAULT_BACKEND
         backend_options = dict(backend_options or {})
+        if scan_jobs is not None:
+            backend_options.setdefault("jobs", scan_jobs)
         engine_backend: Optional[AutomatonBackend] = None
         artifact: Optional[CompiledArtifact] = None
         recompiling = False
@@ -442,6 +449,7 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        scan_jobs: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -456,6 +464,7 @@ class CacheAutomatonEngine:
             optimize=optimize,
             cache=cache,
             compile_jobs=compile_jobs,
+            scan_jobs=scan_jobs,
             backend=backend,
             backend_options=backend_options,
         )
@@ -469,6 +478,7 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        scan_jobs: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -478,6 +488,7 @@ class CacheAutomatonEngine:
             optimize=optimize,
             cache=cache,
             compile_jobs=compile_jobs,
+            scan_jobs=scan_jobs,
             backend=backend,
             backend_options=backend_options,
         )
@@ -491,6 +502,7 @@ class CacheAutomatonEngine:
         optimize: bool = False,
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
+        scan_jobs: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -501,6 +513,7 @@ class CacheAutomatonEngine:
                 optimize=optimize,
                 cache=cache,
                 compile_jobs=compile_jobs,
+                scan_jobs=scan_jobs,
                 backend=backend,
                 backend_options=backend_options,
             )

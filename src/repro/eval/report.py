@@ -105,7 +105,8 @@ def simulator_throughput_section(
     )
     rows: List[Sequence] = [
         ["Label", "Workload", "Golden sym/s", "Mapped sym/s",
-         "run_many agg sym/s"]
+         "run_many agg sym/s", "Lazy-DFA warm sym/s",
+         "Sharded scan_many sym/s"]
         + [f"{name} sym/s" for name in backend_columns]
     ]
     for entry in entries:
@@ -115,6 +116,8 @@ def simulator_throughput_section(
             entry.get("golden_symbols_per_sec"),
             entry.get("mapped_symbols_per_sec"),
             entry.get("run_many_aggregate_symbols_per_sec") or "-",
+            entry.get("lazy_dfa_warm_symbols_per_sec") or "-",
+            entry.get("sharded_scan_many_symbols_per_sec") or "-",
         ]
         for name in backend_columns:
             cell = entry.get("backends", {}).get(name, {})
@@ -125,10 +128,55 @@ def simulator_throughput_section(
             else:
                 row.append("-")
         rows.append(row)
-    return (
+    section = (
         "## Simulator software throughput (BENCH_simulator.json)\n\n"
         + rows_to_markdown(rows)
     )
+    counters = _cache_counter_rows(entries)
+    if counters:
+        section += (
+            "\n\n### Simulation cache counters (newest entry)\n\n"
+            + rows_to_markdown(counters)
+        )
+    return section
+
+
+def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
+    """Hit/miss/flush table from the newest entry carrying counters."""
+    newest = next(
+        (
+            entry
+            for entry in reversed(entries)
+            if entry.get("cache_counters")
+        ),
+        None,
+    )
+    if newest is None:
+        return []
+    rows: List[Sequence] = [
+        ["Cache", "Hits", "Misses", "Flushes", "Size", "Limit"]
+    ]
+    for owner, caches in sorted(newest["cache_counters"].items()):
+        # Kernel counters nest one dict per cache; the lazy DFA's are a
+        # single flat stats dict — normalise to (label, stats) pairs.
+        if any(isinstance(value, dict) for value in caches.values()):
+            named = [
+                (f"{owner}.{cache_name}", stats)
+                for cache_name, stats in sorted(caches.items())
+                if isinstance(stats, dict)
+            ]
+        else:
+            named = [(owner, caches)]
+        for label, stats in named:
+            rows.append([
+                label,
+                stats.get("hits", "-"),
+                stats.get("misses", "-"),
+                stats.get("flushes", "-"),
+                stats.get("size", stats.get("states", "-")),
+                stats.get("limit", stats.get("max_states", "-")),
+            ])
+    return rows if len(rows) > 1 else []
 
 
 def compiler_trajectory_section(

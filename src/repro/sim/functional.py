@@ -307,6 +307,11 @@ class MappedSimulator:
         used by the fault-injection harness in :mod:`repro.faults`)."""
         return self._kernel
 
+    def cache_info(self) -> dict:
+        """Hit/miss/flush counters of the kernel's memoisation layers
+        (see :meth:`repro.sim.kernel.BitsetKernel.cache_info`)."""
+        return self._kernel.cache_info()
+
     # -- packed-table round-trip ------------------------------------------
 
     def packed_tables(self) -> dict:

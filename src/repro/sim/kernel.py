@@ -45,10 +45,37 @@ DENSE_TABLE_BYTES = 32 * 1024 * 1024
 #: Budget for memoised propagation results (bytes of cached rows).
 PROPAGATE_CACHE_BYTES = 32 * 1024 * 1024
 
+#: Budget for memoised full-cycle step results (bytes of cached rows).
+STEP_CACHE_BYTES = 32 * 1024 * 1024
+
+
+def _popcount_rows_native(rows: np.ndarray) -> np.ndarray:
+    return np.bitwise_count(rows).sum(axis=-1, dtype=np.int64)
+
+
+def _popcount_rows_unpackbits(rows: np.ndarray) -> np.ndarray:
+    # ``np.bitwise_count`` needs numpy >= 2.0; this path serves older
+    # installs by widening each uint64 row to bits and summing.
+    flat = np.unpackbits(
+        np.ascontiguousarray(rows).view(np.uint8), axis=-1
+    )
+    return flat.sum(axis=-1, dtype=np.int64)
+
+
+if hasattr(np, "bitwise_count"):
+    _popcount_rows_impl = _popcount_rows_native
+else:  # pragma: no cover - exercised via the fallback unit test
+    _popcount_rows_impl = _popcount_rows_unpackbits
+
 
 def popcount_rows(rows: np.ndarray) -> np.ndarray:
     """Per-row set-bit counts of a ``(cycles, words)`` uint64 matrix."""
-    return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+    return _popcount_rows_impl(rows)
+
+
+def popcount_row(row: np.ndarray) -> int:
+    """Total set bits of one packed ``(words,)`` uint64 row."""
+    return int(_popcount_rows_impl(np.ascontiguousarray(row)[None, :])[0])
 
 
 class BitsetKernel:
@@ -108,8 +135,25 @@ class BitsetKernel:
             self._csr_words = np.array(csr_words, dtype=np.int64)
             self._csr_masks = np.array(csr_masks, dtype=np.uint64)
 
+        self._init_caches()
+
+    def _init_caches(self):
+        """Fresh memoisation state (shared by all construction paths)."""
         self._prop_cache: Dict[bytes, Tuple[np.ndarray, bool]] = {}
         self._prop_cache_limit = max(1024, PROPAGATE_CACHE_BYTES // self.row_bytes)
+        self._prop_hits = 0
+        self._prop_misses = 0
+        # Step cache: full-cycle memo keyed by the packed previous
+        # activation row; each state's 256-entry list holds
+        # (matched, enabled, next_prev, nonzero, next_state_row) tuples
+        # that chain directly to the successor state's list, so the hot
+        # loop advances with pure list indexing (see :meth:`run_chunk`).
+        self._step_rows: Dict[bytes, list] = {}
+        self._step_entries = 0
+        self._step_limit = max(1024, STEP_CACHE_BYTES // (2 * self.row_bytes + 160))
+        self._step_lookups = 0
+        self._step_misses = 0
+        self._step_flushes = 0
         self._idle_next: Optional[np.ndarray] = None
         self._idle_escape: Optional[np.ndarray] = None
         self._scratch = np.zeros(self.words, dtype=np.uint64)
@@ -196,13 +240,7 @@ class BitsetKernel:
             raise SimulationError(
                 f"corrupt kernel tables: missing {error}"
             ) from None
-        self._prop_cache = {}
-        self._prop_cache_limit = max(
-            1024, PROPAGATE_CACHE_BYTES // self.row_bytes
-        )
-        self._idle_next = None
-        self._idle_escape = None
-        self._scratch = np.zeros(self.words, dtype=np.uint64)
+        self._init_caches()
         return self
 
     # -- fault modelling ---------------------------------------------------
@@ -313,11 +351,14 @@ class BitsetKernel:
         key = np.ascontiguousarray(row).tobytes()
         hit = self._prop_cache.get(key)
         if hit is None:
+            self._prop_misses += 1
             out = self._successors_of(row)
             out.setflags(write=False)
             hit = (out, bool(out.any()))
             if len(self._prop_cache) < self._prop_cache_limit:
                 self._prop_cache[key] = hit
+        else:
+            self._prop_hits += 1
         return hit
 
     def propagate_matrix(self, rows: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -332,6 +373,62 @@ class BitsetKernel:
         for index in range(rows.shape[0]):
             out[index], nonzero[index] = self.propagate(rows[index])
         return nonzero
+
+    # -- step cache --------------------------------------------------------
+
+    def _step_row(self, prev: np.ndarray) -> list:
+        """The step-cache entry list of activation row ``prev``."""
+        key = np.ascontiguousarray(prev).tobytes()
+        row = self._step_rows.get(key)
+        if row is None:
+            row = [None] * 256
+            self._step_rows[key] = row
+        return row
+
+    def _step_miss(self, row: list, prev: np.ndarray, symbol: int) -> tuple:
+        """Compute, cache, and return one full-cycle step entry."""
+        self._step_misses += 1
+        enabled = prev | self.start_all_row
+        matched = self.match_matrix[symbol] & enabled
+        nxt, nonzero = self.propagate(matched)
+        matched.setflags(write=False)
+        enabled.setflags(write=False)
+        if self._step_entries >= self._step_limit:
+            # RE2-style flush-on-overflow: drop every entry and re-intern
+            # the current state; the next few cycles repopulate the hot
+            # transitions.
+            self._step_rows.clear()
+            self._step_entries = 0
+            self._step_flushes += 1
+            row = self._step_row(prev)
+        hit = (matched, enabled, nxt, nonzero, self._step_row(nxt))
+        row[symbol] = hit
+        self._step_entries += 1
+        return hit
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/flush counters for the kernel's memoisation layers.
+
+        ``propagate`` covers the successor-propagation memo (whole-vector
+        gather+OR results); ``step`` covers the full-cycle step cache
+        that :meth:`run_chunk`'s non-idle loop runs on.  Step hits are
+        derived as lookups minus misses.
+        """
+        return {
+            "propagate": {
+                "hits": self._prop_hits,
+                "misses": self._prop_misses,
+                "size": len(self._prop_cache),
+                "limit": self._prop_cache_limit,
+            },
+            "step": {
+                "hits": self._step_lookups - self._step_misses,
+                "misses": self._step_misses,
+                "flushes": self._step_flushes,
+                "size": self._step_entries,
+                "limit": self._step_limit,
+            },
+        }
 
     # -- idle fast path ----------------------------------------------------
 
@@ -380,24 +477,53 @@ class BitsetKernel:
         ``prev`` is the pending successor-activation row (may alias a
         cached, read-only row); returns the updated
         ``(prev, prev_nonzero, sod)`` cursor.
+
+        Non-idle cycles run on the full-cycle step cache: each distinct
+        activation row owns a 256-entry list whose tuples carry the
+        cycle's matched/enabled rows plus a direct reference to the
+        successor row's own list, so a warm transition costs two list
+        indexes and no numpy work.  The cache flushes wholesale when the
+        entry budget is hit (RE2-style) and repopulates on demand.
         """
         cycles = len(sym)
         start_row = self.start_all_row
         escape_positions: Optional[np.ndarray] = None
+        sym_list: Optional[list] = None
+        row: Optional[list] = None
+        lookups = 0
         i = 0
         while i < cycles:
-            if prev_nonzero or sod:
+            if prev_nonzero and not sod:
+                if sym_list is None:
+                    sym_list = sym.tolist()
+                if row is None:
+                    row = self._step_row(prev)
+                s = sym_list[i]
+                hit = row[s]
+                if hit is None:
+                    hit = self._step_miss(row, prev, s)
+                mrow, erow, prev, prev_nonzero, row = hit
+                matched_rows[i] = mrow
+                if enabled_rows is not None:
+                    enabled_rows[i] = erow
+                lookups += 1
+                i += 1
+                continue
+            if sod:
+                # Start-of-data enables extra start states for exactly one
+                # cycle; step it outside the cache so cached entries stay
+                # keyed purely by the activation row.
                 if enabled_rows is None:
                     erow = self._scratch
                 else:
                     erow = enabled_rows[i]
                 np.bitwise_or(prev, start_row, out=erow)
-                if sod:
-                    erow |= self.start_sod_row
-                    sod = False
+                erow |= self.start_sod_row
+                sod = False
                 mrow = matched_rows[i]
                 mrow &= erow
                 prev, prev_nonzero = self.propagate(mrow)
+                row = None
                 i += 1
                 continue
             # Idle: the enabled vector is exactly the all-input start set
@@ -421,5 +547,7 @@ class BitsetKernel:
                 matched_rows[j] &= start_row
                 prev = self._idle_next[int(sym[j])]
                 prev_nonzero = True
+                row = None
             i = j + 1
+        self._step_lookups += lookups
         return prev, prev_nonzero, sod

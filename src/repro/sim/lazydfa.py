@@ -1,0 +1,290 @@
+"""Lazy-DFA execution layer over the packed-bitset kernel.
+
+The packed kernel (:mod:`repro.sim.kernel`) pays a handful of numpy
+operations per non-idle cycle; the eager CPU-DFA baseline avoids that
+per-cycle work but its subset construction blows up on real rule sets
+(PowerEN aborts past 4000 states).  This module takes the middle road
+the fast CPU regex engines take (RE2, Hyperscan): determinise *lazily*,
+caching only the DFA states an input actually visits.
+
+A DFA state is one distinct pending successor-activation row of the
+underlying :class:`~repro.sim.kernel.BitsetKernel` — the packed vector
+``run_chunk`` threads between cycles.  Rows are hash-consed into dense
+integer ids; each state owns a 256-entry transition row filled on
+demand.  A transition records the successor state id plus the cycle's
+report outcome, so a warm transition costs two Python list indexes and
+zero numpy work.  Canonical ``(state, symbol) -> (next_id, report
+count)`` tables are kept in parallel ``int32`` arrays — the form the
+process-sharded scanner (:mod:`repro.sim.shard`) publishes through
+shared memory so worker processes start with a warm cache.
+
+The state/transition budget is bounded: when interning would exceed it,
+the whole cache is flushed and repopulated on demand (RE2's policy —
+cheap, and an adversarial input degrades to the kernel's propagate
+path instead of exhausting memory).  Reporting transitions additionally
+record the packed *reporting-row* bytes in a flush-immune event table,
+so callers can materialise golden-convention :class:`Report` objects
+(full STE identity) lazily and bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import BitsetKernel, popcount_row
+
+#: Budget for cached DFA states (transition rows + packed vectors).
+DFA_CACHE_BYTES = 16 * 1024 * 1024
+
+#: Per-state cache cost estimate: int32 next/reps rows + the Python
+#: transition list (~8 bytes/slot + header) + the interned packed row.
+_STATE_COST_BYTES = 256 * (4 + 4 + 8) + 512
+
+
+class LazyDfaKernel:
+    """On-demand determinisation of one :class:`BitsetKernel`.
+
+    ``max_states`` bounds the cached DFA (default derived from
+    ``cache_bytes``); crossing it flushes the whole cache, RE2-style.
+    The instance is single-threaded mutable state — share the underlying
+    kernel across threads/processes, not this object.
+    """
+
+    def __init__(
+        self,
+        kernel: BitsetKernel,
+        *,
+        cache_bytes: int = DFA_CACHE_BYTES,
+        max_states: Optional[int] = None,
+    ):
+        self._kernel = kernel
+        if max_states is None:
+            max_states = cache_bytes // (_STATE_COST_BYTES + kernel.row_bytes)
+        self._max_states = max(64, int(max_states))
+        self._lookups = 0
+        self._misses = 0
+        self._flushes = 0
+        # Report events are flush-immune: event ids stay valid for the
+        # lifetime of the kernel, so encoded transitions created after a
+        # flush can reuse them and callers can resolve identity lazily.
+        self._events: List[Tuple[int, bytes]] = []
+        self._event_of: Dict[bytes, int] = {}
+        self._reset_states()
+
+    def _reset_states(self):
+        self._ids: Dict[bytes, int] = {}
+        self._rows: List[np.ndarray] = []
+        #: Hot-loop view: per-state 256-entry lists of encoded
+        #: transitions (-1 missing; ``next_id`` when silent; else
+        #: ``(event_id + 1) << 32 | next_id``).
+        self._enc_rows: List[list] = []
+        capacity = 256
+        self._next = np.full((capacity, 256), -1, dtype=np.int32)
+        self._reps = np.zeros((capacity, 256), dtype=np.int32)
+
+    # -- state interning ---------------------------------------------------
+
+    def intern(self, row: np.ndarray) -> int:
+        """Dense DFA state id of packed activation row ``row``."""
+        key = np.ascontiguousarray(row).tobytes()
+        sid = self._ids.get(key)
+        if sid is None:
+            sid = len(self._rows)
+            self._ids[key] = sid
+            frozen = np.frombuffer(key, dtype=np.uint64)
+            self._rows.append(frozen)
+            self._enc_rows.append([-1] * 256)
+            while sid >= self._next.shape[0]:
+                self._next = self._grow(self._next, -1)
+                self._reps = self._grow(self._reps, 0)
+        return sid
+
+    @staticmethod
+    def _grow(table: np.ndarray, fill: int) -> np.ndarray:
+        grown = np.full((table.shape[0] * 2, 256), fill, dtype=np.int32)
+        grown[: table.shape[0]] = table
+        return grown
+
+    @property
+    def dfa_states(self) -> int:
+        """Number of DFA states currently interned."""
+        return len(self._rows)
+
+    def state_row(self, sid: int) -> np.ndarray:
+        """The packed activation row interned as state ``sid``."""
+        return self._rows[sid]
+
+    def event(self, event_id: int) -> Tuple[int, bytes]:
+        """``(report_count, reporting_row_bytes)`` of one report event."""
+        return self._events[event_id]
+
+    # -- transition construction -------------------------------------------
+
+    def _event_id(self, count: int, rep_bytes: bytes) -> int:
+        event_id = self._event_of.get(rep_bytes)
+        if event_id is None:
+            event_id = len(self._events)
+            self._event_of[rep_bytes] = event_id
+            self._events.append((count, rep_bytes))
+        return event_id
+
+    def _miss(self, sid: int, symbol: int) -> Tuple[int, int]:
+        """Fill the ``(sid, symbol)`` transition; returns ``(sid, enc)``.
+
+        May flush the whole cache (when the state budget is exhausted);
+        the returned ``sid`` is the — possibly re-interned — id of the
+        *current* state, so the scan loop's cursor survives the remap.
+        """
+        self._misses += 1
+        kernel = self._kernel
+        prev = self._rows[sid]
+        enabled = prev | kernel.start_all_row
+        matched = kernel.match_matrix[symbol] & enabled
+        nxt, _ = kernel.propagate(matched)
+        rep_row = matched & kernel.report_row
+        count = popcount_row(rep_row)
+        if len(self._rows) >= self._max_states:
+            self._flushes += 1
+            self._reset_states()
+            sid = self.intern(prev)
+        nid = self.intern(nxt)
+        if count == 0:
+            enc = nid
+        else:
+            enc = ((self._event_id(count, rep_row.tobytes()) + 1) << 32) | nid
+        self._enc_rows[sid][symbol] = enc
+        self._next[sid, symbol] = nid
+        self._reps[sid, symbol] = count
+        return sid, enc
+
+    def _sod_step(self, prev: np.ndarray, symbol: int):
+        """One uncached cycle with the start-of-data states enabled."""
+        kernel = self._kernel
+        enabled = prev | kernel.start_all_row | kernel.start_sod_row
+        matched = kernel.match_matrix[symbol] & enabled
+        nxt, _ = kernel.propagate(matched)
+        rep_row = matched & kernel.report_row
+        return nxt, popcount_row(rep_row), rep_row
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(
+        self,
+        symbols: np.ndarray,
+        *,
+        prev: np.ndarray,
+        sod: bool,
+        collect_events: bool = True,
+    ) -> Tuple[List[Tuple[int, int]], int, np.ndarray, bool]:
+        """Drive the DFA over ``symbols`` from activation row ``prev``.
+
+        Returns ``(events, report_total, final_row, sod)`` where
+        ``events`` is a list of ``(offset, event_id)`` report events in
+        stream order (empty unless ``collect_events``), ``report_total``
+        counts every reporting STE firing, and ``final_row`` is the
+        pending activation row after the last symbol — exactly the
+        cursor :meth:`BitsetKernel.run_chunk` would have produced, so
+        checkpoints interoperate with every other execution path.
+        """
+        events: List[Tuple[int, int]] = []
+        report_total = 0
+        length = len(symbols)
+        if length == 0:
+            return events, report_total, prev, sod
+        sym_list = symbols.tolist()
+        i = 0
+        if sod:
+            # Start-of-data states are enabled for exactly one cycle, so
+            # that cycle runs outside the cache and the DFA proper only
+            # ever sees transitions keyed by the activation row alone.
+            prev, count, rep_row = self._sod_step(prev, sym_list[0])
+            if count:
+                report_total += count
+                if collect_events:
+                    events.append((0, self._event_id(count, rep_row.tobytes())))
+            sod = False
+            i = 1
+        self._lookups += length - i
+        sid = self.intern(prev)
+        enc_rows = self._enc_rows
+        row = enc_rows[sid]
+        while i < length:
+            value = row[sym_list[i]]
+            if value < 0:
+                sid, value = self._miss(sid, sym_list[i])
+                enc_rows = self._enc_rows
+            if value < 4294967296:
+                sid = value
+            else:
+                sid = value & 4294967295
+                event_id = (value >> 32) - 1
+                report_total += self._events[event_id][0]
+                if collect_events:
+                    events.append((i, event_id))
+            row = enc_rows[sid]
+            i += 1
+        return events, report_total, self._rows[sid], sod
+
+    # -- sharding support --------------------------------------------------
+
+    def export_tables(self) -> Dict[str, np.ndarray]:
+        """Canonical DFA tables for publication to worker processes.
+
+        ``dfa_rows`` are the interned packed activation rows (state id
+        order); ``dfa_next``/``dfa_reps`` the ``(states, 256)`` int32
+        transition tables (-1 = not yet computed).  Reporting-row bytes
+        are deliberately *not* exported — a seeded worker recomputes a
+        reporting transition on first use (see :meth:`seed`).
+        """
+        states = len(self._rows)
+        words = self._kernel.words
+        if states:
+            rows = np.ascontiguousarray(np.stack(self._rows))
+        else:
+            rows = np.zeros((0, words), dtype=np.uint64)
+        return {
+            "dfa_rows": rows,
+            "dfa_next": np.ascontiguousarray(self._next[:states]),
+            "dfa_reps": np.ascontiguousarray(self._reps[:states]),
+        }
+
+    def seed(
+        self, rows: np.ndarray, nxt: np.ndarray, reps: np.ndarray
+    ) -> None:
+        """Warm-start from :meth:`export_tables` output.
+
+        Non-reporting transitions seed directly into the hot-loop lists;
+        reporting ones stay missing (their reporting-row bytes were not
+        shipped) and recompute through :meth:`_miss` on first use — a
+        one-time propagate per distinct reporting transition.
+        """
+        for row in rows:
+            self.intern(row)
+        states = len(rows)
+        if not states:
+            return
+        self._next[:states] = nxt
+        self._reps[:states] = reps
+        silent = np.where(reps == 0, nxt, -1)
+        for sid in range(states):
+            self._enc_rows[sid] = silent[sid].tolist()
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """Transition-cache effectiveness counters.
+
+        ``hits`` is derived (lookups minus misses); ``flushes`` counts
+        wholesale cache resets; ``events`` the distinct reporting
+        transitions recorded since construction.
+        """
+        return {
+            "states": len(self._rows),
+            "max_states": self._max_states,
+            "hits": self._lookups - self._misses,
+            "misses": self._misses,
+            "flushes": self._flushes,
+            "events": len(self._events),
+        }

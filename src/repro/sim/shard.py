@@ -1,0 +1,216 @@
+"""Process-parallel sharded scanning over shared kernel/DFA tables.
+
+The Section 6 multi-stream scenario scales past one core by sharding
+independent input streams across a process pool.  The expensive state —
+the packed kernel tables and the lazy-DFA transition tables — is
+published *once* through :mod:`multiprocessing.shared_memory` as a
+single block; each worker maps it zero-copy, rebuilds a
+:class:`~repro.sim.kernel.BitsetKernel` via ``from_packed`` and a
+warm-seeded :class:`~repro.sim.lazydfa.LazyDfaKernel`, and scans its
+shard of streams.  Results carry the original stream indices so the
+caller reassembles them in deterministic submission order — the worker
+count never changes what a scan returns, only how fast it returns.
+
+Pool policy mirrors :mod:`repro.compiler.mapping`: only a *pool-level*
+failure (``OSError`` from process creation, ``BrokenProcessPool``)
+degrades to the caller's serial path, with a
+:class:`~repro.errors.DegradedModeWarning`; an exception raised inside a
+worker (bad input, corrupt tables) propagates — retrying it serially
+would mask it or fail identically, twice as slowly.
+
+Worker count comes from ``jobs=`` or the ``REPRO_SCAN_JOBS`` environment
+variable, defaulting to the CPU count (:func:`resolve_scan_jobs`).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backends.validation import as_symbols
+from repro.errors import DegradedModeWarning
+from repro.sim.kernel import BitsetKernel
+from repro.sim.lazydfa import LazyDfaKernel
+
+SCAN_JOBS_ENV = "REPRO_SCAN_JOBS"
+
+#: One stream's raw scan outcome, before report materialisation:
+#: (events as (offset, count, reporting_row_bytes), report_total,
+#:  final_state_vector_int, sod_pending, symbols_scanned).
+RawScanResult = Tuple[List[Tuple[int, int, bytes]], int, int, bool, int]
+
+#: One stream's pickled work item: (index, data, resume-tuple-or-None).
+_WorkItem = Tuple[int, bytes, Optional[Tuple[int, int, bool]]]
+
+
+def resolve_scan_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Worker count for sharded scanning.
+
+    ``jobs`` may be an int, a numeric string, or ``None``/"auto" — the
+    latter consults ``REPRO_SCAN_JOBS`` and falls back to the CPU
+    count.  The result is always >= 1 (1 means scan serially).
+    """
+    if jobs is None or jobs == "auto":
+        jobs = os.environ.get(SCAN_JOBS_ENV) or (os.cpu_count() or 1)
+    return max(1, int(jobs))
+
+
+class SharedTables:
+    """A dict of numpy arrays published as one shared-memory block.
+
+    ``meta`` is the picklable handle workers pass to
+    :func:`attach_tables`: the block name plus per-array (name, dtype,
+    shape, byte offset) entries.  The creator must :meth:`close` when
+    every consumer is done (the pool has exited).
+    """
+
+    def __init__(self, tables: Dict[str, np.ndarray]):
+        entries = []
+        arrays = []
+        offset = 0
+        for name, array in tables.items():
+            array = np.asarray(array)
+            if not array.flags.c_contiguous:
+                # NB: not ascontiguousarray — that promotes 0-d to (1,).
+                array = np.ascontiguousarray(array)
+            entries.append((name, array.dtype.str, array.shape, offset))
+            arrays.append(array)
+            # Keep every region 8-byte aligned for the uint64 tables.
+            offset += (array.nbytes + 7) & ~7
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for (name, dtype, shape, start), array in zip(entries, arrays):
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=self._shm.buf, offset=start
+            )
+            view[...] = array
+            del view
+        self.meta = (self._shm.name, tuple(entries))
+
+    def close(self) -> None:
+        self._shm.close()
+        self._shm.unlink()
+
+
+def attach_tables(meta) -> Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]:
+    """Map a :class:`SharedTables` block; returns (handle, array views).
+
+    The views alias the mapping — the caller must drop every view (and
+    everything built on them) before closing the handle.
+    """
+    name, entries = meta
+    shm = shared_memory.SharedMemory(name=name)
+    tables = {
+        entry_name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
+        for entry_name, dtype, shape, start in entries
+    }
+    return shm, tables
+
+
+def _scan_one(
+    kernel: BitsetKernel,
+    dfa: LazyDfaKernel,
+    data: bytes,
+    resume: Optional[Tuple[int, int, bool]],
+    collect_events: bool,
+) -> RawScanResult:
+    """Scan one stream on a worker-local kernel/DFA pair."""
+    if resume is None:
+        prev = kernel.pack(0)
+        sod = kernel.has_sod
+    else:
+        _, vector, pending = resume
+        prev = kernel.pack(vector)
+        sod = kernel.has_sod and pending
+    symbols = as_symbols(data)
+    events, total, final_row, sod = dfa.scan(
+        symbols, prev=prev, sod=sod, collect_events=collect_events
+    )
+    raw_events = []
+    for event_offset, event_id in events:
+        count, rep_bytes = dfa.event(event_id)
+        raw_events.append((event_offset, count, rep_bytes))
+    return raw_events, total, kernel.unpack(final_row), bool(sod), len(symbols)
+
+
+def _scan_shard_worker(payload) -> List[Tuple[int, RawScanResult]]:
+    """Scan one shard of streams against the shared tables.
+
+    Top-level so the function pickles; rebuilds the kernel zero-copy
+    from the shared block, seeds the lazy DFA from the parent's warm
+    transition tables, and returns (original index, raw result) pairs.
+    """
+    meta, items, collect_events = payload
+    shm, tables = attach_tables(meta)
+    try:
+        dfa_rows = tables.pop("dfa_rows")
+        dfa_next = tables.pop("dfa_next")
+        dfa_reps = tables.pop("dfa_reps")
+        kernel = BitsetKernel.from_packed(tables)
+        dfa = LazyDfaKernel(kernel)
+        dfa.seed(dfa_rows, dfa_next, dfa_reps)
+        return [
+            (index, _scan_one(kernel, dfa, data, resume, collect_events))
+            for index, data, resume in items
+        ]
+    finally:
+        # Every view of the mapping must die before close() (else
+        # BufferError); seeding copied what the DFA keeps, so dropping
+        # the locals releases all of them.
+        del tables
+        try:
+            del dfa_rows, dfa_next, dfa_reps, kernel, dfa
+        except NameError:
+            pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+
+def scan_streams_sharded(
+    tables: Dict[str, np.ndarray],
+    items: Sequence[_WorkItem],
+    jobs: int,
+    *,
+    collect_events: bool = True,
+) -> Optional[List[RawScanResult]]:
+    """Shard ``items`` across ``jobs`` workers; results in index order.
+
+    ``tables`` is the union of the kernel's packed tables and the lazy
+    DFA's :meth:`~repro.sim.lazydfa.LazyDfaKernel.export_tables`.
+    Returns ``None`` when the pool itself is unusable (the caller falls
+    back to its serial path); worker exceptions propagate.
+    """
+    items = list(items)
+    if not items:
+        return []
+    jobs = min(max(1, jobs), len(items))
+    shards = [items[start::jobs] for start in range(jobs)]
+    shared = SharedTables(tables)
+    try:
+        payloads = [(shared.meta, shard, collect_events) for shard in shards]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                shard_results = list(pool.map(_scan_shard_worker, payloads))
+        except (OSError, BrokenProcessPool) as error:
+            warnings.warn(
+                "process-sharded scanning unavailable "
+                f"({type(error).__name__}: {error}); "
+                "degrading to serial scanning",
+                DegradedModeWarning,
+                stacklevel=3,
+            )
+            return None
+    finally:
+        shared.close()
+    ordered: Dict[int, RawScanResult] = {}
+    for shard_result in shard_results:
+        for index, raw in shard_result:
+            ordered[index] = raw
+    return [ordered[index] for index in range(len(items))]

@@ -26,7 +26,13 @@ from repro.backends.base import AutomatonBackend
 from repro.compiler import compile_automaton
 from repro.core.design import CA_P
 from repro.engine import CacheAutomatonEngine
-from repro.errors import ArtifactError, AutomatonError, BackendError, SimulationError
+from repro.errors import (
+    ArtifactError,
+    AutomatonError,
+    BackendError,
+    DegradedModeWarning,
+    SimulationError,
+)
 from repro.regex.compile import compile_patterns
 from repro.sim.golden import match_offsets
 from repro.workloads.inputs import LOWERCASE, random_over_alphabet
@@ -147,6 +153,129 @@ class TestChunkedResume:
             backend.scan_many([DATA], resumes=[None, None])
 
 
+def _full_reports(result):
+    return [(r.offset, r.ste_id, r.report_code) for r in result.reports]
+
+
+class TestLazyDfa:
+    """The lazy-DFA backend's cache policy and process-sharded batch."""
+
+    def test_overflow_flush_mid_stream_is_bit_identical(
+        self, pattern_artifact
+    ):
+        golden = match_offsets(pattern_artifact.automaton, DATA)
+        reference = create_backend("lazy-dfa", pattern_artifact)
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        # Force the state budget far below what DATA visits so the
+        # cache flushes repeatedly mid-stream (the constructor clamps
+        # max_states to >= 64, hence the direct override).
+        backend.dfa._max_states = 3
+        result = backend.scan(DATA)
+        assert result.report_offsets() == golden
+        assert _full_reports(result) == _full_reports(
+            reference.scan(DATA)
+        )
+        info = backend.cache_info()
+        assert info["flushes"] > 0
+        assert info["states"] <= 4
+        # A second pass over the thrashing cache still agrees.
+        assert backend.scan(DATA).report_offsets() == golden
+
+    def test_cache_info_counters(self, pattern_artifact):
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        backend.scan(DATA)
+        cold = backend.cache_info()
+        assert cold["states"] > 0
+        assert cold["misses"] > 0
+        assert cold["events"] > 0
+        backend.scan(DATA)
+        warm = backend.cache_info()
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] > cold["hits"]
+
+    def test_sharded_scan_many_independent_of_jobs(self, pattern_artifact):
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        streams = [DATA, b"no matches here", DATA[5:40], DATA * 3, b""]
+        serial = backend.scan_many(streams, jobs=1)
+        for jobs in (2, 3):
+            sharded = backend.scan_many(streams, jobs=jobs)
+            assert len(sharded) == len(serial)
+            for lone, many in zip(serial, sharded):
+                assert _full_reports(many) == _full_reports(lone)
+                assert many.checkpoint == lone.checkpoint
+                assert many.profile.reports == lone.profile.reports
+
+    def test_sharded_resume_matches_whole_stream(self, pattern_artifact):
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        whole = backend.scan(DATA).report_offsets()
+        splits = (20, 33)
+        heads = [DATA[:split] for split in splits]
+        first = backend.scan_many(heads, jobs=2)
+        tails = [DATA[split:] for split in splits]
+        second = backend.scan_many(
+            tails, resumes=[r.checkpoint for r in first], jobs=2
+        )
+        for head, tail in zip(first, second):
+            assert (
+                head.report_offsets() + tail.report_offsets() == whole
+            )
+
+    def test_sharded_without_report_collection(self, pattern_artifact):
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        streams = [DATA, DATA[7:]]
+        results = backend.scan_many(
+            streams, collect_reports=False, jobs=2
+        )
+        for data, result in zip(streams, results):
+            assert result.reports == []
+            assert result.profile.reports == len(
+                match_offsets(pattern_artifact.automaton, data)
+            )
+
+    def test_pool_failure_degrades_to_serial(
+        self, pattern_artifact, monkeypatch
+    ):
+        from repro.sim import shard as shard_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no worker processes available")
+
+        monkeypatch.setattr(
+            shard_module, "ProcessPoolExecutor", ExplodingPool
+        )
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        golden = match_offsets(pattern_artifact.automaton, DATA)
+        with pytest.warns(DegradedModeWarning, match="degrading to serial"):
+            results = backend.scan_many([DATA, DATA[3:25]], jobs=2)
+        assert results[0].report_offsets() == golden
+        assert (
+            results[1].report_offsets()
+            == backend.scan(DATA[3:25]).report_offsets()
+        )
+
+    def test_resolve_scan_jobs(self, monkeypatch):
+        from repro.sim.shard import SCAN_JOBS_ENV, resolve_scan_jobs
+
+        monkeypatch.delenv(SCAN_JOBS_ENV, raising=False)
+        assert resolve_scan_jobs(4) == 4
+        assert resolve_scan_jobs("3") == 3
+        assert resolve_scan_jobs(0) == 1
+        assert resolve_scan_jobs(None) >= 1
+        monkeypatch.setenv(SCAN_JOBS_ENV, "5")
+        assert resolve_scan_jobs() == 5
+        assert resolve_scan_jobs("auto") == 5
+        assert resolve_scan_jobs(2) == 2
+
+    def test_engine_scan_jobs_passthrough(self, tmp_path):
+        engine = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path), backend="lazy-dfa", scan_jobs=1
+        )
+        assert engine.backend._jobs == 1
+        offsets = sorted(m.end for m in engine.scan(DATA))
+        assert offsets == match_offsets(engine.automaton, DATA)
+
+
 class TestRegistry:
     def test_default_is_registered(self):
         assert DEFAULT_BACKEND in backend_names()
@@ -162,7 +291,10 @@ class TestRegistry:
             ("mapped", "packed-kernel"),
             ("golden", "golden-interpreter"),
             ("circuit-interpreter", "circuit"),
-            ("dfa", "cpu-dfa"),
+            ("dfa", "lazy-dfa"),
+            ("cpu", "lazy-dfa"),
+            ("cpu-dfa", "lazy-dfa"),
+            ("eager", "eager-dfa"),
             ("faulty", "fault-injected"),
         ],
     )

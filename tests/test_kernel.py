@@ -23,6 +23,7 @@ from repro.compiler import compile_automaton
 from repro.core.design import CA_P
 from repro.errors import SimulationError
 from repro.regex.compile import compile_patterns
+from repro.sim import kernel as kernel_module
 from repro.sim.functional import MappedSimulator
 from repro.sim.golden import GoldenSimulator
 from repro.sim.kernel import BitsetKernel, as_symbols, popcount_rows
@@ -76,6 +77,88 @@ class TestPacking:
         kernel = make_kernel(seed=4)
         rows = np.stack([kernel.pack(0b1011), kernel.pack((1 << 99) | 1)])
         assert popcount_rows(rows).tolist() == [3, 2]
+
+
+class TestPopcountFallback:
+    """Satellite: installs without ``np.bitwise_count`` (numpy < 2.0)
+    take the ``unpackbits`` path — it must agree bit-for-bit."""
+
+    def test_unpackbits_matches_reference(self):
+        rng = np.random.default_rng(21)
+        rows = rng.integers(0, 1 << 63, size=(9, 4), dtype=np.uint64)
+        expected = [
+            sum(int(word).bit_count() for word in row) for row in rows
+        ]
+        assert (
+            kernel_module._popcount_rows_unpackbits(rows).tolist()
+            == expected
+        )
+        if hasattr(np, "bitwise_count"):
+            assert (
+                kernel_module._popcount_rows_native(rows).tolist()
+                == expected
+            )
+
+    def test_unpackbits_handles_noncontiguous_rows(self):
+        rng = np.random.default_rng(3)
+        wide = rng.integers(0, 1 << 63, size=(5, 8), dtype=np.uint64)
+        view = wide[:, ::2]
+        expected = [
+            sum(int(word).bit_count() for word in row) for row in view
+        ]
+        assert (
+            kernel_module._popcount_rows_unpackbits(view).tolist()
+            == expected
+        )
+
+    def test_dispatch_runs_on_fallback(self, monkeypatch):
+        monkeypatch.setattr(
+            kernel_module,
+            "_popcount_rows_impl",
+            kernel_module._popcount_rows_unpackbits,
+        )
+        kernel = make_kernel(seed=4)
+        rows = np.stack([kernel.pack(0b1011), kernel.pack((1 << 99) | 1)])
+        assert popcount_rows(rows).tolist() == [3, 2]
+        assert kernel_module.popcount_row(kernel.pack(0b10110)) == 3
+
+
+class TestStepCache:
+    """The full-cycle step cache behind ``run_chunk``: counters move
+    with use, and an overflow flush never changes what a run returns."""
+
+    PATTERNS = ["ab+c", "cat", "d[aeiou]g"]
+
+    def _mapping(self):
+        return compile_automaton(compile_patterns(self.PATTERNS), CA_P)
+
+    def test_counters_track_hits_and_misses(self):
+        simulator = MappedSimulator(self._mapping())
+        data = b"abbc cat dig abc dog cat " * 40
+        simulator.run(data)
+        info = simulator.cache_info()
+        assert info["step"]["misses"] > 0
+        assert info["step"]["hits"] > 0
+        assert info["step"]["flushes"] == 0
+        assert info["step"]["size"] == info["step"]["misses"]
+        warm_hits = info["step"]["hits"]
+        simulator.run(data)
+        again = simulator.cache_info()
+        assert again["step"]["hits"] > warm_hits
+        assert again["step"]["misses"] == info["step"]["misses"]
+        assert again["propagate"]["misses"] >= 1
+
+    def test_overflow_flush_preserves_results(self):
+        mapping = self._mapping()
+        data = b"abbc cat dig abc dog cat " * 40
+        expected = reports_of(MappedSimulator(mapping).run(data))
+        tiny = MappedSimulator(mapping)
+        tiny.kernel._step_limit = 2
+        result = tiny.run(data)
+        assert reports_of(result) == expected
+        info = tiny.cache_info()
+        assert info["step"]["flushes"] > 0
+        assert info["step"]["size"] <= 2
 
 
 class TestPropagation:
