@@ -8,14 +8,23 @@ as ``benchmarks/test_simulator_perf.py`` — and appends one labelled entry
 to the repo-root ``BENCH_simulator.json`` so successive PRs accumulate a
 before/after performance history.
 
-Two lazy-DFA measurements ride along: warm single-stream throughput of
+Four lazy-DFA measurements ride along: warm single-stream throughput of
 the ``lazy-dfa`` backend (transition cache populated by one untimed
-pass) and the process-sharded ``scan_many`` aggregate over four longer
-streams (``--shard-symbols`` total, ``--shard-jobs`` workers) so the
-shared-memory fan-out path is tracked in the same history.  Each entry
-also records the kernel and lazy-DFA cache counters
+pass), the same measurement at ``--stride`` (k-stride execution over
+the compressed class alphabet), and the process-sharded ``scan_many``
+aggregate over four longer streams (``--shard-symbols`` total,
+``--shard-jobs`` workers) both unstrided and strided, so the
+shared-memory fan-out path and its composition with striding are
+tracked in the same history.  Each entry also records the kernel and
+lazy-DFA cache counters
 (:meth:`~repro.sim.kernel.BitsetKernel.cache_info`-style hit/miss/flush
-totals) observed during the run.
+totals) observed during the run, including the strided DFA's effective
+stride and class-table width.
+
+Every ``*_symbols_per_sec`` figure is **input bytes per second**: each
+rate divides the input length in bytes by wall-clock time, so a k=2
+strided run (which takes k bytes per DFA step) is never double-counted
+— one input byte is one symbol, at every stride.
 
 Each entry also carries a ``backends`` table: single-stream throughput of
 every backend registered with :mod:`repro.backends` over a (shorter)
@@ -62,7 +71,11 @@ DEFAULT_OUTPUT = os.path.join(
 
 
 def median_rate(func, symbols: int, rounds: int) -> float:
-    """Median symbols/second of ``func`` over ``rounds`` timed calls."""
+    """Median input bytes/second of ``func`` over ``rounds`` timed calls.
+
+    ``symbols`` must be the *input length in bytes* (never a DFA step
+    count) so strided and unstrided runs normalise identically.
+    """
     times = []
     for _ in range(rounds):
         start = time.perf_counter()
@@ -107,6 +120,7 @@ def measure(
     matrix_length: int,
     shard_symbols: int,
     shard_jobs: int,
+    stride: int,
 ) -> dict:
     spec = get_benchmark("PowerEN")
     automaton = spec.build()
@@ -144,9 +158,34 @@ def measure(
         shard_data[i * shard_quarter : (i + 1) * shard_quarter]
         for i in range(4)
     ]
-    lazy.scan(shard_data, collect_reports=False)  # warm the shard patterns
+    # Warm on the actual shard streams: workers seed from the parent's
+    # exported tables, and at stride > 1 a stream's k-byte windows are
+    # phase-aligned to its own start — warming the concatenated data
+    # would leave every worker re-missing the quarter-phase transitions.
+    for stream in shard_streams:
+        lazy.scan(stream, collect_reports=False)
     sharded_rate = median_rate(
         lambda: lazy.scan_many(
+            shard_streams, collect_reports=False, jobs=shard_jobs
+        ),
+        shard_quarter * 4,
+        rounds,
+    )
+
+    # The same two measurements at --stride: k input bytes per cached
+    # DFA transition over the compressed class alphabet.  Rates stay in
+    # input bytes/sec (len(data), not the k-fold smaller step count).
+    lazy_strided = create_backend("lazy-dfa", artifact, stride=stride)
+    lazy_strided.scan(data, collect_reports=False)
+    strided_rate = median_rate(
+        lambda: lazy_strided.scan(data, collect_reports=False),
+        len(data),
+        rounds,
+    )
+    for stream in shard_streams:
+        lazy_strided.scan(stream, collect_reports=False)
+    sharded_strided_rate = median_rate(
+        lambda: lazy_strided.scan_many(
             shard_streams, collect_reports=False, jobs=shard_jobs
         ),
         shard_quarter * 4,
@@ -161,12 +200,19 @@ def measure(
         "mapped_symbols_per_sec": round(mapped_rate),
         "run_many_aggregate_symbols_per_sec": round(many_rate),
         "lazy_dfa_warm_symbols_per_sec": round(lazy_rate),
+        "lazy_dfa_strided_warm_symbols_per_sec": round(strided_rate),
         "sharded_scan_many_symbols_per_sec": round(sharded_rate),
+        "sharded_strided_scan_many_symbols_per_sec": round(
+            sharded_strided_rate
+        ),
         "shard_symbols": shard_symbols,
         "shard_jobs": shard_jobs,
+        "stride": stride,
+        "stride_effective": lazy_strided.cache_info()["stride"],
         "cache_counters": {
             "kernel": mapped.cache_info(),
             "lazy_dfa": lazy.cache_info(),
+            "lazy_dfa_strided": lazy_strided.cache_info(),
         },
         "backend_matrix_symbols": matrix_length,
         "backends": backend_matrix(artifact, data[:matrix_length], rounds),
@@ -189,6 +235,10 @@ def main() -> int:
     parser.add_argument("--shard-jobs", type=int, default=2,
                         help="worker processes for the sharded "
                              "measurement (default 2)")
+    parser.add_argument("--stride", type=int, default=2,
+                        choices=(2, 4),
+                        help="k-stride for the strided lazy-DFA "
+                             "measurements (default 2)")
     parser.add_argument("--label", default="local",
                         help="entry label, e.g. a PR or commit name")
     parser.add_argument("--note", default="",
@@ -211,7 +261,7 @@ def main() -> int:
 
     entry = measure(
         args.length, args.rounds, args.matrix_length,
-        args.shard_symbols, args.shard_jobs,
+        args.shard_symbols, args.shard_jobs, args.stride,
     )
     entry["label"] = args.label
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")

@@ -244,6 +244,53 @@ class SymbolSet:
         return f"SymbolSet({self.canonical_expression()})"
 
 
+def equivalence_classes(
+    sets: Iterable[SymbolSet],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partition the byte alphabet by membership signature across ``sets``.
+
+    Two byte values are equivalent exactly when every set in ``sets``
+    either contains both or neither — no automaton labelled from
+    ``sets`` can distinguish them, so transition tables may be indexed
+    by class instead of by byte.  Returns ``(class_of, representatives)``
+    where ``class_of`` maps each byte value to its dense class id and
+    ``representatives[c]`` is the smallest byte value in class ``c``.
+    Class ids are assigned in order of each class's smallest member, so
+    the numbering is canonical for a given partition regardless of the
+    iteration order of ``sets``.
+    """
+    masks = [symbol_set.mask for symbol_set in sets]
+    raw = b"".join(mask.to_bytes(32, "little") for mask in masks)
+    columns = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8).reshape(len(masks), 32),
+        axis=1,
+        bitorder="little",
+    ).T  # (256, n_sets): row b is byte b's membership signature
+    return partition_byte_columns(columns)
+
+
+def partition_byte_columns(
+    columns: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Class map of a ``(256, ...)`` per-byte signature matrix.
+
+    Bytes with identical rows share a class; ids are assigned in order
+    of each class's smallest byte (canonical numbering shared by the
+    automaton- and kernel-derived alphabets).  Returns ``(class_of,
+    representatives)`` as :func:`equivalence_classes` does.
+    """
+    _, inverse = np.unique(columns, axis=0, return_inverse=True)
+    inverse = inverse.reshape(ALPHABET_SIZE)
+    first_seen = np.full(int(inverse.max()) + 1, ALPHABET_SIZE, dtype=np.int64)
+    np.minimum.at(first_seen, inverse, np.arange(ALPHABET_SIZE))
+    order = np.argsort(first_seen, kind="stable")
+    remap = np.empty_like(order)
+    remap[order] = np.arange(order.size)
+    class_of = remap[inverse].astype(np.int32)
+    representatives = first_seen[order].astype(np.uint8)
+    return class_of, representatives
+
+
 def _printable(value: int) -> str:
     """Render a byte value as itself when printable, else as \\xNN."""
     character = chr(value)

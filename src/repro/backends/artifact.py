@@ -12,10 +12,11 @@ Serialisation is versioned (:data:`ARTIFACT_FORMAT_VERSION`) and shared:
 :meth:`CompiledArtifact.to_payload` / :meth:`from_payload` define the
 array-dict layout the on-disk cache persists (``.npz``), and
 :meth:`npz_bytes` / :meth:`from_npz_bytes` wrap it for byte-oriented
-transport.  Version-1 payloads written before the field existed load
-unchanged; any corrupt or mismatching payload raises
+transport.  Any corrupt, mismatching, or out-of-version payload raises
 :class:`~repro.errors.ArtifactError`, which the cache converts into
-"quarantine and recompile".
+"quarantine and recompile" — in particular, version-1 payloads written
+before artifacts became stride-aware are invalidated cleanly rather
+than mis-deserialised as unstrided.
 """
 
 from __future__ import annotations
@@ -36,10 +37,17 @@ from repro.errors import ArtifactError
 #: layout (``part``/``slot``/``ways``/fingerprints/``kernel_*``); the
 #: explicit ``artifact_version`` member was introduced while the layout
 #: was still version 1, so payloads without it are read as version 1.
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2 adds the k-stride execution fields (``stride`` plus the
+#: ``stride_*`` compressed-alphabet tables); version-1 payloads are
+#: rejected with :class:`ArtifactError` so the cache quarantines and
+#: recompiles instead of silently executing them unstrided.
+ARTIFACT_FORMAT_VERSION = 2
 
 #: Payload member prefix under which kernel tables are stored.
 _KERNEL_PREFIX = "kernel_"
+
+#: Payload member prefix for the compressed stride-alphabet tables.
+_STRIDE_PREFIX = "stride_"
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,11 @@ class CompiledArtifact:
     automaton_fingerprint: str = ""
     design_fingerprint: str = ""
     version: int = ARTIFACT_FORMAT_VERSION
+    #: Effective k-stride the artifact was compiled for (1 = unstrided).
+    stride: int = 1
+    #: Compressed stride-alphabet tables (``stride_k`` /
+    #: ``stride_class_of`` / ``stride_reps``); empty when unstrided.
+    stride_tables: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def automaton(self) -> HomogeneousAutomaton:
@@ -71,13 +84,24 @@ class CompiledArtifact:
         cls,
         mapping: Mapping,
         kernel_tables: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        stride: int = 1,
+        stride_tables: Optional[Dict[str, np.ndarray]] = None,
     ) -> "CompiledArtifact":
-        """Wrap a freshly compiled mapping, fingerprinting its inputs."""
+        """Wrap a freshly compiled mapping, fingerprinting its inputs.
+
+        ``stride`` enters the design fingerprint (when != 1), so strided
+        and unstrided artifacts content-address separately.
+        """
         return cls(
             mapping=mapping,
             kernel_tables=dict(kernel_tables or {}),
             automaton_fingerprint=automaton_fingerprint(mapping.automaton),
-            design_fingerprint=design_fingerprint(mapping.design),
+            design_fingerprint=design_fingerprint(
+                mapping.design, stride=stride
+            ),
+            stride=stride,
+            stride_tables=dict(stride_tables or {}),
         )
 
     def with_kernel_tables(
@@ -90,6 +114,24 @@ class CompiledArtifact:
             automaton_fingerprint=self.automaton_fingerprint,
             design_fingerprint=self.design_fingerprint,
             version=self.version,
+            stride=self.stride,
+            stride_tables=dict(self.stride_tables),
+        )
+
+    def with_stride_tables(
+        self, stride: int, stride_tables: Dict[str, np.ndarray]
+    ) -> "CompiledArtifact":
+        """A copy carrying the k-stride alphabet (re-fingerprinted)."""
+        return CompiledArtifact(
+            mapping=self.mapping,
+            kernel_tables=dict(self.kernel_tables),
+            automaton_fingerprint=self.automaton_fingerprint,
+            design_fingerprint=design_fingerprint(
+                self.mapping.design, stride=stride
+            ),
+            version=self.version,
+            stride=stride,
+            stride_tables=dict(stride_tables),
         )
 
     # -- serialisation -----------------------------------------------------
@@ -119,11 +161,16 @@ class CompiledArtifact:
                 or automaton_fingerprint(automaton)
             ),
             "design": np.asarray(
-                self.design_fingerprint or design_fingerprint(self.design)
+                self.design_fingerprint
+                or design_fingerprint(self.design, stride=self.stride)
             ),
+            "stride": np.asarray(self.stride, dtype=np.int64),
         }
         for name, array in self.kernel_tables.items():
             payload[f"{_KERNEL_PREFIX}{name}"] = array
+        for name, array in self.stride_tables.items():
+            # Alphabet table names already carry the stride_ prefix.
+            payload[name] = array
         return payload
 
     @classmethod
@@ -132,16 +179,18 @@ class CompiledArtifact:
         data,
         automaton: HomogeneousAutomaton,
         design: DesignPoint,
+        *,
+        stride: int = 1,
     ) -> "CompiledArtifact":
         """Rebuild an artifact against the in-memory compiler inputs.
 
         ``data`` is any mapping of member name -> array (an open ``npz``
         file works directly).  The payload's stored fingerprints are
-        re-verified against ``automaton``/``design``; any missing
-        member, shape mismatch, unsupported version, or fingerprint
-        mismatch raises :class:`ArtifactError`.  Per-state structures of
-        the returned mapping materialise lazily — warm engine starts
-        never touch them.
+        re-verified against ``automaton``/``design``/``stride``; any
+        missing member, shape mismatch, unsupported version, stride
+        mismatch, or fingerprint mismatch raises :class:`ArtifactError`.
+        Per-state structures of the returned mapping materialise lazily
+        — warm engine starts never touch them.
         """
         try:
             members = set(
@@ -162,14 +211,20 @@ class CompiledArtifact:
             ways = data["ways"]
             stored_fingerprint = str(data["fingerprint"])
             stored_design = str(data["design"])
+            stored_stride = int(data["stride"])
         except ArtifactError:
             raise
         except Exception as error:
             raise ArtifactError(f"unreadable member: {error}") from None
+        if stored_stride != stride:
+            raise ArtifactError(
+                f"artifact was compiled at stride {stored_stride}, "
+                f"loaded against stride {stride}"
+            )
         arrays = automaton.edge_index_arrays()
         if (
             stored_fingerprint != automaton_fingerprint(automaton)
-            or stored_design != design_fingerprint(design)
+            or stored_design != design_fingerprint(design, stride=stride)
             or part.shape[0] != len(arrays.ids)
         ):
             raise ArtifactError("stored fingerprints do not match the key")
@@ -185,12 +240,19 @@ class CompiledArtifact:
             for name in members
             if name.startswith(_KERNEL_PREFIX)
         }
+        stride_tables = {
+            name: data[name]
+            for name in members
+            if name.startswith(_STRIDE_PREFIX)
+        }
         return cls(
             mapping=mapping,
             kernel_tables=kernel_tables,
             automaton_fingerprint=stored_fingerprint,
             design_fingerprint=stored_design,
             version=version,
+            stride=stored_stride,
+            stride_tables=stride_tables,
         )
 
     def npz_bytes(self) -> bytes:
@@ -205,13 +267,15 @@ class CompiledArtifact:
         payload: bytes,
         automaton: HomogeneousAutomaton,
         design: DesignPoint,
+        *,
+        stride: int = 1,
     ) -> "CompiledArtifact":
         """Inverse of :meth:`npz_bytes`; raises :class:`ArtifactError`."""
         try:
             data = np.load(io.BytesIO(payload), allow_pickle=False)
         except Exception as error:
             raise ArtifactError(f"not a valid artifact archive: {error}") from None
-        return cls.from_payload(data, automaton, design)
+        return cls.from_payload(data, automaton, design, stride=stride)
 
     def bitstream_bytes(self) -> bytes:
         """The configuration bitstream for this artifact's mapping."""

@@ -18,6 +18,13 @@ independent of the worker count.  Control the pool with the ``jobs=``
 backend option (engine: ``backend_options={"jobs": N}``) or
 ``REPRO_SCAN_JOBS``; pool-level failures degrade to the serial loop
 with a :class:`~repro.errors.DegradedModeWarning`.
+
+The ``stride=`` option (or ``REPRO_STRIDE``) turns on k-stride
+execution: the DFA consumes k bytes per cached transition over a
+CAMA-style compressed class alphabet
+(:mod:`repro.automata.stride`), with reports still bit-identical to
+the golden run.  Striding composes with sharding — the compressed
+alphabet ships through the same shared-memory block.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.automata.stride import StrideAlphabet, resolve_stride
 from repro.backends.artifact import CompiledArtifact
 from repro.backends.base import (
     AutomatonBackend,
@@ -54,8 +62,9 @@ _CAPABILITIES = BackendCapabilities(
         "lazy-DFA over the packed kernel: activation rows hash-consed "
         "into DFA states on demand (RE2-style bounded transition cache, "
         "flush on overflow), bit-identical reports with full STE "
-        "identity; scan_many shards streams across a process pool over "
-        "shared-memory tables"
+        "identity; optional k-stride execution over a compressed class "
+        "alphabet (stride= / REPRO_STRIDE); scan_many shards streams "
+        "across a process pool over shared-memory tables"
     ),
 )
 
@@ -72,9 +81,16 @@ class LazyDfaBackend(AutomatonBackend):
         *,
         jobs: Union[int, str, None] = None,
         max_states: Optional[int] = None,
+        stride: Union[int, str, None] = None,
+        alphabet: Optional[StrideAlphabet] = None,
     ):
         self.simulator = simulator
-        self.dfa = LazyDfaKernel(simulator.kernel, max_states=max_states)
+        self.dfa = LazyDfaKernel(
+            simulator.kernel,
+            max_states=max_states,
+            stride=stride,
+            alphabet=alphabet,
+        )
         self._jobs = jobs
         #: reporting-row bytes -> ((ste_id, report_code), ...) memo.
         self._idents: Dict[bytes, Tuple[Tuple[str, Optional[str]], ...]] = {}
@@ -87,6 +103,7 @@ class LazyDfaBackend(AutomatonBackend):
         simulator_cls=None,
         jobs: Union[int, str, None] = None,
         max_states: Optional[int] = None,
+        stride: Union[int, str, None] = None,
         **_options,
     ) -> "LazyDfaBackend":
         """Build over the artifact's kernel tables when present (warm
@@ -94,7 +111,11 @@ class LazyDfaBackend(AutomatonBackend):
 
         ``jobs`` presets the ``scan_many`` worker count (``None`` defers
         to ``REPRO_SCAN_JOBS``/CPU count at scan time); ``max_states``
-        overrides the DFA cache's state budget.
+        overrides the DFA cache's state budget.  ``stride`` resolution:
+        explicit argument, else the stride the artifact was compiled
+        with, else ``REPRO_STRIDE``, else 1.  When the resolved stride
+        matches the artifact's cached ``stride_tables``, the compressed
+        alphabet is rebuilt from the cache instead of rederived.
         """
         simulator_cls = simulator_cls or MappedSimulator
         if artifact.kernel_tables:
@@ -103,7 +124,19 @@ class LazyDfaBackend(AutomatonBackend):
             )
         else:
             simulator = simulator_cls(artifact.mapping)
-        return cls(simulator, jobs=jobs, max_states=max_states)
+        if stride is None and artifact.stride != 1:
+            stride = artifact.stride
+        stride = resolve_stride(stride)
+        alphabet = None
+        if stride != 1 and stride == artifact.stride and artifact.stride_tables:
+            alphabet = StrideAlphabet.from_tables(dict(artifact.stride_tables))
+        return cls(
+            simulator,
+            jobs=jobs,
+            max_states=max_states,
+            stride=stride,
+            alphabet=alphabet,
+        )
 
     def capabilities(self) -> BackendCapabilities:
         return _CAPABILITIES

@@ -9,14 +9,16 @@ Subcommands::
 
     python -m repro.cli scan RULES.txt INPUT.bin [INPUT2.bin ...]
                         [--design CA_P] [--limit N] [--backend NAME]
-                        [--jobs N]
+                        [--jobs N] [--stride K]
         compile, map, and scan one or more binary input files; print
         match records and the modelled performance/energy summary.
         ``--backend`` selects any registered execution backend (default:
         the packed kernel; ``--backend lazy-dfa`` for the lazy-DFA
         transition cache).  With several inputs and a sharding backend,
         ``--jobs`` controls the scan worker pool (also settable via
-        ``REPRO_SCAN_JOBS``).
+        ``REPRO_SCAN_JOBS``).  ``--stride K`` (1, 2, or 4; also
+        ``REPRO_STRIDE``) makes the lazy-DFA backend consume K bytes
+        per step over a compressed stride alphabet.
 
     python -m repro.cli backends
         list the registered execution backends with their aliases and
@@ -47,6 +49,7 @@ from typing import List, Optional
 
 from repro.automata.anml import from_anml, to_anml
 from repro.automata.components import component_stats
+from repro.automata.stride import resolve_stride
 from repro.backends import (
     DEFAULT_BACKEND,
     backend_names,
@@ -154,6 +157,8 @@ def _cmd_scan(arguments) -> int:
     options = {}
     if arguments.jobs is not None:
         options["jobs"] = arguments.jobs
+    if arguments.stride is not None:
+        options["stride"] = resolve_stride(arguments.stride)
     backend = create_backend(
         backend_name, CompiledArtifact.from_mapping(mapping), **options
     )
@@ -355,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", default=None,
         help="worker processes for multi-input scans on backends that "
              "shard (lazy-dfa); default REPRO_SCAN_JOBS or the CPU count",
+    )
+    scan_parser.add_argument(
+        "--stride", default=None,
+        help="consume k bytes per step on backends with a k-stride path "
+             "(lazy-dfa; one of 1, 2, 4); default REPRO_STRIDE or 1",
     )
     scan_parser.set_defaults(handler=_cmd_scan)
 

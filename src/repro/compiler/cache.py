@@ -111,17 +111,33 @@ def automaton_fingerprint(automaton: HomogeneousAutomaton) -> str:
     return value
 
 
-def design_fingerprint(design: DesignPoint) -> str:
-    """Content hash of every design-point field."""
-    payload = json.dumps(asdict(design), sort_keys=True, default=str)
+def design_fingerprint(design: DesignPoint, *, stride: int = 1) -> str:
+    """Content hash of every design-point field.
+
+    ``stride`` folds the k-stride execution transform into the hash, so
+    strided and unstrided artefacts for the same design occupy distinct
+    content addresses.  Stride 1 (unstrided) adds nothing, keeping every
+    pre-stride fingerprint stable.
+    """
+    fields = asdict(design)
+    if stride != 1:
+        fields["__stride__"] = stride
+    payload = json.dumps(fields, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def cache_key(automaton: HomogeneousAutomaton, design: DesignPoint) -> str:
-    """The content address of all artefacts for (automaton, design)."""
+def cache_key(
+    automaton: HomogeneousAutomaton,
+    design: DesignPoint,
+    *,
+    stride: int = 1,
+) -> str:
+    """The content address of all artefacts for (automaton, design,
+    stride)."""
     combined = (
         f"repro:{CACHE_FORMAT_VERSION}:{MAPPING_FORMAT_VERSION}:"
-        f"{design_fingerprint(design)}:{automaton_fingerprint(automaton)}"
+        f"{design_fingerprint(design, stride=stride)}:"
+        f"{automaton_fingerprint(automaton)}"
     )
     return hashlib.sha256(combined.encode("ascii")).hexdigest()
 
@@ -209,14 +225,19 @@ class CompileCache:
         )
 
     def quarantine_mapping(
-        self, automaton: HomogeneousAutomaton, design: DesignPoint
+        self,
+        automaton: HomogeneousAutomaton,
+        design: DesignPoint,
+        *,
+        stride: int = 1,
     ):
-        """Evict the mapping artefact for (automaton, design).
+        """Evict the mapping artefact for (automaton, design, stride).
 
         Called by the engine when an artefact loads cleanly but its
         simulator tables turn out to be unusable."""
         self._quarantine(
-            self.mapping_path(automaton, design), "unusable simulator tables"
+            self.mapping_path(automaton, design, stride=stride),
+            "unusable simulator tables",
         )
 
     # -- paths -------------------------------------------------------------
@@ -225,9 +246,15 @@ class CompileCache:
         return self.directory / key[:2] / f"{key}{suffix}"
 
     def mapping_path(
-        self, automaton: HomogeneousAutomaton, design: DesignPoint
+        self,
+        automaton: HomogeneousAutomaton,
+        design: DesignPoint,
+        *,
+        stride: int = 1,
     ) -> Path:
-        return self._artifact_path(cache_key(automaton, design), ".npz")
+        return self._artifact_path(
+            cache_key(automaton, design, stride=stride), ".npz"
+        )
 
     def bitstream_path(
         self, automaton: HomogeneousAutomaton, design: DesignPoint
@@ -261,7 +288,11 @@ class CompileCache:
         if not self.enabled:
             self.stats.bypasses += 1
             return None
-        path = self.mapping_path(artifact.automaton, artifact.design)
+        path = self.mapping_path(
+            artifact.automaton,
+            artifact.design,
+            stride=getattr(artifact, "stride", 1),
+        )
         try:
             self._with_retries(
                 lambda: self._write_atomic(path, artifact.npz_bytes())
@@ -272,10 +303,14 @@ class CompileCache:
         return path
 
     def load_artifact(
-        self, automaton: HomogeneousAutomaton, design: DesignPoint
+        self,
+        automaton: HomogeneousAutomaton,
+        design: DesignPoint,
+        *,
+        stride: int = 1,
     ):
         """The cached :class:`~repro.backends.artifact.CompiledArtifact`
-        for (automaton, design), or ``None`` on a miss.
+        for (automaton, design, stride), or ``None`` on a miss.
 
         The artifact's per-state structures materialise lazily; the hit
         is trusted without re-running constraint checks, because
@@ -295,7 +330,7 @@ class CompileCache:
         if not self.enabled:
             self.stats.bypasses += 1
             return None
-        path = self.mapping_path(automaton, design)
+        path = self.mapping_path(automaton, design, stride=stride)
         try:
             data = self._with_retries(
                 lambda: np.load(path, allow_pickle=False)
@@ -317,7 +352,9 @@ class CompileCache:
             self.stats.misses += 1
             return None
         try:
-            artifact = CompiledArtifact.from_payload(data, automaton, design)
+            artifact = CompiledArtifact.from_payload(
+                data, automaton, design, stride=stride
+            )
         except ArtifactError as error:
             self._quarantine(path, str(error))
             self.stats.misses += 1

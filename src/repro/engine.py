@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.automata.anml import HomogeneousAutomaton, from_anml
+from repro.automata.stride import StrideAlphabet, resolve_stride
 from repro.backends.artifact import CompiledArtifact
 from repro.backends.base import AutomatonBackend, BackendCapabilities
 from repro.backends.registry import (
@@ -228,6 +229,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ):
@@ -255,6 +257,17 @@ class CacheAutomatonEngine:
         backend; also settable via ``REPRO_SCAN_JOBS``); it is shorthand
         for ``backend_options={"jobs": ...}``.
 
+        ``stride`` selects k-stride execution (k in {1, 2, 4}; also
+        settable via ``REPRO_STRIDE``): the lazy-DFA backend consumes k
+        bytes per cached transition over a CAMA-style compressed class
+        alphabet, with matches bit-identical to the unstrided run.  The
+        compressed alphabet is derived once from the automaton, cached
+        inside the artifact (stride is part of the design fingerprint),
+        and may *degrade* to a smaller k when the ruleset's byte-class
+        count makes the strided table intractable — :attr:`stride`
+        reports the effective value and :meth:`health` logs a degrade.
+        Backends without a strided path ignore the option.
+
         The optimisation ladder chooses among several automaton variants,
         so ``optimize=True`` always bypasses the cache (the key would
         identify the input automaton, not the variant actually mapped).
@@ -279,6 +292,24 @@ class CacheAutomatonEngine:
         backend_options = dict(backend_options or {})
         if scan_jobs is not None:
             backend_options.setdefault("jobs", scan_jobs)
+        stride = resolve_stride(stride)
+        alphabet: Optional[StrideAlphabet] = None
+        if stride > 1:
+            # Derive the compressed alphabet from the input automaton's
+            # symbol sets; in the non-optimised path this is the mapped
+            # automaton, so the partition matches the kernel's exactly.
+            alphabet = StrideAlphabet.from_automaton(automaton, stride)
+            if alphabet.stride != stride:
+                self._health_events.append(
+                    f"stride degraded from {stride} to {alphabet.stride} "
+                    f"({alphabet.n_byte_classes} byte classes exceed the "
+                    "stride-class budget)"
+                )
+                stride = alphabet.stride
+            if stride == 1:
+                alphabet = None
+        self.stride = stride
+        backend_options.setdefault("stride", stride)
         engine_backend: Optional[AutomatonBackend] = None
         artifact: Optional[CompiledArtifact] = None
         recompiling = False
@@ -289,6 +320,9 @@ class CacheAutomatonEngine:
             mapping = compile_space_optimized(
                 automaton, design, jobs=compile_jobs
             )
+            # The ladder may map a different automaton variant, whose
+            # byte classes can differ from the input's — let the backend
+            # rederive the alphabet from the kernel it actually runs.
             artifact = CompiledArtifact.from_mapping(mapping)
         else:
             loaded = None
@@ -297,7 +331,9 @@ class CacheAutomatonEngine:
                 # corrupt artifacts itself; the stats delta tells us it
                 # happened.
                 quarantines_before = self._cache.stats.quarantines
-                loaded = self._cache.load_artifact(automaton, design)
+                loaded = self._cache.load_artifact(
+                    automaton, design, stride=stride
+                )
                 if self._cache.stats.quarantines > quarantines_before:
                     recompiling = True
                     self._health_events.append(
@@ -317,7 +353,9 @@ class CacheAutomatonEngine:
                         raise
                     # Tables passed the loader's integrity checks but the
                     # kernel still refused them (stale format, bad shapes).
-                    self._cache.quarantine_mapping(automaton, design)
+                    self._cache.quarantine_mapping(
+                        automaton, design, stride=stride
+                    )
                     warnings.warn(
                         "cached simulator tables rejected "
                         f"({type(error).__name__}: {error}); "
@@ -334,7 +372,13 @@ class CacheAutomatonEngine:
                 mapping = compile_automaton(
                     automaton, design, jobs=compile_jobs
                 )
-                artifact = CompiledArtifact.from_mapping(mapping)
+                artifact = CompiledArtifact.from_mapping(
+                    mapping,
+                    stride=stride,
+                    stride_tables=(
+                        alphabet.tables() if alphabet is not None else None
+                    ),
+                )
                 if recompiling:
                     self._tier = TIER_RECOMPILED
 
@@ -450,6 +494,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -465,6 +510,7 @@ class CacheAutomatonEngine:
             cache=cache,
             compile_jobs=compile_jobs,
             scan_jobs=scan_jobs,
+            stride=stride,
             backend=backend,
             backend_options=backend_options,
         )
@@ -479,6 +525,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -489,6 +536,7 @@ class CacheAutomatonEngine:
             cache=cache,
             compile_jobs=compile_jobs,
             scan_jobs=scan_jobs,
+            stride=stride,
             backend=backend,
             backend_options=backend_options,
         )
@@ -503,6 +551,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
     ) -> "CacheAutomatonEngine":
@@ -514,6 +563,7 @@ class CacheAutomatonEngine:
                 cache=cache,
                 compile_jobs=compile_jobs,
                 scan_jobs=scan_jobs,
+                stride=stride,
                 backend=backend,
                 backend_options=backend_options,
             )

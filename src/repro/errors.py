@@ -21,6 +21,11 @@ class SymbolSetError(AutomatonError):
     """Invalid symbol, range, or symbol-set expression."""
 
 
+class StrideError(AutomatonError):
+    """Invalid k-stride configuration (unsupported stride value or an
+    alphabet the stride transform cannot represent)."""
+
+
 class RegexError(ReproError):
     """Base class for regex-engine errors."""
 

@@ -103,11 +103,15 @@ def simulator_throughput_section(
     backend_columns = sorted(
         {name for entry in entries for name in entry.get("backends", {})}
     )
+    # Every rate is input bytes/sec (one symbol == one input byte at any
+    # stride); the bench normalises strided runs by input length, never
+    # by the k-fold smaller DFA step count.
     rows: List[Sequence] = [
-        ["Label", "Workload", "Golden sym/s", "Mapped sym/s",
-         "run_many agg sym/s", "Lazy-DFA warm sym/s",
-         "Sharded scan_many sym/s"]
-        + [f"{name} sym/s" for name in backend_columns]
+        ["Label", "Workload", "Golden B/s", "Mapped B/s",
+         "run_many agg B/s", "Lazy-DFA warm B/s",
+         "Strided warm B/s", "Stride",
+         "Sharded scan_many B/s", "Sharded strided B/s"]
+        + [f"{name} B/s" for name in backend_columns]
     ]
     for entry in entries:
         row = [
@@ -117,7 +121,10 @@ def simulator_throughput_section(
             entry.get("mapped_symbols_per_sec"),
             entry.get("run_many_aggregate_symbols_per_sec") or "-",
             entry.get("lazy_dfa_warm_symbols_per_sec") or "-",
+            entry.get("lazy_dfa_strided_warm_symbols_per_sec") or "-",
+            entry.get("stride_effective", entry.get("stride")) or "-",
             entry.get("sharded_scan_many_symbols_per_sec") or "-",
+            entry.get("sharded_strided_scan_many_symbols_per_sec") or "-",
         ]
         for name in backend_columns:
             cell = entry.get("backends", {}).get(name, {})
@@ -154,7 +161,7 @@ def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
     if newest is None:
         return []
     rows: List[Sequence] = [
-        ["Cache", "Hits", "Misses", "Flushes", "Size", "Limit"]
+        ["Cache", "Hits", "Misses", "Flushes", "Size", "Limit", "Stride"]
     ]
     for owner, caches in sorted(newest["cache_counters"].items()):
         # Kernel counters nest one dict per cache; the lazy DFA's are a
@@ -175,6 +182,7 @@ def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
                 stats.get("flushes", "-"),
                 stats.get("size", stats.get("states", "-")),
                 stats.get("limit", stats.get("max_states", "-")),
+                stats.get("stride", "-"),
             ])
     return rows if len(rows) > 1 else []
 

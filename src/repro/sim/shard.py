@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.automata.stride import StrideAlphabet
 from repro.backends.validation import as_symbols
 from repro.errors import DegradedModeWarning
 from repro.sim.kernel import BitsetKernel
@@ -151,8 +152,18 @@ def _scan_shard_worker(payload) -> List[Tuple[int, RawScanResult]]:
         dfa_rows = tables.pop("dfa_rows")
         dfa_next = tables.pop("dfa_next")
         dfa_reps = tables.pop("dfa_reps")
+        alphabet = None
+        if "stride_k" in tables:
+            # from_tables copies, so the alphabet outlives the mapping.
+            alphabet = StrideAlphabet.from_tables(
+                {
+                    "stride_k": tables.pop("stride_k"),
+                    "stride_class_of": tables.pop("stride_class_of"),
+                    "stride_reps": tables.pop("stride_reps"),
+                }
+            )
         kernel = BitsetKernel.from_packed(tables)
-        dfa = LazyDfaKernel(kernel)
+        dfa = LazyDfaKernel(kernel, alphabet=alphabet)
         dfa.seed(dfa_rows, dfa_next, dfa_reps)
         return [
             (index, _scan_one(kernel, dfa, data, resume, collect_events))

@@ -8,6 +8,8 @@ capabilities erase rule identity (the DFA baseline) still must agree on
 offsets.
 """
 
+import io
+
 import numpy as np
 import pytest
 
@@ -276,6 +278,182 @@ class TestLazyDfa:
         assert offsets == match_offsets(engine.automaton, DATA)
 
 
+class TestStride:
+    """k-stride execution: bit-identical to the unstrided golden run.
+
+    The differential rows here compare the *strided* lazy-DFA against
+    the unstrided golden interpreter — full STE identity and corrected
+    offsets, across whole streams, odd-length tails, odd-offset
+    resumes, cache flushes, and the process-sharded batch.
+    """
+
+    @pytest.mark.parametrize("stride", (2, 4))
+    def test_crafted_input_matches_golden(self, stride, pattern_artifact):
+        golden = create_backend("golden-interpreter", pattern_artifact)
+        strided = create_backend(
+            "lazy-dfa", pattern_artifact, stride=stride
+        )
+        assert strided.dfa.stride == stride
+        assert _full_reports(strided.scan(DATA)) == _full_reports(
+            golden.scan(DATA)
+        )
+
+    @pytest.mark.parametrize("workload", SUITE_NAMES)
+    def test_suite_workloads_bit_identical(self, workload, suite_artifacts):
+        artifact, data = suite_artifacts[workload]
+        golden = create_backend("golden-interpreter", artifact)
+        strided = create_backend("lazy-dfa", artifact, stride=2)
+        # The sliced payloads land on odd lengths, exercising the
+        # unstrided tail cycles.
+        for payload in (data, data[:-1], data[:7], data[:1]):
+            assert _full_reports(strided.scan(payload)) == _full_reports(
+                golden.scan(payload)
+            ), f"{workload} diverged on a {len(payload)}-byte stream"
+
+    def test_empty_input(self, pattern_artifact):
+        strided = create_backend("lazy-dfa", pattern_artifact, stride=2)
+        result = strided.scan(b"")
+        assert result.reports == []
+        assert result.checkpoint.symbols_processed == 0
+        assert strided.cache_info()["tail_steps"] == 0
+
+    @pytest.mark.parametrize("chunk_size", (7, 13))
+    def test_odd_offset_resume(self, chunk_size, pattern_artifact):
+        # Odd chunk sizes land every checkpoint on an odd byte offset;
+        # the strided stream must still agree with the whole-stream
+        # golden run, reports and cursor alike.
+        golden = create_backend("golden-interpreter", pattern_artifact)
+        whole = _full_reports(golden.scan(DATA))
+        strided = create_backend("lazy-dfa", pattern_artifact, stride=2)
+        stream = strided.stream()
+        reports = []
+        for start in range(0, len(DATA), chunk_size):
+            result = stream.scan(DATA[start : start + chunk_size])
+            reports.extend(_full_reports(result))
+        assert reports == whole
+        assert stream.position == len(DATA)
+        unstrided = create_backend("lazy-dfa", pattern_artifact)
+        assert (
+            strided.scan(DATA).checkpoint
+            == unstrided.scan(DATA).checkpoint
+        )
+
+    def test_overflow_flush_is_bit_identical(self, pattern_artifact):
+        golden = create_backend("golden-interpreter", pattern_artifact)
+        backend = create_backend("lazy-dfa", pattern_artifact, stride=2)
+        backend.dfa._max_states = 3
+        result = backend.scan(DATA)
+        assert _full_reports(result) == _full_reports(golden.scan(DATA))
+        info = backend.cache_info()
+        assert info["flushes"] > 0
+        # Flushed and repopulated caches still agree on a second pass.
+        assert _full_reports(backend.scan(DATA)) == _full_reports(
+            golden.scan(DATA)
+        )
+
+    def test_sharded_scan_many_composes_with_stride(self, pattern_artifact):
+        unstrided = create_backend("lazy-dfa", pattern_artifact)
+        strided = create_backend("lazy-dfa", pattern_artifact, stride=2)
+        streams = [DATA, b"no matches here", DATA[5:40], DATA * 3, b""]
+        reference = unstrided.scan_many(streams, jobs=1)
+        for jobs in (1, 2, 3):
+            results = strided.scan_many(streams, jobs=jobs)
+            for lone, many in zip(reference, results):
+                assert _full_reports(many) == _full_reports(lone)
+                assert many.checkpoint == lone.checkpoint
+                assert many.profile.reports == lone.profile.reports
+
+    def test_cache_info_reports_stride(self, pattern_artifact):
+        backend = create_backend("lazy-dfa", pattern_artifact, stride=2)
+        backend.scan(DATA)
+        info = backend.cache_info()
+        assert info["stride"] == 2
+        assert info["stride_requested"] == 2
+        assert 0 < info["stride_classes"] < 65536
+        # After the one-cycle sod step, an even-length stream leaves an
+        # odd remainder — exactly one uncached tail cycle.
+        backend.scan(DATA[: len(DATA) - len(DATA) % 2])
+        assert backend.cache_info()["tail_steps"] >= 1
+        unstrided = create_backend("lazy-dfa", pattern_artifact)
+        assert unstrided.cache_info()["stride"] == 1
+        assert unstrided.cache_info()["stride_classes"] == 256
+
+    def test_resolve_stride(self, monkeypatch):
+        from repro.automata.stride import STRIDE_ENV, resolve_stride
+        from repro.errors import StrideError
+
+        monkeypatch.delenv(STRIDE_ENV, raising=False)
+        assert resolve_stride(2) == 2
+        assert resolve_stride("4") == 4
+        assert resolve_stride(None) == 1
+        assert resolve_stride("auto") == 1
+        monkeypatch.setenv(STRIDE_ENV, "2")
+        assert resolve_stride() == 2
+        assert resolve_stride("auto") == 2
+        assert resolve_stride(4) == 4
+        with pytest.raises(StrideError, match="one of"):
+            resolve_stride(3)
+        with pytest.raises(StrideError, match="integer"):
+            resolve_stride("fast")
+        monkeypatch.setenv(STRIDE_ENV, "7")
+        with pytest.raises(StrideError, match="REPRO_STRIDE"):
+            resolve_stride()
+
+    def test_env_reaches_backend(self, monkeypatch, pattern_artifact):
+        from repro.automata.stride import STRIDE_ENV
+
+        monkeypatch.setenv(STRIDE_ENV, "2")
+        backend = create_backend("lazy-dfa", pattern_artifact)
+        assert backend.dfa.stride == 2
+        golden = create_backend("golden-interpreter", pattern_artifact)
+        assert _full_reports(backend.scan(DATA)) == _full_reports(
+            golden.scan(DATA)
+        )
+
+    def test_engine_stride_round_trip(self, tmp_path):
+        engine = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path), backend="lazy-dfa", stride=2
+        )
+        assert engine.stride == 2
+        assert engine.backend.dfa.stride == 2
+        assert engine.artifact.stride == 2
+        assert engine.artifact.stride_tables
+        reference = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=False, backend="golden"
+        )
+        expected = [(m.end, m.state, m.rule) for m in reference.scan(DATA)]
+        assert [(m.end, m.state, m.rule) for m in engine.scan(DATA)] == (
+            expected
+        )
+        # Second construction warm-starts from the stride-keyed artifact
+        # and rebuilds the compressed alphabet from the cached tables.
+        warm = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=str(tmp_path), backend="lazy-dfa", stride=2
+        )
+        assert warm.health().tier == "warm-cache"
+        assert warm.backend.dfa.stride == 2
+        assert [(m.end, m.state, m.rule) for m in warm.scan(DATA)] == (
+            expected
+        )
+
+    def test_strided_and_unstrided_artifacts_keyed_apart(self, tmp_path):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(tmp_path)
+        plain = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=cache, backend="lazy-dfa"
+        )
+        strided = CacheAutomatonEngine.from_patterns(
+            PATTERNS, cache=cache, backend="lazy-dfa", stride=2
+        )
+        paths = {
+            cache.mapping_path(engine.automaton, engine.design, stride=s)
+            for engine, s in ((plain, 1), (strided, 2))
+        }
+        assert len(paths) == 2
+        assert all(path.exists() for path in paths)
+
+
 class TestRegistry:
     def test_default_is_registered(self):
         assert DEFAULT_BACKEND in backend_names()
@@ -384,6 +562,79 @@ class TestCompiledArtifact:
                 pattern_artifact.automaton,
                 pattern_artifact.design,
             )
+
+    def test_stride_round_trip(self, pattern_artifact):
+        from repro.automata.stride import StrideAlphabet
+
+        alphabet = StrideAlphabet.from_automaton(
+            pattern_artifact.automaton, 2
+        )
+        strided = pattern_artifact.with_stride_tables(2, alphabet.tables())
+        restored = CompiledArtifact.from_npz_bytes(
+            strided.npz_bytes(), strided.automaton, strided.design, stride=2
+        )
+        assert restored.stride == 2
+        assert set(restored.stride_tables) == set(strided.stride_tables)
+        for key, table in strided.stride_tables.items():
+            assert np.array_equal(restored.stride_tables[key], table)
+        backend = create_backend("lazy-dfa", restored)
+        assert backend.dfa.stride == 2
+        offsets = backend.scan(DATA).report_offsets()
+        assert offsets == match_offsets(strided.automaton, DATA)
+
+    def test_stride_mismatch_is_rejected(self, pattern_artifact):
+        # A stride-1 payload must not satisfy a stride-2 load (and vice
+        # versa) — the cache treats them as distinct artifacts.
+        with pytest.raises(ArtifactError, match="stride"):
+            CompiledArtifact.from_npz_bytes(
+                pattern_artifact.npz_bytes(),
+                pattern_artifact.automaton,
+                pattern_artifact.design,
+                stride=2,
+            )
+
+    def test_pre_stride_payload_is_rejected(self, pattern_artifact):
+        # Simulate an artifact written before the stride-aware format:
+        # downgrade the version member and drop the stride scalar.
+        members = dict(
+            np.load(io.BytesIO(pattern_artifact.npz_bytes()))
+        )
+        members["artifact_version"] = np.asarray(1, dtype=np.int64)
+        del members["stride"]
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        with pytest.raises(
+            ArtifactError, match="unsupported artifact version 1"
+        ):
+            CompiledArtifact.from_npz_bytes(
+                buffer.getvalue(),
+                pattern_artifact.automaton,
+                pattern_artifact.design,
+            )
+
+    def test_cache_quarantines_pre_stride_artifact(
+        self, tmp_path, pattern_artifact
+    ):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(tmp_path)
+        cache.store_artifact(pattern_artifact)
+        path = cache.mapping_path(
+            pattern_artifact.automaton, pattern_artifact.design
+        )
+        members = dict(np.load(path))
+        members["artifact_version"] = np.asarray(1, dtype=np.int64)
+        del members["stride"]
+        with open(path, "wb") as handle:
+            np.savez(handle, **members)
+        with pytest.warns(DegradedModeWarning, match="artifact version"):
+            assert (
+                cache.load_artifact(
+                    pattern_artifact.automaton, pattern_artifact.design
+                )
+                is None
+            )
+        assert not path.exists()
 
 
 class TestEngineBackendSelection:

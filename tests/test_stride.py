@@ -1,0 +1,151 @@
+"""k-stride alphabet derivation: classes, folds, degrade, agreement.
+
+The backend-level differential coverage lives in
+``tests/test_backends.py::TestStride``; this module unit-tests the
+:mod:`repro.automata.stride` transform itself — canonical class
+numbering, the base-C fold and its inverse, the class-budget degrade
+policy, and the kernel/automaton partition agreement that lets the
+engine derive the alphabet before compiling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.anml import HomogeneousAutomaton, StartKind
+from repro.automata.charclass import parse_symbol_set
+from repro.automata.stride import (
+    STRIDE_CLASS_LIMIT,
+    StrideAlphabet,
+)
+from repro.automata.symbols import (
+    equivalence_classes,
+    partition_byte_columns,
+)
+from repro.backends.artifact import CompiledArtifact
+from repro.compiler import compile_automaton
+from repro.core.design import CA_P
+from repro.errors import StrideError
+from repro.regex.compile import compile_patterns
+from repro.sim.functional import MappedSimulator
+
+PATTERNS = ["bat", "c[ao]t", "dog+", "bar[t]?"]
+
+
+@pytest.fixture(scope="module")
+def automaton():
+    return compile_patterns(PATTERNS, report_codes=PATTERNS)
+
+
+class TestEquivalenceClasses:
+    def test_canonical_numbering_is_first_occurrence(self):
+        # 'a' and 'b' are interchangeable (same membership in every
+        # set); 'c' is distinct; everything else forms the complement
+        # class.  Numbering follows smallest member: class of 'a'/'b'
+        # gets the id of whichever byte appears first in 0..255.
+        sets = [parse_symbol_set("[ab]"), parse_symbol_set("[abc]")]
+        class_of, representatives = equivalence_classes(sets)
+        assert class_of[ord("a")] == class_of[ord("b")]
+        assert class_of[ord("a")] != class_of[ord("c")]
+        assert class_of[0] == 0  # byte 0 seen first -> class 0
+        assert representatives[class_of[ord("a")]] == ord("a")
+        assert representatives[class_of[ord("c")]] == ord("c")
+        assert representatives.size == 3
+        # Representatives are the smallest member of each class, listed
+        # in class order — i.e. strictly increasing.
+        assert list(representatives) == sorted(representatives)
+
+    def test_kernel_and_automaton_partitions_agree(self, automaton):
+        artifact = CompiledArtifact.from_mapping(
+            compile_automaton(automaton, CA_P)
+        )
+        kernel = MappedSimulator(artifact.mapping).kernel
+        from_kernel = partition_byte_columns(
+            np.asarray(kernel.match_matrix)
+        )
+        from_sets = equivalence_classes(
+            ste.symbols for ste in automaton.stes()
+        )
+        assert np.array_equal(from_kernel[0], from_sets[0])
+        assert np.array_equal(from_kernel[1], from_sets[1])
+
+
+class TestStrideAlphabet:
+    def test_fold_and_representatives_round_trip(self, automaton):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        window = np.frombuffer(b"ba", dtype=np.uint8)
+        (sclass,) = alphabet.stride_classes(window)
+        rep = alphabet.representative_bytes(int(sclass))
+        assert len(rep) == 2
+        # The representative window folds back to the same class.
+        assert alphabet.stride_classes(
+            np.frombuffer(rep, dtype=np.uint8)
+        )[0] == sclass
+
+    def test_every_window_in_a_class_shares_the_representative(
+        self, automaton
+    ):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        data = np.frombuffer(b"batcatdogt", dtype=np.uint8)
+        for sclass in alphabet.stride_classes(data):
+            rep = np.frombuffer(
+                alphabet.representative_bytes(int(sclass)), dtype=np.uint8
+            )
+            assert np.array_equal(
+                alphabet.byte_class[rep],
+                [
+                    int(sclass) // alphabet.n_byte_classes,
+                    int(sclass) % alphabet.n_byte_classes,
+                ],
+            )
+
+    def test_rejects_non_multiple_length(self, automaton):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        with pytest.raises(StrideError, match="multiple of stride"):
+            alphabet.stride_classes(np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_out_of_range_class(self, automaton):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        with pytest.raises(StrideError, match="out of range"):
+            alphabet.representative_bytes(alphabet.n_stride_classes)
+
+    def test_degrades_when_class_budget_exceeded(self, automaton):
+        # With a limit below C**2 the transform falls back to k=1
+        # instead of materialising the table.
+        full = StrideAlphabet.from_automaton(automaton, 2)
+        limit = full.n_byte_classes**2 - 1
+        degraded = StrideAlphabet.from_automaton(automaton, 2, limit=limit)
+        assert degraded.stride == 1
+        # k=4 with a budget that only fits C**2 degrades to k=2.
+        partial = StrideAlphabet.from_automaton(
+            automaton, 4, limit=full.n_byte_classes**2
+        )
+        assert partial.stride == 2
+
+    def test_default_budget_fits_small_rulesets(self, automaton):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        assert alphabet.stride == 2
+        assert alphabet.n_stride_classes <= STRIDE_CLASS_LIMIT
+
+    def test_tables_round_trip(self, automaton):
+        alphabet = StrideAlphabet.from_automaton(automaton, 2)
+        rebuilt = StrideAlphabet.from_tables(alphabet.tables())
+        assert rebuilt.stride == alphabet.stride
+        assert np.array_equal(rebuilt.byte_class, alphabet.byte_class)
+        assert np.array_equal(
+            rebuilt.representatives, alphabet.representatives
+        )
+
+    def test_single_class_automaton(self):
+        # A dot-star style STE whose symbol set covers every byte
+        # collapses the alphabet to one class — C**k == 1.
+        machine = HomogeneousAutomaton()
+        machine.add_ste(
+            "q0",
+            parse_symbol_set("*"),
+            start=StartKind.ALL_INPUT,
+            reporting=True,
+        )
+        alphabet = StrideAlphabet.from_automaton(machine, 2)
+        assert alphabet.n_byte_classes == 1
+        assert alphabet.n_stride_classes == 1
+        assert alphabet.representative_bytes(0) == b"\x00\x00"
