@@ -21,6 +21,15 @@ lazy-DFA cache counters
 totals) observed during the run, including the strided DFA's effective
 stride and class-table width.
 
+A ``split_scan`` fragment records intra-stream parallelism: ONE long
+PowerEN stream (``--split-symbols`` bytes) scanned at ``split_jobs``
+1, 2, and ``--split-jobs``, with the non-leader workers computing SFA
+entry-state→exit-state mappings over shared memory.  The warm passes
+double as a correctness probe (``bit_identical`` must be true), and
+``cache_counters.split_workers`` carries the worker-process DFA/SFA
+cache aggregate.  On a single-CPU host the speedup is bounded by the
+core count — record the honest number; see RESULTS.md.
+
 Every ``*_symbols_per_sec`` figure is **input bytes per second**: each
 rate divides the input length in bytes by wall-clock time, so a k=2
 strided run (which takes k bytes per DFA step) is never double-counted
@@ -114,6 +123,50 @@ def backend_matrix(artifact, data: bytes, rounds: int) -> dict:
     return matrix
 
 
+def measure_split(artifact, spec, split_symbols: int, split_jobs: int,
+                  rounds: int) -> tuple:
+    """Split-stream scanning over ONE long PowerEN stream.
+
+    Measures input bytes/second of the same single-stream scan at
+    jobs=1 (plain serial, the baseline), jobs=2, and ``--split-jobs``,
+    with the SFA mapping cache warmed by one untimed pass per
+    configuration.  The warm passes also collect reports and verify the
+    split results are bit-identical to serial — a benchmark that drifted
+    from correctness would be recording fiction.  Returns the entry
+    fragment and the last backend's worker cache aggregate.
+    """
+    split_data = spec.input_stream(split_symbols, seed=7)
+    rates = {}
+    baseline = None
+    identical = True
+    worker_counters = {"workers": 0}
+    for jobs in sorted({1, 2, split_jobs}):
+        backend = create_backend("lazy-dfa", artifact, split_jobs=jobs)
+        result = backend.scan(split_data)  # warm + correctness probe
+        reports = [(r.offset, r.ste_id, r.report_code) for r in result.reports]
+        if baseline is None:
+            baseline = reports
+        elif reports != baseline:
+            identical = False
+        rates[str(jobs)] = round(median_rate(
+            lambda: backend.scan(split_data, collect_reports=False),
+            len(split_data),
+            rounds,
+        ))
+        if jobs > 1:
+            worker_counters = backend.worker_cache_info()
+    serial = rates[str(min(int(k) for k in rates))]
+    top = str(max(int(k) for k in rates))
+    fragment = {
+        "split_symbols": split_symbols,
+        "split_jobs": split_jobs,
+        "symbols_per_sec_by_jobs": rates,
+        "speedup_at_max_jobs": round(rates[top] / serial, 3),
+        "bit_identical": identical,
+    }
+    return fragment, worker_counters
+
+
 def measure(
     length: int,
     rounds: int,
@@ -121,6 +174,8 @@ def measure(
     shard_symbols: int,
     shard_jobs: int,
     stride: int,
+    split_symbols: int,
+    split_jobs: int,
 ) -> dict:
     spec = get_benchmark("PowerEN")
     automaton = spec.build()
@@ -192,6 +247,10 @@ def measure(
         rounds,
     )
 
+    split_entry, split_workers = measure_split(
+        artifact, spec, split_symbols, split_jobs, rounds
+    )
+
     return {
         "workload": "PowerEN",
         "input_symbols": length,
@@ -209,10 +268,12 @@ def measure(
         "shard_jobs": shard_jobs,
         "stride": stride,
         "stride_effective": lazy_strided.cache_info()["stride"],
+        "split_scan": split_entry,
         "cache_counters": {
             "kernel": mapped.cache_info(),
             "lazy_dfa": lazy.cache_info(),
             "lazy_dfa_strided": lazy_strided.cache_info(),
+            "split_workers": split_workers,
         },
         "backend_matrix_symbols": matrix_length,
         "backends": backend_matrix(artifact, data[:matrix_length], rounds),
@@ -239,6 +300,14 @@ def main() -> int:
                         choices=(2, 4),
                         help="k-stride for the strided lazy-DFA "
                              "measurements (default 2)")
+    parser.add_argument("--split-symbols", type=int, default=800_000,
+                        help="stream length for the split-scan "
+                             "measurement (default 800000; one long "
+                             "stream split across the worker pool)")
+    parser.add_argument("--split-jobs", type=int, default=4,
+                        help="max worker count for the split-scan "
+                             "measurement; jobs=1/2/this are recorded "
+                             "(default 4)")
     parser.add_argument("--label", default="local",
                         help="entry label, e.g. a PR or commit name")
     parser.add_argument("--note", default="",
@@ -258,10 +327,15 @@ def main() -> int:
         parser.error("--shard-symbols must be at least 8 symbols")
     if args.shard_jobs < 1:
         parser.error("--shard-jobs must be at least 1")
+    if args.split_symbols < 8:
+        parser.error("--split-symbols must be at least 8 symbols")
+    if args.split_jobs < 1:
+        parser.error("--split-jobs must be at least 1")
 
     entry = measure(
         args.length, args.rounds, args.matrix_length,
         args.shard_symbols, args.shard_jobs, args.stride,
+        args.split_symbols, args.split_jobs,
     )
     entry["label"] = args.label
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")

@@ -43,7 +43,10 @@ class BackendCapabilities:
     rule code (the CPU DFA baseline collapses rule identity during
     determinisation, so only match *offsets* are comparable);
     ``fault_events`` — accepts injected
-    :class:`~repro.faults.models.FaultEvent`\\ s.
+    :class:`~repro.faults.models.FaultEvent`\\ s;
+    ``split`` — a single stream can be split across a worker pool with
+    bit-identical results (``split_jobs=`` option /
+    ``REPRO_SPLIT_JOBS``), the SFA-style intra-stream parallel path.
     """
 
     resume: bool = False
@@ -51,6 +54,7 @@ class BackendCapabilities:
     activity_profile: bool = False
     report_identity: bool = True
     fault_events: bool = False
+    split: bool = False
     description: str = ""
 
 

@@ -25,10 +25,23 @@ CAMA-style compressed class alphabet
 (:mod:`repro.automata.stride`), with reports still bit-identical to
 the golden run.  Striding composes with sharding — the compressed
 alphabet ships through the same shared-memory block.
+
+``scan`` can additionally *split one stream* across a worker pool
+(:mod:`repro.sim.split`, SFA-style): the parent scans the leading
+chunk on its warm DFA while workers build entry-state -> (exit state,
+deferred events) mappings for the rest, and a left-to-right join
+replays the true event stream — bit-identical to the serial scan at
+every worker count and stride, STE identity and resume cursor
+included.  Control it with the ``split_jobs=`` backend option (or
+``REPRO_SPLIT_JOBS``); a chunk whose entry-state frontier explodes is
+rescanned serially and surfaced through :attr:`health_events`, and a
+pool-level failure degrades the whole call to the serial loop with a
+:class:`~repro.errors.DegradedModeWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -42,14 +55,22 @@ from repro.backends.base import (
 )
 from repro.backends.registry import register_backend
 from repro.backends.validation import require_resume_count
+from repro.errors import DegradedModeWarning
 from repro.sim.functional import MappedSimulator
 from repro.sim.golden import Checkpoint, Report, RunStats
 from repro.sim.kernel import as_symbols
-from repro.sim.lazydfa import LazyDfaKernel
+from repro.sim.lazydfa import LazyDfaKernel, merge_cache_infos
 from repro.sim.shard import (
     RawScanResult,
     resolve_scan_jobs,
     scan_streams_sharded,
+)
+from repro.sim.split import (
+    SPLIT_MIN_CHUNK,
+    SfaKernel,
+    effective_split_jobs,
+    resolve_split_jobs,
+    scan_stream_split,
 )
 
 _CAPABILITIES = BackendCapabilities(
@@ -58,13 +79,16 @@ _CAPABILITIES = BackendCapabilities(
     activity_profile=False,
     report_identity=True,
     fault_events=False,
+    split=True,
     description=(
         "lazy-DFA over the packed kernel: activation rows hash-consed "
         "into DFA states on demand (RE2-style bounded transition cache, "
         "flush on overflow), bit-identical reports with full STE "
         "identity; optional k-stride execution over a compressed class "
         "alphabet (stride= / REPRO_STRIDE); scan_many shards streams "
-        "across a process pool over shared-memory tables"
+        "across a process pool over shared-memory tables; scan splits "
+        "one stream across workers via SFA state mappings "
+        "(split_jobs= / REPRO_SPLIT_JOBS)"
     ),
 )
 
@@ -83,6 +107,9 @@ class LazyDfaBackend(AutomatonBackend):
         max_states: Optional[int] = None,
         stride: Union[int, str, None] = None,
         alphabet: Optional[StrideAlphabet] = None,
+        split_jobs: Union[int, str, None] = None,
+        split_min_chunk: int = SPLIT_MIN_CHUNK,
+        split_slot_limit: Optional[int] = None,
     ):
         self.simulator = simulator
         self.dfa = LazyDfaKernel(
@@ -92,6 +119,17 @@ class LazyDfaBackend(AutomatonBackend):
             alphabet=alphabet,
         )
         self._jobs = jobs
+        self._split_jobs = split_jobs
+        self._split_min_chunk = max(1, int(split_min_chunk))
+        self._split_slot_limit = split_slot_limit
+        #: Master SFA mapping automaton for split scanning, built on
+        #: first use; each join folds the workers' newly-discovered
+        #: states back in, so later calls ship a warmer cache.
+        self._sfa: Optional[SfaKernel] = None
+        #: Aggregate of worker-process DFA/SFA cache counters across
+        #: every sharded and split scan (see :meth:`worker_cache_info`).
+        self._worker_totals: Dict[str, int] = {"workers": 0}
+        self._health_events: List[str] = []
         #: reporting-row bytes -> ((ste_id, report_code), ...) memo.
         self._idents: Dict[bytes, Tuple[Tuple[str, Optional[str]], ...]] = {}
 
@@ -104,18 +142,23 @@ class LazyDfaBackend(AutomatonBackend):
         jobs: Union[int, str, None] = None,
         max_states: Optional[int] = None,
         stride: Union[int, str, None] = None,
+        split_jobs: Union[int, str, None] = None,
+        split_min_chunk: int = SPLIT_MIN_CHUNK,
+        split_slot_limit: Optional[int] = None,
         **_options,
     ) -> "LazyDfaBackend":
         """Build over the artifact's kernel tables when present (warm
         path), else from the mapping; no subset construction ever runs.
 
         ``jobs`` presets the ``scan_many`` worker count (``None`` defers
-        to ``REPRO_SCAN_JOBS``/CPU count at scan time); ``max_states``
-        overrides the DFA cache's state budget.  ``stride`` resolution:
-        explicit argument, else the stride the artifact was compiled
-        with, else ``REPRO_STRIDE``, else 1.  When the resolved stride
-        matches the artifact's cached ``stride_tables``, the compressed
-        alphabet is rebuilt from the cache instead of rederived.
+        to ``REPRO_SCAN_JOBS``/CPU count at scan time); ``split_jobs``
+        presets the single-stream split worker count (``None`` defers to
+        ``REPRO_SPLIT_JOBS``, default serial); ``max_states`` overrides
+        the DFA cache's state budget.  ``stride`` resolution: explicit
+        argument, else the stride the artifact was compiled with, else
+        ``REPRO_STRIDE``, else 1.  When the resolved stride matches the
+        artifact's cached ``stride_tables``, the compressed alphabet is
+        rebuilt from the cache instead of rederived.
         """
         simulator_cls = simulator_cls or MappedSimulator
         if artifact.kernel_tables:
@@ -136,6 +179,9 @@ class LazyDfaBackend(AutomatonBackend):
             max_states=max_states,
             stride=stride,
             alphabet=alphabet,
+            split_jobs=split_jobs,
+            split_min_chunk=split_min_chunk,
+            split_slot_limit=split_slot_limit,
         )
 
     def capabilities(self) -> BackendCapabilities:
@@ -148,6 +194,32 @@ class LazyDfaBackend(AutomatonBackend):
     def cache_info(self) -> Dict[str, int]:
         """The DFA transition cache's effectiveness counters."""
         return self.dfa.cache_info()
+
+    def worker_cache_info(self) -> Dict[str, int]:
+        """Aggregate worker-process cache counters (sharded + split).
+
+        Per-worker lazy-DFA/SFA ``cache_info`` dicts come back with
+        every fan-out result and are folded into one running total
+        (:func:`~repro.sim.lazydfa.merge_cache_infos` conventions:
+        counters sum, gauges max, ``workers`` counts contributors).
+        ``{"workers": 0}`` until a pooled scan has run.
+        """
+        return dict(self._worker_totals)
+
+    def _absorb_worker_infos(self, infos) -> None:
+        infos = [info for info in infos if info]
+        if infos:
+            self._worker_totals = merge_cache_infos(
+                [self._worker_totals] + list(infos)
+            )
+
+    @property
+    def health_events(self) -> Tuple[str, ...]:
+        """Scan-time degradation notices (e.g. split chunks rescanned
+        serially after an entry-state frontier explosion); the engine
+        merges these into :meth:`~repro.engine.CacheAutomatonEngine.
+        health`."""
+        return tuple(self._health_events)
 
     # -- report materialisation --------------------------------------------
 
@@ -202,7 +274,21 @@ class LazyDfaBackend(AutomatonBackend):
         *,
         collect_reports: bool = True,
         resume: Optional[Checkpoint] = None,
+        split_jobs: Union[int, str, None] = None,
     ) -> BackendResult:
+        """Scan one stream; when ``split_jobs`` (argument, backend
+        option, or ``REPRO_SPLIT_JOBS``) resolves above 1 and the input
+        is long enough to amortise the fork, the stream is split across
+        a worker pool with bit-identical results (:mod:`repro.sim.
+        split`); otherwise — including pool failure — the serial loop
+        below runs."""
+        workers = resolve_split_jobs(
+            self._split_jobs if split_jobs is None else split_jobs
+        )
+        if workers > 1:
+            result = self._scan_split(data, resume, workers, collect_reports)
+            if result is not None:
+                return result
         symbols = as_symbols(data)
         kernel = self.simulator.kernel
         if resume is None:
@@ -227,6 +313,54 @@ class LazyDfaBackend(AutomatonBackend):
             bool(sod),
             len(symbols),
         )
+        return self._materialise(raw, base_offset, collect_reports)
+
+    def _scan_split(
+        self,
+        data: bytes,
+        resume: Optional[Checkpoint],
+        workers: int,
+        collect_reports: bool,
+    ) -> Optional[BackendResult]:
+        """One SFA-split scan attempt; ``None`` falls back to serial."""
+        jobs = effective_split_jobs(len(data), workers, self._split_min_chunk)
+        if jobs < 2:
+            return None
+        if self._sfa is None:
+            options = {}
+            if self._split_slot_limit is not None:
+                options["slot_limit"] = self._split_slot_limit
+            self._sfa = SfaKernel(self.simulator.kernel, **options)
+        cursor = None
+        base_offset = 0
+        if resume is not None:
+            cursor = (
+                resume.symbols_processed,
+                resume.active_state_vector,
+                resume.start_of_data_pending,
+            )
+            base_offset = resume.symbols_processed
+        outcome = scan_stream_split(
+            self.simulator.kernel,
+            self.dfa,
+            self._sfa,
+            data,
+            jobs,
+            resume=cursor,
+        )
+        if outcome is None:
+            return None
+        raw, stats = outcome
+        self._absorb_worker_infos(stats.get("worker_cache_infos", ()))
+        degraded = stats.get("degraded_chunks", 0)
+        if degraded:
+            notice = (
+                f"split scan: entry-state frontier exceeded the slot "
+                f"limit in {degraded} of {stats['chunks']} chunks; "
+                "those chunks were rescanned serially"
+            )
+            self._health_events.append(notice)
+            warnings.warn(notice, DegradedModeWarning, stacklevel=3)
         return self._materialise(raw, base_offset, collect_reports)
 
     def scan_many(
@@ -258,10 +392,12 @@ class LazyDfaBackend(AutomatonBackend):
                 items.append((index, bytes(as_symbols(data)), cursor))
             tables = dict(self.simulator.kernel.packed_tables())
             tables.update(self.dfa.export_tables())
-            raws = scan_streams_sharded(
+            outcome = scan_streams_sharded(
                 tables, items, workers, collect_events=collect_reports
             )
-            if raws is not None:
+            if outcome is not None:
+                raws, worker_infos = outcome
+                self._absorb_worker_infos(worker_infos)
                 return [
                     self._materialise(
                         raw,

@@ -9,16 +9,19 @@ Subcommands::
 
     python -m repro.cli scan RULES.txt INPUT.bin [INPUT2.bin ...]
                         [--design CA_P] [--limit N] [--backend NAME]
-                        [--jobs N] [--stride K]
+                        [--jobs N] [--split-jobs N] [--stride K]
         compile, map, and scan one or more binary input files; print
         match records and the modelled performance/energy summary.
         ``--backend`` selects any registered execution backend (default:
         the packed kernel; ``--backend lazy-dfa`` for the lazy-DFA
         transition cache).  With several inputs and a sharding backend,
         ``--jobs`` controls the scan worker pool (also settable via
-        ``REPRO_SCAN_JOBS``).  ``--stride K`` (1, 2, or 4; also
-        ``REPRO_STRIDE``) makes the lazy-DFA backend consume K bytes
-        per step over a compressed stride alphabet.
+        ``REPRO_SCAN_JOBS``).  ``--split-jobs N`` (also
+        ``REPRO_SPLIT_JOBS``) splits each *single* input across N
+        workers on backends with an SFA split path (the lazy-DFA
+        backend), bit-identical to the serial scan.  ``--stride K``
+        (1, 2, or 4; also ``REPRO_STRIDE``) makes the lazy-DFA backend
+        consume K bytes per step over a compressed stride alphabet.
 
     python -m repro.cli backends
         list the registered execution backends with their aliases and
@@ -157,6 +160,8 @@ def _cmd_scan(arguments) -> int:
     options = {}
     if arguments.jobs is not None:
         options["jobs"] = arguments.jobs
+    if arguments.split_jobs is not None:
+        options["split_jobs"] = arguments.split_jobs
     if arguments.stride is not None:
         options["stride"] = resolve_stride(arguments.stride)
     backend = create_backend(
@@ -198,8 +203,8 @@ def _cmd_backends(_arguments) -> int:
     machine = compile_patterns(["a"])
     artifact = CompiledArtifact.from_mapping(compile_automaton(machine, CA_P))
     rows = [(
-        "Backend", "Aliases", "Resume", "Batch", "Profile", "Faults",
-        "Description",
+        "Backend", "Aliases", "Resume", "Batch", "Split", "Profile",
+        "Faults", "Description",
     )]
     for name in backend_names():
         spec = backend_spec(name)
@@ -209,6 +214,7 @@ def _cmd_backends(_arguments) -> int:
             ", ".join(spec.aliases) if spec.aliases else "-",
             "yes" if capabilities.resume else "no",
             "yes" if capabilities.batch else "no",
+            "yes" if capabilities.split else "no",
             "yes" if capabilities.activity_profile else "no",
             "yes" if capabilities.fault_events else "no",
             capabilities.description,
@@ -360,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", default=None,
         help="worker processes for multi-input scans on backends that "
              "shard (lazy-dfa); default REPRO_SCAN_JOBS or the CPU count",
+    )
+    scan_parser.add_argument(
+        "--split-jobs", default=None, dest="split_jobs",
+        help="split each single input across N workers on backends with "
+             "an SFA split path (lazy-dfa), bit-identical to serial; "
+             "default REPRO_SPLIT_JOBS or 1 (no splitting)",
     )
     scan_parser.add_argument(
         "--stride", default=None,

@@ -229,6 +229,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        split_jobs: Union[int, str, None] = None,
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
@@ -255,7 +256,15 @@ class CacheAutomatonEngine:
         ``scan_jobs`` presets the worker count for process-sharded
         ``scan_many`` on backends that support it (the lazy-DFA
         backend; also settable via ``REPRO_SCAN_JOBS``); it is shorthand
-        for ``backend_options={"jobs": ...}``.
+        for ``backend_options={"jobs": ...}``.  ``split_jobs`` presets
+        the *single-stream* split worker count on backends whose
+        capabilities claim ``split`` (the lazy-DFA backend's SFA-style
+        split scanning; also settable via ``REPRO_SPLIT_JOBS``) — a
+        ``scan`` over one long input is partitioned across the pool
+        with bit-identical results; it is shorthand for
+        ``backend_options={"split_jobs": ...}``.  A scan that has to
+        degrade (frontier explosion forcing serial chunk rescans) is
+        surfaced through :meth:`health`.
 
         ``stride`` selects k-stride execution (k in {1, 2, 4}; also
         settable via ``REPRO_STRIDE``): the lazy-DFA backend consumes k
@@ -292,6 +301,8 @@ class CacheAutomatonEngine:
         backend_options = dict(backend_options or {})
         if scan_jobs is not None:
             backend_options.setdefault("jobs", scan_jobs)
+        if split_jobs is not None:
+            backend_options.setdefault("split_jobs", split_jobs)
         stride = resolve_stride(stride)
         alphabet: Optional[StrideAlphabet] = None
         if stride > 1:
@@ -448,12 +459,19 @@ class CacheAutomatonEngine:
             return self._create_backend("golden-interpreter", artifact, {})
 
     def health(self) -> EngineHealth:
-        """Which fallback tier served this engine, and the decisions taken."""
+        """Which fallback tier served this engine, and the decisions taken.
+
+        Construction-time events (cache quarantine, stride degrade,
+        backend fallback) are joined by any *scan-time* degradations the
+        backend has recorded since — e.g. split-scan chunks rescanned
+        serially after an entry-state frontier explosion.
+        """
+        scan_events = tuple(getattr(self._backend, "health_events", ()))
         return EngineHealth(
             tier=self._tier,
             backend=self._backend.name,
             degraded=self._tier in (TIER_RECOMPILED, TIER_GOLDEN),
-            events=tuple(self._health_events),
+            events=tuple(self._health_events) + scan_events,
             cache=self.cache_info(),
             requested=self._requested_backend,
         )
@@ -494,6 +512,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        split_jobs: Union[int, str, None] = None,
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
@@ -510,6 +529,7 @@ class CacheAutomatonEngine:
             cache=cache,
             compile_jobs=compile_jobs,
             scan_jobs=scan_jobs,
+            split_jobs=split_jobs,
             stride=stride,
             backend=backend,
             backend_options=backend_options,
@@ -525,6 +545,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        split_jobs: Union[int, str, None] = None,
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
@@ -536,6 +557,7 @@ class CacheAutomatonEngine:
             cache=cache,
             compile_jobs=compile_jobs,
             scan_jobs=scan_jobs,
+            split_jobs=split_jobs,
             stride=stride,
             backend=backend,
             backend_options=backend_options,
@@ -551,6 +573,7 @@ class CacheAutomatonEngine:
         cache: CacheSpec = "auto",
         compile_jobs: Union[int, str, None] = None,
         scan_jobs: Union[int, str, None] = None,
+        split_jobs: Union[int, str, None] = None,
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
@@ -563,6 +586,7 @@ class CacheAutomatonEngine:
                 cache=cache,
                 compile_jobs=compile_jobs,
                 scan_jobs=scan_jobs,
+                split_jobs=split_jobs,
                 stride=stride,
                 backend=backend,
                 backend_options=backend_options,

@@ -110,10 +110,17 @@ def simulator_throughput_section(
         ["Label", "Workload", "Golden B/s", "Mapped B/s",
          "run_many agg B/s", "Lazy-DFA warm B/s",
          "Strided warm B/s", "Stride",
-         "Sharded scan_many B/s", "Sharded strided B/s"]
+         "Sharded scan_many B/s", "Sharded strided B/s",
+         "Split B/s (max jobs)", "Split speedup"]
         + [f"{name} B/s" for name in backend_columns]
     ]
     for entry in entries:
+        split = entry.get("split_scan", {})
+        split_rates = split.get("symbols_per_sec_by_jobs", {})
+        split_top = (
+            split_rates[max(split_rates, key=int)] if split_rates else "-"
+        )
+        split_speedup = split.get("speedup_at_max_jobs")
         row = [
             entry.get("label", "?"),
             entry.get("workload", "?"),
@@ -125,6 +132,8 @@ def simulator_throughput_section(
             entry.get("stride_effective", entry.get("stride")) or "-",
             entry.get("sharded_scan_many_symbols_per_sec") or "-",
             entry.get("sharded_strided_scan_many_symbols_per_sec") or "-",
+            split_top,
+            f"{split_speedup:g}x" if split_speedup else "-",
         ]
         for name in backend_columns:
             cell = entry.get("backends", {}).get(name, {})
@@ -139,6 +148,26 @@ def simulator_throughput_section(
         "## Simulator software throughput (BENCH_simulator.json)\n\n"
         + rows_to_markdown(rows)
     )
+    if any(entry.get("split_scan") for entry in entries):
+        section += (
+            "\n\nThe split columns measure intra-stream parallelism: ONE "
+            "long stream chunked across a worker pool (SFA entry→exit "
+            "mappings, bit-identical join; see DESIGN.md), with speedup "
+            "relative to the same entry's jobs=1 serial scan.  The ratio "
+            "is bounded by the host's core count — on a single-CPU "
+            "runner the parallel chunks time-slice one core and the "
+            "honest ratio lands below 1; the per-jobs rates live in each "
+            "entry's `split_scan.symbols_per_sec_by_jobs`."
+        )
+    notes = [
+        (entry.get("label", "?"), entry["note"])
+        for entry in entries
+        if entry.get("note")
+    ]
+    if notes:
+        section += "\n\nEntry notes:\n\n" + "\n".join(
+            f"- **{label}** — {note}" for label, note in notes
+        )
     counters = _cache_counter_rows(entries)
     if counters:
         section += (
@@ -161,11 +190,13 @@ def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
     if newest is None:
         return []
     rows: List[Sequence] = [
-        ["Cache", "Hits", "Misses", "Flushes", "Size", "Limit", "Stride"]
+        ["Cache", "Hits", "Misses", "Flushes", "Size", "Limit", "Stride",
+         "Workers"]
     ]
     for owner, caches in sorted(newest["cache_counters"].items()):
-        # Kernel counters nest one dict per cache; the lazy DFA's are a
-        # single flat stats dict — normalise to (label, stats) pairs.
+        # Kernel counters nest one dict per cache; the lazy DFA's (and
+        # the worker-process aggregates) are a single flat stats dict —
+        # normalise to (label, stats) pairs.
         if any(isinstance(value, dict) for value in caches.values()):
             named = [
                 (f"{owner}.{cache_name}", stats)
@@ -183,6 +214,7 @@ def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
                 stats.get("size", stats.get("states", "-")),
                 stats.get("limit", stats.get("max_states", "-")),
                 stats.get("stride", "-"),
+                stats.get("workers", "-"),
             ])
     return rows if len(rows) > 1 else []
 

@@ -61,6 +61,39 @@ DFA_CACHE_BYTES = 16 * 1024 * 1024
 #: packed row.  Strided kernels scale the row terms by their width.
 _STATE_COST_BYTES = 256 * (4 + 4 + 8) + 512
 
+#: ``cache_info``-style keys that accumulate across workers; everything
+#: else (state counts, budgets, stride geometry) is a gauge and merges
+#: by maximum.
+_MERGE_SUM_KEYS = frozenset(
+    ("hits", "misses", "flushes", "events", "tail_steps", "effects")
+)
+
+
+def merge_cache_infos(infos) -> Dict[str, int]:
+    """Aggregate ``cache_info()`` dicts across scan workers.
+
+    Counters (hits/misses/flushes/events/tail steps/effects) sum;
+    gauges (state counts, budgets, stride geometry) take the maximum;
+    ``workers`` counts the dicts merged.  The operation is associative
+    — merging previously-merged aggregates (each contributing its own
+    ``workers`` count) gives the same totals as merging the originals —
+    so a backend can fold each scan's worker counters into one running
+    aggregate instead of retaining every per-worker dict.
+    """
+    merged: Dict[str, int] = {}
+    workers = 0
+    for info in infos:
+        workers += int(info.get("workers", 1))
+        for key, value in info.items():
+            if key == "workers":
+                continue
+            if key in _MERGE_SUM_KEYS:
+                merged[key] = merged.get(key, 0) + int(value)
+            else:
+                merged[key] = max(merged.get(key, 0), int(value))
+    merged["workers"] = workers
+    return merged
+
 
 class LazyDfaKernel:
     """On-demand determinisation of one :class:`BitsetKernel`.

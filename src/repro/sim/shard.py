@@ -68,7 +68,12 @@ class SharedTables:
     ``meta`` is the picklable handle workers pass to
     :func:`attach_tables`: the block name plus per-array (name, dtype,
     shape, byte offset) entries.  The creator must :meth:`close` when
-    every consumer is done (the pool has exited).
+    every consumer is done (the pool has exited) — use the instance as
+    a context manager so the block is released on *every* exit path,
+    including a pool that died before doing any work.  :meth:`close` is
+    idempotent and tolerates a block someone else already unlinked, so
+    belt-and-braces cleanup in error paths cannot raise over the
+    original failure.
     """
 
     def __init__(self, tables: Dict[str, np.ndarray]):
@@ -84,18 +89,39 @@ class SharedTables:
             arrays.append(array)
             # Keep every region 8-byte aligned for the uint64 tables.
             offset += (array.nbytes + 7) & ~7
+        self._closed = True  # nothing to release until the block exists
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-        for (name, dtype, shape, start), array in zip(entries, arrays):
-            view = np.ndarray(
-                shape, dtype=dtype, buffer=self._shm.buf, offset=start
-            )
-            view[...] = array
-            del view
-        self.meta = (self._shm.name, tuple(entries))
+        self._closed = False
+        try:
+            for (name, dtype, shape, start), array in zip(entries, arrays):
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=self._shm.buf, offset=start
+                )
+                view[...] = array
+                del view
+            self.meta = (self._shm.name, tuple(entries))
+        except BaseException:
+            # Never leak the block when population fails half-way.
+            self.close()
+            raise
+
+    def __enter__(self) -> "SharedTables":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def close(self) -> None:
-        self._shm.close()
-        self._shm.unlink()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
 
 def attach_tables(meta) -> Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]:
@@ -139,12 +165,17 @@ def _scan_one(
     return raw_events, total, kernel.unpack(final_row), bool(sod), len(symbols)
 
 
-def _scan_shard_worker(payload) -> List[Tuple[int, RawScanResult]]:
+def _scan_shard_worker(
+    payload,
+) -> Tuple[List[Tuple[int, RawScanResult]], Dict[str, int]]:
     """Scan one shard of streams against the shared tables.
 
     Top-level so the function pickles; rebuilds the kernel zero-copy
     from the shared block, seeds the lazy DFA from the parent's warm
-    transition tables, and returns (original index, raw result) pairs.
+    transition tables, and returns (original index, raw result) pairs
+    plus the worker DFA's :meth:`~LazyDfaKernel.cache_info` counters —
+    per-worker hit/miss/flush totals would otherwise die with the
+    process, leaving the parent's aggregate blind to the fan-out.
     """
     meta, items, collect_events = payload
     shm, tables = attach_tables(meta)
@@ -165,10 +196,11 @@ def _scan_shard_worker(payload) -> List[Tuple[int, RawScanResult]]:
         kernel = BitsetKernel.from_packed(tables)
         dfa = LazyDfaKernel(kernel, alphabet=alphabet)
         dfa.seed(dfa_rows, dfa_next, dfa_reps)
-        return [
+        results = [
             (index, _scan_one(kernel, dfa, data, resume, collect_events))
             for index, data, resume in items
         ]
+        return results, dfa.cache_info()
     finally:
         # Every view of the mapping must die before close() (else
         # BufferError); seeding copied what the DFA keeps, so dropping
@@ -190,21 +222,24 @@ def scan_streams_sharded(
     jobs: int,
     *,
     collect_events: bool = True,
-) -> Optional[List[RawScanResult]]:
+) -> Optional[Tuple[List[RawScanResult], List[Dict[str, int]]]]:
     """Shard ``items`` across ``jobs`` workers; results in index order.
 
     ``tables`` is the union of the kernel's packed tables and the lazy
     DFA's :meth:`~repro.sim.lazydfa.LazyDfaKernel.export_tables`.
-    Returns ``None`` when the pool itself is unusable (the caller falls
-    back to its serial path); worker exceptions propagate.
+    Returns ``(raw results, per-worker cache counters)`` — merge the
+    counters with :func:`~repro.sim.lazydfa.merge_cache_infos` — or
+    ``None`` when the pool itself is unusable (the caller falls back to
+    its serial path); worker exceptions propagate.
     """
     items = list(items)
     if not items:
-        return []
+        return [], []
     jobs = min(max(1, jobs), len(items))
     shards = [items[start::jobs] for start in range(jobs)]
-    shared = SharedTables(tables)
-    try:
+    # The context manager guarantees the published block is released on
+    # every exit path — the pool-death fallback used to leak it.
+    with SharedTables(tables) as shared:
         payloads = [(shared.meta, shard, collect_events) for shard in shards]
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -218,10 +253,10 @@ def scan_streams_sharded(
                 stacklevel=3,
             )
             return None
-    finally:
-        shared.close()
     ordered: Dict[int, RawScanResult] = {}
-    for shard_result in shard_results:
+    worker_infos: List[Dict[str, int]] = []
+    for shard_result, info in shard_results:
+        worker_infos.append(info)
         for index, raw in shard_result:
             ordered[index] = raw
-    return [ordered[index] for index in range(len(items))]
+    return [ordered[index] for index in range(len(items))], worker_infos

@@ -1,0 +1,736 @@
+"""SFA-style split-stream scanning: one input, N workers, exact joins.
+
+:mod:`repro.sim.shard` parallelises *across* streams; this module splits
+*one* stream.  The Simultaneous Finite Automata construction (Sin'ya &
+Matsuzaki) scans every chunk from every possible entry state at once,
+producing an entry-state -> (exit state, report events) mapping; the
+mappings compose associatively, so a left-to-right join resolves the
+true entry state of every chunk and replays exactly the events a serial
+scan would have produced.
+
+Enumerating entry states naively is intractable — the lazy DFA never
+knows its full state space.  The packed kernel's transition is
+*union-linear* in the activation row (``propagate(a | b) ==
+propagate(a) | propagate(b)``), so any entry state decomposes into its
+single-bit parts and the chunk mapping is affine::
+
+    exit(entry) = const | UNION_{bit in entry} linear[bit]
+
+where ``const`` is the scan from the empty row (start states firing
+every cycle) and ``linear[bit]`` tracks the entry bit's influence with
+*no* start-state refresh.  Distinct linear images collapse quickly and
+only ever merge or die (the reachable entry-state frontier the
+DFA-vs-NFA literature observes stays small), so a worker tracks one
+const row plus a short ordered tuple of distinct linear rows — and that
+whole tuple is hash-consed into a :class:`SfaKernel` state with cached
+transitions, RE2-style.  A warm worker byte is therefore **one list
+index**, the same cost as the serial lazy DFA; rare transitions with
+*effects* (slot deaths/merges, report events) carry their bookkeeping
+on the side.
+
+The join applies each chunk's mapping to the exit row of the previous
+chunk: resolve the entry bits to their slot groups, union the const and
+surviving linear exits, merge per-offset report rows (no cross terms —
+reporting is union-linear too), and replay the events with absolute
+offsets.  Results are bit-identical to a serial scan, STE identity and
+checkpoint cursor included, for every worker count.
+
+When the entry frontier *does* explode (more distinct linear images at
+a chunk's first byte than ``slot_limit``), the worker abandons the
+mapping and the parent rescans that one chunk serially at join time —
+degradation is per-chunk, reported through the backend's health events.
+
+Worker count comes from ``split_jobs=`` or ``REPRO_SPLIT_JOBS``
+(:func:`resolve_split_jobs`), defaulting to 1: splitting a stream forks
+processes, so it is opt-in, unlike the multi-stream sharder's
+CPU-count default.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.backends.validation import as_symbols
+from repro.errors import DegradedModeWarning
+from repro.sim.kernel import BitsetKernel
+from repro.sim.shard import RawScanResult, SharedTables, attach_tables
+
+SPLIT_JOBS_ENV = "REPRO_SPLIT_JOBS"
+
+#: Budget for cached SFA states (const row + linear-slot rows each).
+SFA_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Ceiling on distinct linear rows at a chunk's first byte; beyond it
+#: the chunk's mapping is abandoned (entry-state frontier explosion)
+#: and the parent rescans that chunk serially at join time.
+SFA_SLOT_LIMIT = 256
+
+#: Smallest chunk worth forking a worker for; shorter inputs scan
+#: serially even when ``split_jobs`` asks for more workers.
+SPLIT_MIN_CHUNK = 4096
+
+
+def resolve_split_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Worker count for split-stream scanning.
+
+    ``jobs`` may be an int, a numeric string, ``"auto"``, or ``None``.
+    ``None`` consults ``REPRO_SPLIT_JOBS`` and falls back to 1 (serial)
+    — splitting is opt-in; ``"auto"`` falls back to the CPU count.
+    The result is always >= 1.
+    """
+    if jobs is None:
+        jobs = os.environ.get(SPLIT_JOBS_ENV) or 1
+    elif jobs == "auto":
+        jobs = os.environ.get(SPLIT_JOBS_ENV) or (os.cpu_count() or 1)
+    return max(1, int(jobs))
+
+
+def effective_split_jobs(length: int, jobs: int, min_chunk: int) -> int:
+    """Actual chunk count: never more than one chunk per ``min_chunk``
+    input bytes, so tiny inputs stay on the serial path."""
+    if min_chunk <= 0:
+        min_chunk = 1
+    return max(1, min(int(jobs), length // min_chunk))
+
+
+class SfaKernel:
+    """Lazily-determinised *mapping* automaton over one packed kernel.
+
+    A state is the whole chunk-scan mapping at one input position,
+    canonically represented as ``(const row, ordered distinct linear
+    rows)`` — rows hash-consed into a shared pool, states into dense
+    ids, transitions cached per state in 256-entry lists exactly like
+    :class:`~repro.sim.lazydfa.LazyDfaKernel`.  Most transitions are
+    *silent* (every linear slot survives 1:1, nobody reports): those
+    encode as the bare successor id and cost one list index.  The rest
+    carry a flush-immune *effect* record: which source slots died or
+    merged (and into which surviving slot), plus the cycle's reporting
+    rows for the const part and each firing slot.
+
+    The cached automaton is shared state; the per-chunk group
+    bookkeeping lives in :meth:`scan_mapping`'s locals, so one kernel
+    serves many chunks and its cache keeps warming.  ``export_tables``
+    /:meth:`seed` ship the silent transitions through shared memory the
+    same way the lazy DFA's tables travel — effectful transitions
+    recompute on first use, one miss each.
+    """
+
+    def __init__(
+        self,
+        kernel: BitsetKernel,
+        *,
+        cache_bytes: int = SFA_CACHE_BYTES,
+        max_states: Optional[int] = None,
+        slot_limit: int = SFA_SLOT_LIMIT,
+    ):
+        self._kernel = kernel
+        self._slot_limit = max(1, int(slot_limit))
+        if max_states is None:
+            # States are heavier than lazy-DFA states: a const row, a
+            # handful of slot rows, and a 256-entry transition list.
+            est = 16 * kernel.row_bytes + 256 * 8 + 512
+            max_states = cache_bytes // est
+        self._max_states = max(64, int(max_states))
+        self._lookups = 0
+        self._misses = 0
+        self._flushes = 0
+        # Effects are flush-immune, like the lazy DFA's report events:
+        # encoded transitions created after a flush reuse their ids.
+        self._effects: List[
+            Tuple[Optional[Tuple[int, ...]], Optional[bytes],
+                  Tuple[Tuple[int, bytes], ...]]
+        ] = []
+        self._effect_of: Dict[tuple, int] = {}
+        # Per-first-byte entry construction, memoised by byte value:
+        # (const row, slot rows, bit -> group table, const offset-0
+        # reporting row).  Stores rows, not state ids, so it survives
+        # cache flushes.
+        self._entries: Dict[int, tuple] = {}
+        self._reset_states()
+
+    def _reset_states(self):
+        self._row_ids: Dict[bytes, int] = {}
+        self._row_pool: List[np.ndarray] = []
+        self._state_ids: Dict[tuple, int] = {}
+        #: Per-state (const row id, tuple of slot row ids).
+        self._states: List[Tuple[int, Tuple[int, ...]]] = []
+        #: Hot-loop view: per-state 256-entry encoded transitions
+        #: (-1 missing; ``next_id`` when silent and 1:1; else
+        #: ``(effect_id + 1) << 32 | next_id``).
+        self._enc_rows: List[list] = []
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern_row(self, row: np.ndarray) -> int:
+        key = np.ascontiguousarray(row).tobytes()
+        rid = self._row_ids.get(key)
+        if rid is None:
+            rid = len(self._row_pool)
+            self._row_ids[key] = rid
+            frozen = np.frombuffer(key, dtype=np.uint64)
+            self._row_pool.append(frozen)
+        return rid
+
+    def _intern_state(self, const_rid: int, slot_rids: Tuple[int, ...]) -> int:
+        key = (const_rid,) + slot_rids
+        sid = self._state_ids.get(key)
+        if sid is None:
+            sid = len(self._states)
+            self._state_ids[key] = sid
+            self._states.append((const_rid, slot_rids))
+            self._enc_rows.append([-1] * 256)
+        return sid
+
+    def _effect_id(
+        self,
+        survivors: Optional[Tuple[int, ...]],
+        const_rep: Optional[bytes],
+        slot_reps: Tuple[Tuple[int, bytes], ...],
+    ) -> int:
+        key = (survivors, const_rep, slot_reps)
+        eid = self._effect_of.get(key)
+        if eid is None:
+            eid = len(self._effects)
+            self._effect_of[key] = eid
+            self._effects.append((survivors, const_rep, slot_reps))
+        return eid
+
+    @property
+    def sfa_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def slot_limit(self) -> int:
+        return self._slot_limit
+
+    # -- entry construction ------------------------------------------------
+
+    def _entry(self, sym0: int) -> tuple:
+        """Mapping state after a chunk's first byte, memoised per byte.
+
+        Every entry bit alive on ``sym0`` (its match row contains the
+        byte) steps to its successor mask; distinct masks become the
+        initial linear slots, and ``group_of_bit`` records which slot
+        each bit feeds (-1: dead after one cycle — the join still
+        charges its offset-0 report directly from the entry row).  The
+        const part takes the idle step, and its offset-0 reporting row
+        rides along.
+        """
+        memo = self._entries.get(sym0)
+        if memo is None:
+            kernel = self._kernel
+            idle_matched = kernel.match_matrix[sym0] & kernel.start_all_row
+            const_row, _ = kernel.propagate(idle_matched)
+            const_rep = idle_matched & kernel.report_row
+            const0 = const_rep.tobytes() if const_rep.any() else None
+            group_of_bit = np.full(kernel.n_bits, -1, dtype=np.int32)
+            slot_rows: List[np.ndarray] = []
+            slot_keys: Dict[bytes, int] = {}
+            for bit in kernel.bit_indices(kernel.match_matrix[sym0]):
+                successors = kernel.propagate(
+                    kernel.pack(1 << int(bit))
+                )[0]
+                if not successors.any():
+                    continue
+                key = successors.tobytes()
+                group = slot_keys.get(key)
+                if group is None:
+                    group = len(slot_rows)
+                    slot_keys[key] = group
+                    slot_rows.append(successors)
+                group_of_bit[bit] = group
+            group_of_bit.setflags(write=False)
+            memo = (const_row, tuple(slot_rows), group_of_bit, const0)
+            self._entries[sym0] = memo
+        return memo
+
+    # -- transitions -------------------------------------------------------
+
+    def _miss(self, sid: int, symbol: int) -> Tuple[int, int]:
+        """Fill the ``(sid, symbol)`` transition; returns ``(sid, enc)``.
+
+        May flush the whole cache when the state budget is exhausted;
+        the returned ``sid`` is the (possibly re-interned) id of the
+        *current* state, so the scan loop's cursor survives the remap.
+        """
+        self._misses += 1
+        kernel = self._kernel
+        const_rid, slot_rids = self._states[sid]
+        const_row = self._row_pool[const_rid]
+        slot_rows = [self._row_pool[rid] for rid in slot_rids]
+
+        match_row = kernel.match_matrix[symbol]
+        matched_const = match_row & (const_row | kernel.start_all_row)
+        next_const, _ = kernel.propagate(matched_const)
+        const_rep = matched_const & kernel.report_row
+        const_rep_bytes = const_rep.tobytes() if const_rep.any() else None
+
+        survivors: List[int] = []
+        next_keys: Dict[bytes, int] = {}
+        next_rows: List[np.ndarray] = []
+        slot_reps: List[Tuple[int, bytes]] = []
+        for index, row in enumerate(slot_rows):
+            matched = match_row & row
+            rep = matched & kernel.report_row
+            if rep.any():
+                slot_reps.append((index, rep.tobytes()))
+            successor, nonzero = kernel.propagate(matched)
+            if not nonzero:
+                survivors.append(-1)
+                continue
+            key = successor.tobytes()
+            dest = next_keys.get(key)
+            if dest is None:
+                dest = len(next_rows)
+                next_keys[key] = dest
+                next_rows.append(successor)
+            survivors.append(dest)
+
+        identity = (
+            len(next_rows) == len(slot_rows)
+            and all(dest == index for index, dest in enumerate(survivors))
+        )
+        if len(self._states) >= self._max_states:
+            self._flushes += 1
+            self._reset_states()
+            const_rid = self._intern_row(const_row)
+            slot_rids = tuple(self._intern_row(row) for row in slot_rows)
+            sid = self._intern_state(const_rid, slot_rids)
+        next_const_rid = self._intern_row(next_const)
+        next_slot_rids = tuple(self._intern_row(row) for row in next_rows)
+        nid = self._intern_state(next_const_rid, next_slot_rids)
+        if identity and const_rep_bytes is None and not slot_reps:
+            enc = nid
+        else:
+            effect = self._effect_id(
+                None if identity else tuple(survivors),
+                const_rep_bytes,
+                tuple(slot_reps),
+            )
+            enc = ((effect + 1) << 32) | nid
+        self._enc_rows[sid][symbol] = enc
+        return sid, enc
+
+    # -- mapping scan ------------------------------------------------------
+
+    def scan_mapping(self, symbols: np.ndarray) -> Optional[dict]:
+        """The chunk's entry-state -> (exit, events) mapping, or ``None``
+        when the entry frontier exceeds ``slot_limit`` (the caller
+        rescans the chunk serially at join time).
+
+        The mapping is returned in join-ready form: ``group_of_bit``
+        resolves any entry row to its slot groups; ``exit_of_group``
+        and the event lists carry the per-group contributions the join
+        unions with the const part.  All offsets are chunk-local.
+        """
+        length = len(symbols)
+        if length == 0:
+            raise ValueError("split mapping chunks must be non-empty")
+        sym_list = symbols.tolist()
+        const_row, slot_rows, group_of_bit, const0 = self._entry(sym_list[0])
+        n_groups = len(slot_rows)
+        if n_groups > self._slot_limit:
+            return None
+        const_rid = self._intern_row(const_row)
+        sid = self._intern_state(
+            const_rid, tuple(self._intern_row(row) for row in slot_rows)
+        )
+        # Per-chunk bookkeeping: which original groups ride each slot.
+        slot_groups: List[List[int]] = [[group] for group in range(n_groups)]
+        const_events: List[Tuple[int, bytes]] = []
+        if const0 is not None:
+            const_events.append((0, const0))
+        linear_events: List[Tuple[int, bytes, Tuple[int, ...]]] = []
+
+        self._lookups += length - 1
+        enc_rows = self._enc_rows
+        effects = self._effects
+        row = enc_rows[sid]
+        for i in range(1, length):
+            value = row[sym_list[i]]
+            if value < 0:
+                sid, value = self._miss(sid, sym_list[i])
+                enc_rows = self._enc_rows
+                effects = self._effects
+            if value < 4294967296:
+                sid = value
+            else:
+                sid = value & 4294967295
+                survivors, const_rep, slot_reps = effects[(value >> 32) - 1]
+                if const_rep is not None:
+                    const_events.append((i, const_rep))
+                for slot_index, rep in slot_reps:
+                    groups = slot_groups[slot_index]
+                    if groups:
+                        linear_events.append((i, rep, tuple(groups)))
+                if survivors is not None:
+                    merged: Dict[int, List[int]] = {}
+                    for slot_index, dest in enumerate(survivors):
+                        if dest < 0:
+                            continue
+                        merged.setdefault(dest, []).extend(
+                            slot_groups[slot_index]
+                        )
+                    slot_groups = [
+                        merged.get(dest, []) for dest in range(len(merged))
+                    ]
+            row = enc_rows[sid]
+
+        const_exit_rid, exit_slot_rids = self._states[sid]
+        exit_of_group: List[Optional[bytes]] = [None] * n_groups
+        for slot_index, groups in enumerate(slot_groups):
+            row_bytes = self._row_pool[exit_slot_rids[slot_index]].tobytes()
+            for group in groups:
+                exit_of_group[group] = row_bytes
+        return {
+            "group_of_bit": np.asarray(group_of_bit),
+            "n_groups": n_groups,
+            "const_exit": self._row_pool[const_exit_rid].tobytes(),
+            "exit_of_group": exit_of_group,
+            "const_events": const_events,
+            "linear_events": linear_events,
+            "slots_final": sum(1 for groups in slot_groups if groups),
+        }
+
+    # -- publication -------------------------------------------------------
+
+    def export_tables(self) -> Dict[str, np.ndarray]:
+        """Canonical SFA tables for shared-memory publication.
+
+        Only *silent* transitions ship (bare next ids); effectful ones
+        recompute on first use in the consumer, exactly the discipline
+        :meth:`LazyDfaKernel.export_tables` applies to reporting
+        transitions.
+        """
+        states = len(self._states)
+        words = self._kernel.words
+        if self._row_pool:
+            rows = np.ascontiguousarray(np.stack(self._row_pool))
+        else:
+            rows = np.zeros((0, words), dtype=np.uint64)
+        const = np.fromiter(
+            (state[0] for state in self._states), dtype=np.int32, count=states
+        )
+        indptr = np.zeros(states + 1, dtype=np.int32)
+        for index, (_, slot_rids) in enumerate(self._states):
+            indptr[index + 1] = indptr[index] + len(slot_rids)
+        slot_rids = np.fromiter(
+            (
+                rid
+                for _, state_slots in self._states
+                for rid in state_slots
+            ),
+            dtype=np.int32,
+            count=int(indptr[-1]),
+        )
+        nxt = np.full((states, 256), -1, dtype=np.int32)
+        for sid, enc_row in enumerate(self._enc_rows):
+            for symbol, enc in enumerate(enc_row):
+                if 0 <= enc < 4294967296:
+                    nxt[sid, symbol] = enc
+        return {
+            "sfa_rows": rows,
+            "sfa_state_const": const,
+            "sfa_slot_indptr": indptr,
+            "sfa_slot_rids": slot_rids,
+            "sfa_next": nxt,
+        }
+
+    def seed(self, tables: Dict[str, np.ndarray]) -> None:
+        """Merge :meth:`export_tables` output into this kernel.
+
+        Works on a warm kernel too (ids are remapped through the
+        intern tables), which is how the parent folds each worker's
+        newly-discovered states back into its master cache after a
+        join — the next split call ships the union to every worker.
+        """
+        rows = np.asarray(tables["sfa_rows"], dtype=np.uint64)
+        const = np.asarray(tables["sfa_state_const"])
+        indptr = np.asarray(tables["sfa_slot_indptr"])
+        slot_rids = np.asarray(tables["sfa_slot_rids"])
+        nxt = np.asarray(tables["sfa_next"])
+        states = len(const)
+        if not states:
+            return
+        # Copy: the rows may view a shared-memory block that is
+        # unmapped right after seeding.
+        rows = np.array(rows, dtype=np.uint64)
+        rid_map = [self._intern_row(rows[index]) for index in range(len(rows))]
+        sid_map = []
+        for sid in range(states):
+            mapped_slots = tuple(
+                rid_map[rid]
+                for rid in slot_rids[indptr[sid] : indptr[sid + 1]]
+            )
+            sid_map.append(
+                self._intern_state(rid_map[const[sid]], mapped_slots)
+            )
+        for sid in range(states):
+            enc_row = self._enc_rows[sid_map[sid]]
+            source = nxt[sid]
+            for symbol in np.flatnonzero(source >= 0):
+                if enc_row[symbol] < 0:
+                    enc_row[symbol] = sid_map[source[symbol]]
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """Mapping-automaton cache counters (lazy-DFA conventions)."""
+        return {
+            "states": len(self._states),
+            "rows": len(self._row_pool),
+            "max_states": self._max_states,
+            "hits": self._lookups - self._misses,
+            "misses": self._misses,
+            "flushes": self._flushes,
+            "effects": len(self._effects),
+            "slot_limit": self._slot_limit,
+        }
+
+
+# -- worker ----------------------------------------------------------------
+
+
+def _split_mapping_worker(payload):
+    """Build chunk mappings against the shared tables.
+
+    Top-level so the function pickles; rebuilds the kernel zero-copy,
+    seeds the SFA from the parent's warm silent transitions, and maps
+    its chunks.  Returns ``(indexed mappings, newly-warmed SFA tables,
+    cache counters)`` — the parent merges the tables back so the cache
+    keeps warming across calls.
+    """
+    meta, items, slot_limit, return_tables = payload
+    shm, tables = attach_tables(meta)
+    try:
+        sfa_tables = {
+            name: tables.pop(name)
+            for name in list(tables)
+            if name.startswith("sfa_")
+        }
+        kernel = BitsetKernel.from_packed(tables)
+        sfa = SfaKernel(kernel, slot_limit=slot_limit)
+        sfa.seed(sfa_tables)
+        results = [
+            (index, sfa.scan_mapping(as_symbols(data)))
+            for index, data in items
+        ]
+        export = sfa.export_tables() if return_tables else None
+        return results, export, sfa.cache_info()
+    finally:
+        # Every view of the mapping must die before close() (else
+        # BufferError); seeding and from_packed copied what they keep.
+        del tables
+        try:
+            del sfa_tables, kernel, sfa
+        except NameError:
+            pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+
+# -- join ------------------------------------------------------------------
+
+
+def _or_bytes(left: bytes, right: bytes) -> bytes:
+    return (
+        int.from_bytes(left, "little") | int.from_bytes(right, "little")
+    ).to_bytes(len(left), "little")
+
+
+def _apply_mapping(
+    kernel: BitsetKernel,
+    entry_row: np.ndarray,
+    first_byte: int,
+    mapping: dict,
+) -> Tuple[List[Tuple[int, bytes]], np.ndarray]:
+    """Resolve one chunk's mapping at its true entry row.
+
+    Returns the chunk-local ``(offset, reporting row)`` events (offset
+    order, rows already unioned across the const part and the entry's
+    surviving slot groups) and the exit activation row.
+    """
+    group_of_bit = mapping["group_of_bit"]
+    groups = set()
+    for bit in kernel.bit_indices(entry_row):
+        group = int(group_of_bit[bit])
+        if group >= 0:
+            groups.add(group)
+    merged: Dict[int, bytes] = {}
+    # Offset 0: the entry bits' own reporting contribution never enters
+    # the worker's mapping (its linear slots start after the first
+    # byte) — charge it directly from the entry row.
+    entry_rep = kernel.match_matrix[first_byte] & entry_row & kernel.report_row
+    if entry_rep.any():
+        merged[0] = entry_rep.tobytes()
+    for offset, rep in mapping["const_events"]:
+        have = merged.get(offset)
+        merged[offset] = rep if have is None else _or_bytes(have, rep)
+    for offset, rep, event_groups in mapping["linear_events"]:
+        if groups.isdisjoint(event_groups):
+            continue
+        have = merged.get(offset)
+        merged[offset] = rep if have is None else _or_bytes(have, rep)
+    exit_bytes = mapping["const_exit"]
+    exit_of_group = mapping["exit_of_group"]
+    for group in groups:
+        contribution = exit_of_group[group]
+        if contribution is not None:
+            exit_bytes = _or_bytes(exit_bytes, contribution)
+    exit_row = np.frombuffer(exit_bytes, dtype=np.uint64)
+    return sorted(merged.items()), exit_row
+
+
+def _chunk_bounds(length: int, chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous chunk (start, end) pairs covering ``length`` bytes."""
+    base, extra = divmod(length, chunks)
+    bounds = []
+    start = 0
+    for index in range(chunks):
+        end = start + base + (1 if index < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def scan_stream_split(
+    kernel: BitsetKernel,
+    dfa,
+    sfa: SfaKernel,
+    data: bytes,
+    jobs: int,
+    *,
+    resume: Optional[Tuple[int, int, bool]] = None,
+    merge_tables: bool = True,
+) -> Optional[Tuple[RawScanResult, dict]]:
+    """Scan one stream across ``jobs`` parallel actors; exact join.
+
+    The parent is actor 0: it publishes the kernel + SFA tables once
+    through shared memory, hands chunks 1..N-1 to a process pool, scans
+    chunk 0 itself on the (warm) lazy DFA ``dfa`` while the pool runs,
+    then joins left-to-right.  Returns ``(raw result, stats)`` in the
+    sharded scanner's raw form, or ``None`` when the pool itself is
+    unusable (the caller falls back to its serial path); worker
+    exceptions propagate.  A chunk whose mapping was abandoned
+    (frontier explosion) is rescanned serially on ``dfa`` during the
+    join and counted in ``stats["degraded_chunks"]``.
+    """
+    symbols = as_symbols(data)
+    length = len(symbols)
+    bounds = _chunk_bounds(length, max(2, int(jobs)))
+    if resume is None:
+        prev = kernel.pack(0)
+        sod = kernel.has_sod
+    else:
+        _, vector, pending = resume
+        prev = kernel.pack(vector)
+        sod = kernel.has_sod and pending
+
+    tables = dict(kernel.packed_tables())
+    tables.update(sfa.export_tables())
+    futures = []
+    try:
+        with SharedTables(tables) as shared:
+            try:
+                with ProcessPoolExecutor(max_workers=len(bounds) - 1) as pool:
+                    for index, (start, end) in enumerate(bounds[1:], 1):
+                        payload = (
+                            shared.meta,
+                            [(index, bytes(data[start:end]))],
+                            sfa.slot_limit,
+                            merge_tables,
+                        )
+                        futures.append(
+                            pool.submit(_split_mapping_worker, payload)
+                        )
+                    # Actor 0: the parent scans the leader chunk on its
+                    # own warm DFA while the pool maps the rest.
+                    leader_events, leader_total, prev, sod = dfa.scan(
+                        symbols[bounds[0][0] : bounds[0][1]],
+                        prev=prev,
+                        sod=sod,
+                        collect_events=True,
+                    )
+                    worker_returns = [future.result() for future in futures]
+            except (OSError, BrokenProcessPool) as error:
+                warnings.warn(
+                    "split-stream scanning unavailable "
+                    f"({type(error).__name__}: {error}); "
+                    "degrading to serial scanning",
+                    DegradedModeWarning,
+                    stacklevel=3,
+                )
+                return None
+    except (OSError, BrokenProcessPool) as error:
+        # Shared-memory publication itself failed (e.g. /dev/shm full).
+        warnings.warn(
+            "split-stream scanning unavailable "
+            f"({type(error).__name__}: {error}); degrading to serial",
+            DegradedModeWarning,
+            stacklevel=3,
+        )
+        return None
+
+    mappings: Dict[int, Optional[dict]] = {}
+    worker_infos = []
+    for results, export, info in worker_returns:
+        for index, mapping in results:
+            mappings[index] = mapping
+        worker_infos.append(info)
+        if merge_tables and export is not None:
+            sfa.seed(export)
+
+    # Offsets stay stream-local: the caller's materialisation applies
+    # the resume base, exactly as it does for the serial raw results.
+    raw_events: List[Tuple[int, int, bytes]] = []
+    total = 0
+    for offset, event_id in leader_events:
+        count, rep_bytes = dfa.event(event_id)
+        raw_events.append((offset, count, rep_bytes))
+    total += leader_total
+
+    degraded = 0
+    for index, (start, end) in enumerate(bounds[1:], 1):
+        mapping = mappings.get(index)
+        if mapping is None:
+            # Frontier explosion: rescan this one chunk serially from
+            # its (now known) true entry row.
+            degraded += 1
+            events, chunk_total, prev, sod = dfa.scan(
+                symbols[start:end], prev=prev, sod=sod, collect_events=True
+            )
+            for offset, event_id in events:
+                count, rep_bytes = dfa.event(event_id)
+                raw_events.append((start + offset, count, rep_bytes))
+            total += chunk_total
+            continue
+        chunk_events, prev = _apply_mapping(
+            kernel, prev, int(symbols[start]), mapping
+        )
+        for offset, rep_bytes in chunk_events:
+            count = int.from_bytes(rep_bytes, "little").bit_count()
+            raw_events.append((start + offset, count, rep_bytes))
+            total += count
+
+    raw: RawScanResult = (
+        raw_events,
+        total,
+        kernel.unpack(prev),
+        bool(sod),
+        length,
+    )
+    stats = {
+        "chunks": len(bounds),
+        "degraded_chunks": degraded,
+        "worker_cache_infos": worker_infos,
+        "sfa_states": sfa.sfa_states,
+    }
+    return raw, stats

@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends import create_backend
+from repro.backends.artifact import CompiledArtifact
 from repro.compiler import compile_automaton
 from repro.core.design import CA_P
 from repro.regex.compile import compile_patterns
@@ -107,6 +109,63 @@ class TestMappedResume:
         assert merged.symbols == full.profile.symbols
         assert merged.partition_activations == full.profile.partition_activations
         assert merged.g1_crossings == full.profile.g1_crossings
+
+
+class TestSplitScanResume:
+    """Checkpoints and split-stream scanning compose both ways: a split
+    scan yields the same checkpoint as serial, and resuming a serial
+    checkpoint with a split backend (or vice versa) reproduces the one
+    long run — even when the suspension point falls exactly on what
+    would have been a chunk boundary."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, machine):
+        return CompiledArtifact.from_mapping(compile_automaton(machine, CA_P))
+
+    def _split_backend(self, artifact, jobs=3):
+        return create_backend(
+            "lazy-dfa", artifact, split_jobs=jobs, split_min_chunk=8
+        )
+
+    def test_split_checkpoint_equals_serial(self, artifact, stream):
+        serial = create_backend("lazy-dfa", artifact).scan(stream)
+        split = self._split_backend(artifact).scan(stream)
+        assert split.checkpoint == serial.checkpoint
+        assert reports_of(split) == reports_of(serial)
+
+    @pytest.mark.parametrize("cut", [0, 1, 5, 1000, 1500, 2999, 3000])
+    def test_resume_across_backends(self, artifact, stream, cut):
+        serial = create_backend("lazy-dfa", artifact)
+        full = reports_of(serial.scan(stream))
+        # Split head, serial tail.
+        head = self._split_backend(artifact).scan(stream[:cut])
+        tail = serial.scan(stream[cut:], resume=head.checkpoint)
+        assert reports_of(head) + reports_of(tail) == full
+        # Serial head, split tail.
+        head = serial.scan(stream[:cut])
+        tail = self._split_backend(artifact).scan(
+            stream[cut:], resume=head.checkpoint
+        )
+        assert reports_of(head) + reports_of(tail) == full
+
+    def test_suspend_on_chunk_boundary(self, artifact, stream):
+        """Cut the stream exactly where a 3-way split of the full run
+        placed its internal chunk boundaries (len/3, 2*len/3)."""
+        serial = create_backend("lazy-dfa", artifact)
+        full = reports_of(serial.scan(stream))
+        for cut in (len(stream) // 3, 2 * len(stream) // 3):
+            head = self._split_backend(artifact).scan(stream[:cut])
+            tail = self._split_backend(artifact).scan(
+                stream[cut:], resume=head.checkpoint
+            )
+            assert reports_of(head) + reports_of(tail) == full
+
+    def test_sod_not_rearmed_through_split_resume(self, artifact):
+        """'^anchor' must not fire after a split-scan suspension."""
+        backend = self._split_backend(artifact)
+        first = backend.scan(b"xy" * 16)
+        resumed = backend.scan(b"anchor" * 8, resume=first.checkpoint)
+        assert not any(r.ste_id.startswith("m2_") for r in resumed.reports)
 
 
 class TestCheckpointProperties:
