@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Record scan-service resilience metrics into ``BENCH_service.json``.
+
+Drives the multi-tenant :class:`~repro.service.service.ScanService`
+through the open-loop load generator (``repro.eval.loadgen``) in two
+scenarios and appends one labelled entry — a *run table* with one flat
+row per scenario — to the repo-root ``BENCH_service.json``:
+
+* ``baseline`` — two healthy tenants, no faults: the throughput and
+  latency floor (p50/p95/p99 from open-loop arrival to completion);
+* ``fault-injected`` — the resilience gauntlet: a worker is killed
+  mid-run, one tenant is artificially slowed until its requests burn
+  their deadlines, oversized streams are submitted periodically, and
+  primary-backend faults are injected so the circuit breaker trips
+  open (golden-fallback tier serves) and then recovers.
+
+Each row records throughput_rps, avg/p50/p95/p99 latency,
+failure/shed/timeout/retry/oversized counts, failure_rate, breaker
+trips and recoveries, worker restarts, fallback scans, and degrade
+events.  ``unhandled_exceptions`` must be 0 in every row — the whole
+point of the serving layer is that faults become *typed* outcomes — and
+the fault-injected row must show the breaker both tripping and
+recovering; either violation fails the run (exit 1), so the CI smoke
+job is a real resilience gate, not just a grep.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --label my-change
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke --dry-run
+
+``--smoke`` shortens both runs for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.eval.loadgen import (  # noqa: E402
+    baseline_config,
+    faulted_config,
+    run_loadgen,
+)
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+#: Run-table columns, in print order.  ``ms`` columns may be None when a
+#: scenario completed no requests (printed as ``-``).
+_COLUMNS = (
+    "scenario",
+    "requests_sent",
+    "completed",
+    "failed",
+    "shed",
+    "timeouts",
+    "oversized",
+    "retried",
+    "unhandled_exceptions",
+    "throughput_rps",
+    "latency_avg_ms",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "failure_rate",
+    "breaker_trips",
+    "breaker_recoveries",
+    "worker_restarts",
+    "fallback_scans",
+)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_run_table(records) -> None:
+    rows = [
+        {column: _cell(record.as_dict().get(column)) for column in _COLUMNS}
+        for record in records
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rows))
+        for column in _COLUMNS
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in _COLUMNS)
+    print(header)
+    print("  ".join("-" * widths[column] for column in _COLUMNS))
+    for row in rows:
+        print("  ".join(row[column].ljust(widths[column]) for column in _COLUMNS))
+
+
+def check_invariants(records) -> list:
+    """The resilience assertions this benchmark *gates* on."""
+    problems = []
+    for record in records:
+        if record.unhandled_exceptions:
+            problems.append(
+                f"{record.scenario}: {record.unhandled_exceptions} unhandled "
+                "exception(s) escaped the typed-error surface"
+            )
+    faulted = [r for r in records if r.scenario == "fault-injected"]
+    for record in faulted:
+        if not record.breaker_trips:
+            problems.append("fault-injected: circuit breaker never tripped")
+        if not record.breaker_recoveries or not record.breaker_recovered:
+            problems.append("fault-injected: circuit breaker never recovered")
+        if not (record.shed or record.retried):
+            problems.append(
+                "fault-injected: no load shedding and no retries observed"
+            )
+        if not record.worker_restarts:
+            problems.append("fault-injected: killed worker was not restarted")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="seconds of open-loop load per scenario "
+                             "(default 3.0)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for streams and jitter (default 7)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI runs (~1.5 s per scenario)")
+    parser.add_argument("--label", default="local",
+                        help="entry label, e.g. a PR or commit name")
+    parser.add_argument("--note", default="",
+                        help="free-form note stored with the entry")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="trajectory file (default repo-root "
+                             "BENCH_service.json)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, but do not write the file")
+    args = parser.parse_args()
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    duration = 1.5 if args.smoke else args.duration
+
+    records = [
+        run_loadgen(
+            baseline_config(
+                duration_s=duration, seed=args.seed, label=args.label
+            )
+        ),
+        run_loadgen(
+            faulted_config(
+                duration_s=duration, seed=args.seed, label=args.label
+            )
+        ),
+    ]
+
+    print_run_table(records)
+    problems = check_invariants(records)
+    for problem in problems:
+        print(f"INVARIANT VIOLATED: {problem}", file=sys.stderr)
+
+    entry = {
+        "label": args.label,
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "duration_s": duration,
+        "seed": args.seed,
+        "runs": [record.as_dict() for record in records],
+    }
+    if args.note:
+        entry["note"] = args.note
+
+    if not args.dry_run:
+        history = []
+        if os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                history = json.load(handle)
+        history.append(entry)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+        print(f"appended to {args.output} ({len(history)} entries)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,8 +18,9 @@ per-report STE identity.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.backends.validation import require_resume_count
 from repro.core.energy import ActivityProfile
@@ -28,6 +29,54 @@ from repro.sim.golden import Checkpoint, Report, RunStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.backends.artifact import CompiledArtifact
+
+
+#: Default capacity of a :class:`BoundedEventLog`.
+EVENT_LOG_LIMIT = 64
+
+
+class BoundedEventLog:
+    """Ring buffer of health-event strings with a drop counter.
+
+    Long-lived serving processes accumulate degradation notices (split
+    chunks rescanned serially, quarantines, breaker trips) on every
+    degraded scan; an unbounded list would grow for the life of the
+    process.  This log keeps the most recent ``limit`` events and
+    counts — rather than silently forgets — how many older ones were
+    dropped, so ``len(log) + log.dropped`` stays a monotonic "events
+    ever seen" counter that consumers (the per-tenant circuit breaker)
+    can diff across scans.
+    """
+
+    def __init__(self, limit: int = EVENT_LOG_LIMIT):
+        if limit < 1:
+            raise ValueError(f"event-log limit must be >= 1, got {limit}")
+        self._events: "deque[str]" = deque(maxlen=limit)
+        self.limit = limit
+        #: Events evicted to stay within ``limit``.
+        self.dropped = 0
+
+    def append(self, event: str) -> None:
+        if len(self._events) == self.limit:
+            self.dropped += 1
+        self._events.append(event)
+
+    def extend(self, events) -> None:
+        for event in events:
+            self.append(event)
+
+    def events(self) -> Tuple[str, ...]:
+        """The retained (most recent) events, oldest first."""
+        return tuple(self._events)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events) or self.dropped > 0
 
 
 @dataclass(frozen=True)

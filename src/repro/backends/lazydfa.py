@@ -52,6 +52,7 @@ from repro.backends.base import (
     AutomatonBackend,
     BackendCapabilities,
     BackendResult,
+    BoundedEventLog,
 )
 from repro.backends.registry import register_backend
 from repro.backends.validation import require_resume_count
@@ -129,7 +130,7 @@ class LazyDfaBackend(AutomatonBackend):
         #: Aggregate of worker-process DFA/SFA cache counters across
         #: every sharded and split scan (see :meth:`worker_cache_info`).
         self._worker_totals: Dict[str, int] = {"workers": 0}
-        self._health_events: List[str] = []
+        self._health_events = BoundedEventLog()
         #: reporting-row bytes -> ((ste_id, report_code), ...) memo.
         self._idents: Dict[bytes, Tuple[Tuple[str, Optional[str]], ...]] = {}
 
@@ -218,8 +219,14 @@ class LazyDfaBackend(AutomatonBackend):
         """Scan-time degradation notices (e.g. split chunks rescanned
         serially after an entry-state frontier explosion); the engine
         merges these into :meth:`~repro.engine.CacheAutomatonEngine.
-        health`."""
+        health`.  Bounded ring buffer — :attr:`health_events_dropped`
+        counts evictions."""
         return tuple(self._health_events)
+
+    @property
+    def health_events_dropped(self) -> int:
+        """Events evicted from the bounded scan-time log."""
+        return self._health_events.dropped
 
     # -- report materialisation --------------------------------------------
 

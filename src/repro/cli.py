@@ -42,6 +42,24 @@ Subcommands::
         run a seeded single-fault injection campaign (match-array flips,
         crossbar stuck-ats, state-vector upsets) and print the AVF-style
         masked / detected / SDC table per fault site.
+
+    python -m repro.cli serve RULES.txt INPUT.bin [INPUT2.bin ...]
+                        [--deadline S] [--workers N] [--repeat N]
+        run the resilient scan service in-process: register the rule
+        file as a tenant, submit every input through the admission
+        queue with a per-request deadline (scans are chunked, so
+        expiry interrupts mid-stream), retry shed requests with
+        backoff, drain gracefully, and print per-request outcomes plus
+        the service metrics snapshot.
+
+    python -m repro.cli loadgen [--scenario baseline|faulted|both]
+                        [--duration S] [--seed N]
+        drive the service with the open-loop load generator; the
+        ``faulted`` scenario kills a worker, slows one tenant past its
+        deadline, submits oversized streams, and injects backend
+        faults (circuit breaker trips to the golden-fallback tier and
+        recovers).  Prints the run table recorded by
+        ``benchmarks/bench_service.py``.
 """
 
 from __future__ import annotations
@@ -317,6 +335,135 @@ def _cmd_fault_campaign(arguments) -> int:
     return 0
 
 
+def _cmd_serve(arguments) -> int:
+    import asyncio
+
+    from repro.service import (
+        DeadlineExceeded,
+        RetryingClient,
+        ScanService,
+        ServiceError,
+        TenantLimits,
+    )
+
+    rules = _load_rules(arguments.rules)
+    streams = []
+    for path in arguments.input:
+        with open(path, "rb") as handle:
+            streams.append((path, handle.read()))
+
+    async def run() -> int:
+        service = ScanService(
+            workers=arguments.workers,
+            chunk_bytes=arguments.chunk_bytes,
+            default_deadline=arguments.deadline,
+        )
+        service.register(
+            arguments.tenant,
+            rules,
+            limits=TenantLimits(max_stream_bytes=arguments.max_stream_bytes),
+            backend=arguments.backend,
+        )
+        client = RetryingClient(service)
+        completed = failed = 0
+        async with service:
+            requests = [
+                (path, data)
+                for path, data in streams
+                for _ in range(arguments.repeat)
+            ]
+
+            async def one(path: str, data: bytes):
+                nonlocal completed, failed
+                try:
+                    outcome = await client.scan(arguments.tenant, data)
+                except DeadlineExceeded as error:
+                    failed += 1
+                    print(f"{path}: DEADLINE after {error.offset} bytes "
+                          f"({len(error.reports)} partial match(es))")
+                except ServiceError as error:
+                    failed += 1
+                    print(f"{path}: {type(error).__name__}: {error}")
+                else:
+                    completed += 1
+                    tier = " [fallback]" if outcome.fallback else ""
+                    print(f"{path}: {len(outcome.reports)} match(es) in "
+                          f"{outcome.offset} bytes via {outcome.served_by}"
+                          f"{tier} ({outcome.latency_s * 1e3:.2f} ms)")
+
+            await asyncio.gather(
+                *(one(path, data) for path, data in requests)
+            )
+            await service.stop(drain_timeout=arguments.drain_timeout)
+        snapshot = service.metrics_snapshot()
+        print(f"\n{completed} completed, {failed} failed "
+              f"({snapshot['shed']} shed, {snapshot['timeouts']} deadlined, "
+              f"{client.retries} retried)")
+        rows = [("Counter", "Value")] + [
+            (key, snapshot[key])
+            for key in ("submitted", "admitted", "completed", "failed",
+                        "shed", "oversized", "timeouts", "fallback_scans",
+                        "breaker_trips", "breaker_recoveries",
+                        "worker_restarts")
+        ]
+        print(format_table(rows))
+        return 0 if failed == 0 else 1
+
+    return asyncio.run(run())
+
+
+def _cmd_loadgen(arguments) -> int:
+    from repro.eval.loadgen import (
+        baseline_config,
+        faulted_config,
+        run_loadgen,
+    )
+
+    builders = {"baseline": baseline_config, "faulted": faulted_config}
+    names = (
+        list(builders) if arguments.scenario == "both"
+        else [arguments.scenario]
+    )
+    rows = [(
+        "Scenario", "Sent", "Done", "Shed", "Timeout", "Oversize",
+        "Retried", "Thru rps", "p50 ms", "p95 ms", "p99 ms",
+        "Fail rate", "Trips", "Recov", "Restarts",
+    )]
+    unhandled = 0
+    for name in names:
+        record = run_loadgen(
+            builders[name](duration_s=arguments.duration, seed=arguments.seed)
+        )
+        unhandled += record.unhandled_exceptions
+        rows.append((
+            record.scenario,
+            record.requests_sent,
+            record.completed,
+            record.shed,
+            record.timeouts,
+            record.oversized,
+            record.retried,
+            f"{record.throughput_rps:.1f}",
+            "-" if record.latency_p50_ms is None
+            else f"{record.latency_p50_ms:.2f}",
+            "-" if record.latency_p95_ms is None
+            else f"{record.latency_p95_ms:.2f}",
+            "-" if record.latency_p99_ms is None
+            else f"{record.latency_p99_ms:.2f}",
+            f"{record.failure_rate:.3f}",
+            record.breaker_trips,
+            record.breaker_recoveries,
+            record.worker_restarts,
+        ))
+    print(format_table(rows))
+    if unhandled:
+        raise ReproError(
+            f"{unhandled} unhandled exception(s) escaped the typed-error "
+            "surface"
+        )
+    return 0
+
+
 def _cmd_designs(_arguments) -> int:
     rows = [(
         "Design", "Clock (GHz)", "Throughput (Gb/s)", "Reach",
@@ -439,11 +586,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign seed (input generation and fault draws)",
     )
     fault_parser.set_defaults(handler=_cmd_fault_campaign)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the resilient scan service over input files"
+    )
+    serve_parser.add_argument("rules")
+    serve_parser.add_argument("input", nargs="+")
+    serve_parser.add_argument(
+        "--tenant", default="default", help="tenant name (default 'default')"
+    )
+    serve_parser.add_argument(
+        "--backend", default=None,
+        help="execution backend for the tenant's engine",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="service worker coroutines (default 2)",
+    )
+    serve_parser.add_argument(
+        "--chunk-bytes", type=int, default=4096, dest="chunk_bytes",
+        help="scan chunk size — the deadline/fairness quantum "
+             "(default 4096)",
+    )
+    serve_parser.add_argument(
+        "--max-stream-bytes", type=int, default=1 << 20,
+        dest="max_stream_bytes",
+        help="admission limit on one request's stream (default 1 MiB)",
+    )
+    serve_parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="submit each input N times (default 1)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, dest="drain_timeout",
+        help="graceful-drain budget on shutdown (default 30 s)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="open-loop load generation with injected faults"
+    )
+    loadgen_parser.add_argument(
+        "--scenario", default="both",
+        choices=("baseline", "faulted", "both"),
+        help="which canned scenario(s) to run (default both)",
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of open-loop load per scenario (default 2.0)",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="RNG seed for streams and jitter (default 7)",
+    )
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = build_parser().parse_args(argv)
+    # SimulationError, CompileError, and every other library failure
+    # derive from ReproError, so each becomes a one-line diagnostic and
+    # exit status 1 (argparse reserves 2 for usage errors) — never a
+    # traceback.  Scripts and the CI jobs rely on this contract.
     try:
         return arguments.handler(arguments)
     except ReproError as error:
@@ -452,6 +661,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -30,8 +30,8 @@ addresses, stores, and quarantines it.  Artefacts store the fingerprints
 they were written under and are re-verified on load; mismatches and
 unreadable files count as misses, never errors.  Corrupt artefacts are additionally *quarantined*
 (deleted) so every subsequent warm start does not re-hit the same bad
-file, and transient I/O errors are retried with bounded exponential
-backoff before the cache degrades to a cold compile
+file, and transient I/O errors are retried with bounded, jittered
+exponential backoff before the cache degrades to a cold compile
 (:class:`~repro.errors.DegradedModeWarning` is emitted when it does).
 """
 
@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import tempfile
 import time
 import warnings
@@ -185,19 +186,30 @@ class CompileCache:
         enabled: bool = True,
         retry_attempts: int = RETRY_ATTEMPTS,
         retry_backoff: float = RETRY_BACKOFF_SECONDS,
+        retry_rng: Optional[random.Random] = None,
     ):
         root = Path(directory) if directory is not None else default_cache_root()
         self.directory = root / f"v{CACHE_FORMAT_VERSION}"
         self.enabled = enabled
         self.retry_attempts = max(1, retry_attempts)
         self.retry_backoff = retry_backoff
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
         self.stats = CacheStats()
 
     # -- resilience --------------------------------------------------------
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): equal jitter over
+        an exponential — half the delay is deterministic, half uniform-
+        random, so concurrent engine constructors hammering one cache
+        directory decorrelate instead of retrying in lockstep."""
+        ceiling = self.retry_backoff * (2 ** (attempt - 1))
+        return ceiling * 0.5 + ceiling * 0.5 * self._retry_rng.random()
+
     def _with_retries(self, operation):
         """Run ``operation``, retrying transient ``OSError``\\ s with
-        bounded exponential backoff; permanent errors raise immediately."""
+        bounded, jittered exponential backoff; permanent errors raise
+        immediately."""
         attempt = 0
         while True:
             try:
@@ -209,7 +221,7 @@ class CompileCache:
                 if attempt >= self.retry_attempts:
                     raise
                 self.stats.retries += 1
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                time.sleep(self._retry_delay(attempt))
 
     def _quarantine(self, path: Path, reason: str):
         """Delete a corrupt artefact so warm starts stop re-hitting it."""

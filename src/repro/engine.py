@@ -38,7 +38,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.automata.anml import HomogeneousAutomaton, from_anml
 from repro.automata.stride import StrideAlphabet, resolve_stride
 from repro.backends.artifact import CompiledArtifact
-from repro.backends.base import AutomatonBackend, BackendCapabilities
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BoundedEventLog,
+)
 from repro.backends.registry import (
     DEFAULT_BACKEND,
     backend_class,
@@ -69,6 +73,11 @@ TIER_WARM_CACHE = "warm-cache"
 TIER_COLD_COMPILE = "cold-compile"
 TIER_RECOMPILED = "recompiled"
 TIER_GOLDEN = "golden-fallback"
+
+#: Health-event retention per engine: a long-lived serving process keeps
+#: the most recent events and counts the rest as dropped, instead of
+#: growing the log for the life of the process.
+HEALTH_EVENT_LIMIT = 64
 
 
 def _resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
@@ -112,6 +121,10 @@ class EngineHealth:
     events: Tuple[str, ...]
     cache: Dict[str, int]
     requested: Optional[str] = None
+    #: Events evicted from the bounded logs (engine + backend) to keep a
+    #: long-lived process's memory flat; ``len(events) + events_dropped``
+    #: is a monotonic "events ever seen" counter.
+    events_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -292,7 +305,7 @@ class CacheAutomatonEngine:
         """
         self.design = design
         self._cache = _resolve_cache(cache)
-        self._health_events: List[str] = []
+        self._health_events = BoundedEventLog(HEALTH_EVENT_LIMIT)
         self._tier = TIER_COLD_COMPILE
         self._requested_backend = (
             None if backend is None else resolve_backend_name(backend)
@@ -464,9 +477,16 @@ class CacheAutomatonEngine:
         Construction-time events (cache quarantine, stride degrade,
         backend fallback) are joined by any *scan-time* degradations the
         backend has recorded since — e.g. split-scan chunks rescanned
-        serially after an entry-state frontier explosion.
+        serially after an entry-state frontier explosion.  Both logs are
+        bounded ring buffers (:data:`HEALTH_EVENT_LIMIT` /
+        :data:`~repro.backends.base.EVENT_LOG_LIMIT`);
+        ``events_dropped`` counts evictions, so a long-lived serving
+        process neither grows without limit nor miscounts degradations.
         """
         scan_events = tuple(getattr(self._backend, "health_events", ()))
+        dropped = self._health_events.dropped + int(
+            getattr(self._backend, "health_events_dropped", 0)
+        )
         return EngineHealth(
             tier=self._tier,
             backend=self._backend.name,
@@ -474,6 +494,7 @@ class CacheAutomatonEngine:
             events=tuple(self._health_events) + scan_events,
             cache=self.cache_info(),
             requested=self._requested_backend,
+            events_dropped=dropped,
         )
 
     @property

@@ -1,0 +1,429 @@
+"""Open-loop load generation + observability for the scan service.
+
+Drives a :class:`~repro.service.service.ScanService` with concurrent
+clients arriving on a fixed open-loop schedule (arrivals do not wait
+for completions — queueing delay is *measured*, not hidden), optionally
+injecting faults mid-run:
+
+* **worker kill** — one service worker task is cancelled mid-flight;
+  its request fails retryably and the supervisor restarts the slot;
+* **slow tenant** — one tenant's chunks are artificially delayed so its
+  requests burn their deadlines, demonstrating per-tenant isolation
+  (round-robin dequeue keeps the other tenants' latency bounded);
+* **oversized stream** — periodic requests exceed the tenant's
+  ``max_stream_bytes`` and are rejected with a typed error;
+* **backend faults** — injected primary-scan errors trip the tenant's
+  circuit breaker open (golden-fallback tier serves) and the
+  cooldown-gated probe recovers it within the run.
+
+Each run produces one :class:`RunRecord` — a flat row in the style of a
+benchmark run table (throughput_rps, avg/p50/p95/p99 latency,
+failure/shed/timeout/retry counters, breaker and worker events) — which
+``benchmarks/bench_service.py`` appends to ``BENCH_service.json`` so
+every later performance PR has a latency-percentile and failure-rate
+scoreboard, not just throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, SimulationError
+from repro.service import (
+    DeadlineExceeded,
+    Overloaded,
+    RetryingClient,
+    ScanService,
+    ServiceError,
+    StreamTooLarge,
+    TenantLimits,
+    WorkerCrashed,
+)
+from repro.workloads.inputs import LOWERCASE, random_over_alphabet
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic shape for a loadgen run."""
+
+    name: str
+    patterns: Tuple[str, ...] = ("cat", "dog+", "ba[rt]")
+    rate_rps: float = 25.0
+    stream_bytes: int = 2048
+    deadline_s: Optional[float] = 0.5
+    max_stream_bytes: int = 1 << 16
+    max_in_flight: int = 4
+    dfa_max_states: Optional[int] = 512
+    backend: str = "lazy-dfa"
+
+    def limits(self) -> TenantLimits:
+        return TenantLimits(
+            max_stream_bytes=self.max_stream_bytes,
+            max_in_flight=self.max_in_flight,
+            dfa_max_states=self.dfa_max_states,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and when (seconds into the run)."""
+
+    worker_kill_at: Optional[float] = None
+    oversized_every: int = 0
+    oversized_tenant: Optional[str] = None
+    slow_tenant: Optional[str] = None
+    slow_delay_s: float = 0.02
+    flaky_tenant: Optional[str] = None
+    flaky_faults: int = 0
+    flaky_at: float = 0.0
+
+    def active(self) -> List[str]:
+        kinds = []
+        if self.worker_kill_at is not None:
+            kinds.append("worker-kill")
+        if self.oversized_every:
+            kinds.append("oversized-stream")
+        if self.slow_tenant:
+            kinds.append("slow-tenant")
+        if self.flaky_faults:
+            kinds.append("backend-error")
+        return kinds
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One loadgen run: service shape, tenant mix, fault plan."""
+
+    tenants: Tuple[TenantProfile, ...]
+    duration_s: float = 2.0
+    workers: int = 2
+    max_queue: int = 32
+    chunk_bytes: int = 1024
+    breaker_threshold: int = 2
+    breaker_cooldown: float = 0.3
+    drain_timeout: float = 2.0
+    seed: int = 7
+    label: str = "loadgen"
+    scenario: str = "baseline"
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    cache: object = False
+
+
+@dataclass
+class RunRecord:
+    """One row of the service run table (``BENCH_service.json``)."""
+
+    run_id: str
+    label: str
+    scenario: str
+    seed: int
+    duration_s: float
+    workers: int
+    max_queue: int
+    chunk_bytes: int
+    tenants: int
+    faults: List[str]
+    requests_sent: int
+    completed: int
+    failed: int
+    shed: int
+    timeouts: int
+    oversized: int
+    retried: int
+    retry_exhausted: int
+    unhandled_exceptions: int
+    throughput_rps: float
+    latency_avg_ms: Optional[float]
+    latency_p50_ms: Optional[float]
+    latency_p95_ms: Optional[float]
+    latency_p99_ms: Optional[float]
+    failure_rate: float
+    fallback_scans: int
+    breaker_trips: int
+    breaker_recoveries: int
+    breaker_recovered: bool
+    worker_restarts: int
+    degrade_events: int
+    events_dropped: int
+    per_tenant: Dict[str, Dict[str, object]]
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+def percentile(samples: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 100]); ``None`` on no samples."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def _tenant_stream(profile: TenantProfile, seed: int) -> bytes:
+    """Deterministic input with planted pattern literals, so scans do
+    real match work instead of idling through random bytes."""
+    data = bytearray(
+        random_over_alphabet(profile.stream_bytes, LOWERCASE, seed=seed)
+    )
+    rng = random.Random(seed ^ 0x5EED)
+    literals = [
+        pattern.encode("ascii")
+        for pattern in profile.patterns
+        if pattern.isalnum()
+    ] or [b"cat"]
+    step = max(16, profile.stream_bytes // 32)
+    for position in range(0, max(1, len(data) - 8), step):
+        literal = literals[rng.randrange(len(literals))]
+        data[position : position + len(literal)] = literal
+    return bytes(data)
+
+
+async def _drive(config: LoadgenConfig) -> RunRecord:
+    service = ScanService(
+        workers=config.workers,
+        max_queue=config.max_queue,
+        chunk_bytes=config.chunk_bytes,
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown=config.breaker_cooldown,
+        cache=config.cache,
+    )
+    for profile in config.tenants:
+        service.register(
+            profile.name,
+            list(profile.patterns),
+            limits=profile.limits(),
+            backend=profile.backend,
+        )
+    client = RetryingClient(
+        service,
+        max_attempts=4,
+        base_delay=0.01,
+        max_delay=0.1,
+        rng=random.Random(config.seed),
+    )
+    streams = {
+        profile.name: _tenant_stream(profile, config.seed)
+        for profile in config.tenants
+    }
+    faults = config.faults
+    latencies: List[float] = []
+    counters = {
+        "sent": 0,
+        "completed": 0,
+        "failed": 0,
+        "timeouts": 0,
+        "oversized": 0,
+        "shed_abandoned": 0,
+        "unhandled": 0,
+    }
+
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+
+    async def one_request(profile: TenantProfile, index: int, at: float):
+        counters["sent"] += 1
+        data = streams[profile.name]
+        if (
+            faults.oversized_every
+            and profile.name == (faults.oversized_tenant or profile.name)
+            and index % faults.oversized_every == faults.oversized_every - 1
+        ):
+            data = b"\x00" * (profile.max_stream_bytes + 1)
+        try:
+            await client.scan(
+                profile.name, data, deadline=profile.deadline_s
+            )
+            counters["completed"] += 1
+            latencies.append(loop.time() - (epoch + at))
+        except DeadlineExceeded:
+            counters["timeouts"] += 1
+        except StreamTooLarge:
+            counters["oversized"] += 1
+        except (Overloaded, WorkerCrashed):
+            # Retry budget exhausted: the request is abandoned, which
+            # is the open-loop client's last resort under shed load.
+            counters["shed_abandoned"] += 1
+        except ServiceError:
+            counters["failed"] += 1
+        except ReproError:
+            counters["failed"] += 1
+        except Exception:  # noqa: BLE001 - the run table must see these
+            counters["unhandled"] += 1
+
+    # Open-loop arrival schedule: every tenant's arrivals merged in time
+    # order, independent of completions.
+    schedule: List[Tuple[float, TenantProfile, int]] = []
+    for profile in config.tenants:
+        count = max(1, int(profile.rate_rps * config.duration_s))
+        for index in range(count):
+            schedule.append((index / profile.rate_rps, profile, index))
+    schedule.sort(key=lambda item: item[0])
+
+    breaker_saw_open = False
+    async with service:
+        if faults.slow_tenant:
+            service.set_scan_delay(faults.slow_tenant, faults.slow_delay_s)
+        flaky_pending = faults.flaky_faults
+        kill_pending = faults.worker_kill_at is not None
+        tasks: List[asyncio.Task] = []
+        for at, profile, index in schedule:
+            now = loop.time() - epoch
+            if at > now:
+                await asyncio.sleep(at - now)
+                now = at
+            if flaky_pending and faults.flaky_tenant and now >= faults.flaky_at:
+                service.inject_scan_faults(
+                    faults.flaky_tenant,
+                    flaky_pending,
+                    SimulationError("loadgen: injected backend fault"),
+                )
+                flaky_pending = 0
+            if kill_pending and now >= faults.worker_kill_at:
+                service.crash_worker(0)
+                kill_pending = False
+            tasks.append(
+                asyncio.ensure_future(one_request(profile, index, at))
+            )
+            if not breaker_saw_open and any(
+                service.breaker_state(name) == "open"
+                for name in service.tenant_names()
+            ):
+                breaker_saw_open = True
+        if kill_pending:
+            service.crash_worker(0)
+        for name in service.tenant_names():
+            if service.breaker_state(name) == "open":
+                breaker_saw_open = True
+        await asyncio.gather(*tasks)
+        await service.stop(drain_timeout=config.drain_timeout)
+
+    metrics = service.metrics
+    wall = max(config.duration_s, 1e-9)
+    completed = counters["completed"]
+    sent = counters["sent"]
+    latencies_ms = [value * 1e3 for value in latencies]
+    snapshot = service.metrics_snapshot()
+    recovered = breaker_saw_open and all(
+        service.breaker_state(name) != "open"
+        for name in service.tenant_names()
+    )
+    return RunRecord(
+        run_id=f"{config.label}-{config.scenario}-s{config.seed}",
+        label=config.label,
+        scenario=config.scenario,
+        seed=config.seed,
+        duration_s=config.duration_s,
+        workers=config.workers,
+        max_queue=config.max_queue,
+        chunk_bytes=config.chunk_bytes,
+        tenants=len(config.tenants),
+        faults=faults.active(),
+        requests_sent=sent,
+        completed=completed,
+        failed=counters["failed"] + counters["shed_abandoned"],
+        shed=metrics.shed,
+        timeouts=counters["timeouts"],
+        oversized=counters["oversized"],
+        retried=client.retries,
+        retry_exhausted=client.exhausted,
+        unhandled_exceptions=counters["unhandled"],
+        throughput_rps=completed / wall,
+        latency_avg_ms=(
+            statistics.fmean(latencies_ms) if latencies_ms else None
+        ),
+        latency_p50_ms=percentile(latencies_ms, 50),
+        latency_p95_ms=percentile(latencies_ms, 95),
+        latency_p99_ms=percentile(latencies_ms, 99),
+        failure_rate=1.0 - (completed / sent) if sent else 0.0,
+        fallback_scans=metrics.fallback_scans,
+        breaker_trips=metrics.breaker_trips,
+        breaker_recoveries=metrics.breaker_recoveries,
+        breaker_recovered=recovered,
+        worker_restarts=metrics.worker_restarts,
+        degrade_events=len(snapshot["events"]) + snapshot["events_dropped"],
+        events_dropped=snapshot["events_dropped"],
+        per_tenant=snapshot["tenants"],
+    )
+
+
+def run_loadgen(config: LoadgenConfig) -> RunRecord:
+    """Run one loadgen scenario to completion and return its run row."""
+    return asyncio.run(_drive(config))
+
+
+# -- canned scenarios --------------------------------------------------------
+
+
+def baseline_config(
+    *,
+    duration_s: float = 2.0,
+    seed: int = 7,
+    label: str = "loadgen",
+) -> LoadgenConfig:
+    """Two healthy tenants, no faults: the throughput/latency floor."""
+    return LoadgenConfig(
+        tenants=(
+            TenantProfile(name="alpha", rate_rps=30.0),
+            TenantProfile(
+                name="beta",
+                patterns=("error", "warn(ing)?", "cr[ia]tical"),
+                rate_rps=20.0,
+            ),
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        label=label,
+        scenario="baseline",
+    )
+
+
+def faulted_config(
+    *,
+    duration_s: float = 2.5,
+    seed: int = 7,
+    label: str = "loadgen",
+) -> LoadgenConfig:
+    """The resilience gauntlet: worker kill + slow tenant + oversized
+    streams + injected backend faults (breaker trip and recovery)."""
+    return LoadgenConfig(
+        tenants=(
+            TenantProfile(name="hot", rate_rps=40.0),
+            # max_in_flight=1 with inter-arrival (50 ms) far below the
+            # delayed service time (>= 120 ms of injected chunk delay)
+            # guarantees overlapping arrivals are shed -> retried, so
+            # the run table's shed/retried columns are deterministic.
+            TenantProfile(
+                name="slow",
+                patterns=("needle", "hay+stack"),
+                rate_rps=20.0,
+                deadline_s=0.08,
+                max_in_flight=1,
+                stream_bytes=4096,
+            ),
+            TenantProfile(
+                name="flaky",
+                patterns=("cat", "dog+"),
+                rate_rps=25.0,
+            ),
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        label=label,
+        scenario="fault-injected",
+        faults=FaultPlan(
+            worker_kill_at=duration_s * 0.4,
+            oversized_every=5,
+            oversized_tenant="hot",
+            slow_tenant="slow",
+            slow_delay_s=0.03,
+            flaky_tenant="flaky",
+            flaky_faults=2,
+            flaky_at=duration_s * 0.15,
+        ),
+    )

@@ -78,6 +78,10 @@ def generate_report(
     if compile_times:
         sections.append(compile_times)
         sections.append("")
+    service = service_trajectory_section()
+    if service:
+        sections.append(service)
+        sections.append("")
     return "\n".join(sections)
 
 
@@ -87,6 +91,10 @@ BENCH_TRAJECTORY = (
 
 COMPILER_TRAJECTORY = (
     pathlib.Path(__file__).resolve().parents[3] / "BENCH_compiler.json"
+)
+
+SERVICE_TRAJECTORY = (
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_service.json"
 )
 
 
@@ -289,6 +297,72 @@ def compiler_trajectory_section(
         "## Compile-time trajectory (BENCH_compiler.json)\n\n"
         + rows_to_markdown(rows)
     )
+
+
+def service_trajectory_section(
+    trajectory: pathlib.Path = SERVICE_TRAJECTORY,
+) -> str:
+    """Render the scan-service resilience history recorded by
+    ``benchmarks/bench_service.py`` (empty string if none exists).
+
+    One row per (entry, scenario): throughput and latency percentiles
+    next to the failure/shed/timeout/retry counters and the breaker and
+    worker-supervision events observed under injected faults.
+    """
+    if not trajectory.exists():
+        return ""
+    entries = json.loads(trajectory.read_text(encoding="utf-8"))
+    if not entries:
+        return ""
+    rows: List[Sequence] = [
+        ["Label", "Scenario", "Sent", "Done", "Shed", "Timeout", "Retried",
+         "Thru rps", "p50 ms", "p95 ms", "p99 ms", "Fail rate",
+         "Trips", "Recov", "Restarts", "Fallback"]
+    ]
+    for entry in entries:
+        for run in entry.get("runs", []):
+            rows.append([
+                entry.get("label", "?"),
+                run.get("scenario", "?"),
+                run.get("requests_sent"),
+                run.get("completed"),
+                run.get("shed"),
+                run.get("timeouts"),
+                run.get("retried"),
+                run.get("throughput_rps"),
+                run.get("latency_p50_ms") if run.get("latency_p50_ms")
+                is not None else "-",
+                run.get("latency_p95_ms") if run.get("latency_p95_ms")
+                is not None else "-",
+                run.get("latency_p99_ms") if run.get("latency_p99_ms")
+                is not None else "-",
+                run.get("failure_rate"),
+                run.get("breaker_trips"),
+                run.get("breaker_recoveries"),
+                run.get("worker_restarts"),
+                run.get("fallback_scans"),
+            ])
+    section = (
+        "## Scan-service resilience (BENCH_service.json)\n\n"
+        + rows_to_markdown(rows)
+        + "\n\nFailure rate counts every request that did not complete — "
+        "shed, deadlined, oversized, or abandoned after retry "
+        "exhaustion; the fault-injected scenario kills a worker, slows "
+        "one tenant past its deadline, submits oversized streams, and "
+        "injects primary-backend faults, so its counters demonstrate "
+        "the breaker trip → golden-fallback → recovery path (see "
+        "DESIGN.md's serving-layer section)."
+    )
+    notes = [
+        (entry.get("label", "?"), entry["note"])
+        for entry in entries
+        if entry.get("note")
+    ]
+    if notes:
+        section += "\n\nEntry notes:\n\n" + "\n".join(
+            f"- **{label}** — {note}" for label, note in notes
+        )
+    return section
 
 
 def main(argv: Optional[List[str]] = None) -> int:

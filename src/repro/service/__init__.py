@@ -1,0 +1,58 @@
+"""Multi-tenant asyncio scan service over the Cache Automaton engine.
+
+Public surface::
+
+    from repro.service import ScanService, TenantLimits, RetryingClient
+
+    service = ScanService(workers=2, max_queue=64)
+    service.register("tenant-a", ["cat", "dog+"])
+    async with service:
+        outcome = await service.scan("tenant-a", data, deadline=0.5)
+
+See :mod:`repro.service.service` for the admission / deadline /
+circuit-breaker / drain semantics and :mod:`repro.service.errors` for
+the typed failure modes.
+"""
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.client import RetryingClient
+from repro.service.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosed,
+    ServiceError,
+    StreamTooLarge,
+    UnknownTenant,
+    WorkerCrashed,
+)
+from repro.service.service import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_MAX_QUEUE,
+    ScanOutcome,
+    ScanService,
+    ServiceMetrics,
+    TenantLimits,
+    tenant_fingerprint,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "RetryingClient",
+    "DeadlineExceeded",
+    "Overloaded",
+    "ServiceClosed",
+    "ServiceError",
+    "StreamTooLarge",
+    "UnknownTenant",
+    "WorkerCrashed",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_MAX_QUEUE",
+    "ScanOutcome",
+    "ScanService",
+    "ServiceMetrics",
+    "TenantLimits",
+    "tenant_fingerprint",
+]

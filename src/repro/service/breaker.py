@@ -1,0 +1,98 @@
+"""Per-tenant circuit breaker for the scan service.
+
+Classic three-state breaker guarding one tenant's *primary* backend:
+
+* ``closed`` — healthy; primary serves traffic.  Failures and backend
+  degrade events accumulate; reaching ``threshold`` trips the breaker.
+* ``open`` — tripped; the service routes the tenant's requests to the
+  golden-fallback tier (the reference interpreter, which cannot be
+  poisoned by a bad artifact or a thrashing DFA cache).  After
+  ``cooldown`` seconds the next request is allowed to probe the
+  primary.
+* ``half-open`` — one probe in flight; a success closes the breaker
+  (recovery), a failure re-opens it and restarts the cooldown.
+
+"Failure" is anything the primary raises; "degrade" is a new entry in
+the engine's :meth:`~repro.engine.CacheAutomatonEngine.health` event
+log observed after a scan (split-chunk rescans, quarantines, stride
+degrades) — both feed the same counter, so a backend that limps
+through requests while continuously degrading still trips.  A clean
+success (no exception, no new health events) resets the counter.
+
+The clock is injected so tests drive state transitions
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with cooldown-gated recovery probes."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.trips = 0
+        self.recoveries = 0
+        self._opened_at = 0.0
+
+    def allow_primary(self) -> bool:
+        """Should the next request use the primary backend?
+
+        While open, returns ``False`` until the cooldown elapses; the
+        first call after that transitions to half-open and lets one
+        probe through.
+        """
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> bool:
+        """A clean primary scan; returns True when this was the
+        half-open probe that closed the breaker (a recovery)."""
+        recovered = self.state == HALF_OPEN
+        self.state = CLOSED
+        self.failures = 0
+        if recovered:
+            self.recoveries += 1
+        return recovered
+
+    def record_failure(self, weight: int = 1) -> bool:
+        """A primary failure (or ``weight`` degrade events); returns
+        True when this call tripped the breaker open."""
+        self.failures += weight
+        should_open = (
+            self.state == HALF_OPEN or self.failures >= self.threshold
+        )
+        if should_open and self.state != OPEN:
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+            return True
+        if should_open:
+            # Already open (e.g. degrade events observed on the probe
+            # that failed) — refresh the cooldown window.
+            self._opened_at = self._clock()
+        return False

@@ -1,0 +1,87 @@
+"""Client-side retry policy: exponential backoff with jitter.
+
+The service sheds load with typed, *retryable* rejections
+(:class:`~repro.service.errors.Overloaded`,
+:class:`~repro.service.errors.WorkerCrashed`); this module is the
+matching client discipline — capped exponential backoff with equal
+jitter (half the delay deterministic, half uniform-random) so a burst
+of shed clients does not resubmit in lockstep and re-overload the
+queue.  Non-retryable errors (deadline, oversize, unknown tenant,
+closed service) propagate immediately.
+
+The RNG and the sleep function are injectable, so tests count and
+bound the backoff sequence deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Optional
+
+from repro.errors import ReproError
+from repro.service.errors import ServiceError
+from repro.service.service import ScanOutcome, ScanService
+from repro.sim.golden import Checkpoint
+
+
+class RetryingClient:
+    """Submit scans through a :class:`ScanService`, retrying retryable
+    rejections with capped exponential backoff + jitter."""
+
+    def __init__(
+        self,
+        service: ScanService,
+        *,
+        max_attempts: int = 4,
+        base_delay: float = 0.02,
+        max_delay: float = 0.5,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ):
+        if max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.service = service
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        #: Total backoff-retries performed (feeds the run table).
+        self.retries = 0
+        #: Requests abandoned after exhausting every attempt.
+        self.exhausted = 0
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based): equal jitter over a
+        capped exponential — ``d/2 + uniform(0, d/2)`` with
+        ``d = min(max_delay, base_delay * 2**attempt)``."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return ceiling * 0.5 + ceiling * 0.5 * self._rng.random()
+
+    async def scan(
+        self,
+        tenant: str,
+        data: bytes,
+        *,
+        deadline: Optional[float] = None,
+        resume: Optional[Checkpoint] = None,
+    ) -> ScanOutcome:
+        """One logical scan, retried across transient rejections."""
+        attempt = 0
+        while True:
+            try:
+                return await self.service.scan(
+                    tenant, data, deadline=deadline, resume=resume
+                )
+            except ServiceError as error:
+                if not error.retryable:
+                    raise
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    self.exhausted += 1
+                    raise
+                self.retries += 1
+                await self._sleep(self.backoff_delay(attempt - 1))

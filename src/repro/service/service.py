@@ -1,0 +1,777 @@
+"""Resilient multi-tenant asyncio scan service over the engine.
+
+The production-serving layer the ROADMAP's north star calls for: a
+long-lived :class:`ScanService` wraps one
+:class:`~repro.engine.CacheAutomatonEngine` per *tenant* (pattern set →
+engine via the content-addressed artifact cache — compile once, serve
+forever; re-registering with a changed pattern set hot-reloads the
+engine) and is robust by construction:
+
+* **Admission control** — one bounded queue across tenants
+  (``max_queue``), per-tenant in-flight and stream-size limits, and
+  fair round-robin dequeue so one flooding tenant cannot starve the
+  rest.  A full queue *sheds load* with a typed, retryable
+  :class:`~repro.service.errors.Overloaded` instead of growing without
+  bound.
+* **Deadlines** — every request carries a time budget; scans run in
+  chunks through the engine's checkpoint machinery, so an expired
+  deadline interrupts *mid-stream* and returns a typed
+  :class:`~repro.service.errors.DeadlineExceeded` carrying the
+  partial-progress offset, the reports already emitted, and the resume
+  checkpoint (resuming yields bit-identical reports).
+* **Circuit breaker** — per tenant; repeated primary-backend failures
+  or engine ``health()`` degrade events trip it open, after which the
+  tenant's traffic is served by the golden-fallback tier (the
+  reference interpreter) until a cooldown-gated probe succeeds.
+* **Supervision** — a crashed worker task fails its in-flight request
+  with a retryable :class:`~repro.service.errors.WorkerCrashed` and is
+  restarted; the event is counted and logged.
+* **Graceful drain** — :meth:`ScanService.stop` stops admitting,
+  lets queued and in-flight work finish (or deadlines it out after
+  ``drain_timeout``), then joins the workers.  Worker pools and
+  shared-memory blocks are per-scan and context-managed
+  (:class:`~repro.sim.shard.SharedTables`), so a drained service holds
+  no leaked OS resources.
+
+Scanning is CPU-bound Python, so workers are cooperating coroutines on
+one loop: each yields between chunks, which is what makes deadlines,
+fairness, and drain responsive without threads.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import BoundedEventLog
+from repro.backends.registry import create_backend, resolve_backend_name
+from repro.backends.validation import require_bytes
+from repro.core.design import CA_P, DesignPoint
+from repro.engine import CacheAutomatonEngine
+from repro.errors import ReproError
+from repro.service.breaker import CircuitBreaker
+from repro.service.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosed,
+    StreamTooLarge,
+    UnknownTenant,
+    WorkerCrashed,
+)
+from repro.sim.golden import Checkpoint, Report
+
+#: Default per-chunk scan granularity — the deadline/fairness quantum.
+DEFAULT_CHUNK_BYTES = 4096
+
+#: Default bound on the shared admission queue.
+DEFAULT_MAX_QUEUE = 64
+
+#: Cap on retained latency samples (oldest dropped beyond this).
+LATENCY_SAMPLE_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """Per-tenant resource limits enforced at admission / construction.
+
+    ``max_stream_bytes`` rejects oversized requests outright
+    (:class:`StreamTooLarge`); ``max_in_flight`` bounds one tenant's
+    queued + executing requests (:class:`Overloaded` beyond it);
+    ``dfa_max_states`` caps the lazy-DFA backend's transition-cache
+    state budget so one pathological ruleset cannot grow its DFA cache
+    without limit (ignored by backends without a DFA cache).
+    """
+
+    max_stream_bytes: int = 1 << 20
+    max_in_flight: int = 8
+    dfa_max_states: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """One successfully served scan."""
+
+    tenant: str
+    reports: Tuple[Report, ...]
+    offset: int
+    checkpoint: Optional[Checkpoint]
+    served_by: str
+    fallback: bool
+    latency_s: float
+
+    def report_rows(self) -> List[Tuple[int, str, Optional[str]]]:
+        """(offset, ste_id, report_code) rows, for differential checks."""
+        return [(r.offset, r.ste_id, r.report_code) for r in self.reports]
+
+
+@dataclass
+class ServiceMetrics:
+    """Service-wide counters (per-tenant breakdowns live on the
+    tenants; see :meth:`ScanService.metrics_snapshot`)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    oversized: int = 0
+    timeouts: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+    worker_restarts: int = 0
+    fallback_scans: int = 0
+    reloads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+_TENANT_COUNTERS = (
+    "submitted",
+    "completed",
+    "failed",
+    "shed",
+    "oversized",
+    "timeouts",
+    "fallback_scans",
+    "breaker_trips",
+    "breaker_recoveries",
+)
+
+
+class _TenantState:
+    """Everything the service holds per registered tenant."""
+
+    def __init__(
+        self,
+        name: str,
+        fingerprint: str,
+        engine: CacheAutomatonEngine,
+        limits: TenantLimits,
+        breaker: CircuitBreaker,
+    ):
+        self.name = name
+        self.fingerprint = fingerprint
+        self.engine = engine
+        self.limits = limits
+        self.breaker = breaker
+        self.queue: Deque["_Request"] = deque()
+        self.in_flight = 0
+        self.counters: Dict[str, int] = {key: 0 for key in _TENANT_COUNTERS}
+        self._fallback = None
+        #: Chaos hooks (fault-injection harness): raise ``chaos_error``
+        #: on the next ``chaos_faults`` primary scans; sleep
+        #: ``chaos_delay`` seconds per chunk (a "slow tenant").
+        self.chaos_faults = 0
+        self.chaos_error: Exception = ReproError("injected fault")
+        self.chaos_delay = 0.0
+
+    def fallback(self):
+        """The tenant's golden-fallback backend (built on first use).
+
+        The reference interpreter runs from the automaton alone, so it
+        cannot be poisoned by whatever degraded the primary."""
+        if self._fallback is None:
+            self._fallback = create_backend(
+                "golden-interpreter", self.engine.artifact
+            )
+        return self._fallback
+
+    def reset_backend_state(self):
+        self._fallback = None
+
+
+class _Request:
+    """One admitted scan request moving through the queue."""
+
+    __slots__ = (
+        "tenant",
+        "data",
+        "resume",
+        "deadline_at",
+        "future",
+        "submitted_at",
+    )
+
+    def __init__(self, tenant, data, resume, deadline_at, future, submitted_at):
+        self.tenant = tenant
+        self.data = data
+        self.resume = resume
+        self.deadline_at = deadline_at
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+def tenant_fingerprint(
+    patterns: Sequence[str],
+    *,
+    design: DesignPoint,
+    backend: Optional[str],
+    stride,
+    backend_options: Optional[Dict[str, object]],
+) -> str:
+    """Content hash of a tenant's registration; a changed fingerprint
+    on re-registration triggers an engine hot-reload."""
+    digest = hashlib.sha256()
+    for pattern in patterns:
+        digest.update(pattern.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(design.name.encode("utf-8"))
+    digest.update(repr(backend).encode("utf-8"))
+    digest.update(repr(stride).encode("utf-8"))
+    digest.update(
+        repr(sorted((backend_options or {}).items())).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+class ScanService:
+    """Long-lived multi-tenant scan service (asyncio).
+
+    Lifecycle: construct → :meth:`register` tenants (also allowed while
+    running) → ``await start()`` → ``await scan(...)`` from any number
+    of client coroutines → ``await stop()``.  ``async with`` does
+    start/stop automatically.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        default_deadline: Optional[float] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        cache="auto",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 1:
+            raise ReproError(f"need at least one worker, got {workers}")
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        if chunk_bytes < 1:
+            raise ReproError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self.worker_count = workers
+        self.max_queue = max_queue
+        self.chunk_bytes = chunk_bytes
+        self.default_deadline = default_deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._cache = cache
+        self._clock = clock
+        self.metrics = ServiceMetrics()
+        self.events = BoundedEventLog()
+        self._tenants: Dict[str, _TenantState] = {}
+        self._rr: List[str] = []
+        self._rr_index = 0
+        self._queued = 0
+        self._executing = 0
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_SAMPLE_LIMIT)
+        self._cond: Optional[asyncio.Condition] = None
+        self._executing_requests: List[_Request] = []
+        self._workers: Dict[int, asyncio.Task] = {}
+        self._accepting = False
+        self._shutdown = False
+        self._started = False
+
+    # -- tenant registration -----------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        patterns: Sequence[str],
+        *,
+        limits: Optional[TenantLimits] = None,
+        design: DesignPoint = CA_P,
+        backend: Optional[str] = None,
+        stride=None,
+        backend_options: Optional[Dict[str, object]] = None,
+        compile_jobs=None,
+    ) -> bool:
+        """Register (or hot-reload) a tenant's pattern set.
+
+        The engine is built through the artifact cache, so re-serving a
+        previously compiled pattern set is a warm start.  Registering an
+        existing tenant with an unchanged fingerprint is a no-op
+        (returns ``False``); a changed fingerprint swaps in a freshly
+        built engine atomically between requests (returns ``True``) —
+        note that checkpoints issued by the old engine do not carry
+        over.  ``limits.dfa_max_states`` becomes the lazy-DFA backend's
+        ``max_states`` cache budget when that backend is selected.
+        """
+        patterns = list(patterns)
+        if not patterns:
+            raise ReproError(f"tenant {name!r}: empty pattern set")
+        limits = limits or TenantLimits()
+        options = dict(backend_options or {})
+        if (
+            limits.dfa_max_states is not None
+            and backend is not None
+            and resolve_backend_name(backend) == "lazy-dfa"
+        ):
+            options.setdefault("max_states", limits.dfa_max_states)
+        fingerprint = tenant_fingerprint(
+            patterns,
+            design=design,
+            backend=backend,
+            stride=stride,
+            backend_options=options,
+        )
+        existing = self._tenants.get(name)
+        if existing is not None and existing.fingerprint == fingerprint:
+            existing.limits = limits
+            return False
+        engine = CacheAutomatonEngine.from_patterns(
+            patterns,
+            design=design,
+            cache=self._cache,
+            backend=backend,
+            stride=stride,
+            backend_options=options or None,
+            compile_jobs=compile_jobs,
+        )
+        if existing is not None:
+            existing.fingerprint = fingerprint
+            existing.engine = engine
+            existing.limits = limits
+            existing.breaker = self._new_breaker()
+            existing.reset_backend_state()
+            self.metrics.reloads += 1
+            self.events.append(
+                f"tenant {name!r} hot-reloaded "
+                f"(fingerprint {fingerprint[:12]}, "
+                f"tier {engine.health().tier})"
+            )
+            return True
+        self._tenants[name] = _TenantState(
+            name, fingerprint, engine, limits, self._new_breaker()
+        )
+        self._rr.append(name)
+        self.events.append(
+            f"tenant {name!r} registered ({len(patterns)} pattern(s), "
+            f"tier {engine.health().tier})"
+        )
+        return True
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            threshold=self.breaker_threshold,
+            cooldown=self.breaker_cooldown,
+            clock=self._clock,
+        )
+
+    def tenant_names(self) -> List[str]:
+        return list(self._rr)
+
+    def tenant_engine(self, name: str) -> CacheAutomatonEngine:
+        return self._tenant(name).engine
+
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            raise UnknownTenant(name)
+        return state
+
+    # -- chaos hooks (fault-injection harness) ------------------------------
+
+    def inject_scan_faults(
+        self, tenant: str, count: int, error: Optional[Exception] = None
+    ) -> None:
+        """Make the tenant's next ``count`` primary scans raise.
+
+        Chaos hook for the load-generation harness and tests: the
+        injected failures exercise the breaker trip → golden-fallback →
+        recovery path deterministically.  Fallback-tier scans are never
+        affected.
+        """
+        state = self._tenant(tenant)
+        state.chaos_faults = count
+        if error is not None:
+            state.chaos_error = error
+
+    def set_scan_delay(self, tenant: str, delay_s: float) -> None:
+        """Chaos hook: sleep ``delay_s`` before each of the tenant's
+        chunks — a "slow tenant" whose requests burn their deadlines
+        without starving other tenants (workers yield while sleeping).
+        """
+        self._tenant(tenant).chaos_delay = max(0.0, delay_s)
+
+    def crash_worker(self, index: int = 0) -> bool:
+        """Chaos hook: kill one worker task mid-flight.
+
+        Its in-flight request (if any) fails with a retryable
+        :class:`WorkerCrashed`; the supervisor restarts the worker and
+        counts it.  Returns ``False`` when no such worker exists.
+        """
+        task = self._workers.get(index)
+        if task is None or task.done():
+            return False
+        task.cancel()
+        return True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            raise ReproError("service already started")
+        self._started = True
+        self._accepting = True
+        self._cond = asyncio.Condition()
+        for index in range(self.worker_count):
+            self._spawn_worker(index)
+        self.events.append(
+            f"service started: {self.worker_count} worker(s), "
+            f"queue bound {self.max_queue}, chunk {self.chunk_bytes} B"
+        )
+
+    def _spawn_worker(self, index: int) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._worker_loop(), name=f"scan-worker-{index}"
+        )
+        self._workers[index] = task
+        task.add_done_callback(
+            lambda done, index=index: self._on_worker_done(index, done)
+        )
+
+    def _on_worker_done(self, index: int, task: asyncio.Task) -> None:
+        if self._shutdown:
+            return
+        # Any exit before shutdown is a crash (cancellation included):
+        # count it, log it, restart the slot.
+        self.metrics.worker_restarts += 1
+        self.events.append(f"worker {index} crashed; restarted")
+        self._spawn_worker(index)
+        asyncio.get_running_loop().create_task(self._poke())
+
+    async def _poke(self) -> None:
+        # Wake drain waiters after out-of-band state changes (a crashed
+        # worker cannot notify on its own way out).
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def stop(self, *, drain_timeout: Optional[float] = None) -> None:
+        """Graceful drain: stop admitting, finish (or deadline-out)
+        pending work, join the workers.
+
+        New requests are rejected with :class:`ServiceClosed` the moment
+        this is called.  Queued and in-flight requests run to
+        completion; if ``drain_timeout`` seconds pass first, every
+        pending request's deadline is forced to *now*, so in-flight
+        scans are interrupted at their next chunk boundary with a
+        :class:`DeadlineExceeded` carrying their partial progress.  Scan
+        worker pools and shared-memory blocks are per-call and closed by
+        their context managers (:class:`~repro.sim.shard.SharedTables`),
+        so once the queue is empty the service holds no OS resources
+        beyond the engines themselves.
+        """
+        if not self._started or self._shutdown:
+            return
+        self._accepting = False
+        self.events.append("drain started: admission closed")
+        async with self._cond:
+            self._cond.notify_all()
+            try:
+                await asyncio.wait_for(
+                    self._cond.wait_for(self._idle), drain_timeout
+                )
+            except asyncio.TimeoutError:
+                expired = self._expire_pending()
+                self.events.append(
+                    f"drain timeout: deadlined {expired} pending request(s)"
+                )
+                await self._cond.wait_for(self._idle)
+            self._shutdown = True
+            self._cond.notify_all()
+        await asyncio.gather(
+            *list(self._workers.values()), return_exceptions=True
+        )
+        self.events.append("service stopped: drain complete")
+
+    def _idle(self) -> bool:
+        return self._queued == 0 and self._executing == 0
+
+    def _expire_pending(self) -> int:
+        now = self._clock()
+        expired = 0
+        for state in self._tenants.values():
+            for request in state.queue:
+                request.deadline_at = now
+                expired += 1
+        # In-flight requests read ``deadline_at`` at every chunk
+        # boundary, so flipping it interrupts them too.
+        for request in self._executing_requests:
+            request.deadline_at = now
+            expired += 1
+        return expired
+
+    async def __aenter__(self) -> "ScanService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- admission ----------------------------------------------------------
+
+    async def scan(
+        self,
+        tenant: str,
+        data: bytes,
+        *,
+        deadline: Optional[float] = None,
+        resume: Optional[Checkpoint] = None,
+    ) -> ScanOutcome:
+        """Admit one scan request and await its outcome.
+
+        ``deadline`` is the request's time budget in seconds (``None``
+        uses the service default; that too being ``None`` means
+        unbounded).  ``resume`` continues a previous stream — pass the
+        checkpoint from an earlier outcome (or from a
+        :class:`DeadlineExceeded`) together with the remaining bytes.
+
+        Raises the typed service errors documented in
+        :mod:`repro.service.errors`; transient ones
+        (``Overloaded``, ``WorkerCrashed``) carry ``retryable=True``
+        for the backoff-retrying client.
+        """
+        async with self._cond_or_closed():
+            future = self._admit(tenant, data, deadline, resume)
+            self._cond.notify()
+        return await future
+
+    def _cond_or_closed(self) -> asyncio.Condition:
+        if self._cond is None:
+            raise ServiceClosed("service was never started")
+        return self._cond
+
+    def _admit(self, tenant, data, deadline, resume) -> "asyncio.Future":
+        self.metrics.submitted += 1
+        if not self._accepting:
+            raise ServiceClosed()
+        state = self._tenant(tenant)
+        state.counters["submitted"] += 1
+        require_bytes(data, f"scan stream for tenant {tenant!r}")
+        if len(data) > state.limits.max_stream_bytes:
+            self.metrics.oversized += 1
+            state.counters["oversized"] += 1
+            raise StreamTooLarge(
+                tenant, len(data), state.limits.max_stream_bytes
+            )
+        if state.in_flight >= state.limits.max_in_flight:
+            self.metrics.shed += 1
+            state.counters["shed"] += 1
+            raise Overloaded(
+                tenant,
+                f"tenant in-flight limit reached "
+                f"({state.limits.max_in_flight})",
+            )
+        if self._queued >= self.max_queue:
+            self.metrics.shed += 1
+            state.counters["shed"] += 1
+            raise Overloaded(
+                tenant, f"admission queue full ({self.max_queue})"
+            )
+        if deadline is None:
+            deadline = self.default_deadline
+        now = self._clock()
+        deadline_at = None if deadline is None else now + deadline
+        future = asyncio.get_running_loop().create_future()
+        request = _Request(tenant, data, resume, deadline_at, future, now)
+        state.queue.append(request)
+        state.in_flight += 1
+        self._queued += 1
+        self.metrics.admitted += 1
+        return future
+
+    # -- execution ----------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            async with self._cond:
+                request = None
+                while True:
+                    request = self._pop_next()
+                    if request is not None:
+                        self._executing += 1
+                        break
+                    if self._shutdown:
+                        return
+                    await self._cond.wait()
+            try:
+                await self._execute(request)
+            finally:
+                # Wake drain waiters and idle peers even if _execute
+                # re-raised a cancellation (shield the lock handshake
+                # from the pending cancellation so the notify lands).
+                await asyncio.shield(self._poke())
+
+    def _pop_next(self) -> Optional[_Request]:
+        """Fair dequeue: round-robin across tenants with pending work."""
+        count = len(self._rr)
+        for step in range(1, count + 1):
+            index = (self._rr_index + step) % count
+            state = self._tenants[self._rr[index]]
+            if state.queue:
+                self._rr_index = index
+                self._queued -= 1
+                return state.queue.popleft()
+        return None
+
+    async def _execute(self, request: _Request) -> None:
+        state = self._tenants[request.tenant]
+        self._executing_requests.append(request)
+        try:
+            outcome = await self._scan_request(state, request)
+        except asyncio.CancelledError:
+            self.metrics.failed += 1
+            state.counters["failed"] += 1
+            if not request.future.done():
+                request.future.set_exception(WorkerCrashed(state.name))
+            raise
+        except DeadlineExceeded as error:
+            self.metrics.timeouts += 1
+            state.counters["timeouts"] += 1
+            if not request.future.done():
+                request.future.set_exception(error)
+        except Exception as error:
+            self.metrics.failed += 1
+            state.counters["failed"] += 1
+            if not request.future.done():
+                request.future.set_exception(error)
+        else:
+            self.metrics.completed += 1
+            state.counters["completed"] += 1
+            self._latencies.append(outcome.latency_s)
+            if not request.future.done():
+                request.future.set_result(outcome)
+        finally:
+            state.in_flight -= 1
+            self._executing -= 1
+            self._executing_requests.remove(request)
+
+    async def _scan_request(
+        self, state: _TenantState, request: _Request
+    ) -> ScanOutcome:
+        """Chunked scan with deadline checks at every chunk boundary."""
+        breaker = state.breaker
+        on_primary = breaker.allow_primary()
+        if on_primary:
+            backend = state.engine.backend
+            health_before = self._health_size(state.engine)
+        else:
+            backend = state.fallback()
+            self.metrics.fallback_scans += 1
+            state.counters["fallback_scans"] += 1
+        data = request.data
+        checkpoint = request.resume
+        base = 0 if checkpoint is None else checkpoint.symbols_processed
+        reports: List[Report] = []
+        position = 0
+        try:
+            while position < len(data):
+                if (
+                    request.deadline_at is not None
+                    and self._clock() >= request.deadline_at
+                ):
+                    raise DeadlineExceeded(
+                        state.name,
+                        offset=base + position,
+                        reports=reports,
+                        checkpoint=checkpoint,
+                    )
+                if on_primary and state.chaos_faults > 0:
+                    state.chaos_faults -= 1
+                    raise state.chaos_error
+                if state.chaos_delay:
+                    await asyncio.sleep(state.chaos_delay)
+                piece = data[position : position + self.chunk_bytes]
+                result = backend.scan(piece, resume=checkpoint)
+                checkpoint = result.checkpoint
+                reports.extend(result.reports)
+                position += len(piece)
+                # Yield between chunks: this is what keeps deadlines,
+                # fairness, and drain responsive on one event loop.
+                await asyncio.sleep(0)
+        except DeadlineExceeded:
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            if on_primary and breaker.record_failure():
+                self._note_trip(state)
+            raise
+        if on_primary:
+            degrades = self._health_size(state.engine) - health_before
+            if degrades > 0:
+                self.events.append(
+                    f"tenant {state.name!r}: {degrades} engine degrade "
+                    "event(s) observed during scan"
+                )
+                if breaker.record_failure(degrades):
+                    self._note_trip(state)
+            elif breaker.record_success():
+                self._note_recovery(state)
+        return ScanOutcome(
+            tenant=state.name,
+            reports=tuple(reports),
+            offset=base + position,
+            checkpoint=checkpoint,
+            served_by=backend.name,
+            fallback=not on_primary,
+            latency_s=self._clock() - request.submitted_at,
+        )
+
+    @staticmethod
+    def _health_size(engine: CacheAutomatonEngine) -> int:
+        health = engine.health()
+        return len(health.events) + health.events_dropped
+
+    def _note_trip(self, state: _TenantState) -> None:
+        self.metrics.breaker_trips += 1
+        state.counters["breaker_trips"] += 1
+        self.events.append(
+            f"circuit OPEN for tenant {state.name!r} after "
+            f"{state.breaker.failures} failure signal(s); "
+            "golden-fallback tier serving"
+        )
+
+    def _note_recovery(self, state: _TenantState) -> None:
+        self.metrics.breaker_recoveries += 1
+        state.counters["breaker_recoveries"] += 1
+        self.events.append(
+            f"circuit CLOSED for tenant {state.name!r}: "
+            "recovery probe succeeded"
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def breaker_state(self, tenant: str) -> str:
+        return self._tenant(tenant).breaker.state
+
+    def latencies(self) -> Tuple[float, ...]:
+        """Latency samples (seconds) of completed requests, in order."""
+        return tuple(self._latencies)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Counters, queue gauges, breaker states, and recent events."""
+        return {
+            **self.metrics.as_dict(),
+            "queued": self._queued,
+            "executing": self._executing,
+            "tenants": {
+                name: {
+                    **state.counters,
+                    "in_flight": state.in_flight,
+                    "breaker": state.breaker.state,
+                }
+                for name, state in self._tenants.items()
+            },
+            "events_dropped": self.events.dropped,
+            "events": list(self.events),
+        }

@@ -95,6 +95,63 @@ class TestSaveMapping:
         assert mapping.partition_count == 1
 
 
+class TestServe:
+    def test_scans_inputs_through_service(self, rules_file, input_file,
+                                          capsys):
+        assert main(["serve", rules_file, input_file, "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("match(es)") == 2
+        assert "2 completed, 0 failed" in out
+        assert "breaker_trips" in out
+
+    def test_oversized_input_fails_typed(self, rules_file, input_file,
+                                         capsys):
+        assert main([
+            "serve", rules_file, input_file, "--max-stream-bytes", "4",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "StreamTooLarge" in captured.out
+        assert "1 failed" in captured.out
+
+    def test_missing_input_one_line_error(self, rules_file, capsys):
+        assert main(["serve", rules_file, "/nonexistent/input.bin"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestOneLineDiagnostics:
+    """Library failures (ReproError and subclasses such as
+    SimulationError) become a single ``error:`` line on stderr and exit
+    status 1 — never a traceback.  CI scripts grep for this."""
+
+    def test_repro_error_single_line(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        assert main(["compile", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_simulation_error_single_line(self, rules_file, input_file,
+                                          capsys, monkeypatch):
+        from repro.errors import SimulationError
+
+        def explode(arguments):
+            raise SimulationError("backend wedged mid-scan")
+
+        # build_parser() binds handlers at call time inside main(), so
+        # the patched module global is what gets dispatched
+        monkeypatch.setattr("repro.cli._cmd_scan", explode)
+        status = main(["scan", rules_file, input_file])
+        err = capsys.readouterr().err
+        assert status == 1
+        assert err.startswith("error: backend wedged mid-scan")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+
 class TestProfileCompileCommand:
     def test_rules_file(self, rules_file, capsys):
         assert main(["profile-compile", rules_file, "--no-bitstream"]) == 0

@@ -8,6 +8,8 @@ must miss.
 
 from __future__ import annotations
 
+import random
+import threading
 from dataclasses import replace
 
 import pytest
@@ -168,3 +170,119 @@ class TestEngineCachePath:
         first = CacheAutomatonEngine(automaton, cache=cache)
         second = CacheAutomatonEngine(automaton, cache=cache)
         assert second.cache_info()["hits"] == 0
+
+
+class TestRetryJitter:
+    """Transient-I/O retries back off with *jittered* exponential
+    delays: half deterministic, half uniform-random, so concurrent
+    engine constructors hammering one cache directory decorrelate."""
+
+    def test_sleeps_counted_and_jittered(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.compiler.cache.time.sleep", sleeps.append
+        )
+        cache = CompileCache(
+            tmp_path / "flaky",
+            retry_attempts=4,
+            retry_backoff=0.1,
+            retry_rng=random.Random(0),
+        )
+        failures = iter([OSError("transient"), OSError("transient")])
+
+        def flaky_operation():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "ok"
+
+        assert cache._with_retries(flaky_operation) == "ok"
+        # Two transient failures -> exactly two counted backoff sleeps,
+        # each equal-jittered within (ceiling/2, ceiling] of the
+        # exponential ceiling for its attempt.
+        assert len(sleeps) == 2
+        assert cache.stats.retries == 2
+        for attempt, delay in enumerate(sleeps, start=1):
+            ceiling = 0.1 * (2 ** (attempt - 1))
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_jitter_is_seeded(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.compiler.cache.time.sleep", lambda _: None)
+
+        def delays(seed):
+            cache = CompileCache(
+                tmp_path / f"seeded-{seed}",
+                retry_rng=random.Random(seed),
+            )
+            return [cache._retry_delay(attempt) for attempt in (1, 2, 3)]
+
+        assert delays(1) == delays(1)
+        assert delays(1) != delays(2)
+
+    def test_exhaustion_reraises(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.compiler.cache.time.sleep", sleeps.append
+        )
+        cache = CompileCache(
+            tmp_path / "dead",
+            retry_attempts=3,
+            retry_backoff=0.05,
+            retry_rng=random.Random(7),
+        )
+
+        def always_failing():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError):
+            cache._with_retries(always_failing)
+        assert len(sleeps) == 2  # attempts 1..2 back off; 3rd raises
+
+
+class TestConcurrentTierChain:
+    def test_quarantine_race_lands_both_healthy(self, tmp_path, automaton):
+        """Two engines, one cache directory, a corrupt artifact on disk:
+        both constructors race through the warm-cache -> quarantine ->
+        recompile chain, and whatever interleaving the threads take,
+        both must land on a healthy (non-golden) tier with identical
+        scan results."""
+        directory = tmp_path / "shared"
+        seeder = CompileCache(directory)
+        seeder.store_mapping(compile_automaton(automaton, CA_P))
+        artifact_path = next(directory.rglob("*.npz"))
+        artifact_path.write_bytes(b"garbage, not an npz archive")
+
+        barrier = threading.Barrier(2)
+        results = {}
+        data = bytes(range(256)) * 20
+
+        def build(slot):
+            cache = CompileCache(directory)
+            barrier.wait()
+            engine = CacheAutomatonEngine(automaton, cache=cache)
+            results[slot] = (
+                engine.health(),
+                [(m.end, m.state, m.rule) for m in engine.scan(data)],
+            )
+
+        threads = [
+            threading.Thread(target=build, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert set(results) == {0, 1}
+        healths = [results[slot][0] for slot in (0, 1)]
+        for health in healths:
+            assert health.tier != "golden-fallback"
+            assert health.backend != "golden-interpreter"
+        assert results[0][1] == results[1][1]
+        # A later constructor gets a clean warm start from whichever
+        # thread re-stored the artifact.
+        relieved = CacheAutomatonEngine(
+            automaton, cache=CompileCache(directory)
+        )
+        assert relieved.cache_info()["hits"] == 1
+        assert relieved.health().tier == "warm-cache"

@@ -1,0 +1,70 @@
+"""Open-loop load generation harness (``repro.eval.loadgen``).
+
+The fault-injected scenario is the acceptance gate for the serving
+layer: every injected failure (worker kill, slow tenant, oversized
+stream, backend error) must surface as a *typed, counted* outcome —
+zero unhandled exceptions — with the circuit breaker observed both
+tripping and recovering within the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.loadgen import (
+    baseline_config,
+    faulted_config,
+    percentile,
+    run_loadgen,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 50) == 20.0
+        assert percentile(samples, 95) == 40.0
+        assert percentile(samples, 100) == 40.0
+        assert percentile(samples, 1) == 10.0
+
+    def test_empty_is_none(self):
+        assert percentile([], 95) is None
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        return run_loadgen(faulted_config(duration_s=1.2, seed=7))
+
+    def test_baseline_all_complete(self):
+        record = run_loadgen(baseline_config(duration_s=0.5, seed=7))
+        assert record.requests_sent > 0
+        assert record.completed == record.requests_sent
+        assert record.unhandled_exceptions == 0
+        assert record.failure_rate == 0.0
+        assert record.latency_p99_ms is not None
+        assert record.latency_p50_ms <= record.latency_p99_ms
+
+    def test_faulted_zero_unhandled(self, faulted):
+        assert faulted.unhandled_exceptions == 0
+
+    def test_faulted_breaker_trips_and_recovers(self, faulted):
+        assert faulted.breaker_trips >= 1
+        assert faulted.breaker_recoveries >= 1
+        assert faulted.breaker_recovered
+        assert faulted.fallback_scans >= 1
+
+    def test_faulted_counters_nonzero(self, faulted):
+        assert faulted.worker_restarts >= 1
+        assert faulted.oversized >= 1
+        assert faulted.timeouts >= 1
+        assert faulted.shed + faulted.retried >= 1
+        assert 0.0 < faulted.failure_rate < 1.0
+
+    def test_run_record_row_is_flat(self, faulted):
+        row = faulted.as_dict()
+        for key in ("throughput_rps", "latency_p95_ms", "failure_rate",
+                    "shed", "retried", "timeouts", "breaker_trips"):
+            assert key in row
+        assert isinstance(row["per_tenant"], dict)
+        assert set(row["per_tenant"]) == {"hot", "slow", "flaky"}
