@@ -16,8 +16,11 @@ row per scenario — to the repo-root ``BENCH_service.json``:
 
 Each row records throughput_rps, avg/p50/p95/p99 latency,
 failure/shed/timeout/retry/oversized counts, failure_rate, breaker
-trips and recoveries, worker restarts, fallback scans, and degrade
-events.  ``unhandled_exceptions`` must be 0 in every row — the whole
+trips and recoveries, worker restarts, fallback scans, degrade events,
+and the run's host-resource footprint (``cpu_time_s`` — user+system CPU
+seconds consumed by the run, from ``resource.getrusage`` deltas — and
+``max_rss_mb``, the process max resident set after the run; max RSS is
+a process-lifetime high-water mark, so later rows can only grow).  ``unhandled_exceptions`` must be 0 in every row — the whole
 point of the serving layer is that faults become *typed* outcomes — and
 the fault-injected row must show the breaker both tripping and
 recovering; either violation fails the run (exit 1), so the CI smoke
@@ -36,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 from datetime import datetime, timezone
 
@@ -76,7 +80,38 @@ _COLUMNS = (
     "breaker_recoveries",
     "worker_restarts",
     "fallback_scans",
+    "cpu_time_s",
+    "max_rss_mb",
 )
+
+
+def _max_rss_mb() -> float:
+    """Process max-RSS in MiB (``ru_maxrss`` is KiB on Linux, bytes on
+    macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return round(peak / 1024.0, 1)
+
+
+def run_measured(config):
+    """One load-generator run with its host-resource footprint attached.
+
+    Returns ``(record, row)``: the loadgen :class:`RunRecord` (for the
+    invariant checks) and its dict row extended with the resource
+    columns (for the run table and the trajectory entry).
+    """
+    before = resource.getrusage(resource.RUSAGE_SELF)
+    record = run_loadgen(config)
+    after = resource.getrusage(resource.RUSAGE_SELF)
+    row = record.as_dict()
+    row["cpu_time_s"] = round(
+        (after.ru_utime - before.ru_utime)
+        + (after.ru_stime - before.ru_stime),
+        3,
+    )
+    row["max_rss_mb"] = _max_rss_mb()
+    return record, row
 
 
 def _cell(value) -> str:
@@ -87,10 +122,10 @@ def _cell(value) -> str:
     return str(value)
 
 
-def print_run_table(records) -> None:
+def print_run_table(run_rows) -> None:
     rows = [
-        {column: _cell(record.as_dict().get(column)) for column in _COLUMNS}
-        for record in records
+        {column: _cell(run_row.get(column)) for column in _COLUMNS}
+        for run_row in run_rows
     ]
     widths = {
         column: max(len(column), *(len(row[column]) for row in rows))
@@ -150,20 +185,22 @@ def main() -> int:
         parser.error("--duration must be positive")
     duration = 1.5 if args.smoke else args.duration
 
-    records = [
-        run_loadgen(
+    measured = [
+        run_measured(
             baseline_config(
                 duration_s=duration, seed=args.seed, label=args.label
             )
         ),
-        run_loadgen(
+        run_measured(
             faulted_config(
                 duration_s=duration, seed=args.seed, label=args.label
             )
         ),
     ]
+    records = [record for record, _row in measured]
+    run_rows = [row for _record, row in measured]
 
-    print_run_table(records)
+    print_run_table(run_rows)
     problems = check_invariants(records)
     for problem in problems:
         print(f"INVARIANT VIOLATED: {problem}", file=sys.stderr)
@@ -173,7 +210,7 @@ def main() -> int:
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
         "duration_s": duration,
         "seed": args.seed,
-        "runs": [record.as_dict() for record in records],
+        "runs": run_rows,
     }
     if args.note:
         entry["note"] = args.note

@@ -42,6 +42,17 @@ the same history.  Backends that cannot build for the workload (e.g. the
 DFA baseline when subset construction explodes) are recorded as skipped
 with the reason instead of aborting the run.
 
+A ``hybrid`` fragment records the pattern-structure-aware partitioned
+execution on a *mixed* ruleset — forty friendly literal components plus
+one DFA-hostile bounded-gap component (``x.{14}y``) over an x-heavy
+input that keeps the hostile component's subset closure churning.  It
+measures hybrid whole-ruleset throughput against each single backend
+run on the same whole ruleset, records the per-group placement table,
+the speedup over the best single backend, and ``bit_identical`` (the
+hybrid merge is verified against the golden interpreter before
+anything is timed — a benchmark that drifted from correctness would be
+recording fiction).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_simulator.py --label my-change
@@ -55,6 +66,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import statistics
 import sys
 import time
@@ -69,6 +81,7 @@ from repro.backends.artifact import CompiledArtifact  # noqa: E402
 from repro.compiler import compile_automaton  # noqa: E402
 from repro.core.design import CA_P  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
+from repro.regex.compile import compile_patterns  # noqa: E402
 from repro.sim.functional import MappedSimulator  # noqa: E402
 from repro.sim.golden import GoldenSimulator  # noqa: E402
 from repro.workloads.suite import get_benchmark  # noqa: E402
@@ -167,6 +180,71 @@ def measure_split(artifact, spec, split_symbols: int, split_jobs: int,
     return fragment, worker_counters
 
 
+def measure_hybrid(hybrid_symbols: int, rounds: int) -> dict:
+    """Hybrid vs whole-ruleset single backends on a mixed ruleset.
+
+    The ruleset is forty deterministic lowercase literals (DFA-friendly,
+    a few states each) plus one bounded-gap pattern whose subset closure
+    explodes; the input is drawn over an x-heavy alphabet so the hostile
+    component keeps the whole-ruleset lazy DFA hash-consing new
+    activation rows for the entire run while the friendly components
+    stay trivially warm.
+    """
+    rng = random.Random(11)
+    friendly = sorted({
+        "".join(
+            rng.choice("abcdefghijklmnopqrstuv")
+            for _ in range(rng.randint(4, 7))
+        )
+        for _ in range(40)
+    })
+    patterns = friendly + ["x.{14}y"]
+    machine = compile_patterns(patterns, report_codes=patterns)
+    artifact = CompiledArtifact.from_mapping(compile_automaton(machine, CA_P))
+    alphabet = b"abcdefghijklmnopqrstuvxy" + b"x" * 8 + b"y" * 4
+    data = bytes(rng.choice(alphabet) for _ in range(hybrid_symbols))
+
+    golden = create_backend("golden-interpreter", artifact)
+    expected = sorted(
+        (r.offset, r.ste_id, r.report_code)
+        for r in golden.scan(data).reports
+    )
+    hybrid = create_backend("hybrid", artifact)
+    observed = sorted(
+        (r.offset, r.ste_id, r.report_code)
+        for r in hybrid.scan(data).reports
+    )
+    identical = observed == expected
+
+    hybrid_rate = median_rate(
+        lambda: hybrid.scan(data, collect_reports=False), len(data), rounds
+    )
+    single_rates = {}
+    for name in ("lazy-dfa", "packed-kernel"):
+        backend = create_backend(name, artifact)
+        backend.scan(data, collect_reports=False)  # warm any caches
+        single_rates[name] = round(median_rate(
+            lambda: backend.scan(data, collect_reports=False),
+            len(data),
+            rounds,
+        ))
+    best_single = max(single_rates, key=single_rates.get)
+    return {
+        "workload": f"{len(friendly)} literals + x.{{14}}y",
+        "input_symbols": len(data),
+        "states": len(artifact.automaton),
+        "symbols_per_sec": round(hybrid_rate),
+        "single_backend_symbols_per_sec": single_rates,
+        "best_single_backend": best_single,
+        "best_single_symbols_per_sec": single_rates[best_single],
+        "speedup_vs_best_single": round(
+            hybrid_rate / single_rates[best_single], 3
+        ),
+        "bit_identical": identical,
+        "placement": hybrid.placement(),
+    }
+
+
 def measure(
     length: int,
     rounds: int,
@@ -176,6 +254,7 @@ def measure(
     stride: int,
     split_symbols: int,
     split_jobs: int,
+    hybrid_symbols: int,
 ) -> dict:
     spec = get_benchmark("PowerEN")
     automaton = spec.build()
@@ -277,6 +356,7 @@ def measure(
         },
         "backend_matrix_symbols": matrix_length,
         "backends": backend_matrix(artifact, data[:matrix_length], rounds),
+        "hybrid": measure_hybrid(hybrid_symbols, rounds),
     }
 
 
@@ -308,6 +388,9 @@ def main() -> int:
                         help="max worker count for the split-scan "
                              "measurement; jobs=1/2/this are recorded "
                              "(default 4)")
+    parser.add_argument("--hybrid-symbols", type=int, default=20_000,
+                        help="input length for the mixed-ruleset hybrid "
+                             "measurement (default 20000)")
     parser.add_argument("--label", default="local",
                         help="entry label, e.g. a PR or commit name")
     parser.add_argument("--note", default="",
@@ -331,11 +414,13 @@ def main() -> int:
         parser.error("--split-symbols must be at least 8 symbols")
     if args.split_jobs < 1:
         parser.error("--split-jobs must be at least 1")
+    if args.hybrid_symbols < 8:
+        parser.error("--hybrid-symbols must be at least 8 symbols")
 
     entry = measure(
         args.length, args.rounds, args.matrix_length,
         args.shard_symbols, args.shard_jobs, args.stride,
-        args.split_symbols, args.split_jobs,
+        args.split_symbols, args.split_jobs, args.hybrid_symbols,
     )
     entry["label"] = args.label
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")

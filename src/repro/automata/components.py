@@ -126,11 +126,22 @@ def component_index(automaton: HomogeneousAutomaton) -> Dict[str, int]:
 
 
 def extract_component(
-    automaton: HomogeneousAutomaton, members: List[str]
+    automaton: HomogeneousAutomaton,
+    members: List[str],
+    *,
+    automaton_id: str = None,
 ) -> HomogeneousAutomaton:
-    """The sub-automaton induced by ``members`` (assumed edge-closed)."""
+    """The sub-automaton induced by ``members`` (assumed edge-closed).
+
+    ``members`` may span several components — any edge-closed union
+    works (the hybrid backend extracts one sub-automaton per substrate
+    group this way).  ``automaton_id`` names the extract (default
+    ``<id>.cc``).
+    """
     member_set = set(members)
-    extracted = HomogeneousAutomaton(f"{automaton.automaton_id}.cc")
+    extracted = HomogeneousAutomaton(
+        automaton_id or f"{automaton.automaton_id}.cc"
+    )
     for ste_id in members:
         ste = automaton.ste(ste_id)
         extracted.add_ste(

@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 import numpy as np
 
 from repro.automata.nfa import Nfa, StateId
-from repro.errors import AutomatonError
+from repro.errors import AutomatonError, DeterminisationExplosion
 
 ALPHABET = 256
 
@@ -177,8 +177,10 @@ def determinize(nfa: Nfa, *, scanning: bool = False, max_states: int = 200_000) 
     def intern(states: FrozenSet[StateId]) -> int:
         if states not in dfa_ids:
             if len(dfa_ids) >= max_states:
-                raise AutomatonError(
-                    f"subset construction exceeded {max_states} states"
+                raise DeterminisationExplosion(
+                    f"subset construction exceeded {max_states} states",
+                    state_estimate=len(dfa_ids),
+                    max_states=max_states,
                 )
             dfa_ids[states] = len(rows)
             rows.append([DEAD] * ALPHABET)

@@ -38,16 +38,23 @@ from repro.errors import ArtifactError
 #: explicit ``artifact_version`` member was introduced while the layout
 #: was still version 1, so payloads without it are read as version 1.
 #: Version 2 adds the k-stride execution fields (``stride`` plus the
-#: ``stride_*`` compressed-alphabet tables); version-1 payloads are
-#: rejected with :class:`ArtifactError` so the cache quarantines and
-#: recompiles instead of silently executing them unstrided.
-ARTIFACT_FORMAT_VERSION = 2
+#: ``stride_*`` compressed-alphabet tables); version 3 adds the per-CC
+#: classification tables (``classify_*`` — feature table, substrate
+#: costs, and partition assignment; see :mod:`repro.compiler.classify`)
+#: consumed by the hybrid execution backend.  Out-of-version payloads
+#: are rejected with :class:`ArtifactError` so the cache quarantines and
+#: recompiles instead of mis-deserialising them — version-1 payloads as
+#: unstrided, version-2 payloads as carrying a (missing) placement.
+ARTIFACT_FORMAT_VERSION = 3
 
 #: Payload member prefix under which kernel tables are stored.
 _KERNEL_PREFIX = "kernel_"
 
 #: Payload member prefix for the compressed stride-alphabet tables.
 _STRIDE_PREFIX = "stride_"
+
+#: Payload member prefix for the per-CC classification tables.
+_CLASSIFY_PREFIX = "classify_"
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,11 @@ class CompiledArtifact:
     #: Compressed stride-alphabet tables (``stride_k`` /
     #: ``stride_class_of`` / ``stride_reps``); empty when unstrided.
     stride_tables: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-CC classification tables (``classify_*`` — features, costs,
+    #: partition assignment; see :mod:`repro.compiler.classify`).  Empty
+    #: until a hybrid-aware path attaches them; backends that do not
+    #: partition ignore them.
+    classify_tables: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def automaton(self) -> HomogeneousAutomaton:
@@ -116,6 +128,7 @@ class CompiledArtifact:
             version=self.version,
             stride=self.stride,
             stride_tables=dict(self.stride_tables),
+            classify_tables=dict(self.classify_tables),
         )
 
     def with_stride_tables(
@@ -132,6 +145,22 @@ class CompiledArtifact:
             version=self.version,
             stride=stride,
             stride_tables=dict(stride_tables),
+            classify_tables=dict(self.classify_tables),
+        )
+
+    def with_classify_tables(
+        self, classify_tables: Dict[str, np.ndarray]
+    ) -> "CompiledArtifact":
+        """A copy carrying the per-CC classification tables."""
+        return CompiledArtifact(
+            mapping=self.mapping,
+            kernel_tables=dict(self.kernel_tables),
+            automaton_fingerprint=self.automaton_fingerprint,
+            design_fingerprint=self.design_fingerprint,
+            version=self.version,
+            stride=self.stride,
+            stride_tables=dict(self.stride_tables),
+            classify_tables=dict(classify_tables),
         )
 
     # -- serialisation -----------------------------------------------------
@@ -170,6 +199,9 @@ class CompiledArtifact:
             payload[f"{_KERNEL_PREFIX}{name}"] = array
         for name, array in self.stride_tables.items():
             # Alphabet table names already carry the stride_ prefix.
+            payload[name] = array
+        for name, array in self.classify_tables.items():
+            # Classification table names already carry the classify_ prefix.
             payload[name] = array
         return payload
 
@@ -245,6 +277,11 @@ class CompiledArtifact:
             for name in members
             if name.startswith(_STRIDE_PREFIX)
         }
+        classify_tables = {
+            name: data[name]
+            for name in members
+            if name.startswith(_CLASSIFY_PREFIX)
+        }
         return cls(
             mapping=mapping,
             kernel_tables=kernel_tables,
@@ -253,6 +290,7 @@ class CompiledArtifact:
             version=version,
             stride=stored_stride,
             stride_tables=stride_tables,
+            classify_tables=classify_tables,
         )
 
     def npz_bytes(self) -> bytes:

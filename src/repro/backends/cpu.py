@@ -29,6 +29,7 @@ from repro.backends.base import (
 from repro.backends.registry import register_backend
 from repro.backends.validation import as_symbols
 from repro.baselines.cpu import DfaCpuEngine
+from repro.errors import DeterminisationExplosion
 from repro.sim.golden import Checkpoint, Report, RunStats
 
 #: STE id stamped on every report (determinisation erased the real one).
@@ -65,15 +66,55 @@ class CpuDfaBackend(AutomatonBackend):
     ) -> "CpuDfaBackend":
         """Determinise the artifact's automaton into a scanning DFA.
 
-        Raises :class:`~repro.errors.AutomatonError` when subset
-        construction blows past ``max_states`` — the blow-up itself is
-        one of the paper's motivating observations, so it surfaces
-        rather than being silently capped.
+        Raises :class:`~repro.errors.DeterminisationExplosion` when
+        subset construction blows past ``max_states`` — the blow-up
+        itself is one of the paper's motivating observations, so it
+        surfaces rather than being silently capped.  The error is
+        attributed to a connected component: each CC is probed with the
+        classifier's bounded subset closure, and the id and state
+        estimate of the worst offender ride on the exception (the
+        engine's fallback chain records them as a typed health event).
         """
-        return cls(
-            DfaCpuEngine(
-                artifact.automaton, minimize=minimize, max_states=max_states
+        try:
+            return cls(
+                DfaCpuEngine(
+                    artifact.automaton,
+                    minimize=minimize,
+                    max_states=max_states,
+                )
             )
+        except DeterminisationExplosion as error:
+            if error.component_id is not None:
+                raise
+            raise cls._attribute_explosion(
+                artifact.automaton, max_states, error
+            ) from error
+
+    @staticmethod
+    def _attribute_explosion(
+        automaton, max_states: int, error: DeterminisationExplosion
+    ) -> DeterminisationExplosion:
+        """Pin the blow-up on a component via per-CC closure probes."""
+        from repro.automata.components import connected_components
+        from repro.compiler.classify import probe_subset_closure
+
+        worst_id: Optional[str] = None
+        worst_rows = 0
+        for members in connected_components(automaton):
+            rows, aborted, _classes = probe_subset_closure(
+                automaton, members, budget=max_states
+            )
+            estimate = rows if not aborted else max_states
+            if estimate > worst_rows:
+                worst_rows = estimate
+                worst_id = members[0]
+        return DeterminisationExplosion(
+            f"subset construction exceeded {max_states} states "
+            f"(worst component {worst_id!r}, "
+            f"~{worst_rows} subset-closure rows)",
+            component_id=worst_id,
+            state_estimate=max(worst_rows, error.state_estimate),
+            max_states=max_states,
         )
 
     def capabilities(self) -> BackendCapabilities:

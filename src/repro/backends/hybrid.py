@@ -1,0 +1,412 @@
+"""The hybrid backend: per-component substrate partitioning.
+
+The cache-automaton design routes each part of the workload to the
+substrate it fits; this backend does the same in software.  The
+automaton's weakly connected components are classified by the
+per-component cost model (:mod:`repro.compiler.classify`) — DFA-friendly
+CCs (small subset closure) onto the ``lazy-dfa`` transition cache,
+subset-hostile CCs (the ones that abort eager determinisation or thrash
+the lazy cache) onto the ``packed-kernel`` — and one *sub-artifact* per
+substrate group is compiled from the induced sub-automaton (CCs share no
+edges, so any union of them is edge-closed).  A scan runs every group
+over the same input and merges the report streams in offset order; the
+merged stream is bit-identical to running the whole automaton on a
+single identity-preserving backend, because each report is produced by
+exactly one CC and CCs do not interact.
+
+Checkpoints compose: a :class:`HybridCheckpoint` is the tuple of
+per-group checkpoints (plus the shared symbol cursor), so chunked
+``stream``/resume scanning and batched ``scan_many`` work exactly as on
+a single backend.  Degradation is *per group*: a group whose backend
+cannot be built, or whose scan raises, falls back to the golden
+interpreter for that group alone — the other groups stay on their fast
+substrates — and the event is surfaced through :attr:`health_events`.
+
+Options accepted by ``from_artifact`` (unknown options are ignored, per
+the registry contract): ``stride``/``jobs``/``split_jobs``/``max_states``
+and the rest of the lazy-DFA surface are forwarded to every group
+backend (each ignores what it does not understand), so e.g. a tenant's
+``dfa_max_states`` budget bounds each lazy group's transition cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.components import extract_component
+from repro.backends.artifact import CompiledArtifact
+from repro.backends.base import (
+    AutomatonBackend,
+    BackendCapabilities,
+    BackendResult,
+    BoundedEventLog,
+)
+from repro.backends.registry import create_backend, register_backend
+from repro.backends.validation import require_resume_count
+from repro.compiler.classify import (
+    ComponentClassification,
+    CostModel,
+    classify_automaton,
+)
+from repro.errors import AutomatonError, SimulationError
+from repro.sim.golden import Checkpoint, Report, RunStats
+
+#: Per-group fallback substrate when the assigned backend fails.
+FALLBACK_SUBSTRATE = "golden-interpreter"
+
+
+@dataclass(frozen=True)
+class HybridCheckpoint(Checkpoint):
+    """A hybrid stream cursor: the tuple of per-group checkpoints.
+
+    Subclasses :class:`~repro.sim.golden.Checkpoint` so it flows through
+    every checkpoint-agnostic layer (engine stream scanners, the service
+    deadline machinery, which reads only ``symbols_processed``);
+    ``active_state_vector`` is unused (the real state lives in
+    ``group_checkpoints``) and kept 0.
+    """
+
+    group_checkpoints: Tuple[Optional[Checkpoint], ...] = ()
+
+
+@dataclass
+class HybridGroup:
+    """One substrate group: contiguous CCs executing on one backend."""
+
+    index: int
+    requested: str
+    backend_name: str
+    backend: AutomatonBackend
+    artifact: CompiledArtifact
+    components: Tuple[int, ...]
+    members: Tuple[str, ...]
+
+
+_CAPABILITIES_DESCRIPTION = (
+    "pattern-structure-aware partitioned execution: each connected "
+    "component runs on the substrate the per-CC cost model assigns "
+    "(lazy-dfa for DFA-friendly CCs, packed-kernel for subset-hostile "
+    "ones); report streams merge in offset order, bit-identical to a "
+    "single-backend scan"
+)
+
+
+@register_backend("hybrid")
+class HybridBackend(AutomatonBackend):
+    """Partitioned execution across per-component substrate groups."""
+
+    # Group backends rebuild their kernels from per-group sub-mappings;
+    # the whole-automaton kernel tables in the artifact are never read,
+    # so a construction failure never indicts the cached artifact.
+    consumes_kernel_tables = False
+
+    def __init__(
+        self,
+        artifact: CompiledArtifact,
+        classification: ComponentClassification,
+        groups: List[HybridGroup],
+        health_events: Optional[BoundedEventLog] = None,
+    ):
+        self.artifact = artifact
+        self.classification = classification
+        self.groups = groups
+        self._health_events = health_events or BoundedEventLog()
+        arrays = artifact.automaton.edge_index_arrays()
+        #: Global report-merge order: position in the automaton's sorted
+        #: state order, so merged streams are deterministic and offset-
+        #: ordered regardless of which group produced each report.
+        self._order: Dict[str, int] = {
+            ste_id: position for position, ste_id in enumerate(arrays.ids)
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: CompiledArtifact,
+        *,
+        classification: Optional[ComponentClassification] = None,
+        cost_model: Optional[CostModel] = None,
+        probe_budget: Optional[int] = None,
+        **options,
+    ) -> "HybridBackend":
+        """Partition the artifact's automaton and build one backend per
+        substrate group.
+
+        The per-CC classification comes from, in order: the explicit
+        ``classification`` argument, the artifact's ``classify_tables``
+        (the warm path — no re-probing), or a fresh
+        :func:`~repro.compiler.classify.classify_automaton` run.  All
+        remaining ``options`` are forwarded to every group backend;
+        each group ignores what it does not understand.
+        """
+        events = BoundedEventLog()
+        automaton = artifact.automaton
+        if classification is None and artifact.classify_tables:
+            try:
+                classification = ComponentClassification.from_tables(
+                    dict(artifact.classify_tables), automaton
+                )
+            except AutomatonError as error:
+                events.append(
+                    f"cached classification tables rejected ({error}); "
+                    "reclassifying"
+                )
+        if classification is None:
+            classification = classify_automaton(
+                automaton,
+                cost_model=cost_model,
+                probe_budget=probe_budget,
+            )
+        from repro.compiler import compile_automaton
+
+        groups: List[HybridGroup] = []
+        for group_index, (substrate, component_indexes) in enumerate(
+            classification.groups()
+        ):
+            members: List[str] = []
+            for component in component_indexes:
+                members.extend(classification.components[component])
+            sub_automaton = extract_component(
+                automaton,
+                members,
+                automaton_id=(
+                    f"{automaton.automaton_id}.hybrid{group_index}"
+                ),
+            )
+            mapping = compile_automaton(sub_automaton, artifact.design)
+            sub_artifact = CompiledArtifact.from_mapping(mapping)
+            backend_name = substrate
+            try:
+                backend = create_backend(substrate, sub_artifact, **options)
+            except Exception as error:  # noqa: BLE001 - degrade per group
+                events.append(
+                    f"hybrid group {group_index} ({substrate}, "
+                    f"{len(members)} states) failed to build "
+                    f"({type(error).__name__}: {error}); "
+                    f"falling back to {FALLBACK_SUBSTRATE}"
+                )
+                backend_name = FALLBACK_SUBSTRATE
+                backend = create_backend(FALLBACK_SUBSTRATE, sub_artifact)
+            groups.append(
+                HybridGroup(
+                    index=group_index,
+                    requested=substrate,
+                    backend_name=backend_name,
+                    backend=backend,
+                    artifact=sub_artifact,
+                    components=tuple(component_indexes),
+                    members=tuple(members),
+                )
+            )
+        if not groups:
+            raise SimulationError(
+                "hybrid backend needs at least one non-empty component group"
+            )
+        return cls(artifact, classification, groups, events)
+
+    # -- introspection -----------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        placement = ", ".join(
+            f"group{group.index}={group.backend_name}"
+            f"({len(group.components)} CCs, {len(group.members)} states)"
+            for group in self.groups
+        )
+        return BackendCapabilities(
+            resume=True,
+            batch=True,
+            activity_profile=False,
+            report_identity=True,
+            fault_events=False,
+            split=False,
+            description=f"{_CAPABILITIES_DESCRIPTION}; placement: {placement}",
+        )
+
+    def classify_tables(self) -> Dict[str, object]:
+        """The classification as artifact payload tables (cache path)."""
+        return self.classification.to_tables()
+
+    def placement(self) -> List[Dict[str, object]]:
+        """One row per substrate group, for health/CLI/report surfaces."""
+        return [
+            {
+                "group": group.index,
+                "backend": group.backend_name,
+                "requested": group.requested,
+                "components": len(group.components),
+                "states": len(group.members),
+            }
+            for group in self.groups
+        ]
+
+    @property
+    def health_events(self) -> Tuple[str, ...]:
+        """Per-group build/scan degradation notices (bounded log)."""
+        events = list(self._health_events)
+        for group in self.groups:
+            events.extend(getattr(group.backend, "health_events", ()))
+        return tuple(events)
+
+    @property
+    def health_events_dropped(self) -> int:
+        dropped = self._health_events.dropped
+        for group in self.groups:
+            dropped += int(
+                getattr(group.backend, "health_events_dropped", 0)
+            )
+        return dropped
+
+    # -- scanning ----------------------------------------------------------
+
+    def _group_resumes(
+        self, resume: Optional[Checkpoint]
+    ) -> List[Optional[Checkpoint]]:
+        if resume is None:
+            return [None] * len(self.groups)
+        if not isinstance(resume, HybridCheckpoint):
+            raise SimulationError(
+                "hybrid scans resume from a HybridCheckpoint produced by "
+                f"this backend, got {type(resume).__name__}"
+            )
+        if len(resume.group_checkpoints) != len(self.groups):
+            raise SimulationError(
+                f"checkpoint carries {len(resume.group_checkpoints)} group "
+                f"cursors for {len(self.groups)} groups"
+            )
+        return list(resume.group_checkpoints)
+
+    def _degrade_group(self, group: HybridGroup, error: Exception) -> None:
+        """Swap one group onto the golden interpreter after a scan error."""
+        self._health_events.append(
+            f"hybrid group {group.index} ({group.backend_name}, "
+            f"{len(group.members)} states) scan failed "
+            f"({type(error).__name__}: {error}); "
+            f"group degraded to {FALLBACK_SUBSTRATE}"
+        )
+        group.backend = create_backend(FALLBACK_SUBSTRATE, group.artifact)
+        group.backend_name = FALLBACK_SUBSTRATE
+
+    def _scan_group(
+        self,
+        group: HybridGroup,
+        data: bytes,
+        resume: Optional[Checkpoint],
+        collect_reports: bool,
+    ) -> BackendResult:
+        try:
+            return group.backend.scan(
+                data, collect_reports=collect_reports, resume=resume
+            )
+        except Exception as error:  # noqa: BLE001 - degrade per group
+            if group.backend_name == FALLBACK_SUBSTRATE:
+                raise
+            self._degrade_group(group, error)
+            return group.backend.scan(
+                data, collect_reports=collect_reports, resume=resume
+            )
+
+    def _merge(
+        self,
+        group_results: Sequence[BackendResult],
+        data_symbols: int,
+        collect_reports: bool,
+    ) -> BackendResult:
+        reports: List[Report] = []
+        report_count = 0
+        checkpoints: List[Optional[Checkpoint]] = []
+        symbols_processed = 0
+        sod_pending = False
+        for result in group_results:
+            report_count += result.profile.reports
+            if collect_reports:
+                reports.extend(result.reports)
+            checkpoints.append(result.checkpoint)
+            if result.checkpoint is not None:
+                symbols_processed = result.checkpoint.symbols_processed
+                sod_pending = (
+                    sod_pending or result.checkpoint.start_of_data_pending
+                )
+        order = self._order
+        reports.sort(
+            key=lambda report: (
+                report.offset,
+                order.get(report.ste_id, len(order)),
+            )
+        )
+        checkpoint = HybridCheckpoint(
+            symbols_processed=symbols_processed,
+            active_state_vector=0,
+            start_of_data_pending=sod_pending,
+            group_checkpoints=tuple(checkpoints),
+        )
+        return self._basic_result(
+            reports,
+            symbols=data_symbols,
+            report_count=report_count,
+            checkpoint=checkpoint,
+            stats=RunStats(symbols_processed=data_symbols),
+        )
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        collect_reports: bool = True,
+        resume: Optional[Checkpoint] = None,
+    ) -> BackendResult:
+        """Scan every group over ``data`` and merge in offset order."""
+        resumes = self._group_resumes(resume)
+        results = [
+            self._scan_group(group, data, group_resume, collect_reports)
+            for group, group_resume in zip(self.groups, resumes)
+        ]
+        return self._merge(results, len(data), collect_reports)
+
+    def scan_many(
+        self,
+        streams: Sequence[bytes],
+        *,
+        resumes: Optional[Sequence[Optional[Checkpoint]]] = None,
+        collect_reports: bool = True,
+    ) -> List[BackendResult]:
+        """Batched scan: each group batches natively across the streams
+        (the lazy-DFA group shards across processes, the packed group
+        advances all streams through one kernel), then per-stream merge.
+        """
+        streams = list(streams)
+        resumes = require_resume_count(resumes, len(streams))
+        per_group_resumes = [
+            self._group_resumes(resume) for resume in resumes
+        ]
+        group_results: List[List[BackendResult]] = []
+        for group_position, group in enumerate(self.groups):
+            group_cursor = [
+                cursors[group_position] for cursors in per_group_resumes
+            ]
+            try:
+                results = group.backend.scan_many(
+                    streams,
+                    resumes=group_cursor,
+                    collect_reports=collect_reports,
+                )
+            except Exception as error:  # noqa: BLE001 - degrade per group
+                if group.backend_name == FALLBACK_SUBSTRATE:
+                    raise
+                self._degrade_group(group, error)
+                results = group.backend.scan_many(
+                    streams,
+                    resumes=group_cursor,
+                    collect_reports=collect_reports,
+                )
+            group_results.append(results)
+        return [
+            self._merge(
+                [results[stream] for results in group_results],
+                len(streams[stream]),
+                collect_reports,
+            )
+            for stream in range(len(streams))
+        ]

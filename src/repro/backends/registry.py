@@ -32,6 +32,7 @@ _BUILTIN_MODULES = (
     "repro.backends.circuit",
     "repro.backends.cpu",
     "repro.backends.lazydfa",
+    "repro.backends.hybrid",
     "repro.backends.faulty",
 )
 

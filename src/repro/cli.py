@@ -30,6 +30,14 @@ Subcommands::
     python -m repro.cli anml-info FILE.anml
         parse an ANML document and print its structural characteristics.
 
+    python -m repro.cli classify RULES.txt [--probe-budget N]
+        run the per-component structural classifier and cost model
+        (see :mod:`repro.compiler.classify`) and print one row per
+        connected component: states, estimated determinisation growth
+        (bounded subset-closure probe), symbol entropy, modelled
+        per-symbol cost on each substrate, and the substrate the hybrid
+        backend would place the component on.
+
     python -m repro.cli designs
         list the built-in design points with their derived parameters.
 
@@ -239,6 +247,44 @@ def _cmd_backends(_arguments) -> int:
         ))
     print(format_table(rows))
     print("\n* default backend")
+    return 0
+
+
+def _cmd_classify(arguments) -> int:
+    from repro.compiler.classify import classify_automaton
+
+    rules = _load_rules(arguments.rules)
+    machine = compile_patterns(rules, report_codes=rules)
+    classification = classify_automaton(
+        machine, probe_budget=arguments.probe_budget
+    )
+    rows = [(
+        "CC", "Repr", "States", "Classes", "Entropy", "Probe",
+        "Aborted", "Growth", "Lazy us", "Kernel us", "Backend",
+    )]
+    for row in classification.rows():
+        rows.append((
+            int(row["component"]),
+            row["representative"],
+            int(row["states"]),
+            int(row["byte_classes"]),
+            f"{row['symbol_entropy']:.3f}",
+            int(row["probe_states"]),
+            "yes" if row["probe_aborted"] else "no",
+            f"{row['det_growth']:.2f}",
+            f"{row['cost_lazy-dfa_us']:.3f}",
+            f"{row['cost_packed-kernel_us']:.3f}",
+            row["backend"],
+        ))
+    print(format_table(rows))
+    placed: dict = {}
+    for row in classification.rows():
+        placed[row["backend"]] = placed.get(row["backend"], 0) + 1
+    summary = ", ".join(
+        f"{count} CC(s) -> {backend}" for backend, count in sorted(placed.items())
+    )
+    print(f"\nplacement: {summary}")
+    print(f"cost model: {classification.cost_model.as_dict()}")
     return 0
 
 
@@ -531,6 +577,17 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list registered execution backends"
     )
     backends_parser.set_defaults(handler=_cmd_backends)
+
+    classify_parser = subparsers.add_parser(
+        "classify", help="per-component substrate classification"
+    )
+    classify_parser.add_argument("rules")
+    classify_parser.add_argument(
+        "--probe-budget", type=int, default=None, dest="probe_budget",
+        help="subset-closure probe row budget per component "
+             "(default: scaled from component size, capped at 512)",
+    )
+    classify_parser.set_defaults(handler=_cmd_classify)
 
     info_parser = subparsers.add_parser("anml-info", help="inspect an ANML file")
     info_parser.add_argument("file")

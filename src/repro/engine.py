@@ -125,6 +125,10 @@ class EngineHealth:
     #: long-lived process's memory flat; ``len(events) + events_dropped``
     #: is a monotonic "events ever seen" counter.
     events_dropped: int = 0
+    #: Per-group substrate placement when the hybrid backend is serving
+    #: (one row per group: group index, backend, requested substrate,
+    #: component and state counts); empty for single-substrate backends.
+    placement: Tuple[Dict[str, object], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -246,6 +250,7 @@ class CacheAutomatonEngine:
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
+        auto: bool = False,
     ):
         """Compile ``automaton`` onto ``design``.
 
@@ -264,8 +269,16 @@ class CacheAutomatonEngine:
 
         ``backend`` selects the execution substrate by registry name
         (see :func:`repro.backends.backend_names`; aliases accepted) —
-        the packed mapped kernel by default.  ``backend_options`` are
-        passed through to the backend's ``from_artifact``.
+        the packed mapped kernel by default.  ``backend="hybrid"``
+        partitions the ruleset per connected component across substrates
+        (see :mod:`repro.backends.hybrid`).  ``auto=True`` (default off)
+        is the placement policy knob: when no backend is named, the
+        engine runs the per-CC classifier
+        (:mod:`repro.compiler.classify`) and picks the substrate itself
+        — ``hybrid`` when components disagree about their best
+        substrate, the single agreed substrate otherwise; the decision
+        is recorded in :meth:`health`.  ``backend_options`` are passed
+        through to the backend's ``from_artifact``.
         ``scan_jobs`` presets the worker count for process-sharded
         ``scan_many`` on backends that support it (the lazy-DFA
         backend; also settable via ``REPRO_SCAN_JOBS``); it is shorthand
@@ -312,6 +325,10 @@ class CacheAutomatonEngine:
         )
         backend_name = self._requested_backend or DEFAULT_BACKEND
         backend_options = dict(backend_options or {})
+        if auto and self._requested_backend is None:
+            backend_name = self._auto_placement(
+                automaton, optimize, backend_options
+            )
         if scan_jobs is not None:
             backend_options.setdefault("jobs", scan_jobs)
         if split_jobs is not None:
@@ -421,6 +438,14 @@ class CacheAutomatonEngine:
                 stored = artifact.with_kernel_tables(
                     engine_backend.packed_tables()
                 )
+            if not artifact.classify_tables and hasattr(
+                engine_backend, "classify_tables"
+            ):
+                # Persist the per-CC classification so warm hybrid
+                # starts skip the subset-closure probes.
+                stored = stored.with_classify_tables(
+                    engine_backend.classify_tables()
+                )
             if self._tier is not TIER_WARM_CACHE or stored is not artifact:
                 self._cache.store_artifact(stored)
 
@@ -431,6 +456,40 @@ class CacheAutomatonEngine:
         #: ``optimize`` selected one).
         self.automaton = artifact.automaton
         self._profile = ActivityProfile()
+
+    def _auto_placement(
+        self,
+        automaton: HomogeneousAutomaton,
+        optimize: bool,
+        backend_options: Dict[str, object],
+    ) -> str:
+        """The ``auto=True`` policy: classify the ruleset's components
+        and pick the substrate — ``hybrid`` when components disagree,
+        the single agreed substrate otherwise.  Records the decision as
+        a health event."""
+        from repro.compiler.classify import classify_automaton
+
+        classification = classify_automaton(automaton)
+        substrates = {
+            classification.backend_of(index)
+            for index in range(classification.component_count)
+        }
+        if len(substrates) > 1:
+            chosen = "hybrid"
+            if not optimize:
+                # The mapped automaton is the input automaton here, so
+                # the decision's classification is reusable as-is.
+                backend_options.setdefault("classification", classification)
+        elif substrates:
+            chosen = resolve_backend_name(next(iter(substrates)))
+        else:
+            chosen = DEFAULT_BACKEND
+        self._health_events.append(
+            f"auto placement selected {chosen} "
+            f"({classification.component_count} components over "
+            f"{max(1, len(substrates))} substrate(s))"
+        )
+        return chosen
 
     @staticmethod
     def _create_backend(
@@ -487,6 +546,7 @@ class CacheAutomatonEngine:
         dropped = self._health_events.dropped + int(
             getattr(self._backend, "health_events_dropped", 0)
         )
+        placement_of = getattr(self._backend, "placement", None)
         return EngineHealth(
             tier=self._tier,
             backend=self._backend.name,
@@ -495,6 +555,9 @@ class CacheAutomatonEngine:
             cache=self.cache_info(),
             requested=self._requested_backend,
             events_dropped=dropped,
+            placement=(
+                tuple(placement_of()) if callable(placement_of) else ()
+            ),
         )
 
     @property
@@ -537,6 +600,7 @@ class CacheAutomatonEngine:
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
+        auto: bool = False,
     ) -> "CacheAutomatonEngine":
         """Compile a regex rule set; matches carry the rule id."""
         codes = list(rule_ids) if rule_ids is not None else list(patterns)
@@ -554,6 +618,7 @@ class CacheAutomatonEngine:
             stride=stride,
             backend=backend,
             backend_options=backend_options,
+            auto=auto,
         )
 
     @classmethod
@@ -570,6 +635,7 @@ class CacheAutomatonEngine:
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
+        auto: bool = False,
     ) -> "CacheAutomatonEngine":
         return cls(
             from_anml(document),
@@ -582,6 +648,7 @@ class CacheAutomatonEngine:
             stride=stride,
             backend=backend,
             backend_options=backend_options,
+            auto=auto,
         )
 
     @classmethod
@@ -598,6 +665,7 @@ class CacheAutomatonEngine:
         stride: Union[int, str, None] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Dict[str, object]] = None,
+        auto: bool = False,
     ) -> "CacheAutomatonEngine":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_anml(
@@ -611,6 +679,7 @@ class CacheAutomatonEngine:
                 stride=stride,
                 backend=backend,
                 backend_options=backend_options,
+                auto=auto,
             )
 
     # -- scanning ------------------------------------------------------------

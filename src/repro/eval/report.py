@@ -182,7 +182,56 @@ def simulator_throughput_section(
             "\n\n### Simulation cache counters (newest entry)\n\n"
             + rows_to_markdown(counters)
         )
+    placement = _hybrid_placement_rows(entries)
+    if placement:
+        section += (
+            "\n\n### Hybrid per-component placement (newest entry)\n\n"
+            + rows_to_markdown(placement)
+        )
+        newest = next(
+            entry for entry in reversed(entries) if entry.get("hybrid")
+        )
+        hybrid = newest["hybrid"]
+        if hybrid.get("speedup_vs_best_single") is not None:
+            section += (
+                f"\n\nHybrid whole-ruleset rate "
+                f"{hybrid.get('symbols_per_sec'):,} B/s vs best single "
+                f"backend {hybrid.get('best_single_backend')} at "
+                f"{hybrid.get('best_single_symbols_per_sec'):,} B/s — "
+                f"{hybrid['speedup_vs_best_single']:g}x, reports "
+                + (
+                    "bit-identical to the golden interpreter."
+                    if hybrid.get("bit_identical")
+                    else "NOT verified bit-identical."
+                )
+            )
     return section
+
+
+def _hybrid_placement_rows(entries: Sequence[dict]) -> List[Sequence]:
+    """Per-group placement table from the newest entry carrying a
+    ``hybrid`` measurement (see ``benchmarks/bench_simulator.py``)."""
+    newest = next(
+        (entry for entry in reversed(entries) if entry.get("hybrid")),
+        None,
+    )
+    if newest is None:
+        return []
+    placement = newest["hybrid"].get("placement") or []
+    if not placement:
+        return []
+    rows: List[Sequence] = [
+        ["Group", "Backend", "Requested", "Components", "States"]
+    ]
+    for group in placement:
+        rows.append([
+            group.get("group"),
+            group.get("backend"),
+            group.get("requested"),
+            group.get("components"),
+            group.get("states"),
+        ])
+    return rows
 
 
 def _cache_counter_rows(entries: Sequence[dict]) -> List[Sequence]:
@@ -317,7 +366,7 @@ def service_trajectory_section(
     rows: List[Sequence] = [
         ["Label", "Scenario", "Sent", "Done", "Shed", "Timeout", "Retried",
          "Thru rps", "p50 ms", "p95 ms", "p99 ms", "Fail rate",
-         "Trips", "Recov", "Restarts", "Fallback"]
+         "Trips", "Recov", "Restarts", "Fallback", "CPU s", "Max RSS MB"]
     ]
     for entry in entries:
         for run in entry.get("runs", []):
@@ -341,6 +390,10 @@ def service_trajectory_section(
                 run.get("breaker_recoveries"),
                 run.get("worker_restarts"),
                 run.get("fallback_scans"),
+                run.get("cpu_time_s") if run.get("cpu_time_s")
+                is not None else "-",
+                run.get("max_rss_mb") if run.get("max_rss_mb")
+                is not None else "-",
             ])
     section = (
         "## Scan-service resilience (BENCH_service.json)\n\n"

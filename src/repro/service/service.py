@@ -84,7 +84,8 @@ class TenantLimits:
     queued + executing requests (:class:`Overloaded` beyond it);
     ``dfa_max_states`` caps the lazy-DFA backend's transition-cache
     state budget so one pathological ruleset cannot grow its DFA cache
-    without limit (ignored by backends without a DFA cache).
+    without limit (ignored by backends without a DFA cache; under the
+    hybrid backend it caps each lazy-DFA group).
     """
 
     max_stream_bytes: int = 1 << 20
@@ -303,7 +304,9 @@ class ScanService:
         built engine atomically between requests (returns ``True``) —
         note that checkpoints issued by the old engine do not carry
         over.  ``limits.dfa_max_states`` becomes the lazy-DFA backend's
-        ``max_states`` cache budget when that backend is selected.
+        ``max_states`` cache budget when that backend is selected; under
+        the hybrid backend the budget applies to every lazy-DFA group
+        (other substrates ignore the option).
         """
         patterns = list(patterns)
         if not patterns:
@@ -313,7 +316,7 @@ class ScanService:
         if (
             limits.dfa_max_states is not None
             and backend is not None
-            and resolve_backend_name(backend) == "lazy-dfa"
+            and resolve_backend_name(backend) in ("lazy-dfa", "hybrid")
         ):
             options.setdefault("max_states", limits.dfa_max_states)
         fingerprint = tenant_fingerprint(
