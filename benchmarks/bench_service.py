@@ -12,15 +12,24 @@ row per scenario — to the repo-root ``BENCH_service.json``:
   mid-run, one tenant is artificially slowed until its requests burn
   their deadlines, oversized streams are submitted periodically, and
   primary-backend faults are injected so the circuit breaker trips
-  open (golden-fallback tier serves) and then recovers.
+  open (golden-fallback tier serves) and then recovers;
+* three ``serve-*`` rows — identical open-loop load over the three
+  execution planes (``serve-inproc-w0`` scans in the event loop,
+  ``serve-inproc-w2`` dispatches chunks to two scan worker processes,
+  ``serve-tcp-w2`` adds the length-prefixed TCP frame protocol in
+  front), so the process-pool dispatch and wire-protocol overheads are
+  measured side by side against the in-loop floor.
 
 Each row records throughput_rps, avg/p50/p95/p99 latency,
 failure/shed/timeout/retry/oversized counts, failure_rate, breaker
-trips and recoveries, worker restarts, fallback scans, degrade events,
-and the run's host-resource footprint (``cpu_time_s`` — user+system CPU
-seconds consumed by the run, from ``resource.getrusage`` deltas — and
-``max_rss_mb``, the process max resident set after the run; max RSS is
-a process-lifetime high-water mark, so later rows can only grow).  ``unhandled_exceptions`` must be 0 in every row — the whole
+trips and recoveries, worker restarts, pool respawns, fallback scans,
+degrade events, the execution-plane parameters (``scan_workers``,
+``transport``), and the run's host-resource footprint (``cpu_time_s``
+— user+system CPU seconds consumed by the run, from
+``resource.getrusage`` deltas over SELF *and* CHILDREN so scan worker
+processes are charged to their row — and ``max_rss_mb``, the process
+max resident set after the run; max RSS is a process-lifetime
+high-water mark, so later rows can only grow).  ``unhandled_exceptions`` must be 0 in every row — the whole
 point of the serving layer is that faults become *typed* outcomes — and
 the fault-injected row must show the breaker both tripping and
 recovering; either violation fails the run (exit 1), so the CI smoke
@@ -48,9 +57,11 @@ sys.path.insert(
 )
 
 from repro.eval.loadgen import (  # noqa: E402
+    RUN_SCHEMA_VERSION,
     baseline_config,
     faulted_config,
     run_loadgen,
+    serving_config,
 )
 
 DEFAULT_OUTPUT = os.path.join(
@@ -62,6 +73,8 @@ DEFAULT_OUTPUT = os.path.join(
 #: scenario completed no requests (printed as ``-``).
 _COLUMNS = (
     "scenario",
+    "scan_workers",
+    "transport",
     "requests_sent",
     "completed",
     "failed",
@@ -79,6 +92,7 @@ _COLUMNS = (
     "breaker_trips",
     "breaker_recoveries",
     "worker_restarts",
+    "pool_respawns",
     "fallback_scans",
     "cpu_time_s",
     "max_rss_mb",
@@ -86,9 +100,13 @@ _COLUMNS = (
 
 
 def _max_rss_mb() -> float:
-    """Process max-RSS in MiB (``ru_maxrss`` is KiB on Linux, bytes on
-    macOS)."""
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    """Max-RSS high-water mark in MiB across this process and its reaped
+    children (``ru_maxrss`` is KiB on Linux, bytes on macOS) — scan
+    worker processes count toward the footprint."""
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
     if sys.platform == "darwin":  # pragma: no cover - linux CI
         peak //= 1024
     return round(peak / 1024.0, 1)
@@ -99,15 +117,21 @@ def run_measured(config):
 
     Returns ``(record, row)``: the loadgen :class:`RunRecord` (for the
     invariant checks) and its dict row extended with the resource
-    columns (for the run table and the trajectory entry).
+    columns (for the run table and the trajectory entry).  CPU time
+    sums SELF and CHILDREN rusage deltas so scan worker processes —
+    spawned and reaped within the run — are charged to their row.
     """
-    before = resource.getrusage(resource.RUSAGE_SELF)
+    before_self = resource.getrusage(resource.RUSAGE_SELF)
+    before_kids = resource.getrusage(resource.RUSAGE_CHILDREN)
     record = run_loadgen(config)
-    after = resource.getrusage(resource.RUSAGE_SELF)
+    after_self = resource.getrusage(resource.RUSAGE_SELF)
+    after_kids = resource.getrusage(resource.RUSAGE_CHILDREN)
     row = record.as_dict()
     row["cpu_time_s"] = round(
-        (after.ru_utime - before.ru_utime)
-        + (after.ru_stime - before.ru_stime),
+        (after_self.ru_utime - before_self.ru_utime)
+        + (after_self.ru_stime - before_self.ru_stime)
+        + (after_kids.ru_utime - before_kids.ru_utime)
+        + (after_kids.ru_stime - before_kids.ru_stime),
         3,
     )
     row["max_rss_mb"] = _max_rss_mb()
@@ -185,18 +209,29 @@ def main() -> int:
         parser.error("--duration must be positive")
     duration = 1.5 if args.smoke else args.duration
 
-    measured = [
-        run_measured(
-            baseline_config(
-                duration_s=duration, seed=args.seed, label=args.label
-            )
+    configs = [
+        baseline_config(
+            duration_s=duration, seed=args.seed, label=args.label
         ),
-        run_measured(
-            faulted_config(
-                duration_s=duration, seed=args.seed, label=args.label
-            )
+        faulted_config(
+            duration_s=duration, seed=args.seed, label=args.label
+        ),
+        # Serving-plane comparison: identical load over the in-loop,
+        # process-pool, and networked execution planes.
+        serving_config(
+            scan_workers=0, transport="inproc",
+            duration_s=duration, seed=args.seed, label=args.label,
+        ),
+        serving_config(
+            scan_workers=2, transport="inproc",
+            duration_s=duration, seed=args.seed, label=args.label,
+        ),
+        serving_config(
+            scan_workers=2, transport="tcp",
+            duration_s=duration, seed=args.seed, label=args.label,
         ),
     ]
+    measured = [run_measured(config) for config in configs]
     records = [record for record, _row in measured]
     run_rows = [row for _record, row in measured]
 
@@ -210,6 +245,7 @@ def main() -> int:
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
         "duration_s": duration,
         "seed": args.seed,
+        "schema_version": RUN_SCHEMA_VERSION,
         "runs": run_rows,
     }
     if args.note:

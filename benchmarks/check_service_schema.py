@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Validate the schema of every run row in ``BENCH_service.json``.
+
+The trajectory file is append-only across PRs, so older entries were
+written by older recorders.  This checker enforces two tiers:
+
+* **core keys** every run row must carry, regardless of age — the
+  counters, latency percentiles, and resilience columns the report
+  generator and the CI grep depend on;
+* **schema-version-2 keys** required only on entries stamped
+  ``schema_version >= 2`` (the multi-process / networked serving
+  recorder): the execution-plane parameters (``scan_workers``,
+  ``transport``), ``pool_respawns``, the host-resource footprint
+  (``cpu_time_s``, ``max_rss_mb``), and per-tenant latency
+  percentiles inside every ``per_tenant`` row.
+
+Exit 0 when every entry validates, 1 with one diagnostic line per
+violation otherwise.  CI runs this after the service smoke benchmark
+so a recorder regression (dropped column, renamed key) fails the build
+instead of silently producing unreadable history.
+
+Usage::
+
+    python benchmarks/check_service_schema.py [PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+#: Required in every run row, whatever the entry's schema version.
+CORE_RUN_KEYS = (
+    "scenario",
+    "requests_sent",
+    "completed",
+    "failed",
+    "shed",
+    "timeouts",
+    "oversized",
+    "retried",
+    "unhandled_exceptions",
+    "throughput_rps",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "failure_rate",
+    "breaker_trips",
+    "breaker_recoveries",
+    "worker_restarts",
+    "fallback_scans",
+    "per_tenant",
+)
+
+#: Additionally required when the entry says ``schema_version >= 2``.
+V2_RUN_KEYS = (
+    "scan_workers",
+    "transport",
+    "pool_respawns",
+    "cpu_time_s",
+    "max_rss_mb",
+)
+
+#: Required in every per-tenant row of a v2+ entry.
+V2_TENANT_KEYS = (
+    "submitted",
+    "completed",
+    "failed",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+)
+
+
+def check_entry(index: int, entry) -> list:
+    problems = []
+    where = f"entry[{index}] ({entry.get('label', '?')!r})"
+    runs = entry.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [f"{where}: no 'runs' list"]
+    version = entry.get("schema_version", 1)
+    for run_index, run in enumerate(runs):
+        run_where = f"{where}.runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{run_where}: not an object")
+            continue
+        scenario = run.get("scenario", "?")
+        for key in CORE_RUN_KEYS:
+            if key not in run:
+                problems.append(
+                    f"{run_where} ({scenario}): missing core key {key!r}"
+                )
+        if version < 2:
+            continue
+        for key in V2_RUN_KEYS:
+            if key not in run:
+                problems.append(
+                    f"{run_where} ({scenario}): missing schema-v2 key "
+                    f"{key!r}"
+                )
+        per_tenant = run.get("per_tenant")
+        if not isinstance(per_tenant, dict):
+            problems.append(
+                f"{run_where} ({scenario}): per_tenant is not an object"
+            )
+            continue
+        for tenant, stats in per_tenant.items():
+            for key in V2_TENANT_KEYS:
+                if key not in stats:
+                    problems.append(
+                        f"{run_where} ({scenario}).per_tenant[{tenant!r}]: "
+                        f"missing key {key!r}"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else DEFAULT_PATH
+    if not os.path.exists(path):
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 1
+    with open(path, "r", encoding="utf-8") as handle:
+        history = json.load(handle)
+    if not isinstance(history, list):
+        print(f"error: {path} is not a JSON list of entries", file=sys.stderr)
+        return 1
+    problems = []
+    for index, entry in enumerate(history):
+        problems.extend(check_entry(index, entry))
+    for problem in problems:
+        print(f"SCHEMA VIOLATION: {problem}", file=sys.stderr)
+    if not problems:
+        versions = sorted({e.get("schema_version", 1) for e in history})
+        print(
+            f"{path}: {len(history)} entr{'y' if len(history) == 1 else 'ies'} "
+            f"valid (schema version(s): {', '.join(map(str, versions))})"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

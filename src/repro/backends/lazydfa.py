@@ -192,6 +192,30 @@ class LazyDfaBackend(AutomatonBackend):
         """The simulator's kernel tables, for persisting into the cache."""
         return self.simulator.packed_tables()
 
+    def share_tables(self) -> Dict[str, np.ndarray]:
+        """Everything a worker process needs to rebuild this backend.
+
+        The union of the kernel's packed tables and the lazy DFA's
+        :meth:`~repro.sim.lazydfa.LazyDfaKernel.export_tables` (warm
+        transition tables plus the compressed stride alphabet when
+        strided) — publish it once through
+        :class:`~repro.sim.shard.SharedTables` and workers rebuild
+        zero-copy with ``BitsetKernel.from_packed`` + ``seed``.
+        """
+        tables = dict(self.simulator.kernel.packed_tables())
+        tables.update(self.dfa.export_tables())
+        return tables
+
+    def materialise_raw(
+        self, raw: RawScanResult, base_offset: int, collect_reports: bool
+    ) -> BackendResult:
+        """Turn a worker's :data:`~repro.sim.shard.RawScanResult` into a
+        full :class:`~repro.backends.base.BackendResult` with parent-side
+        STE identity (raw reporting-row bytes -> ``(ste_id,
+        report_code)`` via the memoised ident table), a global-offset
+        checkpoint, and the same report ordering as a serial scan."""
+        return self._materialise(raw, base_offset, collect_reports)
+
     def cache_info(self) -> Dict[str, int]:
         """The DFA transition cache's effectiveness counters."""
         return self.dfa.cache_info()
@@ -397,8 +421,7 @@ class LazyDfaBackend(AutomatonBackend):
                         resume.start_of_data_pending,
                     )
                 items.append((index, bytes(as_symbols(data)), cursor))
-            tables = dict(self.simulator.kernel.packed_tables())
-            tables.update(self.dfa.export_tables())
+            tables = self.share_tables()
             outcome = scan_streams_sharded(
                 tables, items, workers, collect_events=collect_reports
             )

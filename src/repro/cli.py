@@ -53,15 +53,25 @@ Subcommands::
 
     python -m repro.cli serve RULES.txt INPUT.bin [INPUT2.bin ...]
                         [--deadline S] [--workers N] [--repeat N]
+                        [--scan-workers N]
         run the resilient scan service in-process: register the rule
         file as a tenant, submit every input through the admission
         queue with a per-request deadline (scans are chunked, so
         expiry interrupts mid-stream), retry shed requests with
         backoff, drain gracefully, and print per-request outcomes plus
-        the service metrics snapshot.
+        the service metrics snapshot.  ``--scan-workers N`` moves chunk
+        execution into a pool of N worker processes.
 
-    python -m repro.cli loadgen [--scenario baseline|faulted|both]
-                        [--duration S] [--seed N]
+    python -m repro.cli serve RULES.txt --port P [--host H]
+                        [--scan-workers N] [--drain-timeout S]
+        network mode: serve the tenant over the length-prefixed TCP
+        frame protocol until SIGINT/SIGTERM, then drain gracefully
+        (exit 130 on SIGINT, 0 on SIGTERM).  ``--port 0`` picks a free
+        port and prints it.
+
+    python -m repro.cli loadgen [--scenario baseline|faulted|both|serving]
+                        [--duration S] [--seed N] [--scan-workers N]
+                        [--transport inproc|tcp] [--connect HOST:PORT]
         drive the service with the open-loop load generator; the
         ``faulted`` scenario kills a worker, slows one tenant past its
         deadline, submits oversized streams, and injects backend
@@ -393,6 +403,13 @@ def _cmd_serve(arguments) -> int:
     )
 
     rules = _load_rules(arguments.rules)
+    if arguments.port is not None:
+        return _serve_network(arguments, rules)
+    if not arguments.input:
+        raise ReproError(
+            "serve needs input files in batch mode, or --port to run "
+            "the network server"
+        )
     streams = []
     for path in arguments.input:
         with open(path, "rb") as handle:
@@ -401,6 +418,7 @@ def _cmd_serve(arguments) -> int:
     async def run() -> int:
         service = ScanService(
             workers=arguments.workers,
+            scan_workers=arguments.scan_workers,
             chunk_bytes=arguments.chunk_bytes,
             default_deadline=arguments.deadline,
         )
@@ -458,29 +476,144 @@ def _cmd_serve(arguments) -> int:
     return asyncio.run(run())
 
 
+def _serve_network(arguments, rules) -> int:
+    """Long-running TCP server mode (``repro serve --port``).
+
+    SIGINT and SIGTERM both trigger a graceful drain — stop admitting,
+    let queued and in-flight requests finish (deadlines forced after
+    ``--drain-timeout``), join the workers, close the sockets — then
+    exit with the documented one-line-diagnostic codes: 130 for SIGINT
+    (interrupted by the user), 0 for SIGTERM (clean supervised stop).
+    """
+    import asyncio
+    import signal
+
+    from repro.service import ScanServer, ScanService, TenantLimits
+
+    async def run() -> int:
+        service = ScanService(
+            workers=arguments.workers,
+            scan_workers=arguments.scan_workers,
+            chunk_bytes=arguments.chunk_bytes,
+            default_deadline=arguments.deadline,
+        )
+        service.register(
+            arguments.tenant,
+            rules,
+            limits=TenantLimits(max_stream_bytes=arguments.max_stream_bytes),
+            backend=arguments.backend,
+        )
+        await service.start()
+        server = ScanServer(
+            service, host=arguments.host, port=arguments.port
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving tenant {arguments.tenant!r} on {host}:{port} "
+            f"({arguments.workers} worker(s), "
+            f"{arguments.scan_workers} scan process(es)); "
+            "SIGINT/SIGTERM drains",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        received: dict = {}
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum,
+                lambda signum=signum: (
+                    received.setdefault("signal", signum),
+                    stop.set(),
+                ),
+            )
+        await stop.wait()
+        signum = received.get("signal", signal.SIGTERM)
+        print(
+            f"{signal.Signals(signum).name} received: draining "
+            f"(budget {arguments.drain_timeout}s)",
+            flush=True,
+        )
+        # Drain the service first (stops admitting; in-flight requests
+        # finish or deadline out), then close the listening socket and
+        # any lingering connections.
+        await service.stop(drain_timeout=arguments.drain_timeout)
+        await server.stop()
+        snapshot = service.metrics_snapshot()
+        print(
+            f"drained: {snapshot['completed']} completed, "
+            f"{snapshot['shed']} shed, {snapshot['timeouts']} deadlined, "
+            f"{snapshot['failed']} failed",
+            flush=True,
+        )
+        return 130 if signum == signal.SIGINT else 0
+
+    return asyncio.run(run())
+
+
+def _parse_hostport(value: str):
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {value!r}")
+    return (host or "127.0.0.1", int(port))
+
+
 def _cmd_loadgen(arguments) -> int:
+    import dataclasses
+
     from repro.eval.loadgen import (
         baseline_config,
         faulted_config,
         run_loadgen,
+        serving_config,
     )
 
-    builders = {"baseline": baseline_config, "faulted": faulted_config}
-    names = (
-        list(builders) if arguments.scenario == "both"
-        else [arguments.scenario]
-    )
+    if arguments.connect is not None:
+        connect = _parse_hostport(arguments.connect)
+        configs = [
+            serving_config(
+                connect=connect,
+                scan_workers=arguments.scan_workers,
+                duration_s=arguments.duration,
+                seed=arguments.seed,
+            )
+        ]
+    elif arguments.scenario == "serving":
+        configs = [
+            serving_config(
+                scan_workers=arguments.scan_workers,
+                transport=arguments.transport,
+                duration_s=arguments.duration,
+                seed=arguments.seed,
+            )
+        ]
+    else:
+        builders = {"baseline": baseline_config, "faulted": faulted_config}
+        names = (
+            list(builders) if arguments.scenario == "both"
+            else [arguments.scenario]
+        )
+        configs = [
+            dataclasses.replace(
+                builders[name](
+                    duration_s=arguments.duration, seed=arguments.seed
+                ),
+                scan_workers=arguments.scan_workers,
+                transport=arguments.transport,
+            )
+            for name in names
+        ]
     rows = [(
         "Scenario", "Sent", "Done", "Shed", "Timeout", "Oversize",
         "Retried", "Thru rps", "p50 ms", "p95 ms", "p99 ms",
         "Fail rate", "Trips", "Recov", "Restarts",
     )]
     unhandled = 0
-    for name in names:
-        record = run_loadgen(
-            builders[name](duration_s=arguments.duration, seed=arguments.seed)
-        )
+    completed = 0
+    for config in configs:
+        record = run_loadgen(config)
         unhandled += record.unhandled_exceptions
+        completed += record.completed
         rows.append((
             record.scenario,
             record.requests_sent,
@@ -502,6 +635,9 @@ def _cmd_loadgen(arguments) -> int:
             record.worker_restarts,
         ))
     print(format_table(rows))
+    # Machine-readable summary lines the CI smoke jobs grep for.
+    print(f"completed_total: {completed}")
+    print(f"unhandled_exceptions: {unhandled}")
     if unhandled:
         raise ReproError(
             f"{unhandled} unhandled exception(s) escaped the typed-error "
@@ -648,7 +784,10 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the resilient scan service over input files"
     )
     serve_parser.add_argument("rules")
-    serve_parser.add_argument("input", nargs="+")
+    serve_parser.add_argument(
+        "input", nargs="*",
+        help="input files (batch mode; omit when running with --port)",
+    )
     serve_parser.add_argument(
         "--tenant", default="default", help="tenant name (default 'default')"
     )
@@ -682,6 +821,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, dest="drain_timeout",
         help="graceful-drain budget on shutdown (default 30 s)",
     )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for network mode (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="run as a TCP server on this port instead of batch mode "
+             "(0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--scan-workers", type=int, default=0, dest="scan_workers",
+        help="scan worker processes (0 = scan in the event loop)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     loadgen_parser = subparsers.add_parser(
@@ -689,7 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen_parser.add_argument(
         "--scenario", default="both",
-        choices=("baseline", "faulted", "both"),
+        choices=("baseline", "faulted", "both", "serving"),
         help="which canned scenario(s) to run (default both)",
     )
     loadgen_parser.add_argument(
@@ -699,6 +851,21 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument(
         "--seed", type=int, default=7,
         help="RNG seed for streams and jitter (default 7)",
+    )
+    loadgen_parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive an already-running `repro serve --port` server over "
+             "TCP instead of building a local service",
+    )
+    loadgen_parser.add_argument(
+        "--transport", default="inproc", choices=("inproc", "tcp"),
+        help="how requests reach the locally built service "
+             "(default inproc; ignored with --connect)",
+    )
+    loadgen_parser.add_argument(
+        "--scan-workers", type=int, default=0, dest="scan_workers",
+        help="scan worker processes for the locally built service "
+             "(0 = scan in the event loop)",
     )
     loadgen_parser.set_defaults(handler=_cmd_loadgen)
     return parser

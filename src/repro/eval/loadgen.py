@@ -17,11 +17,24 @@ injecting faults mid-run:
   cooldown-gated probe recovers it within the run.
 
 Each run produces one :class:`RunRecord` — a flat row in the style of a
-benchmark run table (throughput_rps, avg/p50/p95/p99 latency,
-failure/shed/timeout/retry counters, breaker and worker events) — which
-``benchmarks/bench_service.py`` appends to ``BENCH_service.json`` so
-every later performance PR has a latency-percentile and failure-rate
-scoreboard, not just throughput.
+benchmark run table (throughput_rps, avg/p50/p95/p99 latency — global
+*and* per tenant — failure/shed/timeout/retry counters, breaker and
+worker events) — which ``benchmarks/bench_service.py`` appends to
+``BENCH_service.json`` so every later performance PR has a
+latency-percentile and failure-rate scoreboard, not just throughput.
+
+The execution plane and transport are configurable so the same
+open-loop schedule can compare serving modes like-for-like:
+
+* ``scan_workers=N`` runs the service with the process-pool scan
+  executor (:mod:`repro.service.procpool`; 0 = in-loop);
+* ``transport="tcp"`` drives the requests through a real socket — a
+  local :class:`~repro.service.net.ScanServer` is started on
+  ``127.0.0.1`` and every request crosses the framed wire protocol via
+  :class:`~repro.service.net.NetScanClient`;
+* ``connect=(host, port)`` targets an *external* already-running
+  ``repro serve`` instead (tenants are registered over the wire;
+  fault injection requires a local service and is rejected).
 """
 
 from __future__ import annotations
@@ -35,9 +48,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError, SimulationError
 from repro.service import (
+    ConnectionLost,
     DeadlineExceeded,
+    NetScanClient,
     Overloaded,
     RetryingClient,
+    ScanServer,
     ScanService,
     ServiceError,
     StreamTooLarge,
@@ -45,6 +61,12 @@ from repro.service import (
     WorkerCrashed,
 )
 from repro.workloads.inputs import LOWERCASE, random_over_alphabet
+
+#: Run-row schema generation: bumped when the run table gains required
+#: columns (2 = scan_workers/transport/pool_respawns + per-tenant
+#: latency percentiles); ``benchmarks/check_service_schema.py`` keys
+#: its required-column set off this.
+RUN_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -102,6 +124,14 @@ class LoadgenConfig:
     tenants: Tuple[TenantProfile, ...]
     duration_s: float = 2.0
     workers: int = 2
+    #: Scan worker *processes* (0 = in-loop coroutine scanning).
+    scan_workers: int = 0
+    #: "inproc" calls the service object directly; "tcp" drives every
+    #: request through the framed socket protocol.
+    transport: str = "inproc"
+    #: (host, port) of an external ``repro serve`` (tcp only); ``None``
+    #: starts a loopback server in-process.
+    connect: Optional[Tuple[str, int]] = None
     max_queue: int = 32
     chunk_bytes: int = 1024
     breaker_threshold: int = 2
@@ -124,10 +154,13 @@ class RunRecord:
     seed: int
     duration_s: float
     workers: int
+    scan_workers: int
+    transport: str
     max_queue: int
     chunk_bytes: int
     tenants: int
     faults: List[str]
+    schema_version: int
     requests_sent: int
     completed: int
     failed: int
@@ -148,8 +181,11 @@ class RunRecord:
     breaker_recoveries: int
     breaker_recovered: bool
     worker_restarts: int
+    pool_respawns: int
     degrade_events: int
     events_dropped: int
+    #: Per-tenant counters + breaker state + latency percentiles
+    #: (latency_p50_ms/p95_ms/p99_ms from that tenant's own samples).
     per_tenant: Dict[str, Dict[str, object]]
 
     def as_dict(self) -> Dict[str, object]:
@@ -184,89 +220,174 @@ def _tenant_stream(profile: TenantProfile, seed: int) -> bytes:
     return bytes(data)
 
 
-async def _drive(config: LoadgenConfig) -> RunRecord:
-    service = ScanService(
-        workers=config.workers,
-        max_queue=config.max_queue,
-        chunk_bytes=config.chunk_bytes,
-        breaker_threshold=config.breaker_threshold,
-        breaker_cooldown=config.breaker_cooldown,
-        cache=config.cache,
-    )
-    for profile in config.tenants:
-        service.register(
-            profile.name,
-            list(profile.patterns),
-            limits=profile.limits(),
-            backend=profile.backend,
+#: Global run-table counters taken as before/after snapshot deltas, so
+#: driving an external long-lived server attributes only *this run's*
+#: activity to the row.
+_DELTA_KEYS = (
+    "shed",
+    "fallback_scans",
+    "breaker_trips",
+    "breaker_recoveries",
+    "worker_restarts",
+    "pool_respawns",
+)
+
+#: Per-tenant counters delta'd the same way (gauges — ``in_flight``,
+#: ``breaker`` — are taken from the final snapshot).
+_TENANT_DELTA_KEYS = (
+    "submitted",
+    "completed",
+    "failed",
+    "shed",
+    "oversized",
+    "timeouts",
+    "fallback_scans",
+    "breaker_trips",
+    "breaker_recoveries",
+)
+
+
+def _validate_transport(config: LoadgenConfig) -> None:
+    if config.transport not in ("inproc", "tcp"):
+        raise ReproError(
+            f"unknown loadgen transport {config.transport!r} "
+            "(expected 'inproc' or 'tcp')"
         )
-    client = RetryingClient(
-        service,
-        max_attempts=4,
-        base_delay=0.01,
-        max_delay=0.1,
-        rng=random.Random(config.seed),
-    )
-    streams = {
-        profile.name: _tenant_stream(profile, config.seed)
-        for profile in config.tenants
-    }
-    faults = config.faults
-    latencies: List[float] = []
-    counters = {
-        "sent": 0,
-        "completed": 0,
-        "failed": 0,
-        "timeouts": 0,
-        "oversized": 0,
-        "shed_abandoned": 0,
-        "unhandled": 0,
-    }
-
-    loop = asyncio.get_running_loop()
-    epoch = loop.time()
-
-    async def one_request(profile: TenantProfile, index: int, at: float):
-        counters["sent"] += 1
-        data = streams[profile.name]
-        if (
-            faults.oversized_every
-            and profile.name == (faults.oversized_tenant or profile.name)
-            and index % faults.oversized_every == faults.oversized_every - 1
-        ):
-            data = b"\x00" * (profile.max_stream_bytes + 1)
-        try:
-            await client.scan(
-                profile.name, data, deadline=profile.deadline_s
+    if config.connect is not None:
+        if config.transport != "tcp":
+            raise ReproError("connect= requires transport='tcp'")
+        if config.faults.active():
+            raise ReproError(
+                "fault injection needs a local service; it cannot drive "
+                "an external server (drop connect= or the fault plan)"
             )
-            counters["completed"] += 1
-            latencies.append(loop.time() - (epoch + at))
-        except DeadlineExceeded:
-            counters["timeouts"] += 1
-        except StreamTooLarge:
-            counters["oversized"] += 1
-        except (Overloaded, WorkerCrashed):
-            # Retry budget exhausted: the request is abandoned, which
-            # is the open-loop client's last resort under shed load.
-            counters["shed_abandoned"] += 1
-        except ServiceError:
-            counters["failed"] += 1
-        except ReproError:
-            counters["failed"] += 1
-        except Exception:  # noqa: BLE001 - the run table must see these
-            counters["unhandled"] += 1
 
-    # Open-loop arrival schedule: every tenant's arrivals merged in time
-    # order, independent of completions.
-    schedule: List[Tuple[float, TenantProfile, int]] = []
-    for profile in config.tenants:
-        count = max(1, int(profile.rate_rps * config.duration_s))
-        for index in range(count):
-            schedule.append((index / profile.rate_rps, profile, index))
-    schedule.sort(key=lambda item: item[0])
 
-    breaker_saw_open = False
-    async with service:
+async def _drive(config: LoadgenConfig) -> RunRecord:
+    _validate_transport(config)
+    external = config.connect is not None
+    service: Optional[ScanService] = None
+    server: Optional[ScanServer] = None
+    net: Optional[NetScanClient] = None
+    if not external:
+        service = ScanService(
+            workers=config.workers,
+            scan_workers=config.scan_workers,
+            max_queue=config.max_queue,
+            chunk_bytes=config.chunk_bytes,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            cache=config.cache,
+        )
+        for profile in config.tenants:
+            service.register(
+                profile.name,
+                list(profile.patterns),
+                limits=profile.limits(),
+                backend=profile.backend,
+            )
+        await service.start()
+
+    try:
+        if config.transport == "tcp":
+            if external:
+                host, port = config.connect
+            else:
+                server = ScanServer(service)
+                await server.start()
+                host, port = server.address
+            net = await NetScanClient.connect(host, port, timeout=10.0)
+            if external:
+                # The remote service never saw these tenants: register
+                # over the wire (idempotent for unchanged fingerprints).
+                for profile in config.tenants:
+                    await net.register(
+                        profile.name,
+                        list(profile.patterns),
+                        limits=profile.limits(),
+                        backend=profile.backend,
+                    )
+            scan_target = net
+        else:
+            scan_target = service
+
+        async def snapshot_now() -> Dict[str, object]:
+            if external:
+                return await net.health()
+            return service.metrics_snapshot()
+
+        before = await snapshot_now()
+        client = RetryingClient(
+            scan_target,
+            max_attempts=4,
+            base_delay=0.01,
+            max_delay=0.1,
+            rng=random.Random(config.seed),
+        )
+        streams = {
+            profile.name: _tenant_stream(profile, config.seed)
+            for profile in config.tenants
+        }
+        faults = config.faults
+        latencies: List[float] = []
+        tenant_latencies: Dict[str, List[float]] = {
+            profile.name: [] for profile in config.tenants
+        }
+        counters = {
+            "sent": 0,
+            "completed": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "oversized": 0,
+            "shed_abandoned": 0,
+            "unhandled": 0,
+        }
+
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+
+        async def one_request(profile: TenantProfile, index: int, at: float):
+            counters["sent"] += 1
+            data = streams[profile.name]
+            if (
+                faults.oversized_every
+                and profile.name == (faults.oversized_tenant or profile.name)
+                and index % faults.oversized_every == faults.oversized_every - 1
+            ):
+                data = b"\x00" * (profile.max_stream_bytes + 1)
+            try:
+                await client.scan(
+                    profile.name, data, deadline=profile.deadline_s
+                )
+                counters["completed"] += 1
+                latency = loop.time() - (epoch + at)
+                latencies.append(latency)
+                tenant_latencies[profile.name].append(latency)
+            except DeadlineExceeded:
+                counters["timeouts"] += 1
+            except StreamTooLarge:
+                counters["oversized"] += 1
+            except (Overloaded, WorkerCrashed, ConnectionLost):
+                # Retry budget exhausted: the request is abandoned, which
+                # is the open-loop client's last resort under shed load.
+                counters["shed_abandoned"] += 1
+            except ServiceError:
+                counters["failed"] += 1
+            except ReproError:
+                counters["failed"] += 1
+            except Exception:  # noqa: BLE001 - the run table must see these
+                counters["unhandled"] += 1
+
+        # Open-loop arrival schedule: every tenant's arrivals merged in
+        # time order, independent of completions.
+        schedule: List[Tuple[float, TenantProfile, int]] = []
+        for profile in config.tenants:
+            count = max(1, int(profile.rate_rps * config.duration_s))
+            for index in range(count):
+                schedule.append((index / profile.rate_rps, profile, index))
+        schedule.sort(key=lambda item: item[0])
+
+        breaker_saw_open = False
         if faults.slow_tenant:
             service.set_scan_delay(faults.slow_tenant, faults.slow_delay_s)
         flaky_pending = faults.flaky_faults
@@ -277,7 +398,11 @@ async def _drive(config: LoadgenConfig) -> RunRecord:
             if at > now:
                 await asyncio.sleep(at - now)
                 now = at
-            if flaky_pending and faults.flaky_tenant and now >= faults.flaky_at:
+            if (
+                flaky_pending
+                and faults.flaky_tenant
+                and now >= faults.flaky_at
+            ):
                 service.inject_scan_faults(
                     faults.flaky_tenant,
                     flaky_pending,
@@ -290,29 +415,65 @@ async def _drive(config: LoadgenConfig) -> RunRecord:
             tasks.append(
                 asyncio.ensure_future(one_request(profile, index, at))
             )
-            if not breaker_saw_open and any(
-                service.breaker_state(name) == "open"
-                for name in service.tenant_names()
+            if (
+                service is not None
+                and not breaker_saw_open
+                and any(
+                    service.breaker_state(name) == "open"
+                    for name in service.tenant_names()
+                )
             ):
                 breaker_saw_open = True
         if kill_pending:
             service.crash_worker(0)
-        for name in service.tenant_names():
-            if service.breaker_state(name) == "open":
-                breaker_saw_open = True
+        if service is not None:
+            for name in service.tenant_names():
+                if service.breaker_state(name) == "open":
+                    breaker_saw_open = True
         await asyncio.gather(*tasks)
-        await service.stop(drain_timeout=config.drain_timeout)
 
-    metrics = service.metrics
+        after = await snapshot_now()
+        if service is not None:
+            recovered = breaker_saw_open and all(
+                service.breaker_state(name) != "open"
+                for name in service.tenant_names()
+            )
+        else:
+            recovered = False
+    finally:
+        if net is not None:
+            await net.close()
+        if server is not None:
+            await server.stop()
+        if service is not None:
+            await service.stop(drain_timeout=config.drain_timeout)
+
     wall = max(config.duration_s, 1e-9)
     completed = counters["completed"]
     sent = counters["sent"]
     latencies_ms = [value * 1e3 for value in latencies]
-    snapshot = service.metrics_snapshot()
-    recovered = breaker_saw_open and all(
-        service.breaker_state(name) != "open"
-        for name in service.tenant_names()
-    )
+
+    def delta(key: str) -> int:
+        return int(after.get(key, 0)) - int(before.get(key, 0))
+
+    tenants_before = before.get("tenants", {})
+    per_tenant: Dict[str, Dict[str, object]] = {}
+    for name, row in after.get("tenants", {}).items():
+        row_before = tenants_before.get(name, {})
+        merged: Dict[str, object] = {
+            key: int(row.get(key, 0)) - int(row_before.get(key, 0))
+            for key in _TENANT_DELTA_KEYS
+        }
+        merged["in_flight"] = row.get("in_flight", 0)
+        merged["breaker"] = row.get("breaker", "closed")
+        samples_ms = [
+            value * 1e3 for value in tenant_latencies.get(name, ())
+        ]
+        merged["latency_p50_ms"] = percentile(samples_ms, 50)
+        merged["latency_p95_ms"] = percentile(samples_ms, 95)
+        merged["latency_p99_ms"] = percentile(samples_ms, 99)
+        per_tenant[name] = merged
+
     return RunRecord(
         run_id=f"{config.label}-{config.scenario}-s{config.seed}",
         label=config.label,
@@ -320,14 +481,21 @@ async def _drive(config: LoadgenConfig) -> RunRecord:
         seed=config.seed,
         duration_s=config.duration_s,
         workers=config.workers,
+        scan_workers=(
+            int(after.get("scan_workers", 0))
+            if external
+            else config.scan_workers
+        ),
+        transport=config.transport,
         max_queue=config.max_queue,
         chunk_bytes=config.chunk_bytes,
         tenants=len(config.tenants),
-        faults=faults.active(),
+        faults=config.faults.active(),
+        schema_version=RUN_SCHEMA_VERSION,
         requests_sent=sent,
         completed=completed,
         failed=counters["failed"] + counters["shed_abandoned"],
-        shed=metrics.shed,
+        shed=delta("shed"),
         timeouts=counters["timeouts"],
         oversized=counters["oversized"],
         retried=client.retries,
@@ -341,14 +509,17 @@ async def _drive(config: LoadgenConfig) -> RunRecord:
         latency_p95_ms=percentile(latencies_ms, 95),
         latency_p99_ms=percentile(latencies_ms, 99),
         failure_rate=1.0 - (completed / sent) if sent else 0.0,
-        fallback_scans=metrics.fallback_scans,
-        breaker_trips=metrics.breaker_trips,
-        breaker_recoveries=metrics.breaker_recoveries,
+        fallback_scans=delta("fallback_scans"),
+        breaker_trips=delta("breaker_trips"),
+        breaker_recoveries=delta("breaker_recoveries"),
         breaker_recovered=recovered,
-        worker_restarts=metrics.worker_restarts,
-        degrade_events=len(snapshot["events"]) + snapshot["events_dropped"],
-        events_dropped=snapshot["events_dropped"],
-        per_tenant=snapshot["tenants"],
+        worker_restarts=delta("worker_restarts"),
+        pool_respawns=delta("pool_respawns"),
+        degrade_events=(
+            len(after.get("events", ())) + int(after.get("events_dropped", 0))
+        ),
+        events_dropped=int(after.get("events_dropped", 0)),
+        per_tenant=per_tenant,
     )
 
 
@@ -380,6 +551,60 @@ def baseline_config(
         seed=seed,
         label=label,
         scenario="baseline",
+    )
+
+
+def serving_config(
+    *,
+    scan_workers: int = 0,
+    transport: str = "inproc",
+    connect: Optional[Tuple[str, int]] = None,
+    duration_s: float = 2.0,
+    seed: int = 7,
+    label: str = "loadgen",
+) -> LoadgenConfig:
+    """The serving-plane comparison scenario: identical open-loop load,
+    parameterised over the execution plane (``scan_workers``) and the
+    transport (``inproc`` vs ``tcp``), so ``bench_service.py`` can put
+    in-loop, process-pool, and networked serving rows side by side.
+
+    Streams are larger than the baseline scenario's (16 KiB, chunked at
+    2 KiB) so each request does enough CPU work for the execution plane
+    to matter; deadlines are generous enough that the comparison
+    measures throughput, not timeout policy.
+    """
+    scenario = f"serve-{transport}-w{scan_workers}"
+    if connect is not None:
+        transport = "tcp"  # connecting out is necessarily networked
+        scenario = f"serve-connect-w{scan_workers}"
+    return LoadgenConfig(
+        tenants=(
+            TenantProfile(
+                name="alpha",
+                rate_rps=24.0,
+                stream_bytes=16384,
+                deadline_s=3.0,
+                max_in_flight=8,
+            ),
+            TenantProfile(
+                name="beta",
+                patterns=("error", "warn(ing)?", "cr[ia]tical"),
+                rate_rps=16.0,
+                stream_bytes=16384,
+                deadline_s=3.0,
+                max_in_flight=8,
+            ),
+        ),
+        duration_s=duration_s,
+        workers=4,
+        scan_workers=scan_workers,
+        transport=transport,
+        connect=connect,
+        max_queue=64,
+        chunk_bytes=2048,
+        seed=seed,
+        label=label,
+        scenario=scenario,
     )
 
 

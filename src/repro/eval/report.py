@@ -354,47 +354,77 @@ def service_trajectory_section(
     """Render the scan-service resilience history recorded by
     ``benchmarks/bench_service.py`` (empty string if none exists).
 
-    One row per (entry, scenario): throughput and latency percentiles
-    next to the failure/shed/timeout/retry counters and the breaker and
-    worker-supervision events observed under injected faults.
+    One row per (entry, scenario): the execution plane (scan worker
+    processes and transport), throughput and latency percentiles next
+    to the failure/shed/timeout/retry counters and the breaker and
+    worker-supervision events observed under injected faults.  Entries
+    recorded at schema version 2+ also get a per-tenant latency table
+    (p50/p95/p99 per tenant per scenario).
     """
     if not trajectory.exists():
         return ""
     entries = json.loads(trajectory.read_text(encoding="utf-8"))
     if not entries:
         return ""
+
+    def _plane(run) -> str:
+        if "scan_workers" not in run and "transport" not in run:
+            return "-"
+        return f"{run.get('transport', 'inproc')}/w{run.get('scan_workers', 0)}"
+
+    def _ms(value) -> object:
+        return value if value is not None else "-"
+
     rows: List[Sequence] = [
-        ["Label", "Scenario", "Sent", "Done", "Shed", "Timeout", "Retried",
-         "Thru rps", "p50 ms", "p95 ms", "p99 ms", "Fail rate",
-         "Trips", "Recov", "Restarts", "Fallback", "CPU s", "Max RSS MB"]
+        ["Label", "Scenario", "Plane", "Sent", "Done", "Shed", "Timeout",
+         "Retried", "Thru rps", "p50 ms", "p95 ms", "p99 ms", "Fail rate",
+         "Trips", "Recov", "Restarts", "Respawns", "Fallback", "CPU s",
+         "Max RSS MB"]
+    ]
+    tenant_rows: List[Sequence] = [
+        ["Label", "Scenario", "Tenant", "Submitted", "Done", "Failed",
+         "p50 ms", "p95 ms", "p99 ms"]
     ]
     for entry in entries:
         for run in entry.get("runs", []):
             rows.append([
                 entry.get("label", "?"),
                 run.get("scenario", "?"),
+                _plane(run),
                 run.get("requests_sent"),
                 run.get("completed"),
                 run.get("shed"),
                 run.get("timeouts"),
                 run.get("retried"),
                 run.get("throughput_rps"),
-                run.get("latency_p50_ms") if run.get("latency_p50_ms")
-                is not None else "-",
-                run.get("latency_p95_ms") if run.get("latency_p95_ms")
-                is not None else "-",
-                run.get("latency_p99_ms") if run.get("latency_p99_ms")
-                is not None else "-",
+                _ms(run.get("latency_p50_ms")),
+                _ms(run.get("latency_p95_ms")),
+                _ms(run.get("latency_p99_ms")),
                 run.get("failure_rate"),
                 run.get("breaker_trips"),
                 run.get("breaker_recoveries"),
                 run.get("worker_restarts"),
+                run.get("pool_respawns", "-"),
                 run.get("fallback_scans"),
-                run.get("cpu_time_s") if run.get("cpu_time_s")
-                is not None else "-",
-                run.get("max_rss_mb") if run.get("max_rss_mb")
-                is not None else "-",
+                _ms(run.get("cpu_time_s")),
+                _ms(run.get("max_rss_mb")),
             ])
+            per_tenant = run.get("per_tenant") or {}
+            for tenant in sorted(per_tenant):
+                stats = per_tenant[tenant]
+                if "latency_p50_ms" not in stats:
+                    continue  # pre-v2 entry: no per-tenant percentiles
+                tenant_rows.append([
+                    entry.get("label", "?"),
+                    run.get("scenario", "?"),
+                    tenant,
+                    stats.get("submitted"),
+                    stats.get("completed"),
+                    stats.get("failed"),
+                    _ms(stats.get("latency_p50_ms")),
+                    _ms(stats.get("latency_p95_ms")),
+                    _ms(stats.get("latency_p99_ms")),
+                ])
     section = (
         "## Scan-service resilience (BENCH_service.json)\n\n"
         + rows_to_markdown(rows)
@@ -404,8 +434,16 @@ def service_trajectory_section(
         "one tenant past its deadline, submits oversized streams, and "
         "injects primary-backend faults, so its counters demonstrate "
         "the breaker trip → golden-fallback → recovery path (see "
-        "DESIGN.md's serving-layer section)."
+        "DESIGN.md's serving-layer section).  The *Plane* column is "
+        "`transport/wN`: how requests reached the service (in-process "
+        "calls vs the TCP frame protocol) and how many scan worker "
+        "processes executed chunks (`w0` scans in the event loop)."
     )
+    if len(tenant_rows) > 1:
+        section += (
+            "\n\n### Per-tenant latency (serving scenarios)\n\n"
+            + rows_to_markdown(tenant_rows)
+        )
     notes = [
         (entry.get("label", "?"), entry["note"])
         for entry in entries

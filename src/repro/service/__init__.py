@@ -17,14 +17,18 @@ the typed failure modes.
 from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.service.client import RetryingClient
 from repro.service.errors import (
+    ConnectionLost,
     DeadlineExceeded,
     Overloaded,
+    ProtocolError,
     ServiceClosed,
     ServiceError,
     StreamTooLarge,
     UnknownTenant,
     WorkerCrashed,
 )
+from repro.service.net import NetScanClient, ScanServer, connect_retrying
+from repro.service.procpool import ProcPoolScanExecutor, TenantWorkerSpec
 from repro.service.service import (
     DEFAULT_CHUNK_BYTES,
     DEFAULT_MAX_QUEUE,
@@ -41,13 +45,20 @@ __all__ = [
     "OPEN",
     "CircuitBreaker",
     "RetryingClient",
+    "ConnectionLost",
     "DeadlineExceeded",
     "Overloaded",
+    "ProtocolError",
     "ServiceClosed",
     "ServiceError",
     "StreamTooLarge",
     "UnknownTenant",
     "WorkerCrashed",
+    "NetScanClient",
+    "ScanServer",
+    "connect_retrying",
+    "ProcPoolScanExecutor",
+    "TenantWorkerSpec",
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_MAX_QUEUE",
     "ScanOutcome",

@@ -92,6 +92,22 @@ class ServiceClosed(ServiceError):
         super().__init__(reason)
 
 
+class ProtocolError(ServiceError):
+    """A malformed or unsupported frame on the wire protocol.
+
+    Contract violation, not transient: retrying the same bytes would
+    fail identically (:mod:`repro.service.net`)."""
+
+
+class ConnectionLost(ServiceError):
+    """The transport died with requests in flight.
+
+    Retryable — reconnect and resubmit; any scan the server completed
+    after the disconnect was simply discarded with its connection."""
+
+    retryable = True
+
+
 class DeadlineExceeded(ServiceError):
     """The request's deadline expired; carries the partial progress.
 

@@ -1,0 +1,341 @@
+"""Process-pool scan execution plane for the serving layer.
+
+PR 8's :class:`~repro.service.service.ScanService` runs every CPU-bound
+scan as a coroutine on one event loop, so one core is the throughput
+ceiling.  This module moves the chunk scans into a persistent pool of
+worker *processes* while keeping every PR 8 semantic — deadlines at
+chunk boundaries, checkpoint-resume bit-identity, breaker/fallback,
+graceful drain — because the unit of dispatch is still one chunk +
+checkpoint, and checkpoints are plain picklable values.  A request's
+chunks may therefore migrate between processes mid-request: the
+checkpoint carries the whole machine state.
+
+Each worker process keeps a small per-tenant engine cache keyed by the
+registration fingerprint.  Cold-starting a tenant in a worker takes one
+of two paths:
+
+* **Shared-tables fast path** (lazy-DFA tenants): the parent publishes
+  the kernel's packed tables plus the warm DFA transition tables once
+  per tenant through the existing :class:`~repro.sim.shard.SharedTables`
+  shared-memory block; the worker attaches, copies the arrays out (the
+  block may be unlinked on hot-reload while the worker lives on),
+  rebuilds ``BitsetKernel.from_packed`` + a seeded
+  :class:`~repro.sim.lazydfa.LazyDfaKernel`, and returns *raw* scan
+  results that the parent materialises through the registered backend —
+  so ``(offset, ste_id, report_code)`` identity is resolved exactly
+  once, parent-side, and is bit-identical to the in-loop path.
+* **Engine rebuild path** (every other backend, and any shared-memory
+  failure): the worker rebuilds a full
+  :class:`~repro.engine.CacheAutomatonEngine` from the registration
+  shipped in the spec, warm-starting from the same content-addressed
+  artifact cache directory the parent used, and returns finished
+  ``Report``/``Checkpoint`` objects.
+
+Supervision: a dead worker process breaks the whole
+:class:`~concurrent.futures.ProcessPoolExecutor`, so the executor is
+respawned (counted in :attr:`ProcPoolScanExecutor.respawns`) and the
+in-flight chunk fails with a retryable
+:class:`~repro.service.errors.WorkerCrashed` — exactly the PR 8
+contract, now for real processes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import partial
+from multiprocessing import get_context
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.stride import StrideAlphabet
+from repro.core.design import DesignPoint
+from repro.service.errors import WorkerCrashed
+from repro.sim.golden import Checkpoint, Report
+from repro.sim.kernel import BitsetKernel
+from repro.sim.lazydfa import LazyDfaKernel
+from repro.sim.shard import RawScanResult, attach_tables
+
+#: Per-worker-process engine cache bound (fingerprint-keyed, LRU).
+WORKER_ENGINE_CACHE_LIMIT = 8
+
+
+def default_mp_method() -> str:
+    """``fork`` where available (workers inherit the imported modules —
+    no re-import tax per process), else ``spawn``."""
+    try:
+        get_context("fork")
+        return "fork"
+    except ValueError:  # pragma: no cover - non-POSIX
+        return "spawn"
+
+
+def worker_cache_spec(cache):
+    """A picklable artifact-cache spec for worker processes.
+
+    A live :class:`~repro.compiler.cache.CompileCache` cannot ship
+    across the process boundary, so it collapses to its root directory
+    (the parent of the versioned subdirectory it manages); every other
+    spec form (``"auto"``, a path string, ``True``/``False``/``None``)
+    is already picklable and means the same thing in the worker.
+    """
+    directory = getattr(cache, "directory", None)
+    if directory is not None:
+        return str(directory.parent)
+    return cache
+
+
+@dataclass(frozen=True)
+class TenantWorkerSpec:
+    """One tenant's registration, picklable for shipment to workers.
+
+    ``shm_meta`` (when set) is the :class:`~repro.sim.shard.SharedTables`
+    handle for the fast path; the full registration rides along so a
+    worker can always fall back to an engine rebuild — e.g. when the
+    block was unlinked by a hot-reload between dispatch and attach.
+    """
+
+    tenant: str
+    fingerprint: str
+    patterns: Tuple[str, ...]
+    design: DesignPoint
+    backend: Optional[str]
+    stride: object
+    backend_options: Tuple[Tuple[str, object], ...]
+    compile_jobs: object
+    cache: object
+    dfa_max_states: Optional[int]
+    shm_meta: object = None
+
+
+class _TablesWorkerEngine:
+    """Worker-side engine rebuilt from the shared-tables fast path."""
+
+    def __init__(self, kernel: BitsetKernel, dfa: LazyDfaKernel):
+        self.kernel = kernel
+        self.dfa = dfa
+
+    def scan_chunk(self, data, cursor, collect_reports):
+        from repro.sim.shard import _scan_one
+
+        raw = _scan_one(self.kernel, self.dfa, data, cursor, collect_reports)
+        return ("raw", raw)
+
+
+class _BackendWorkerEngine:
+    """Worker-side engine rebuilt from the full registration."""
+
+    def __init__(self, backend):
+        self.backend = backend
+
+    def scan_chunk(self, data, cursor, collect_reports):
+        resume = None if cursor is None else Checkpoint(*cursor)
+        result = self.backend.scan(
+            data, collect_reports=collect_reports, resume=resume
+        )
+        return ("scan", tuple(result.reports), result.checkpoint)
+
+
+#: fingerprint -> worker engine, per worker process (module global).
+_WORKER_ENGINES: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _build_tables_engine(spec: TenantWorkerSpec) -> _TablesWorkerEngine:
+    shm, views = attach_tables(spec.shm_meta)
+    try:
+        # Copy out of the mapping: the parent may unlink the block (hot
+        # reload, drain) while this engine keeps serving from the cache.
+        tables = {name: np.array(view, copy=True) for name, view in views.items()}
+    finally:
+        del views
+        shm.close()
+    dfa_rows = tables.pop("dfa_rows")
+    dfa_next = tables.pop("dfa_next")
+    dfa_reps = tables.pop("dfa_reps")
+    alphabet = None
+    if "stride_k" in tables:
+        alphabet = StrideAlphabet.from_tables(
+            {
+                "stride_k": tables.pop("stride_k"),
+                "stride_class_of": tables.pop("stride_class_of"),
+                "stride_reps": tables.pop("stride_reps"),
+            }
+        )
+    kernel = BitsetKernel.from_packed(tables)
+    dfa = LazyDfaKernel(
+        kernel, max_states=spec.dfa_max_states, alphabet=alphabet
+    )
+    dfa.seed(dfa_rows, dfa_next, dfa_reps)
+    return _TablesWorkerEngine(kernel, dfa)
+
+
+def _build_backend_engine(spec: TenantWorkerSpec) -> _BackendWorkerEngine:
+    from repro.engine import CacheAutomatonEngine
+
+    engine = CacheAutomatonEngine.from_patterns(
+        list(spec.patterns),
+        design=spec.design,
+        cache=spec.cache,
+        backend=spec.backend,
+        stride=spec.stride,
+        backend_options=dict(spec.backend_options) or None,
+        compile_jobs=spec.compile_jobs,
+    )
+    return _BackendWorkerEngine(engine.backend)
+
+
+def _worker_engine(spec: TenantWorkerSpec):
+    engine = _WORKER_ENGINES.get(spec.fingerprint)
+    if engine is None:
+        if spec.shm_meta is not None:
+            try:
+                engine = _build_tables_engine(spec)
+            except Exception:
+                # The block can be gone (hot-reload unlinked it) or the
+                # attach can fail; the registration in the spec always
+                # suffices to rebuild the slow way.
+                engine = _build_backend_engine(spec)
+        else:
+            engine = _build_backend_engine(spec)
+        _WORKER_ENGINES[spec.fingerprint] = engine
+        while len(_WORKER_ENGINES) > WORKER_ENGINE_CACHE_LIMIT:
+            _WORKER_ENGINES.popitem(last=False)
+    else:
+        _WORKER_ENGINES.move_to_end(spec.fingerprint)
+    return engine
+
+
+def _worker_scan_chunk(spec, data, cursor, collect_reports):
+    """Scan one chunk in a worker process (top-level so it pickles).
+
+    ``cursor`` is the resume checkpoint flattened to ``(symbols, vector,
+    sod)`` or ``None``; the return payload is either ``("raw",
+    RawScanResult)`` (fast path — the parent materialises reports) or
+    ``("scan", reports, checkpoint)`` (engine path — already global
+    offsets because the backend scanned with the resume checkpoint).
+    """
+    return _worker_engine(spec).scan_chunk(data, cursor, collect_reports)
+
+
+def _worker_pid() -> int:
+    """Chaos-hook helper: the worker process's own pid."""
+    return os.getpid()
+
+
+class _ChunkResult:
+    """Duck-typed slice of BackendResult the chunk loop consumes."""
+
+    __slots__ = ("reports", "checkpoint")
+
+    def __init__(self, reports, checkpoint):
+        self.reports = reports
+        self.checkpoint = checkpoint
+
+
+class ProcPoolScanExecutor:
+    """A supervised ``ProcessPoolExecutor`` dispatching scan chunks.
+
+    ``scan_chunk`` is the only hot entry point: it ships ``(spec, chunk,
+    checkpoint)`` to a worker via ``loop.run_in_executor`` and hands
+    back a ``.reports``/``.checkpoint`` result, materialising fast-path
+    raw payloads through the parent's registered backend.  A broken pool
+    (worker process died) is respawned on the spot and the failed chunk
+    surfaces as a retryable :class:`WorkerCrashed` — mirroring the
+    coroutine-worker supervision contract.
+    """
+
+    def __init__(self, workers: int, *, mp_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"need at least one scan worker, got {workers}")
+        self.workers = workers
+        self._mp_method = mp_method or default_mp_method()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.respawns = 0
+        self.dispatched = 0
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self._mp_method),
+            )
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _respawn(self, broken: Optional[ProcessPoolExecutor]) -> None:
+        if self._pool is not broken:
+            return  # a concurrent failure already swapped the pool
+        self._pool = None
+        if broken is not None:
+            broken.shutdown(wait=False, cancel_futures=True)
+        self.respawns += 1
+        self.start()
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """Pids of the live pool processes (chaos hooks / tests).
+
+        The pool spawns processes lazily, so this dispatches a no-op
+        job first to guarantee at least one process exists.
+        """
+        if self._pool is None:
+            return ()
+        self._pool.submit(_worker_pid).result()
+        return tuple(self._pool._processes.keys())
+
+    def crash_one(self) -> Optional[int]:
+        """Chaos hook: SIGKILL one pool process; returns its pid.
+
+        The next dispatched chunk observes the broken pool, fails with a
+        retryable :class:`WorkerCrashed`, and triggers a respawn.
+        """
+        import signal
+
+        pids = self.worker_pids()
+        if not pids:
+            return None
+        os.kill(pids[0], signal.SIGKILL)
+        return pids[0]
+
+    async def scan_chunk(
+        self,
+        loop,
+        spec: TenantWorkerSpec,
+        backend,
+        data: bytes,
+        checkpoint: Optional[Checkpoint],
+        collect_reports: bool = True,
+    ) -> _ChunkResult:
+        if self._pool is None:
+            self.start()
+        pool = self._pool
+        cursor = None
+        if checkpoint is not None:
+            cursor = (
+                checkpoint.symbols_processed,
+                checkpoint.active_state_vector,
+                checkpoint.start_of_data_pending,
+            )
+        job = partial(_worker_scan_chunk, spec, data, cursor, collect_reports)
+        try:
+            kind, *payload = await loop.run_in_executor(pool, job)
+        except (BrokenProcessPool, OSError, RuntimeError) as error:
+            # A dead process poisons the whole executor: respawn the
+            # pool so the *next* chunk lands on fresh workers, and fail
+            # this one with the typed retryable error.
+            self._respawn(pool)
+            raise WorkerCrashed(spec.tenant) from error
+        self.dispatched += 1
+        if kind == "raw":
+            raw: RawScanResult = payload[0]
+            base = 0 if checkpoint is None else checkpoint.symbols_processed
+            result = backend.materialise_raw(raw, base, collect_reports)
+            return _ChunkResult(result.reports, result.checkpoint)
+        reports: Tuple[Report, ...] = payload[0]
+        return _ChunkResult(reports, payload[1])

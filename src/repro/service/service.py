@@ -37,6 +37,22 @@ Scanning is CPU-bound Python, so workers are cooperating coroutines on
 one loop: each yields between chunks, which is what makes deadlines,
 fairness, and drain responsive without threads.  The clock is
 injectable for deterministic tests.
+
+* **Process-pool execution** — ``scan_workers=N`` (default 0 = in-loop)
+  dispatches every primary-tier chunk to a persistent pool of worker
+  *processes* (:mod:`repro.service.procpool`) via ``run_in_executor``,
+  lifting the one-core ceiling while keeping all of the above: the
+  dispatch unit is still one chunk + checkpoint, so deadlines interrupt
+  at the same boundaries, chunks of one request may migrate between
+  processes, results are bit-identical to ``scan_workers=0``, and a
+  dead process surfaces as a retryable
+  :class:`~repro.service.errors.WorkerCrashed` with the pool respawned.
+  Lazy-DFA tenants publish their packed kernel + warm DFA tables once
+  through a :class:`~repro.sim.shard.SharedTables` block so workers
+  rebuild zero-copy; other backends rebuild from the registration
+  through the shared artifact cache.  The golden-fallback tier (breaker
+  open) always runs in-loop — the reference interpreter must not depend
+  on the machinery it is the fallback for.
 """
 
 from __future__ import annotations
@@ -63,7 +79,13 @@ from repro.service.errors import (
     UnknownTenant,
     WorkerCrashed,
 )
+from repro.service.procpool import (
+    ProcPoolScanExecutor,
+    TenantWorkerSpec,
+    worker_cache_spec,
+)
 from repro.sim.golden import Checkpoint, Report
+from repro.sim.shard import SharedTables
 
 #: Default per-chunk scan granularity — the deadline/fairness quantum.
 DEFAULT_CHUNK_BYTES = 4096
@@ -127,6 +149,7 @@ class ServiceMetrics:
     worker_restarts: int = 0
     fallback_scans: int = 0
     reloads: int = 0
+    pool_respawns: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -165,6 +188,13 @@ class _TenantState:
         self.in_flight = 0
         self.counters: Dict[str, int] = {key: 0 for key in _TENANT_COUNTERS}
         self._fallback = None
+        #: Registration kwargs kept verbatim so worker processes can
+        #: rebuild this tenant's engine (process-pool execution).
+        self.registration: Dict[str, object] = {}
+        #: Lazily built picklable spec + published shared-memory block
+        #: for the process pool; reset on hot-reload.
+        self.worker_spec: Optional[TenantWorkerSpec] = None
+        self.shared: Optional[SharedTables] = None
         #: Chaos hooks (fault-injection harness): raise ``chaos_error``
         #: on the next ``chaos_faults`` primary scans; sleep
         #: ``chaos_delay`` seconds per chunk (a "slow tenant").
@@ -185,6 +215,13 @@ class _TenantState:
 
     def reset_backend_state(self):
         self._fallback = None
+        self.worker_spec = None
+        self.close_shared()
+
+    def close_shared(self):
+        if self.shared is not None:
+            shared, self.shared = self.shared, None
+            shared.close()
 
 
 class _Request:
@@ -244,6 +281,7 @@ class ScanService:
         self,
         *,
         workers: int = 2,
+        scan_workers: int = 0,
         max_queue: int = DEFAULT_MAX_QUEUE,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         default_deadline: Optional[float] = None,
@@ -251,14 +289,27 @@ class ScanService:
         breaker_cooldown: float = 1.0,
         cache="auto",
         clock: Callable[[], float] = time.monotonic,
+        mp_method: Optional[str] = None,
     ):
         if workers < 1:
             raise ReproError(f"need at least one worker, got {workers}")
+        if scan_workers < 0:
+            raise ReproError(
+                f"scan_workers must be >= 0, got {scan_workers}"
+            )
         if max_queue < 1:
             raise ReproError(f"max_queue must be >= 1, got {max_queue}")
         if chunk_bytes < 1:
             raise ReproError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
         self.worker_count = workers
+        #: 0 = scan in-loop (PR 8 semantics, one core); N > 0 = dispatch
+        #: primary-tier chunks to N persistent worker processes.
+        self.scan_workers = scan_workers
+        self._procpool: Optional[ProcPoolScanExecutor] = None
+        if scan_workers > 0:
+            self._procpool = ProcPoolScanExecutor(
+                scan_workers, mp_method=mp_method
+            )
         self.max_queue = max_queue
         self.chunk_bytes = chunk_bytes
         self.default_deadline = default_deadline
@@ -339,11 +390,20 @@ class ScanService:
             backend_options=options or None,
             compile_jobs=compile_jobs,
         )
+        registration = {
+            "patterns": tuple(patterns),
+            "design": design,
+            "backend": backend,
+            "stride": stride,
+            "backend_options": options,
+            "compile_jobs": compile_jobs,
+        }
         if existing is not None:
             existing.fingerprint = fingerprint
             existing.engine = engine
             existing.limits = limits
             existing.breaker = self._new_breaker()
+            existing.registration = registration
             existing.reset_backend_state()
             self.metrics.reloads += 1
             self.events.append(
@@ -352,9 +412,11 @@ class ScanService:
                 f"tier {engine.health().tier})"
             )
             return True
-        self._tenants[name] = _TenantState(
+        state = _TenantState(
             name, fingerprint, engine, limits, self._new_breaker()
         )
+        state.registration = registration
+        self._tenants[name] = state
         self._rr.append(name)
         self.events.append(
             f"tenant {name!r} registered ({len(patterns)} pattern(s), "
@@ -405,6 +467,18 @@ class ScanService:
         """
         self._tenant(tenant).chaos_delay = max(0.0, delay_s)
 
+    def crash_scan_process(self) -> Optional[int]:
+        """Chaos hook: SIGKILL one scan worker *process* (returns its
+        pid, or ``None`` without a process pool).
+
+        The next chunk dispatched to the broken pool fails with a
+        retryable :class:`WorkerCrashed` and the pool is respawned —
+        the process-level twin of :meth:`crash_worker`.
+        """
+        if self._procpool is None:
+            return None
+        return self._procpool.crash_one()
+
     def crash_worker(self, index: int = 0) -> bool:
         """Chaos hook: kill one worker task mid-flight.
 
@@ -426,10 +500,13 @@ class ScanService:
         self._started = True
         self._accepting = True
         self._cond = asyncio.Condition()
+        if self._procpool is not None:
+            self._procpool.start()
         for index in range(self.worker_count):
             self._spawn_worker(index)
         self.events.append(
             f"service started: {self.worker_count} worker(s), "
+            f"{self.scan_workers} scan process(es), "
             f"queue bound {self.max_queue}, chunk {self.chunk_bytes} B"
         )
 
@@ -494,6 +571,10 @@ class ScanService:
         await asyncio.gather(
             *list(self._workers.values()), return_exceptions=True
         )
+        if self._procpool is not None:
+            self._procpool.shutdown()
+        for state in self._tenants.values():
+            state.close_shared()
         self.events.append("service stopped: drain complete")
 
     def _idle(self) -> bool:
@@ -671,6 +752,11 @@ class ScanService:
             backend = state.fallback()
             self.metrics.fallback_scans += 1
             state.counters["fallback_scans"] += 1
+        # Primary-tier chunks go to the process pool when one is
+        # configured; the golden-fallback tier always scans in-loop.
+        pool = self._procpool if on_primary else None
+        spec = self._tenant_worker_spec(state) if pool is not None else None
+        loop = asyncio.get_running_loop() if pool is not None else None
         data = request.data
         checkpoint = request.resume
         base = 0 if checkpoint is None else checkpoint.symbols_processed
@@ -694,7 +780,12 @@ class ScanService:
                 if state.chaos_delay:
                     await asyncio.sleep(state.chaos_delay)
                 piece = data[position : position + self.chunk_bytes]
-                result = backend.scan(piece, resume=checkpoint)
+                if pool is not None:
+                    result = await pool.scan_chunk(
+                        loop, spec, backend, piece, checkpoint
+                    )
+                else:
+                    result = backend.scan(piece, resume=checkpoint)
                 checkpoint = result.checkpoint
                 reports.extend(result.reports)
                 position += len(piece)
@@ -704,6 +795,15 @@ class ScanService:
         except DeadlineExceeded:
             raise
         except asyncio.CancelledError:
+            raise
+        except WorkerCrashed:
+            # A dead scan process is an infrastructure fault, not a
+            # tenant fault: surface the retryable error (the pool has
+            # already respawned) without charging the breaker.
+            self.events.append(
+                f"scan process died serving tenant {state.name!r}; "
+                "pool respawned"
+            )
             raise
         except Exception:
             if on_primary and breaker.record_failure():
@@ -729,6 +829,39 @@ class ScanService:
             fallback=not on_primary,
             latency_s=self._clock() - request.submitted_at,
         )
+
+    def _tenant_worker_spec(self, state: _TenantState) -> TenantWorkerSpec:
+        """The tenant's picklable spec for worker processes (cached).
+
+        Built on first process-pool scan: backends exposing
+        ``share_tables``/``materialise_raw`` (lazy-DFA) additionally
+        publish their tables through one shared-memory block, held for
+        the tenant's lifetime and released on hot-reload or drain.
+        """
+        if state.worker_spec is None:
+            registration = state.registration
+            options = dict(registration.get("backend_options") or {})
+            backend = state.engine.backend
+            shm_meta = None
+            if hasattr(backend, "share_tables") and hasattr(
+                backend, "materialise_raw"
+            ):
+                state.shared = SharedTables(backend.share_tables())
+                shm_meta = state.shared.meta
+            state.worker_spec = TenantWorkerSpec(
+                tenant=state.name,
+                fingerprint=state.fingerprint,
+                patterns=tuple(registration["patterns"]),
+                design=registration["design"],
+                backend=registration["backend"],
+                stride=registration["stride"],
+                backend_options=tuple(sorted(options.items())),
+                compile_jobs=registration["compile_jobs"],
+                cache=worker_cache_spec(self._cache),
+                dfa_max_states=options.get("max_states"),
+                shm_meta=shm_meta,
+            )
+        return state.worker_spec
 
     @staticmethod
     def _health_size(engine: CacheAutomatonEngine) -> int:
@@ -763,8 +896,11 @@ class ScanService:
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Counters, queue gauges, breaker states, and recent events."""
+        if self._procpool is not None:
+            self.metrics.pool_respawns = self._procpool.respawns
         return {
             **self.metrics.as_dict(),
+            "scan_workers": self.scan_workers,
             "queued": self._queued,
             "executing": self._executing,
             "tenants": {

@@ -12,11 +12,14 @@ from __future__ import annotations
 import pytest
 
 from repro.eval.loadgen import (
+    RUN_SCHEMA_VERSION,
     baseline_config,
     faulted_config,
     percentile,
     run_loadgen,
+    serving_config,
 )
+from repro.errors import ReproError
 
 
 class TestPercentile:
@@ -64,7 +67,66 @@ class TestScenarios:
     def test_run_record_row_is_flat(self, faulted):
         row = faulted.as_dict()
         for key in ("throughput_rps", "latency_p95_ms", "failure_rate",
-                    "shed", "retried", "timeouts", "breaker_trips"):
+                    "shed", "retried", "timeouts", "breaker_trips",
+                    "scan_workers", "transport", "pool_respawns",
+                    "schema_version"):
             assert key in row
+        assert row["schema_version"] == RUN_SCHEMA_VERSION
         assert isinstance(row["per_tenant"], dict)
         assert set(row["per_tenant"]) == {"hot", "slow", "flaky"}
+
+    def test_per_tenant_rows_carry_latency_percentiles(self, faulted):
+        per_tenant = faulted.as_dict()["per_tenant"]
+        for stats in per_tenant.values():
+            for key in ("latency_p50_ms", "latency_p95_ms",
+                        "latency_p99_ms"):
+                assert key in stats
+        hot = per_tenant["hot"]
+        assert hot["completed"] > 0
+        assert hot["latency_p50_ms"] <= hot["latency_p99_ms"]
+        # The slowed tenant completes nothing, so its percentiles are
+        # honest Nones rather than fabricated zeros.
+        if per_tenant["slow"]["completed"] == 0:
+            assert per_tenant["slow"]["latency_p99_ms"] is None
+
+
+class TestServingScenarios:
+    """The serving-plane comparison: the same open-loop load must
+    complete cleanly whether chunks run in the event loop, in scan
+    worker processes, or behind the TCP frame protocol."""
+
+    @pytest.mark.parametrize(
+        "scan_workers,transport",
+        [(0, "inproc"), (2, "inproc"), (2, "tcp")],
+    )
+    def test_plane_completes_with_zero_unhandled(
+        self, scan_workers, transport
+    ):
+        record = run_loadgen(serving_config(
+            scan_workers=scan_workers, transport=transport,
+            duration_s=0.8, seed=7,
+        ))
+        assert record.unhandled_exceptions == 0
+        assert record.completed > 0
+        assert record.scan_workers == scan_workers
+        assert record.transport == transport
+        assert record.scenario == f"serve-{transport}-w{scan_workers}"
+        for stats in record.as_dict()["per_tenant"].values():
+            assert stats["latency_p99_ms"] is not None
+
+    def test_connect_forces_tcp_transport(self):
+        config = serving_config(connect=("127.0.0.1", 1), scan_workers=1)
+        assert config.transport == "tcp"
+        assert config.connect == ("127.0.0.1", 1)
+        assert config.scenario == "serve-connect-w1"
+
+    def test_connect_rejects_fault_injection(self):
+        """Chaos hooks poke service internals, which an external server
+        does not expose — mixing them must be a typed config error."""
+        import dataclasses
+
+        config = serving_config(connect=("127.0.0.1", 1))
+        faulted = faulted_config(duration_s=0.5)
+        bad = dataclasses.replace(config, faults=faulted.faults)
+        with pytest.raises(ReproError):
+            run_loadgen(bad)

@@ -1,0 +1,351 @@
+"""Multi-process scan execution plane (``repro.service.procpool``).
+
+The load-bearing property is bit-identity: whatever the execution plane
+— chunks scanned in the event loop (``scan_workers=0``) or dispatched
+to a pool of worker processes (``scan_workers=N``), including deadline
+interruption and mid-request resume — the report stream must be
+byte-for-byte the same.  Supervision (SIGKILLed worker process →
+retryable ``WorkerCrashed`` → pool respawn) mirrors the coroutine
+contract, now across real process boundaries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+import pytest
+
+from repro.compiler import compile_automaton
+from repro.compiler.cache import CompileCache
+from repro.core.design import CA_P
+from repro.engine import CacheAutomatonEngine
+from repro.service import (
+    DeadlineExceeded,
+    ScanService,
+    ServiceClosed,
+    WorkerCrashed,
+)
+from repro.service.procpool import (
+    ProcPoolScanExecutor,
+    default_mp_method,
+    worker_cache_spec,
+)
+from tests.conftest import chain_automaton
+
+PATTERNS = ["cat", "dog+", "ba[rt]"]
+DATA = b"the cat sat on the bar while the dog dogged a bat " * 4
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Ticker:
+    """Fake monotonic clock: advances ``step`` seconds per reading."""
+
+    def __init__(self, step: float = 0.0, start: float = 100.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def rows(outcome_or_reports):
+    reports = getattr(outcome_or_reports, "reports", outcome_or_reports)
+    return [(r.offset, r.ste_id, r.report_code) for r in reports]
+
+
+async def scan_rows(data, *, backend=None, scan_workers=0, chunk_bytes=16,
+                    clock=None, deadline=None):
+    """One full scan through a throwaway service; returns report rows."""
+    kwargs = {} if clock is None else {"clock": clock}
+    service = ScanService(
+        workers=1,
+        scan_workers=scan_workers,
+        chunk_bytes=chunk_bytes,
+        cache=False,
+        **kwargs,
+    )
+    service.register("acme", PATTERNS, backend=backend)
+    await service.start()
+    try:
+        outcome = await service.scan("acme", data, deadline=deadline)
+        return rows(outcome), service.metrics_snapshot()
+    finally:
+        await service.stop()
+
+
+class TestDifferentialBitIdentity:
+    @pytest.mark.parametrize("backend", [None, "lazy-dfa"])
+    def test_procpool_matches_inloop(self, backend):
+        """The acceptance-criteria differential: identical report rows
+        across ``scan_workers in {0, 2}`` for both the engine-rebuild
+        path (default backend) and the shared-tables fast path
+        (lazy-dfa)."""
+        inloop, _ = run(scan_rows(DATA, backend=backend, scan_workers=0))
+        pooled, snapshot = run(
+            scan_rows(DATA, backend=backend, scan_workers=2)
+        )
+        assert pooled == inloop
+        assert len(inloop) > 0
+        assert snapshot["scan_workers"] == 2
+
+    @pytest.mark.parametrize("backend", [None, "lazy-dfa"])
+    def test_deadline_interrupt_and_resume(self, backend):
+        """A deadline fires mid-stream on the process-pool plane and the
+        checkpoint resumes — chunks before and after the interruption
+        may land on *different processes* — with the combined stream
+        bit-identical to an uninterrupted in-loop scan."""
+        reference, _ = run(scan_rows(DATA, backend=backend, scan_workers=0))
+        clock = Ticker(step=1.0)
+
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=2, chunk_bytes=16,
+                clock=clock, cache=False,
+            )
+            service.register("acme", PATTERNS, backend=backend)
+            await service.start()
+            try:
+                with pytest.raises(DeadlineExceeded) as info:
+                    await service.scan("acme", DATA, deadline=3.5)
+                error = info.value
+                rest = await service.scan(
+                    "acme",
+                    DATA[error.offset:],
+                    deadline=10_000,
+                    resume=error.checkpoint,
+                )
+                return error, rest
+            finally:
+                await service.stop()
+
+        error, rest = run(scenario())
+        assert 0 < error.offset < len(DATA)
+        assert rows(error.reports) + rows(rest) == reference
+
+
+class TestSupervision:
+    def test_crashed_process_is_typed_and_pool_respawns(self):
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=2, chunk_bytes=16, cache=False
+            )
+            service.register("acme", PATTERNS)
+            await service.start()
+            try:
+                before = rows(await service.scan("acme", DATA))
+                pid = service.crash_scan_process()
+                assert pid is not None
+                with pytest.raises(WorkerCrashed) as info:
+                    await service.scan("acme", DATA)
+                assert info.value.retryable
+                after = rows(await service.scan("acme", DATA))
+                return before, after, service.metrics_snapshot()
+            finally:
+                await service.stop()
+
+        before, after, snapshot = run(scenario())
+        assert after == before
+        assert snapshot["pool_respawns"] == 1
+
+    def test_crash_does_not_charge_the_breaker(self):
+        """A dead process is an infrastructure fault, not evidence the
+        tenant's primary backend is bad: the breaker stays closed."""
+
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=1, breaker_threshold=1, cache=False
+            )
+            service.register("acme", PATTERNS)
+            await service.start()
+            try:
+                await service.scan("acme", DATA)
+                service.crash_scan_process()
+                with pytest.raises(WorkerCrashed):
+                    await service.scan("acme", DATA)
+                return service.breaker_state("acme")
+            finally:
+                await service.stop()
+
+        assert run(scenario()) == "closed"
+
+
+class TestLifecycle:
+    def test_stop_closes_pool_and_shared_tables(self):
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=2, chunk_bytes=16, cache=False
+            )
+            service.register("acme", PATTERNS, backend="lazy-dfa")
+            await service.start()
+            await service.scan("acme", DATA)
+            state = service._tenant("acme")
+            assert state.shared is not None  # fast path published
+            await service.stop()
+            assert state.shared is None
+            with pytest.raises(ServiceClosed):
+                await service.scan("acme", DATA)
+
+        run(scenario())
+
+    def test_hot_reload_swaps_spec_and_shared_block(self):
+        """Re-registering with new patterns drops the cached worker spec
+        and the published shared-tables block; the next pooled scan
+        serves the *new* pattern set."""
+
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=2, chunk_bytes=16, cache=False
+            )
+            service.register("acme", PATTERNS, backend="lazy-dfa")
+            await service.start()
+            try:
+                before = await service.scan("acme", b"cat and emu")
+                state = service._tenant("acme")
+                first_spec = state.worker_spec
+                first_shared = state.shared
+                assert first_spec is not None and first_shared is not None
+                assert service.register("acme", ["emu"], backend="lazy-dfa")
+                assert state.worker_spec is None and state.shared is None
+                after = await service.scan("acme", b"cat and emu")
+                assert state.worker_spec is not first_spec
+                return before, after
+            finally:
+                await service.stop()
+
+        before, after = run(scenario())
+        assert [r.report_code for r in before.reports] == ["cat"]
+        assert [r.report_code for r in after.reports] == ["emu"]
+
+    def test_fallback_tier_scans_in_loop(self):
+        """While the breaker is open the golden-fallback tier must not
+        depend on the process pool: fallback scans dispatch zero chunks
+        to workers."""
+        from repro.errors import SimulationError
+
+        async def scenario():
+            service = ScanService(
+                workers=1, scan_workers=1, breaker_threshold=1, cache=False
+            )
+            service.register("acme", PATTERNS)
+            await service.start()
+            try:
+                service.inject_scan_faults("acme", 1, SimulationError("boom"))
+                with pytest.raises(SimulationError):
+                    await service.scan("acme", DATA)
+                assert service.breaker_state("acme") == "open"
+                dispatched = service._procpool.dispatched
+                outcome = await service.scan("acme", DATA)
+                assert outcome.fallback
+                assert service._procpool.dispatched == dispatched
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+class TestExecutorUnit:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcPoolScanExecutor(0)
+
+    def test_default_mp_method_is_known(self):
+        assert default_mp_method() in ("fork", "spawn")
+
+    def test_worker_cache_spec_forms(self, tmp_path):
+        cache = CompileCache(tmp_path / "artifacts")
+        spec = worker_cache_spec(cache)
+        # A live cache collapses to its *root* directory: a worker
+        # building CompileCache(spec) lands on the same versioned
+        # subdirectory.
+        assert spec == str(tmp_path / "artifacts")
+        assert CompileCache(spec).directory == cache.directory
+        for passthrough in ("auto", True, False, None):
+            assert worker_cache_spec(passthrough) == passthrough
+
+
+# -- cross-process artifact-cache contention (satellite) --------------------
+
+_CONTENTION_PATTERNS_SIZE = 300
+
+
+def _contention_build(slot, directory, barrier, queue):
+    """Child-process body: cold-start an engine against the shared cache
+    directory (whose artifact has been corrupted) and report the landing
+    tier plus scan rows.  Module-level so it works under any mp start
+    method."""
+    automaton = chain_automaton(
+        _CONTENTION_PATTERNS_SIZE, seed=3, automaton_id="contention"
+    )
+    cache = CompileCache(directory)
+    barrier.wait()
+    engine = CacheAutomatonEngine(automaton, cache=cache)
+    health = engine.health()
+    data = bytes(range(256)) * 20
+    queue.put((
+        slot,
+        health.tier,
+        health.backend,
+        [(m.end, m.state, m.rule) for m in engine.scan(data)],
+    ))
+
+
+class TestCrossProcessCacheContention:
+    def test_corrupt_artifact_race_lands_both_processes_healthy(
+        self, tmp_path
+    ):
+        """PR 8 proved the warm-cache → quarantine → recompile chain is
+        safe under *thread* contention; the process pool makes the same
+        race real across process boundaries.  Two worker processes
+        cold-start the same fingerprint against one cache directory
+        holding a corrupt artifact: whatever interleaving they take,
+        both must land on a healthy (non-golden) tier with bit-identical
+        scan results."""
+        directory = str(tmp_path / "shared")
+        automaton = chain_automaton(
+            _CONTENTION_PATTERNS_SIZE, seed=3, automaton_id="contention"
+        )
+        seeder = CompileCache(directory)
+        seeder.store_mapping(compile_automaton(automaton, CA_P))
+        artifact = next((tmp_path / "shared").rglob("*.npz"))
+        artifact.write_bytes(b"garbage, not an npz archive")
+
+        context = multiprocessing.get_context(default_mp_method())
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        children = [
+            context.Process(
+                target=_contention_build,
+                args=(slot, directory, barrier, queue),
+            )
+            for slot in range(2)
+        ]
+        for child in children:
+            child.start()
+        results = {}
+        for _ in children:
+            slot, tier, backend, scan_rows_ = queue.get(timeout=120)
+            results[slot] = (tier, backend, scan_rows_)
+        for child in children:
+            child.join(timeout=120)
+            assert child.exitcode == 0
+
+        assert set(results) == {0, 1}
+        for tier, backend, _ in results.values():
+            assert tier != "golden-fallback"
+            assert backend != "golden-interpreter"
+        assert results[0][2] == results[1][2]
+        # Whichever process re-stored the artifact, a later cold start
+        # gets a clean warm hit.
+        relieved = CacheAutomatonEngine(
+            automaton, cache=CompileCache(directory)
+        )
+        assert relieved.cache_info()["hits"] == 1
+        assert relieved.health().tier == "warm-cache"
